@@ -1,0 +1,438 @@
+// Benchmark harness: one testing.B benchmark per experiment in the
+// DESIGN.md §5 index (T1, E1–E7), plus microbenchmarks of the substrates.
+// cmd/experiments prints the same rows as a human-readable report;
+// EXPERIMENTS.md records paper-vs-measured for each artefact.
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/devudf"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/script"
+	"repro/internal/sqlparse"
+	"repro/internal/transfer"
+	"repro/monetlite"
+)
+
+// ---- T1: Table 1 ----
+
+// BenchmarkTable1 regenerates the paper's only table (static data; the
+// bench exists so every artefact has a `-bench` entry point).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		for _, r := range bench.Table1 {
+			fmt.Fprintf(&sb, "%-22s %5.1f%% %s\n", r.Name, r.Share, r.Kind)
+		}
+		ide, editor := bench.IDEShare()
+		if ide < editor {
+			b.Fatal("Table 1 must show IDEs dominating")
+		}
+	}
+}
+
+// ---- fixtures ----
+
+func startNumbers(b *testing.B, rows int) (*bench.Fixture, func()) {
+	b.Helper()
+	fx, err := bench.StartServer(
+		`CREATE TABLE numbers (i INTEGER)`,
+		bench.NumbersInsert("numbers", rows),
+		bench.MeanDeviationBuggy,
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fx, func() { fx.Close() }
+}
+
+func fixtureClient(b *testing.B, fx *bench.Fixture, opts devudf.TransferOptions) *devudf.Client {
+	b.Helper()
+	settings := devudf.DefaultSettings()
+	settings.Connection = fx.Params
+	settings.DebugQuery = `SELECT mean_deviation(i) FROM numbers`
+	settings.Transfer = opts
+	c, err := devudf.Connect(settings, core.NewMemFS(nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// ---- E1: compression ----
+
+func BenchmarkExtractCompression(b *testing.B) {
+	for _, rows := range []int{10_000, 100_000} {
+		for _, compress := range []bool{false, true} {
+			name := fmt.Sprintf("rows=%d/compress=%v", rows, compress)
+			b.Run(name, func(b *testing.B) {
+				fx, done := startNumbers(b, rows)
+				defer done()
+				c := fixtureClient(b, fx, devudf.TransferOptions{Compress: compress})
+				defer c.Close()
+				b.ResetTimer()
+				var payload int
+				for i := 0; i < b.N; i++ {
+					info, err := c.ExtractInputs("mean_deviation")
+					if err != nil {
+						b.Fatal(err)
+					}
+					payload = info.PayloadBytes
+				}
+				b.ReportMetric(float64(payload), "payloadB")
+			})
+		}
+	}
+}
+
+// ---- E2: sampling ----
+
+func BenchmarkExtractSampling(b *testing.B) {
+	const rows = 100_000
+	for _, sample := range []int{0, rows / 2, rows / 10, rows / 100} {
+		name := "sample=all"
+		if sample > 0 {
+			name = fmt.Sprintf("sample=%d", sample)
+		}
+		b.Run(name, func(b *testing.B) {
+			fx, done := startNumbers(b, rows)
+			defer done()
+			c := fixtureClient(b, fx, devudf.TransferOptions{SampleSize: sample, Seed: 42})
+			defer c.Close()
+			b.ResetTimer()
+			var payload int
+			for i := 0; i < b.N; i++ {
+				info, err := c.ExtractInputs("mean_deviation")
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload = info.PayloadBytes
+			}
+			b.ReportMetric(float64(payload), "payloadB")
+		})
+	}
+}
+
+// ---- E3: encryption ----
+
+func BenchmarkExtractEncryption(b *testing.B) {
+	const rows = 100_000
+	for _, encrypt := range []bool{false, true} {
+		b.Run(fmt.Sprintf("encrypt=%v", encrypt), func(b *testing.B) {
+			fx, done := startNumbers(b, rows)
+			defer done()
+			c := fixtureClient(b, fx, devudf.TransferOptions{Encrypt: encrypt, Seed: 1})
+			defer c.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E4: debug-cycle cost ----
+
+// BenchmarkDebugCycleTraditional measures one traditional probe:
+// CREATE OR REPLACE on the server + full remote query.
+func BenchmarkDebugCycleTraditional(b *testing.B) {
+	fx, done := startNumbers(b, 50_000)
+	defer done()
+	c := fixtureClient(b, fx, devudf.TransferOptions{})
+	defer c.Close()
+	info, _, err := c.Project.LoadUDF("mean_deviation")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.TraditionalCycle(info, bench.MeanDeviationFixedBody); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDebugCycleDevUDF measures one devUDF probe after the one-time
+// extract: edit the body + run locally on the full extracted input.
+func BenchmarkDebugCycleDevUDF(b *testing.B) {
+	fx, done := startNumbers(b, 50_000)
+	defer done()
+	c := fixtureClient(b, fx, devudf.TransferOptions{})
+	defer c.Close()
+	if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RunLocal("mean_deviation"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDebugCycleDevUDFSampled is the same probe on a 1% uniform
+// sample — the §2.1 option — which is where the devUDF loop wins big.
+func BenchmarkDebugCycleDevUDFSampled(b *testing.B) {
+	fx, done := startNumbers(b, 50_000)
+	defer done()
+	c := fixtureClient(b, fx, devudf.TransferOptions{SampleSize: 500, Seed: 42})
+	defer c.Close()
+	if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.RunLocal("mean_deviation"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E5: processing models ----
+
+func BenchmarkProcessingModel(b *testing.B) {
+	const rows = 10_000
+	for _, tc := range []struct {
+		name string
+		mode monetlite.Mode
+		sql  string
+	}{
+		{"operator-at-a-time", monetlite.ModeOperatorAtATime, `SELECT square_vec(i) FROM numbers`},
+		{"tuple-at-a-time", monetlite.ModeTupleAtATime, `SELECT square(i) FROM numbers`},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			fx, err := bench.StartServer(
+				`CREATE TABLE numbers (i INTEGER)`,
+				bench.NumbersInsert("numbers", rows),
+				bench.SquareUDF, bench.SquareVectorUDF,
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer fx.Close()
+			fx.DB.Mode = tc.mode
+			conn := monetlite.Connect(fx.DB, "monetdb", "monetdb")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := conn.Exec(tc.sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- E6: nested UDFs ----
+
+func nestedFixture(b *testing.B) *bench.Fixture {
+	b.Helper()
+	setup := []string{
+		`CREATE TABLE trainingset (data DOUBLE, labels INTEGER)`,
+		`CREATE TABLE testingset (data DOUBLE, labels INTEGER)`,
+	}
+	setup = append(setup, bench.MLInserts(30, 30)...)
+	setup = append(setup, bench.TrainRnforest, bench.FindBestClassifier)
+	fx, err := bench.StartServer(setup...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return fx
+}
+
+func BenchmarkNestedUDFServer(b *testing.B) {
+	fx := nestedFixture(b)
+	defer fx.Close()
+	conn := monetlite.Connect(fx.DB, "monetdb", "monetdb")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conn.Exec(`SELECT n_estimators FROM find_best_classifier(3)`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNestedUDFLocal(b *testing.B) {
+	fx := nestedFixture(b)
+	defer fx.Close()
+	settings := devudf.DefaultSettings()
+	settings.Connection = fx.Params
+	settings.DebugQuery = `SELECT * FROM find_best_classifier(3)`
+	c, err := devudf.Connect(settings, core.NewMemFS(nil))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ImportUDFs("find_best_classifier"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.ExtractInputs("find_best_classifier"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunLocal("find_best_classifier"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E7: in-DB vs client pull ----
+
+func BenchmarkInDBVsClient(b *testing.B) {
+	const rows = 100_000
+	fx, done := startNumbers(b, rows)
+	defer done()
+	b.Run("in-DB", func(b *testing.B) {
+		cli, err := monetlite.Dial(fx.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cli.Query(`SELECT mean_deviation(i) FROM numbers`); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(cli.BytesRead)/float64(b.N), "wireB/op")
+	})
+	b.Run("client-pull", func(b *testing.B) {
+		cli, err := monetlite.Dial(fx.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		analysis := clientAnalysis(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, tbl, err := cli.Query(`SELECT i FROM numbers`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := analysis(tbl.Cols[0].Ints); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(cli.BytesRead)/float64(b.N), "wireB/op")
+	})
+}
+
+// clientAnalysis builds the client-side Python analysis once (interpreter
+// and parse reused, matching a data scientist's long-lived session).
+func clientAnalysis(b *testing.B) func([]int64) error {
+	b.Helper()
+	src := "def mean_deviation(column):\n"
+	for _, ln := range strings.Split(bench.MeanDeviationFixedBody, "\n") {
+		src += "    " + ln + "\n"
+	}
+	mod, err := script.Parse("client", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := script.NewInterp()
+	env, err := in.Run(mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fn, _ := env.Get("mean_deviation")
+	return func(col []int64) error {
+		items := make([]script.Value, len(col))
+		for i, v := range col {
+			items[i] = script.IntVal(v)
+		}
+		_, err := in.Call(fn, []script.Value{script.NewList(items...)})
+		return err
+	}
+}
+
+// ---- substrate microbenchmarks ----
+
+func BenchmarkPyLiteInterpreter(b *testing.B) {
+	mod, err := script.Parse("bench", `
+total = 0
+for i in range(0, 1000):
+    total += i * i
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := script.NewInterp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Run(mod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPickleRoundTrip(b *testing.B) {
+	items := make([]script.Value, 10_000)
+	for i := range items {
+		items[i] = script.IntVal(int64(i))
+	}
+	v := script.NewList(items...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := script.Marshal(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := script.Unmarshal(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSQLParse(b *testing.B) {
+	sql := `SELECT region, COUNT(*) AS n, SUM(amount) / COUNT(*) AS mean
+FROM sales WHERE amount > 10 AND region <> 'x' GROUP BY region ORDER BY n DESC LIMIT 10`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransferPack(b *testing.B) {
+	payload := make([]byte, 1<<20)
+	for i := range payload {
+		payload[i] = byte(i % 251)
+	}
+	for _, o := range []transfer.Options{
+		{},
+		{Compress: true},
+		{Encrypt: true, Seed: 3},
+		{Compress: true, Encrypt: true, Seed: 3},
+	} {
+		b.Run(fmt.Sprintf("compress=%v/encrypt=%v", o.Compress, o.Encrypt), func(b *testing.B) {
+			b.SetBytes(int64(len(payload)))
+			for i := 0; i < b.N; i++ {
+				packed, err := transfer.Pack(payload, "pw", o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := transfer.Unpack(packed, "pw"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

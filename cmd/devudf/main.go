@@ -1,0 +1,573 @@
+// Command devudf is the CLI incarnation of the devUDF plugin: the same
+// workflow verbs the paper's PyCharm figures show, driven from a terminal.
+//
+//	devudf menu                          the UDF Development menu (Fig. 1)
+//	devudf settings [-set k=v ...]       show / edit settings (Fig. 2)
+//	devudf list                          UDFs on the server (Fig. 3a)
+//	devudf import  [-all | names...]     import UDFs into the project
+//	devudf export  [-all | names...]     export project UDFs back (Fig. 3b)
+//	devudf extract -udf NAME             ship the UDF's input data locally
+//	devudf run     -udf NAME             run the imported UDF locally
+//	devudf debug   -udf NAME             interactive local debugger
+//	devudf vcs     init|commit|log|diff  project version control
+//
+// Settings persist in ./devudf.json; the project lives in ./<project_dir>.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/devudf"
+	"repro/internal/core"
+	"repro/internal/debug"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	fs := core.OSFS{}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "menu":
+		printMenu(os.Stdout)
+	case "settings":
+		err = cmdSettings(fs, args)
+	case "list":
+		err = cmdList(fs)
+	case "import":
+		err = cmdImport(fs, args)
+	case "export":
+		err = cmdExport(fs, args)
+	case "extract":
+		err = cmdExtract(fs, args)
+	case "run":
+		err = cmdRun(fs, args)
+	case "debug":
+		err = cmdDebug(fs, args)
+	case "vcs":
+		err = cmdVCS(fs, args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "devudf: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "devudf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: devudf <command> [arguments]
+
+commands:
+  menu       show the UDF Development menu
+  settings   show or edit plugin settings
+  list       list UDFs stored on the database server
+  import     import UDFs from the server into the project
+  export     export project UDFs back to the server
+  extract    extract a UDF's input data for local runs
+  run        run an imported UDF locally
+  debug      debug an imported UDF interactively
+  vcs        version-control the project (init|commit|log|diff)
+`)
+}
+
+// printMenu reproduces the paper's Fig. 1 menu integration as a tree.
+func printMenu(w io.Writer) {
+	fmt.Fprint(w, `Main Menu
+└── UDF Development
+    ├── Settings...            (connection, debug query, transfer options)
+    ├── Import UDFs...         (fetch UDFs from the database server)
+    └── Export UDFs...         (commit edited UDFs back to the server)
+`)
+}
+
+func connect(fs core.FS) (*devudf.Client, devudf.Settings, error) {
+	settings, err := devudf.LoadSettings(fs)
+	if err != nil {
+		return nil, settings, err
+	}
+	c, err := devudf.Connect(settings, fs)
+	return c, settings, err
+}
+
+func cmdSettings(fs core.FS, args []string) error {
+	flags := flag.NewFlagSet("settings", flag.ExitOnError)
+	var sets multiFlag
+	flags.Var(&sets, "set", "key=value (host, port, database, user, password, query, project, compress, encrypt, sample, seed); repeatable")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	s, err := devudf.LoadSettings(fs)
+	if err != nil {
+		return err
+	}
+	for _, kv := range sets {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad -set %q (want key=value)", kv)
+		}
+		if err := applySetting(&s, k, v); err != nil {
+			return err
+		}
+	}
+	if len(sets) > 0 {
+		if err := devudf.SaveSettings(fs, s); err != nil {
+			return err
+		}
+	}
+	fmt.Printf(`devUDF settings (devudf.json)
+  host:       %s
+  port:       %d
+  database:   %s
+  user:       %s
+  password:   %s
+  query:      %s
+  project:    %s
+  compress:   %v
+  encrypt:    %v
+  sample:     %d
+  seed:       %d
+`, s.Connection.Host, s.Connection.Port, s.Connection.Database, s.Connection.User,
+		strings.Repeat("*", len(s.Connection.Password)), s.DebugQuery, s.ProjectDir,
+		s.Transfer.Compress, s.Transfer.Encrypt, s.Transfer.SampleSize, s.Transfer.Seed)
+	return nil
+}
+
+func applySetting(s *devudf.Settings, key, val string) error {
+	switch key {
+	case "host":
+		s.Connection.Host = val
+	case "port":
+		p, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad port %q", val)
+		}
+		s.Connection.Port = p
+	case "database":
+		s.Connection.Database = val
+	case "user":
+		s.Connection.User = val
+	case "password":
+		s.Connection.Password = val
+	case "query":
+		s.DebugQuery = val
+	case "project":
+		s.ProjectDir = val
+	case "compress":
+		s.Transfer.Compress = val == "true" || val == "1"
+	case "encrypt":
+		s.Transfer.Encrypt = val == "true" || val == "1"
+	case "sample":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("bad sample size %q", val)
+		}
+		s.Transfer.SampleSize = n
+	case "seed":
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", val)
+		}
+		s.Transfer.Seed = n
+	default:
+		return fmt.Errorf("unknown setting %q", key)
+	}
+	return nil
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func cmdList(fs core.FS) error {
+	c, _, err := connect(fs)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	infos, err := c.ListServerUDFs()
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Println("no UDFs stored on the server")
+		return nil
+	}
+	fmt.Println("UDFs on the server (Import UDFs window):")
+	for _, info := range infos {
+		kind := "scalar"
+		if info.IsTable {
+			kind = "table"
+		}
+		params := make([]string, len(info.Params))
+		for i, p := range info.Params {
+			params[i] = p.Name + " " + p.Type
+		}
+		mark := "[ ]"
+		if c.Project.Has(info.Name) {
+			mark = "[x]" // already imported
+		}
+		fmt.Printf("  %s %s(%s)  %s %s\n", mark, info.Name, strings.Join(params, ", "), info.Language, kind)
+	}
+	return nil
+}
+
+func cmdImport(fs core.FS, args []string) error {
+	flags := flag.NewFlagSet("import", flag.ExitOnError)
+	all := flags.Bool("all", false, "import all functions stored in the server")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	c, _, err := connect(fs)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	var imported []string
+	if *all {
+		imported, err = c.ImportAll()
+	} else {
+		if flags.NArg() == 0 {
+			return fmt.Errorf("specify UDF names or -all")
+		}
+		imported, err = c.ImportUDFs(flags.Args()...)
+	}
+	if err != nil {
+		return err
+	}
+	for _, name := range imported {
+		fmt.Printf("imported %s -> %s\n", name, c.Project.ScriptPath(name))
+	}
+	return nil
+}
+
+func cmdExport(fs core.FS, args []string) error {
+	flags := flag.NewFlagSet("export", flag.ExitOnError)
+	all := flags.Bool("all", false, "export every project UDF")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	c, _, err := connect(fs)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	names := flags.Args()
+	if *all {
+		names, err = c.Project.List()
+		if err != nil {
+			return err
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("specify UDF names or -all")
+	}
+	if err := c.ExportUDFs(names...); err != nil {
+		return err
+	}
+	fmt.Printf("exported %s back to the server\n", strings.Join(names, ", "))
+	return nil
+}
+
+func cmdExtract(fs core.FS, args []string) error {
+	flags := flag.NewFlagSet("extract", flag.ExitOnError)
+	udf := flags.String("udf", "", "UDF to extract input data for")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if *udf == "" {
+		return fmt.Errorf("-udf is required")
+	}
+	c, _, err := connect(fs)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	info, err := c.ExtractInputs(*udf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("extracted inputs for %s: %d of %d rows, %d payload bytes (compressed=%v encrypted=%v) -> %s\n",
+		info.UDF, info.SampleRows, info.TotalRows, info.PayloadBytes,
+		info.Compressed, info.Encrypted, c.Project.InputPath(info.UDF))
+	return nil
+}
+
+func cmdRun(fs core.FS, args []string) error {
+	flags := flag.NewFlagSet("run", flag.ExitOnError)
+	udf := flags.String("udf", "", "UDF to run locally")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if *udf == "" {
+		return fmt.Errorf("-udf is required")
+	}
+	c, _, err := connect(fs)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	res, err := c.RunLocal(*udf)
+	if res != nil && res.Stdout != "" {
+		fmt.Print(res.Stdout)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("result: %s (%d interpreter steps)\n", res.Value.Repr(), res.Steps)
+	return nil
+}
+
+func cmdDebug(fs core.FS, args []string) error {
+	flags := flag.NewFlagSet("debug", flag.ExitOnError)
+	udf := flags.String("udf", "", "UDF to debug locally")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if *udf == "" {
+		return fmt.Errorf("-udf is required")
+	}
+	c, _, err := connect(fs)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	sess, err := c.NewDebugSession(*udf, true)
+	if err != nil {
+		return err
+	}
+	return debugREPL(sess, os.Stdin, os.Stdout)
+}
+
+// debugREPL drives a debug session with gdb-like commands.
+func debugREPL(sess *devudf.DebugSession, input io.Reader, out io.Writer) error {
+	fmt.Fprintln(out, `devUDF debugger. Commands:
+  b LINE [COND]   set breakpoint      c  continue        n  step over
+  s  step into    o  step out         p EXPR  evaluate   locals
+  stack           list                q  quit`)
+	started := false
+	report := func(ev devudf.DebugEvent) bool {
+		if ev.Terminal {
+			if ev.Err != nil {
+				fmt.Fprintln(out, "program failed:", ev.Err)
+			} else {
+				fmt.Fprintf(out, "program finished (%s)\n", ev.Reason)
+			}
+			return true
+		}
+		src := sess.Source()
+		lineText := ""
+		if ev.Line-1 >= 0 && ev.Line-1 < len(src) {
+			lineText = strings.TrimRight(src[ev.Line-1], " \t")
+		}
+		fmt.Fprintf(out, "stopped (%s) at %s:%d\n  %4d | %s\n", ev.Reason, ev.FuncName, ev.Line, ev.Line, lineText)
+		return false
+	}
+	sc := bufio.NewScanner(input)
+	fmt.Fprint(out, "(devudf) ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Fprint(out, "(devudf) ")
+			continue
+		}
+		switch fields[0] {
+		case "q", "quit":
+			if started {
+				sess.Kill()
+			}
+			return nil
+		case "b", "break":
+			if len(fields) < 2 {
+				fmt.Fprintln(out, "usage: b LINE [CONDITION]")
+				break
+			}
+			line, err := strconv.Atoi(fields[1])
+			if err != nil {
+				fmt.Fprintln(out, "bad line number")
+				break
+			}
+			sess.SetBreakpoint(line, strings.Join(fields[2:], " "))
+			fmt.Fprintf(out, "breakpoint set at line %d\n", line)
+		case "c", "continue", "r", "run":
+			var ev devudf.DebugEvent
+			if !started {
+				started = true
+				ev = sess.Start()
+			} else {
+				ev = sess.Continue()
+			}
+			if report(ev) {
+				return nil
+			}
+		case "n", "next":
+			if done := stepCmd(sess, &started, sess.StepOver, report); done {
+				return nil
+			}
+		case "s", "step":
+			if done := stepCmd(sess, &started, sess.StepInto, report); done {
+				return nil
+			}
+		case "o", "out":
+			if done := stepCmd(sess, &started, sess.StepOut, report); done {
+				return nil
+			}
+		case "p", "print":
+			if !started {
+				fmt.Fprintln(out, "not running (use c to start)")
+				break
+			}
+			v, err := sess.Eval(strings.Join(fields[1:], " "))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			fmt.Fprintln(out, v.Repr())
+		case "locals":
+			if !started {
+				fmt.Fprintln(out, "not running (use c to start)")
+				break
+			}
+			vars, err := sess.Locals()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			names := make([]string, 0, len(vars))
+			for n := range vars {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Fprintf(out, "  %s = %s\n", n, vars[n].Repr())
+			}
+		case "stack":
+			if !started {
+				fmt.Fprintln(out, "not running (use c to start)")
+				break
+			}
+			frames, err := sess.Stack()
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
+			for i, f := range frames {
+				fmt.Fprintf(out, "  #%d %s at line %d\n", i, f.FuncName, f.Line)
+			}
+		case "list", "l":
+			for i, ln := range sess.Source() {
+				marks := " "
+				for _, bp := range sess.Breakpoints() {
+					if bp.Line == i+1 {
+						marks = "*"
+					}
+				}
+				fmt.Fprintf(out, "%s%4d | %s\n", marks, i+1, ln)
+			}
+		default:
+			fmt.Fprintf(out, "unknown command %q\n", fields[0])
+		}
+		fmt.Fprint(out, "(devudf) ")
+	}
+	if started {
+		sess.Kill()
+	}
+	return sc.Err()
+}
+
+func stepCmd(sess *devudf.DebugSession, started *bool,
+	step func() debug.Event, report func(devudf.DebugEvent) bool) bool {
+	var ev devudf.DebugEvent
+	if !*started {
+		*started = true
+		ev = sess.Start()
+	} else {
+		ev = step()
+	}
+	return report(ev)
+}
+
+func cmdVCS(fs core.FS, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: devudf vcs init|commit -m MSG|log|diff A B")
+	}
+	settings, err := devudf.LoadSettings(fs)
+	if err != nil {
+		return err
+	}
+	project := devudf.OpenProject(fs, settings.ProjectDir)
+	switch args[0] {
+	case "init":
+		if _, err := project.InitVCS(); err != nil {
+			return err
+		}
+		fmt.Println("initialized project repository")
+		return nil
+	case "commit":
+		flags := flag.NewFlagSet("commit", flag.ExitOnError)
+		msg := flags.String("m", "", "commit message")
+		author := flags.String("author", "devudf", "author")
+		if err := flags.Parse(args[1:]); err != nil {
+			return err
+		}
+		if *msg == "" {
+			return fmt.Errorf("-m is required")
+		}
+		hash, err := project.Commit(*author, *msg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("committed", hash)
+		return nil
+	case "log":
+		repo, err := project.OpenVCS()
+		if err != nil {
+			return err
+		}
+		log, err := repo.Log()
+		if err != nil {
+			return err
+		}
+		for _, ci := range log {
+			fmt.Printf("%s  #%d  %s  %s\n", ci.Hash, ci.Seq, ci.Author, ci.Message)
+		}
+		return nil
+	case "diff":
+		repo, err := project.OpenVCS()
+		if err != nil {
+			return err
+		}
+		a, b := "", ""
+		if len(args) >= 3 {
+			a, b = args[1], args[2]
+		}
+		diff, err := repo.Diff(a, b)
+		if err != nil {
+			return err
+		}
+		for _, d := range diff {
+			fmt.Printf("%s %s\n", d.Status, d.Path)
+			for _, ln := range d.Lines {
+				fmt.Println("  " + ln)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown vcs subcommand %q", args[0])
+	}
+}

@@ -1,0 +1,143 @@
+// Command mclient is the plain SQL shell — the "simplistic text editor"
+// workflow the paper's demo contrasts devUDF against: write the UDF
+// elsewhere, paste a CREATE FUNCTION here, run the query, repeat.
+//
+// Usage:
+//
+//	mclient -host 127.0.0.1 -port 50000 -db demo -user monetdb -password monetdb
+//	mclient ... -e "SELECT * FROM sys.functions"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/monetlite"
+)
+
+func main() {
+	host := flag.String("host", "127.0.0.1", "server host")
+	port := flag.Int("port", 50000, "server port")
+	db := flag.String("db", "demo", "database")
+	user := flag.String("user", "monetdb", "user")
+	password := flag.String("password", "monetdb", "password")
+	execute := flag.String("e", "", "execute this SQL and exit")
+	flag.Parse()
+
+	cli, err := monetlite.Dial(monetlite.ConnParams{
+		Host: *host, Port: *port, Database: *db,
+		User: *user, Password: *password,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclient:", err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+
+	if *execute != "" {
+		if ok := runSQL(cli, *execute); !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("mclient: connected to %s@%s:%d/%s (end statements with ';', \\q quits)\n",
+		*user, *host, *port, *db)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	var buf strings.Builder
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) == `\q` {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.Contains(line, ";") && braceBalance(buf.String()) == 0 {
+			runSQL(cli, buf.String())
+			buf.Reset()
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+}
+
+// braceBalance counts unclosed UDF-body braces so multi-line CREATE
+// FUNCTION statements are submitted whole.
+func braceBalance(s string) int {
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+		}
+	}
+	return depth
+}
+
+func runSQL(cli *monetlite.Client, sql string) bool {
+	msg, tbl, err := cli.Query(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return false
+	}
+	if tbl != nil {
+		printTable(tbl)
+	}
+	fmt.Println(msg)
+	return true
+}
+
+// printTable renders a result set with column-aligned ASCII borders, the
+// way the paper's Listing 1 shows MonetDB output.
+func printTable(t *storage.Table) {
+	if len(t.Cols) == 0 {
+		return
+	}
+	widths := make([]int, len(t.Cols))
+	for i, c := range t.Cols {
+		widths[i] = len(c.Name)
+		for r := 0; r < c.Len(); r++ {
+			if n := len(c.FormatValue(r)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+		if widths[i] > 48 {
+			widths[i] = 48
+		}
+	}
+	sep := "+"
+	for _, w := range widths {
+		sep += strings.Repeat("-", w+2) + "+"
+	}
+	fmt.Println(sep)
+	row := "|"
+	for i, c := range t.Cols {
+		row += " " + pad(c.Name, widths[i]) + " |"
+	}
+	fmt.Println(row)
+	fmt.Println(strings.ReplaceAll(sep, "-", "="))
+	for r := 0; r < t.NumRows(); r++ {
+		row := "|"
+		for i, c := range t.Cols {
+			row += " " + pad(c.FormatValue(r), widths[i]) + " |"
+		}
+		fmt.Println(row)
+	}
+	fmt.Println(sep)
+}
+
+func pad(s string, w int) string {
+	if len(s) > w {
+		return s[:w-1] + "…"
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

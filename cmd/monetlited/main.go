@@ -1,0 +1,93 @@
+// Command monetlited runs the embedded MonetDB-like database server: the
+// substrate the devUDF plugin connects to. It serves one named database
+// over the wire protocol with a single user account.
+//
+// Usage:
+//
+//	monetlited -addr :50000 -db demo -user monetdb -password monetdb \
+//	           -data ./datadir -init setup.sql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/dump"
+	"repro/monetlite"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:50000", "listen address")
+	dbName := flag.String("db", "demo", "database name clients must present")
+	user := flag.String("user", "monetdb", "user account")
+	password := flag.String("password", "monetdb", "user password")
+	dataDir := flag.String("data", "", "directory COPY INTO and UDF file access resolve against (default: process cwd)")
+	initFile := flag.String("init", "", "SQL script to execute at startup")
+	persist := flag.String("persist", "", "snapshot file: restored at startup if present, written at shutdown")
+	tupleMode := flag.Bool("tuple-at-a-time", false, "use the tuple-at-a-time UDF processing model (paper §2.4)")
+	maxSteps := flag.Int64("max-udf-steps", 50_000_000, "interpreter step budget per UDF call (0 = unlimited)")
+	flag.Parse()
+
+	db := monetlite.NewDB()
+	db.FS = core.OSFS{Dir: *dataDir}
+	db.MaxUDFSteps = *maxSteps
+	if *tupleMode {
+		db.Mode = monetlite.ModeTupleAtATime
+	}
+
+	if *persist != "" {
+		if f, err := os.Open(*persist); err == nil {
+			if err := dump.Restore(db, f); err != nil {
+				log.Fatalf("restore %s: %v", *persist, err)
+			}
+			f.Close()
+			log.Printf("restored database from %s", *persist)
+		}
+	}
+
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			log.Fatalf("read init script: %v", err)
+		}
+		conn := monetlite.Connect(db, *user, *password)
+		if _, err := conn.ExecAll(string(script)); err != nil {
+			log.Fatalf("init script: %v", err)
+		}
+		log.Printf("applied init script %s", *initFile)
+	}
+
+	srv := monetlite.NewServer(*dbName, *user, *password, db)
+	srv.Logf = log.Printf
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	fmt.Printf("monetlited: serving database %q on %s (mode: %s)\n", *dbName, bound, db.Mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nmonetlited: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
+	if *persist != "" {
+		f, err := os.Create(*persist)
+		if err != nil {
+			log.Fatalf("create %s: %v", *persist, err)
+		}
+		if err := dump.Dump(db, f); err != nil {
+			log.Fatalf("dump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close %s: %v", *persist, err)
+		}
+		log.Printf("database persisted to %s", *persist)
+	}
+}

@@ -1,0 +1,279 @@
+package devudf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/transform"
+	"repro/internal/wire"
+)
+
+// Client is a plugin session: an authenticated wire connection plus the
+// project workspace. It implements the import/export windows of Fig. 3 and
+// the local run/debug workflow of §2.1–2.3.
+type Client struct {
+	Settings Settings
+	Project  *Project
+
+	wc *wire.Client
+}
+
+// Connect dials the database from the settings and opens the project in fs.
+func Connect(settings Settings, fs core.FS) (*Client, error) {
+	wc, err := wire.Dial(settings.Connection)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		Settings: settings,
+		Project:  OpenProject(fs, settings.ProjectDir),
+		wc:       wc,
+	}, nil
+}
+
+// Close closes the server connection.
+func (c *Client) Close() error { return c.wc.Close() }
+
+// Wire exposes the underlying wire client (byte counters for benches).
+func (c *Client) Wire() *wire.Client { return c.wc }
+
+// Query runs raw SQL on the server (the mclient path).
+func (c *Client) Query(sql string) (string, *storage.Table, error) { return c.wc.Query(sql) }
+
+// ListServerUDFs queries the server's meta tables for stored UDFs — the
+// population of the "Import UDFs" window (Fig. 3a).
+func (c *Client) ListServerUDFs() ([]UDFInfo, error) {
+	_, funcs, err := c.wc.Query(`SELECT id, name, func, language, is_table FROM sys.functions ORDER BY name`)
+	if err != nil {
+		return nil, err
+	}
+	_, args, err := c.wc.Query(`SELECT function_id, name, type, number, is_result FROM sys.function_args ORDER BY function_id, number`)
+	if err != nil {
+		return nil, err
+	}
+	type argRow struct {
+		name     string
+		typ      string
+		isResult bool
+	}
+	argsByID := map[int64][]argRow{}
+	if args != nil {
+		fid, _ := args.Column("function_id")
+		an, _ := args.Column("name")
+		at, _ := args.Column("type")
+		ir, _ := args.Column("is_result")
+		for i := 0; i < args.NumRows(); i++ {
+			argsByID[fid.Ints[i]] = append(argsByID[fid.Ints[i]],
+				argRow{an.Strs[i], at.Strs[i], ir.Bools[i]})
+		}
+	}
+	var out []UDFInfo
+	if funcs == nil {
+		return out, nil
+	}
+	id, _ := funcs.Column("id")
+	name, _ := funcs.Column("name")
+	lang, _ := funcs.Column("language")
+	isTable, _ := funcs.Column("is_table")
+	for i := 0; i < funcs.NumRows(); i++ {
+		info := UDFInfo{
+			Name:     name.Strs[i],
+			Language: lang.Strs[i],
+			IsTable:  isTable.Bools[i],
+		}
+		for _, a := range argsByID[id.Ints[i]] {
+			pi := ParamInfo{Name: a.name, Type: a.typ}
+			if a.isResult {
+				info.Returns = append(info.Returns, pi)
+			} else {
+				info.Params = append(info.Params, pi)
+			}
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// fetchUDF pulls one UDF's metadata and body from the meta tables.
+func (c *Client) fetchUDF(name string) (UDFInfo, string, error) {
+	infos, err := c.ListServerUDFs()
+	if err != nil {
+		return UDFInfo{}, "", err
+	}
+	var found *UDFInfo
+	for i := range infos {
+		if strings.EqualFold(infos[i].Name, name) {
+			found = &infos[i]
+			break
+		}
+	}
+	if found == nil {
+		return UDFInfo{}, "", core.Errorf(core.KindName, "server has no UDF %q", name)
+	}
+	_, body, err := c.wc.Query(
+		"SELECT func FROM sys.functions WHERE name = " + sqlQuote(found.Name))
+	if err != nil {
+		return UDFInfo{}, "", err
+	}
+	if body == nil || body.NumRows() != 1 {
+		return UDFInfo{}, "", core.Errorf(core.KindProtocol, "unexpected meta result for %q", name)
+	}
+	col, err := body.Column("func")
+	if err != nil {
+		return UDFInfo{}, "", err
+	}
+	return *found, col.Strs[0], nil
+}
+
+func sqlQuote(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
+
+// serverHasUDF is the isUDF predicate for query analysis.
+func (c *Client) serverHasUDF(infos []UDFInfo) func(string) bool {
+	set := map[string]bool{}
+	for _, i := range infos {
+		set[strings.ToLower(i.Name)] = true
+	}
+	return func(name string) bool { return set[strings.ToLower(name)] }
+}
+
+// ImportUDFs imports the named UDFs (Fig. 3a): it extracts each body from
+// the server's meta tables, applies the Listing 2 code transformation
+// (header synthesis + input-loading prologue) and writes the runnable
+// script into the project. Nested UDFs reachable through loopback queries
+// (§2.3) are imported transitively. It returns every imported name.
+func (c *Client) ImportUDFs(names ...string) ([]string, error) {
+	infos, err := c.ListServerUDFs()
+	if err != nil {
+		return nil, err
+	}
+	isUDF := c.serverHasUDF(infos)
+	var imported []string
+	seen := map[string]bool{}
+	queue := append([]string(nil), names...)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		key := strings.ToLower(name)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		info, body, err := c.fetchUDF(name)
+		if err != nil {
+			return imported, err
+		}
+		src := transform.BuildLocalScript(transform.LocalScriptInfo{
+			Name:      info.Name,
+			Params:    info.ParamNames(),
+			Body:      body,
+			InputFile: "./" + c.Project.InputPath(info.Name),
+		})
+		if err := c.Project.SaveUDF(info, src); err != nil {
+			return imported, err
+		}
+		imported = append(imported, info.Name)
+		// §2.3: follow loopback queries to nested UDFs
+		queue = append(queue, transform.FindLoopbackUDFs(body, isUDF)...)
+	}
+	sort.Strings(imported)
+	return imported, nil
+}
+
+// ImportAll imports every UDF stored on the server (the "import all
+// functions" choice of Fig. 3a).
+func (c *Client) ImportAll() ([]string, error) {
+	infos, err := c.ListServerUDFs()
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(infos))
+	for i, info := range infos {
+		names[i] = info.Name
+	}
+	return c.ImportUDFs(names...)
+}
+
+// ExportUDFs reverses the import transformation (Fig. 3b): it extracts the
+// (possibly edited) function body from each project file and commits it
+// back to the server with CREATE OR REPLACE FUNCTION.
+func (c *Client) ExportUDFs(names ...string) error {
+	for _, name := range names {
+		info, src, err := c.Project.LoadUDF(name)
+		if err != nil {
+			return err
+		}
+		body, err := transform.ExtractBody(src, info.Name)
+		if err != nil {
+			return err
+		}
+		sql, err := createFunctionSQL(info, body)
+		if err != nil {
+			return err
+		}
+		if _, _, err := c.wc.Query(sql); err != nil {
+			return core.Errorf(core.KindRuntime, "export %s: %v", info.Name, err)
+		}
+	}
+	return nil
+}
+
+// ExportAll exports every UDF in the project.
+func (c *Client) ExportAll() error {
+	names, err := c.Project.List()
+	if err != nil {
+		return err
+	}
+	return c.ExportUDFs(names...)
+}
+
+// createFunctionSQL renders CREATE OR REPLACE FUNCTION through the SQL AST
+// printer so quoting and types stay correct.
+func createFunctionSQL(info UDFInfo, body string) (string, error) {
+	params, err := toSchema(info.Params)
+	if err != nil {
+		return "", err
+	}
+	returns, err := toSchema(info.Returns)
+	if err != nil {
+		return "", err
+	}
+	if len(returns) == 0 {
+		return "", core.Errorf(core.KindConstraint,
+			"UDF %s has no declared return type", info.Name)
+	}
+	lang := info.Language
+	if lang == "" {
+		lang = "PYTHON"
+	}
+	cf := &sqlparse.CreateFunction{
+		Name:      info.Name,
+		Params:    params,
+		Returns:   returns,
+		IsTable:   info.IsTable,
+		Language:  lang,
+		Body:      body,
+		OrReplace: true,
+	}
+	return sqlparse.Format(cf), nil
+}
+
+// DescribeServerUDF renders one server UDF the way MonetDB's meta-table
+// listing in the paper's Listing 1 looks (name + body), for the CLI.
+func (c *Client) DescribeServerUDF(name string) (string, error) {
+	info, body, err := c.fetchUDF(name)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "name: %s\nlanguage: %s\ntable function: %v\nparams:", info.Name, info.Language, info.IsTable)
+	for _, p := range info.Params {
+		fmt.Fprintf(&sb, " %s %s", p.Name, p.Type)
+	}
+	sb.WriteString("\nfunc:\n")
+	sb.WriteString(body)
+	return sb.String(), nil
+}

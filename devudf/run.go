@@ -1,0 +1,305 @@
+package devudf
+
+import (
+	"bytes"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/debug"
+	"repro/internal/engine"
+	"repro/internal/pickle"
+	"repro/internal/script"
+	"repro/internal/storage"
+	"repro/internal/transform"
+)
+
+// ExtractInfo summarizes one input extraction (§2.2): how much data the
+// UDF's inputs hold, how much was actually shipped after sampling, and the
+// payload size after compression/encryption.
+type ExtractInfo struct {
+	UDF          string
+	TotalRows    int64
+	SampleRows   int64
+	PayloadBytes int
+	Compressed   bool
+	Encrypted    bool
+}
+
+// ExtractInputs rewrites the settings' debug query so the UDF call becomes
+// a call to the server-side extract function, runs it, unpacks the payload
+// with the connection password, and stores the UDF's input parameters as
+// the project's input.bin (paper §2.2). The target UDF must already be
+// imported.
+func (c *Client) ExtractInputs(udfName string) (*ExtractInfo, error) {
+	if c.Settings.DebugQuery == "" {
+		return nil, core.Errorf(core.KindConstraint,
+			"no debug query configured in settings (the SQL query which executes the to-be-debugged UDF)")
+	}
+	info, _, err := c.Project.LoadUDF(udfName)
+	if err != nil {
+		return nil, err
+	}
+	rewritten, err := transform.RewriteToExtract(c.Settings.DebugQuery, info.Name, c.Settings.Transfer)
+	if err != nil {
+		return nil, err
+	}
+	_, t, err := c.wc.Query(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	if t == nil || t.NumRows() != 1 {
+		return nil, core.Errorf(core.KindProtocol, "extract query returned no payload row")
+	}
+	payloadCol, err := t.Column("payload")
+	if err != nil {
+		return nil, err
+	}
+	packed := payloadCol.Blobs[0]
+	_, params, total, sample, err := engine.DecodeExtractPayload(packed, c.Settings.Connection.Password)
+	if err != nil {
+		return nil, err
+	}
+	if err := pickle.DumpFile(c.Project.FS(), c.Project.InputPath(info.Name), params); err != nil {
+		return nil, err
+	}
+	compressed, _ := t.Column("compressed")
+	encrypted, _ := t.Column("encrypted")
+	return &ExtractInfo{
+		UDF:          info.Name,
+		TotalRows:    total,
+		SampleRows:   sample,
+		PayloadBytes: len(packed),
+		Compressed:   compressed.Bools[0],
+		Encrypted:    encrypted.Bools[0],
+	}, nil
+}
+
+// RunResult is the outcome of a local UDF run.
+type RunResult struct {
+	// Value is the UDF's return value.
+	Value script.Value
+	// Stdout captures print() output (the paper's print-debugging channel,
+	// now visible locally).
+	Stdout string
+	// Steps counts interpreter statements executed.
+	Steps int64
+}
+
+// RunLocal executes an imported UDF's generated script locally — the
+// Listing 2 flow: the prologue loads input.bin and calls the function. Run
+// ExtractInputs (or WriteLocalInputs) first.
+func (c *Client) RunLocal(udfName string) (*RunResult, error) {
+	info, src, err := c.Project.LoadUDF(udfName)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := script.Parse(info.Name+".py", src)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	in := script.NewInterp()
+	in.FS = c.Project.FS()
+	in.Stdout = &out
+	globals := in.NewGlobals()
+	globals.Set("_conn", c.localConn(in))
+	if err := in.RunInEnv(mod, globals); err != nil {
+		return &RunResult{Stdout: out.String(), Steps: in.Steps()}, err
+	}
+	result, _ := globals.Get("result")
+	if result == nil {
+		result = script.None
+	}
+	return &RunResult{Value: result, Stdout: out.String(), Steps: in.Steps()}, nil
+}
+
+// NewDebugSession builds an interactive debug session over an imported
+// UDF's generated script (the "Debug" command of §2.1). The session runs
+// the same prologue as RunLocal, with _conn available for loopback.
+func (c *Client) NewDebugSession(udfName string, stopOnEntry bool) (*DebugSession, error) {
+	info, src, err := c.Project.LoadUDF(udfName)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := script.Parse(info.Name+".py", src)
+	if err != nil {
+		return nil, err
+	}
+	sess := debug.NewSession(mod, debug.Config{
+		StopOnEntry: stopOnEntry,
+		Setup: func(in *script.Interp) {
+			in.FS = c.Project.FS()
+		},
+	})
+	sess.SetGlobal("_conn", c.localConn(sess.Interp()))
+	return sess, nil
+}
+
+// localConn builds the client-side _conn shim used during local runs and
+// debugging (§2.3). Its execute(sql) behaves like the server-side loopback
+// with one crucial difference: queries that call an *imported* UDF are
+// executed locally — the shim extracts that nested UDF's input data from
+// the server (reusing the §2.2 rewrite) and invokes the local, possibly
+// edited, definition. Everything else is forwarded to the server.
+func (c *Client) localConn(in *script.Interp) *script.ObjectVal {
+	obj := script.NewObject("connection")
+	obj.Methods["execute"] = func(callIn *script.Interp, args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, core.Errorf(core.KindType, "execute() takes exactly one argument")
+		}
+		sqlV, ok := args[0].(script.StrVal)
+		if !ok {
+			return nil, core.Errorf(core.KindType, "execute() argument must be a string")
+		}
+		sql := string(sqlV)
+		names, err := transform.FindUDFCalls(sql, c.Project.Has)
+		if err == nil && len(names) > 0 {
+			return c.runNestedLocally(callIn, sql, names[0])
+		}
+		_, t, err := c.wc.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			return script.None, nil
+		}
+		return engine.TableToScriptDict(t), nil
+	}
+	return obj
+}
+
+// runNestedLocally executes one nested UDF call locally: extract the
+// nested UDF's inputs from the server, call the local definition, shape
+// the result like a loopback result dict.
+func (c *Client) runNestedLocally(in *script.Interp, sql, udfName string) (script.Value, error) {
+	info, src, err := c.Project.LoadUDF(udfName)
+	if err != nil {
+		return nil, err
+	}
+	rewritten, err := transform.RewriteToExtract(sql, info.Name, c.Settings.Transfer)
+	if err != nil {
+		return nil, err
+	}
+	_, t, err := c.wc.Query(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	payloadCol, err := t.Column("payload")
+	if err != nil || t.NumRows() != 1 {
+		return nil, core.Errorf(core.KindProtocol, "nested extract returned no payload")
+	}
+	_, params, _, _, err := engine.DecodeExtractPayload(payloadCol.Blobs[0], c.Settings.Connection.Password)
+	if err != nil {
+		return nil, err
+	}
+	// Build a callable from the project file's (possibly edited) body.
+	body, err := transform.ExtractBody(src, info.Name)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := script.Parse(info.Name, transform.WrapFunction(info.Name, info.ParamNames(), body))
+	if err != nil {
+		return nil, err
+	}
+	env, err := in.Run(mod)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := env.Get(info.Name)
+	if !ok {
+		return nil, core.Errorf(core.KindRuntime, "nested UDF %s did not define itself", info.Name)
+	}
+	// nested UDFs may themselves use _conn
+	env.Set("_conn", c.localConn(in))
+	callArgs := make([]script.Value, len(info.Params))
+	for i, p := range info.Params {
+		v, ok := params.GetStr(p.Name)
+		if !ok {
+			return nil, core.Errorf(core.KindProtocol,
+				"nested extract is missing parameter %q", p.Name)
+		}
+		callArgs[i] = v
+	}
+	out, err := in.Call(fn, callArgs)
+	if err != nil {
+		return nil, err
+	}
+	return shapeLoopbackResult(info, out)
+}
+
+// shapeLoopbackResult converts a locally-computed UDF result into the dict
+// shape _conn.execute returns, using the declared result columns.
+func shapeLoopbackResult(info UDFInfo, v script.Value) (script.Value, error) {
+	if d, ok := v.(*script.DictVal); ok {
+		return d, nil
+	}
+	d := script.NewDict()
+	name := "result"
+	if len(info.Returns) > 0 {
+		name = info.Returns[0].Name
+	}
+	d.SetStr(name, v)
+	return d, nil
+}
+
+// WriteLocalInputs writes synthetic input parameters for a UDF without
+// contacting the server — useful for pure-local experimentation and the
+// quickstart example.
+func (c *Client) WriteLocalInputs(udfName string, params map[string]script.Value) error {
+	info, _, err := c.Project.LoadUDF(udfName)
+	if err != nil {
+		return err
+	}
+	d := script.NewDict()
+	for _, p := range info.Params {
+		v, ok := params[p.Name]
+		if !ok {
+			return core.Errorf(core.KindConstraint, "missing input for parameter %q", p.Name)
+		}
+		d.SetStr(p.Name, v)
+	}
+	return pickle.DumpFile(c.Project.FS(), c.Project.InputPath(info.Name), d)
+}
+
+// TraditionalCycle executes one iteration of the paper's *traditional*
+// workflow for comparison (§1): re-CREATE the function on the server with
+// a new body and re-run the debug query remotely. The efficiency bench E4
+// pits this against the devUDF extract-once / iterate-locally loop.
+func (c *Client) TraditionalCycle(info UDFInfo, body string) (*storage.Table, error) {
+	sql, err := createFunctionSQL(info, body)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.wc.Query(sql); err != nil {
+		return nil, err
+	}
+	if c.Settings.DebugQuery == "" {
+		return nil, core.Errorf(core.KindConstraint, "no debug query configured")
+	}
+	_, t, err := c.wc.Query(c.Settings.DebugQuery)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EditBody replaces the function body in an imported UDF's script file,
+// preserving the generated header and prologue — programmatic stand-in for
+// the developer editing the file in the IDE.
+func (c *Client) EditBody(udfName, newBody string) error {
+	info, src, err := c.Project.LoadUDF(udfName)
+	if err != nil {
+		return err
+	}
+	oldWrapped := ""
+	if body, err := transform.ExtractBody(src, info.Name); err == nil {
+		oldWrapped = transform.WrapFunction(info.Name, info.ParamNames(), body)
+	}
+	newWrapped := transform.WrapFunction(info.Name, info.ParamNames(), newBody)
+	if oldWrapped == "" || !strings.Contains(src, oldWrapped) {
+		return core.Errorf(core.KindConstraint,
+			"could not locate the function definition in %s", c.Project.ScriptPath(info.Name))
+	}
+	updated := strings.Replace(src, oldWrapped, newWrapped, 1)
+	return c.Project.FS().WriteFile(c.Project.ScriptPath(info.Name), []byte(updated))
+}

@@ -1,0 +1,124 @@
+// Remote debugging: the architecture split PyCharm uses with pydevd — the
+// debugger UI in one process, the debuggee in another, connected by a
+// socket speaking a JSON protocol.
+//
+// This example runs the paper's buggy mean_deviation under a debug server
+// in one goroutine ("the debuggee process") and drives it from a
+// RemoteClient ("the IDE"): set a conditional breakpoint, inspect locals
+// and the stack, evaluate a watch expression, continue to completion.
+//
+//	go run ./examples/remote_debug
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/debug"
+	"repro/internal/script"
+)
+
+const debuggee = `def mean_deviation(column):
+    mean = 0
+    for i in range(0, len(column)):
+        mean += column[i]
+    mean = mean / len(column)
+    distance = 0
+    for i in range(0, len(column)):
+        distance += column[i] - mean
+    return distance / len(column)
+
+result = mean_deviation([1, 2, 3, 4, 100])
+`
+
+func main() {
+	mod, err := script.Parse("mean_deviation.py", debuggee)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := debug.NewSession(mod, debug.Config{})
+	srv := debug.NewRemoteServer(sess)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Println("debug server listening on", ln.Addr())
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Print(err)
+			return
+		}
+		if err := srv.ServeConn(conn); err != nil {
+			log.Print("serve:", err)
+		}
+	}()
+
+	// ---- the "IDE" side ----
+	rc, err := debug.DialRemote(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rc.Close()
+
+	// break in the accumulation loop only once it has gone wrong
+	if err := rc.SetBreakpoint(8, "distance < -40"); err != nil {
+		log.Fatal(err)
+	}
+	ev, err := rc.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stopped: reason=%s line=%d func=%s\n", ev.Reason, ev.Line, ev.FuncName)
+
+	locals, err := rc.Locals()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("locals at the breakpoint:")
+	for _, name := range debug.SortedVarNames(locals) {
+		fmt.Printf("  %s = %s\n", name, locals[name])
+	}
+	stack, err := rc.Stack()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("stack:")
+	for i, f := range stack {
+		fmt.Printf("  #%d %s at line %d\n", i, f.FuncName, f.Line)
+	}
+	watch, err := rc.Eval("column[i] - mean")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("watch `column[i] - mean` =", watch)
+
+	// step once, then run to the end
+	ev, err = rc.StepOver()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after step: line=%d\n", ev.Line)
+	for !ev.Terminal {
+		ev, err = rc.Continue()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("debuggee finished (%s)\n", ev.Reason)
+	rc.Close()
+	<-done
+
+	env, err := sess.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := env.Get("result")
+	fmt.Println("program result:", v.Repr(), "(the Listing 4 bug: should be 31.2)")
+}

@@ -1,0 +1,109 @@
+// Scenario A (paper §2.5): a semantically-wrong mean_deviation UDF —
+// syntactically correct, logically broken (Listing 4 line 9 computes the
+// plain difference instead of the absolute difference, so deviations
+// cancel out).
+//
+// The example first shows the traditional, print-debugging-style workflow
+// failing to be informative, then the devUDF workflow: import, extract,
+// step through with the interactive debugger until the bug is visible,
+// fix, verify locally, export, verify on the server.
+//
+//	go run ./examples/scenario_a
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/devudf"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/monetlite"
+)
+
+func main() {
+	fx, err := bench.StartServer(
+		`CREATE TABLE numbers (i INTEGER)`,
+		`INSERT INTO numbers VALUES (1), (2), (3), (4), (100)`,
+		bench.MeanDeviationBuggy,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fx.Close()
+	conn := monetlite.Connect(fx.DB, "monetdb", "monetdb")
+
+	fmt.Println("== the traditional workflow ==")
+	res, err := conn.Exec(`SELECT mean_deviation(i) FROM numbers`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SELECT mean_deviation(i) -> %g   (expected 31.2 — something is wrong)\n",
+		res.Table.Cols[0].Flts[0])
+	fmt.Println("print-debugging means editing the CREATE FUNCTION text, re-creating")
+	fmt.Println("the function and re-running the query for every probe.")
+
+	fmt.Println("\n== the devUDF workflow ==")
+	settings := devudf.DefaultSettings()
+	settings.Connection = fx.Params
+	settings.DebugQuery = `SELECT mean_deviation(i) FROM numbers`
+	client, err := devudf.Connect(settings, core.NewMemFS(nil))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.ImportUDFs("mean_deviation"); err != nil {
+		log.Fatal(err)
+	}
+	info, err := client.ExtractInputs("mean_deviation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("imported mean_deviation and extracted its %d input rows locally\n", info.SampleRows)
+
+	// Interactive debugging: break on the accumulation line and watch the
+	// 'distance' accumulator go negative — impossible for a sum of
+	// absolute deviations.
+	sess, err := client.NewDebugSession("mean_deviation", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, _ := client.Project.LoadUDFSource("mean_deviation")
+	line := 0
+	for i, ln := range strings.Split(src, "\n") {
+		if strings.Contains(ln, "distance += column[i] - mean") {
+			line = i + 1
+			break
+		}
+	}
+	sess.SetBreakpoint(line, "")
+	fmt.Printf("breakpoint on line %d (the accumulation), stepping through:\n", line)
+	ev := sess.Start()
+	for ev.Reason == devudf.ReasonBreakpoint {
+		iv, _ := sess.Eval("i")
+		dv, _ := sess.Eval("distance")
+		fmt.Printf("  i=%s  distance=%s\n", iv.Repr(), dv.Repr())
+		ev = sess.Continue()
+	}
+	fmt.Println("distance goes NEGATIVE -> the absolute value is missing on line", line)
+
+	// Fix it locally, verify on the already-extracted data, export.
+	if err := client.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
+		log.Fatal(err)
+	}
+	local, err := client.RunLocal("mean_deviation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("fixed, local verification:", local.Value.Repr())
+	if err := client.ExportUDFs("mean_deviation"); err != nil {
+		log.Fatal(err)
+	}
+	res, err = conn.Exec(`SELECT mean_deviation(i) FROM numbers`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after export, the server computes: %g\n", res.Table.Cols[0].Flts[0])
+}

@@ -1,0 +1,124 @@
+// Scenario B (paper §2.5): a data-dependent bug in a CSV-loading table
+// UDF — Listing 5 line 5 iterates range(0, len(files)-1) believing range is
+// right-inclusive, silently skipping the last file in the directory.
+//
+// The bug only shows up as a wrong aggregate, and only when the skipped
+// file matters. The devUDF debugger makes it visible immediately: stepping
+// over the loop shows the loop index never reaching the last file.
+//
+//	go run ./examples/scenario_b
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/devudf"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/monetlite"
+)
+
+func main() {
+	// Three CSV files of integers; c.csv carries the value that changes
+	// the answer.
+	serverFS := core.NewMemFS(map[string]string{
+		"csvs/a.csv": "1\n2\n3\n",
+		"csvs/b.csv": "4\n5\n",
+		"csvs/c.csv": "100\n",
+	})
+	fx, err := bench.StartServer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fx.Close()
+	fx.DB.FS = serverFS
+	conn := monetlite.Connect(fx.DB, "monetdb", "monetdb")
+	if _, err := conn.Exec(bench.LoadNumbersBuggy); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== symptom ==")
+	res, err := conn.Exec(`SELECT COUNT(*) AS n, SUM(i) AS total FROM loadNumbers('csvs')`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT=%d SUM=%d   (the directory holds 6 values summing to 115)\n",
+		res.Table.Cols[0].Ints[0], res.Table.Cols[1].Ints[0])
+
+	fmt.Println("\n== devUDF: debug the loader locally ==")
+	settings := devudf.DefaultSettings()
+	settings.Connection = fx.Params
+	settings.DebugQuery = `SELECT * FROM loadNumbers('csvs')`
+	// The loader reads files, so the local project shares the CSV tree the
+	// developer has locally (the demo ingests "several CSV files, located
+	// in one directory").
+	projectFS := core.NewMemFS(map[string]string{
+		"csvs/a.csv": "1\n2\n3\n",
+		"csvs/b.csv": "4\n5\n",
+		"csvs/c.csv": "100\n",
+	})
+	client, err := devudf.Connect(settings, projectFS)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.ImportUDFs("loadNumbers"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.ExtractInputs("loadNumbers"); err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := client.NewDebugSession("loadNumbers", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, _ := client.Project.LoadUDFSource("loadNumbers")
+	loopLine := 0
+	for i, ln := range strings.Split(src, "\n") {
+		if strings.Contains(ln, "file = open(") {
+			loopLine = i + 1
+			break
+		}
+	}
+	sess.SetBreakpoint(loopLine, "")
+	ev := sess.Start()
+	fmt.Println("stepping the file loop:")
+	var openedFiles []string
+	for ev.Reason == devudf.ReasonBreakpoint {
+		fv, _ := sess.Eval("files[i]")
+		nf, _ := sess.Eval("len(files)")
+		openedFiles = append(openedFiles, fv.Repr())
+		fmt.Printf("  opening files[i]=%s (len(files)=%s)\n", fv.Repr(), nf.Repr())
+		ev = sess.Continue()
+	}
+	fmt.Printf("the loop opened %d of 3 files — range(0, len(files)-1) skips the last\n", len(openedFiles))
+
+	fixed := `import os
+files = os.listdir(path)
+result = []
+for i in range(0, len(files)):
+    file = open(path + "/" + files[i], "r")
+    for line in file:
+        result.append(int(line))
+return result`
+	if err := client.EditBody("loadNumbers", fixed); err != nil {
+		log.Fatal(err)
+	}
+	local, err := client.RunLocal("loadNumbers")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfixed, local verification returns", local.Value.Repr())
+	if err := client.ExportUDFs("loadNumbers"); err != nil {
+		log.Fatal(err)
+	}
+	res, err = conn.Exec(`SELECT COUNT(*) AS n, SUM(i) AS total FROM loadNumbers('csvs')`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after export: COUNT=%d SUM=%d\n",
+		res.Table.Cols[0].Ints[0], res.Table.Cols[1].Ints[0])
+}

@@ -1,0 +1,314 @@
+package debug
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/script"
+)
+
+// Remote debugging: a JSON line protocol (in the spirit of the Debug
+// Adapter Protocol) between the IDE side (RemoteClient) and the process
+// running the UDF (RemoteServer wrapping a Session). This reproduces the
+// architecture split PyCharm uses with pydevd: the debugger UI and the
+// debuggee live in different processes connected by a socket.
+
+// Request is one debugger command on the wire.
+type Request struct {
+	Seq       int    `json:"seq"`
+	Command   string `json:"command"`
+	Line      int    `json:"line,omitempty"`
+	Condition string `json:"condition,omitempty"`
+	Expr      string `json:"expr,omitempty"`
+}
+
+// Response answers one Request.
+type Response struct {
+	Seq     int               `json:"seq"`
+	Success bool              `json:"success"`
+	Error   string            `json:"error,omitempty"`
+	Event   *WireEvent        `json:"event,omitempty"`
+	Vars    map[string]string `json:"vars,omitempty"`
+	Value   string            `json:"value,omitempty"`
+	Frames  []FrameInfo       `json:"frames,omitempty"`
+	Source  []string          `json:"source,omitempty"`
+}
+
+// WireEvent is the JSON form of Event.
+type WireEvent struct {
+	Reason   string `json:"reason"`
+	Line     int    `json:"line"`
+	FuncName string `json:"funcName,omitempty"`
+	Depth    int    `json:"depth"`
+	Terminal bool   `json:"terminal"`
+	Err      string `json:"err,omitempty"`
+}
+
+func toWireEvent(ev Event) *WireEvent {
+	w := &WireEvent{
+		Reason: string(ev.Reason), Line: ev.Line,
+		FuncName: ev.FuncName, Depth: ev.Depth, Terminal: ev.Terminal,
+	}
+	if ev.Err != nil {
+		w.Err = ev.Err.Error()
+	}
+	return w
+}
+
+func fromWireEvent(w *WireEvent) Event {
+	ev := Event{
+		Reason: StopReason(w.Reason), Line: w.Line,
+		FuncName: w.FuncName, Depth: w.Depth, Terminal: w.Terminal,
+	}
+	if w.Err != "" {
+		ev.Err = core.Errorf(core.KindRuntime, "%s", w.Err)
+	}
+	return ev
+}
+
+// RemoteServer serves one debug session to one client connection.
+type RemoteServer struct {
+	sess *Session
+}
+
+// NewRemoteServer wraps a session for remote control.
+func NewRemoteServer(sess *Session) *RemoteServer { return &RemoteServer{sess: sess} }
+
+// ServeConn processes requests until the connection closes or the session
+// reaches a terminal event and the client disconnects.
+func (rs *RemoteServer) ServeConn(conn net.Conn) error {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			_ = enc.Encode(Response{Success: false, Error: "bad request: " + err.Error()})
+			continue
+		}
+		resp := rs.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return core.Errorf(core.KindIO, "write response: %v", err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return core.Errorf(core.KindIO, "read request: %v", err)
+	}
+	return nil
+}
+
+func (rs *RemoteServer) handle(req Request) Response {
+	resp := Response{Seq: req.Seq, Success: true}
+	evResp := func(ev Event) {
+		resp.Event = toWireEvent(ev)
+	}
+	switch req.Command {
+	case "setBreakpoint":
+		rs.sess.SetBreakpoint(req.Line, req.Condition)
+	case "clearBreakpoint":
+		rs.sess.ClearBreakpoint(req.Line)
+	case "start":
+		evResp(rs.sess.Start())
+	case "continue":
+		evResp(rs.sess.Continue())
+	case "stepOver":
+		evResp(rs.sess.StepOver())
+	case "stepInto":
+		evResp(rs.sess.StepInto())
+	case "stepOut":
+		evResp(rs.sess.StepOut())
+	case "kill":
+		evResp(rs.sess.Kill())
+	case "pause":
+		rs.sess.RequestPause()
+	case "eval":
+		v, err := rs.sess.Eval(req.Expr)
+		if err != nil {
+			return Response{Seq: req.Seq, Success: false, Error: err.Error()}
+		}
+		resp.Value = v.Repr()
+	case "locals", "globals":
+		var vars map[string]script.Value
+		var err error
+		if req.Command == "locals" {
+			vars, err = rs.sess.Locals()
+		} else {
+			vars, err = rs.sess.GlobalVars()
+		}
+		if err != nil {
+			return Response{Seq: req.Seq, Success: false, Error: err.Error()}
+		}
+		resp.Vars = reprVars(vars)
+	case "stack":
+		frames, err := rs.sess.Stack()
+		if err != nil {
+			return Response{Seq: req.Seq, Success: false, Error: err.Error()}
+		}
+		resp.Frames = frames
+	case "source":
+		resp.Source = rs.sess.Source()
+	default:
+		return Response{Seq: req.Seq, Success: false,
+			Error: fmt.Sprintf("unknown command %q", req.Command)}
+	}
+	return resp
+}
+
+func reprVars(vars map[string]script.Value) map[string]string {
+	out := make(map[string]string, len(vars))
+	for k, v := range vars {
+		out[k] = v.Repr()
+	}
+	return out
+}
+
+// SortedVarNames is a display helper shared by the CLI and tests.
+func SortedVarNames(vars map[string]string) []string {
+	names := make([]string, 0, len(vars))
+	for n := range vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RemoteClient drives a RemoteServer over a socket with the same API shape
+// as Session.
+type RemoteClient struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+	seq  int
+}
+
+// DialRemote connects to a remote debug server.
+func DialRemote(addr string) (*RemoteClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, core.Errorf(core.KindIO, "connect debugger %s: %v", addr, err)
+	}
+	return NewRemoteClient(conn), nil
+}
+
+// NewRemoteClient wraps an existing connection.
+func NewRemoteClient(conn net.Conn) *RemoteClient {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	return &RemoteClient{conn: conn, sc: sc, enc: json.NewEncoder(conn)}
+}
+
+// Close closes the control connection.
+func (rc *RemoteClient) Close() error { return rc.conn.Close() }
+
+func (rc *RemoteClient) roundTrip(req Request) (Response, error) {
+	rc.seq++
+	req.Seq = rc.seq
+	if err := rc.enc.Encode(req); err != nil {
+		return Response{}, core.Errorf(core.KindIO, "send: %v", err)
+	}
+	if !rc.sc.Scan() {
+		if err := rc.sc.Err(); err != nil {
+			return Response{}, core.Errorf(core.KindIO, "recv: %v", err)
+		}
+		return Response{}, core.Errorf(core.KindIO, "debug server closed the connection")
+	}
+	var resp Response
+	if err := json.Unmarshal(rc.sc.Bytes(), &resp); err != nil {
+		return Response{}, core.Errorf(core.KindProtocol, "bad response: %v", err)
+	}
+	if !resp.Success {
+		return resp, core.Errorf(core.KindRuntime, "%s", resp.Error)
+	}
+	return resp, nil
+}
+
+func (rc *RemoteClient) eventCmd(cmd string) (Event, error) {
+	resp, err := rc.roundTrip(Request{Command: cmd})
+	if err != nil {
+		return Event{}, err
+	}
+	if resp.Event == nil {
+		return Event{}, core.Errorf(core.KindProtocol, "missing event in %s response", cmd)
+	}
+	return fromWireEvent(resp.Event), nil
+}
+
+// SetBreakpoint mirrors Session.SetBreakpoint.
+func (rc *RemoteClient) SetBreakpoint(line int, condition string) error {
+	_, err := rc.roundTrip(Request{Command: "setBreakpoint", Line: line, Condition: condition})
+	return err
+}
+
+// ClearBreakpoint mirrors Session.ClearBreakpoint.
+func (rc *RemoteClient) ClearBreakpoint(line int) error {
+	_, err := rc.roundTrip(Request{Command: "clearBreakpoint", Line: line})
+	return err
+}
+
+// Start mirrors Session.Start.
+func (rc *RemoteClient) Start() (Event, error) { return rc.eventCmd("start") }
+
+// Continue mirrors Session.Continue.
+func (rc *RemoteClient) Continue() (Event, error) { return rc.eventCmd("continue") }
+
+// StepOver mirrors Session.StepOver.
+func (rc *RemoteClient) StepOver() (Event, error) { return rc.eventCmd("stepOver") }
+
+// StepInto mirrors Session.StepInto.
+func (rc *RemoteClient) StepInto() (Event, error) { return rc.eventCmd("stepInto") }
+
+// StepOut mirrors Session.StepOut.
+func (rc *RemoteClient) StepOut() (Event, error) { return rc.eventCmd("stepOut") }
+
+// Kill mirrors Session.Kill.
+func (rc *RemoteClient) Kill() (Event, error) { return rc.eventCmd("kill") }
+
+// Eval mirrors Session.Eval; values come back as their repr.
+func (rc *RemoteClient) Eval(expr string) (string, error) {
+	resp, err := rc.roundTrip(Request{Command: "eval", Expr: expr})
+	if err != nil {
+		return "", err
+	}
+	return resp.Value, nil
+}
+
+// Locals mirrors Session.Locals with repr values.
+func (rc *RemoteClient) Locals() (map[string]string, error) {
+	resp, err := rc.roundTrip(Request{Command: "locals"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vars, nil
+}
+
+// GlobalVars mirrors Session.GlobalVars with repr values.
+func (rc *RemoteClient) GlobalVars() (map[string]string, error) {
+	resp, err := rc.roundTrip(Request{Command: "globals"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vars, nil
+}
+
+// Stack mirrors Session.Stack.
+func (rc *RemoteClient) Stack() ([]FrameInfo, error) {
+	resp, err := rc.roundTrip(Request{Command: "stack"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Frames, nil
+}
+
+// Source fetches the debugged module's source lines.
+func (rc *RemoteClient) Source() ([]string, error) {
+	resp, err := rc.roundTrip(Request{Command: "source"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Source, nil
+}

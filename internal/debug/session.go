@@ -1,0 +1,403 @@
+// Package debug implements the interactive debugger devUDF attaches to a
+// locally-running UDF — the capability the paper argues UDF developers are
+// normally denied because "the RDBMS must be in control of the code flow
+// while the UDF is being executed" (§1). It provides breakpoints
+// (optionally conditional), step over/into/out, pause, call-stack and
+// variable inspection, and watch expressions, built on PyLite's trace hook
+// exactly as pydevd builds on CPython's sys.settrace.
+package debug
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/script"
+)
+
+// StopReason explains why execution paused (or ended).
+type StopReason string
+
+// Stop reasons.
+const (
+	ReasonEntry      StopReason = "entry"
+	ReasonBreakpoint StopReason = "breakpoint"
+	ReasonStep       StopReason = "step"
+	ReasonPause      StopReason = "pause"
+	ReasonDone       StopReason = "done"
+	ReasonException  StopReason = "exception"
+	ReasonKilled     StopReason = "killed"
+)
+
+// Event is delivered every time the debuggee stops.
+type Event struct {
+	Reason   StopReason
+	Line     int
+	FuncName string
+	Depth    int
+	// Err is set for ReasonException (the script error) and ReasonDone
+	// with a failing script.
+	Err error
+	// Terminal reports that execution has finished and no further control
+	// commands are accepted.
+	Terminal bool
+}
+
+// FrameInfo is one stack entry, innermost first.
+type FrameInfo struct {
+	FuncName string
+	Line     int
+	Depth    int
+}
+
+// Breakpoint is a line breakpoint with an optional PyLite condition
+// evaluated in the paused frame ("i > 3").
+type Breakpoint struct {
+	Line      int
+	Condition string
+	HitCount  int
+}
+
+// Config configures a Session.
+type Config struct {
+	// StopOnEntry pauses before the first statement (PyCharm's default
+	// when stepping from the gutter).
+	StopOnEntry bool
+	// Setup runs before execution to configure the interpreter (install
+	// FS, module providers, stdout).
+	Setup func(*script.Interp)
+	// Globals, when non-nil, pre-populates module scope (the devUDF local
+	// runner injects _conn and input parameters).
+	Globals map[string]script.Value
+}
+
+type cmdKind int
+
+const (
+	cmdContinue cmdKind = iota
+	cmdStepOver
+	cmdStepInto
+	cmdStepOut
+	cmdKill
+	cmdEval
+	cmdLocals
+	cmdGlobals
+	cmdStack
+)
+
+type command struct {
+	kind cmdKind
+	expr string
+	resp chan cmdResult
+}
+
+type cmdResult struct {
+	value  script.Value
+	vars   map[string]script.Value
+	frames []FrameInfo
+	err    error
+}
+
+type stepMode int
+
+const (
+	stepNone stepMode = iota
+	stepOver
+	stepInto
+	stepOut
+)
+
+// Session debugs one PyLite module execution. Control methods (Continue,
+// Step*, …) are synchronous: they resume the debuggee and return the next
+// stop event. A Session is not safe for concurrent control calls.
+type Session struct {
+	in  *script.Interp
+	mod *script.Module
+
+	breakpoints map[int]*Breakpoint
+	cmds        chan command
+	events      chan Event
+	pauseFlag   atomic.Bool
+	killed      atomic.Bool
+
+	mode        stepMode
+	modeDepth   int
+	started     bool
+	finished    bool
+	lastErr     error
+	result      *script.Env
+	cfgGlobals  map[string]script.Value
+	stopOnEntry bool
+	sawEntry    bool
+}
+
+// NewSession prepares (but does not start) a debug session over mod.
+func NewSession(mod *script.Module, cfg Config) *Session {
+	s := &Session{
+		mod:         mod,
+		breakpoints: map[int]*Breakpoint{},
+		cmds:        make(chan command),
+		events:      make(chan Event),
+	}
+	s.in = script.NewInterp()
+	if cfg.Setup != nil {
+		cfg.Setup(s.in)
+	}
+	s.in.Trace = s.trace
+	if cfg.StopOnEntry {
+		s.mode = stepInto // pause at the very first line
+		s.stopOnEntry = true
+	}
+	s.cfgGlobals = cfg.Globals
+	return s
+}
+
+// Interp exposes the session's interpreter so embedders can construct
+// native objects (the devUDF _conn shim) bound to it before Start.
+func (s *Session) Interp() *script.Interp { return s.in }
+
+// SetGlobal injects a module-scope binding before Start (devUDF injects
+// _conn this way). It panics if called after Start.
+func (s *Session) SetGlobal(name string, v script.Value) {
+	if s.started {
+		panic("debug: SetGlobal after Start")
+	}
+	if s.cfgGlobals == nil {
+		s.cfgGlobals = map[string]script.Value{}
+	}
+	s.cfgGlobals[name] = v
+}
+
+// SetBreakpoint sets (or replaces) a breakpoint.
+func (s *Session) SetBreakpoint(line int, condition string) {
+	s.breakpoints[line] = &Breakpoint{Line: line, Condition: condition}
+}
+
+// ClearBreakpoint removes a breakpoint.
+func (s *Session) ClearBreakpoint(line int) { delete(s.breakpoints, line) }
+
+// Breakpoints lists breakpoints sorted by line.
+func (s *Session) Breakpoints() []Breakpoint {
+	out := make([]Breakpoint, 0, len(s.breakpoints))
+	for _, b := range s.breakpoints {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
+	return out
+}
+
+// Source returns the debugged module's source lines (1-based indexing by
+// line number: Source()[l-1]).
+func (s *Session) Source() []string { return s.mod.Lines }
+
+// Start launches the debuggee and returns the first stop event: the entry
+// pause when StopOnEntry, otherwise the first breakpoint hit / completion.
+func (s *Session) Start() Event {
+	if s.started {
+		return Event{Reason: ReasonDone, Terminal: true,
+			Err: core.Errorf(core.KindConstraint, "session already started")}
+	}
+	s.started = true
+	go func() {
+		globals := s.in.NewGlobals()
+		if s.cfgGlobals != nil {
+			for k, v := range s.cfgGlobals {
+				globals.Set(k, v)
+			}
+		}
+		err := s.in.RunInEnv(s.mod, globals)
+		s.finished = true
+		s.result = globals
+		s.lastErr = err
+		reason := ReasonDone
+		if s.killed.Load() {
+			reason = ReasonKilled
+			err = nil
+		}
+		s.events <- Event{Reason: reason, Terminal: true, Err: err}
+		close(s.events)
+	}()
+	return <-s.events
+}
+
+// Continue resumes until the next breakpoint, pause request or completion.
+func (s *Session) Continue() Event { return s.control(command{kind: cmdContinue}) }
+
+// StepOver resumes until the next line at the same or a shallower depth.
+func (s *Session) StepOver() Event { return s.control(command{kind: cmdStepOver}) }
+
+// StepInto resumes until the next line anywhere (entering calls).
+func (s *Session) StepInto() Event { return s.control(command{kind: cmdStepInto}) }
+
+// StepOut resumes until control returns to the caller.
+func (s *Session) StepOut() Event { return s.control(command{kind: cmdStepOut}) }
+
+// Kill aborts the debuggee and returns the terminal event.
+func (s *Session) Kill() Event {
+	s.killed.Store(true)
+	return s.control(command{kind: cmdKill})
+}
+
+// RequestPause asks a *running* debuggee to stop at its next line. It is
+// the one asynchronous control; the pause materializes as a ReasonPause
+// event from the in-flight Continue call.
+func (s *Session) RequestPause() { s.pauseFlag.Store(true) }
+
+func (s *Session) control(cmd command) Event {
+	if s.finishedOrUnstarted() {
+		return Event{Reason: ReasonDone, Terminal: true,
+			Err: core.Errorf(core.KindConstraint, "debuggee is not paused")}
+	}
+	s.cmds <- cmd
+	ev, ok := <-s.events
+	if !ok {
+		return Event{Reason: ReasonDone, Terminal: true}
+	}
+	return ev
+}
+
+func (s *Session) finishedOrUnstarted() bool { return !s.started || s.finished }
+
+// Eval evaluates a watch expression in the paused frame.
+func (s *Session) Eval(expr string) (script.Value, error) {
+	res := s.inspect(command{kind: cmdEval, expr: expr})
+	return res.value, res.err
+}
+
+// Locals returns the paused frame's local variables.
+func (s *Session) Locals() (map[string]script.Value, error) {
+	res := s.inspect(command{kind: cmdLocals})
+	return res.vars, res.err
+}
+
+// GlobalVars returns the module-level variables.
+func (s *Session) GlobalVars() (map[string]script.Value, error) {
+	res := s.inspect(command{kind: cmdGlobals})
+	return res.vars, res.err
+}
+
+// Stack returns the call stack, innermost frame first.
+func (s *Session) Stack() ([]FrameInfo, error) {
+	res := s.inspect(command{kind: cmdStack})
+	return res.frames, res.err
+}
+
+func (s *Session) inspect(cmd command) cmdResult {
+	if s.finishedOrUnstarted() {
+		return cmdResult{err: core.Errorf(core.KindConstraint, "debuggee is not paused")}
+	}
+	cmd.resp = make(chan cmdResult, 1)
+	s.cmds <- cmd
+	return <-cmd.resp
+}
+
+// Result returns the module globals and error after the terminal event.
+func (s *Session) Result() (*script.Env, error) {
+	if !s.finished {
+		return nil, core.Errorf(core.KindConstraint, "debuggee has not finished")
+	}
+	return s.result, s.lastErr
+}
+
+// errKilled aborts the interpreter from inside the trace hook.
+var errKilled = core.Errorf(core.KindRuntime, "killed by debugger")
+
+// trace is the interpreter hook: it decides whether to pause at this event
+// and, when paused, processes inspection/control commands until resumed.
+func (s *Session) trace(in *script.Interp, ev script.TraceEvent) error {
+	if s.killed.Load() {
+		return errKilled
+	}
+	if ev.Kind != script.TraceLine {
+		return nil
+	}
+	reason, stop := s.shouldStop(in, ev)
+	if !stop {
+		return nil
+	}
+	s.events <- Event{
+		Reason:   reason,
+		Line:     ev.Line,
+		FuncName: ev.Frame.FuncName,
+		Depth:    ev.Frame.Depth,
+	}
+	for cmd := range s.cmds {
+		switch cmd.kind {
+		case cmdContinue:
+			s.mode = stepNone
+			return nil
+		case cmdStepOver:
+			s.mode = stepOver
+			s.modeDepth = ev.Frame.Depth
+			return nil
+		case cmdStepInto:
+			s.mode = stepInto
+			return nil
+		case cmdStepOut:
+			s.mode = stepOut
+			s.modeDepth = ev.Frame.Depth
+			return nil
+		case cmdKill:
+			s.killed.Store(true)
+			return errKilled
+		case cmdEval:
+			v, err := in.EvalInFrame(cmd.expr, ev.Frame)
+			cmd.resp <- cmdResult{value: v, err: err}
+		case cmdLocals:
+			cmd.resp <- cmdResult{vars: ev.Frame.Env.Snapshot()}
+		case cmdGlobals:
+			g := in.Globals
+			if g == nil {
+				cmd.resp <- cmdResult{vars: map[string]script.Value{}}
+			} else {
+				cmd.resp <- cmdResult{vars: g.Snapshot()}
+			}
+		case cmdStack:
+			var frames []FrameInfo
+			for f := ev.Frame; f != nil; f = f.Caller {
+				frames = append(frames, FrameInfo{FuncName: f.FuncName, Line: f.Line, Depth: f.Depth})
+			}
+			cmd.resp <- cmdResult{frames: frames}
+		}
+	}
+	return nil
+}
+
+// shouldStop applies pause requests, step modes and breakpoints, in that
+// order of precedence.
+func (s *Session) shouldStop(in *script.Interp, ev script.TraceEvent) (StopReason, bool) {
+	if s.pauseFlag.Swap(false) {
+		s.mode = stepNone
+		return ReasonPause, true
+	}
+	switch s.mode {
+	case stepInto:
+		s.mode = stepNone
+		if s.stopOnEntry && !s.sawEntry {
+			s.sawEntry = true
+			return ReasonEntry, true
+		}
+		return ReasonStep, true
+	case stepOver:
+		if ev.Frame.Depth <= s.modeDepth {
+			s.mode = stepNone
+			return ReasonStep, true
+		}
+	case stepOut:
+		if ev.Frame.Depth < s.modeDepth {
+			s.mode = stepNone
+			return ReasonStep, true
+		}
+	}
+	if bp, ok := s.breakpoints[ev.Line]; ok {
+		if bp.Condition != "" {
+			v, err := in.EvalInFrame(bp.Condition, ev.Frame)
+			if err != nil || !script.Truthy(v) {
+				return "", false
+			}
+		}
+		bp.HitCount++
+		return ReasonBreakpoint, true
+	}
+	return "", false
+}

@@ -1,0 +1,367 @@
+package debug
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/script"
+)
+
+func parseMod(t *testing.T, src string) *script.Module {
+	t.Helper()
+	mod, err := script.Parse("debuggee", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+const countdownSrc = `total = 0
+for i in range(0, 5):
+    total = total + i
+result = total * 2
+`
+
+func TestBreakpointAndLocals(t *testing.T) {
+	s := NewSession(parseMod(t, countdownSrc), Config{})
+	s.SetBreakpoint(3, "")
+	ev := s.Start()
+	if ev.Reason != ReasonBreakpoint || ev.Line != 3 {
+		t.Fatalf("first stop: %+v", ev)
+	}
+	vars, err := s.Locals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars["i"].Repr() != "0" || vars["total"].Repr() != "0" {
+		t.Fatalf("locals: i=%v total=%v", vars["i"], vars["total"])
+	}
+	ev = s.Continue()
+	if ev.Reason != ReasonBreakpoint || ev.Line != 3 {
+		t.Fatalf("second stop: %+v", ev)
+	}
+	vars, _ = s.Locals()
+	if vars["i"].Repr() != "1" {
+		t.Fatalf("i on second hit: %v", vars["i"])
+	}
+	// run to completion
+	s.ClearBreakpoint(3)
+	ev = s.Continue()
+	if !ev.Terminal || ev.Reason != ReasonDone || ev.Err != nil {
+		t.Fatalf("terminal: %+v", ev)
+	}
+	env, err := s.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := env.Get("result")
+	if v.Repr() != "20" {
+		t.Fatalf("result: %s", v.Repr())
+	}
+}
+
+func TestConditionalBreakpoint(t *testing.T) {
+	s := NewSession(parseMod(t, countdownSrc), Config{})
+	s.SetBreakpoint(3, "i == 3")
+	ev := s.Start()
+	if ev.Reason != ReasonBreakpoint {
+		t.Fatalf("stop: %+v", ev)
+	}
+	vars, _ := s.Locals()
+	if vars["i"].Repr() != "3" {
+		t.Fatalf("condition should skip until i==3, got %v", vars["i"])
+	}
+	ev = s.Continue()
+	if !ev.Terminal {
+		t.Fatalf("should finish: %+v", ev)
+	}
+}
+
+func TestStopOnEntryAndStepping(t *testing.T) {
+	src := `def helper(x):
+    y = x + 1
+    return y
+
+a = helper(1)
+b = helper(a)
+c = a + b
+`
+	s := NewSession(parseMod(t, src), Config{StopOnEntry: true})
+	ev := s.Start()
+	if ev.Reason != ReasonEntry || ev.Line != 1 {
+		t.Fatalf("entry: %+v", ev)
+	}
+	// step over the def
+	ev = s.StepOver()
+	if ev.Line != 5 {
+		t.Fatalf("after def: %+v", ev)
+	}
+	// step into helper
+	ev = s.StepInto()
+	if ev.Line != 2 || ev.FuncName != "helper" {
+		t.Fatalf("into helper: %+v", ev)
+	}
+	stack, err := s.Stack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stack) != 2 || stack[0].FuncName != "helper" || stack[1].FuncName != "<module>" {
+		t.Fatalf("stack: %+v", stack)
+	}
+	// step out back to module level
+	ev = s.StepOut()
+	if ev.FuncName != "<module>" {
+		t.Fatalf("out: %+v", ev)
+	}
+	// step over the second call without entering it
+	ev = s.StepOver()
+	if ev.FuncName != "<module>" || ev.Line != 7 {
+		t.Fatalf("over: %+v", ev)
+	}
+	ev = s.Continue()
+	if !ev.Terminal {
+		t.Fatalf("terminal: %+v", ev)
+	}
+	env, _ := s.Result()
+	v, _ := env.Get("c")
+	if v.Repr() != "5" {
+		t.Fatalf("c = %s", v.Repr())
+	}
+}
+
+func TestWatchExpressions(t *testing.T) {
+	s := NewSession(parseMod(t, countdownSrc), Config{})
+	s.SetBreakpoint(4, "")
+	ev := s.Start()
+	if ev.Line != 4 {
+		t.Fatalf("stop: %+v", ev)
+	}
+	v, err := s.Eval("total * 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Repr() != "100" {
+		t.Fatalf("watch: %s", v.Repr())
+	}
+	if _, err := s.Eval("undefined_name"); err == nil {
+		t.Fatal("watch of undefined name should error")
+	}
+	if _, err := s.Eval("x = 1"); err == nil {
+		t.Fatal("watch must reject statements")
+	}
+	s.Kill()
+}
+
+func TestKill(t *testing.T) {
+	s := NewSession(parseMod(t, "i = 0\nwhile True:\n    i = i + 1\n"), Config{})
+	s.SetBreakpoint(3, "")
+	ev := s.Start()
+	if ev.Reason != ReasonBreakpoint {
+		t.Fatalf("stop: %+v", ev)
+	}
+	ev = s.Kill()
+	if ev.Reason != ReasonKilled || !ev.Terminal {
+		t.Fatalf("kill: %+v", ev)
+	}
+	// further control is rejected cleanly
+	ev = s.Continue()
+	if ev.Err == nil {
+		t.Fatal("control after kill should error")
+	}
+}
+
+func TestExceptionReporting(t *testing.T) {
+	s := NewSession(parseMod(t, "x = 1\ny = x / 0\n"), Config{})
+	ev := s.Start()
+	if ev.Reason != ReasonDone || ev.Err == nil {
+		t.Fatalf("terminal: %+v", ev)
+	}
+	if !strings.Contains(ev.Err.Error(), "division by zero") {
+		t.Fatalf("err: %v", ev.Err)
+	}
+}
+
+func TestGlobalsInjection(t *testing.T) {
+	s := NewSession(parseMod(t, "doubled = seed * 2\n"), Config{
+		Globals: map[string]script.Value{"seed": script.IntVal(21)},
+	})
+	ev := s.Start()
+	if ev.Err != nil {
+		t.Fatal(ev.Err)
+	}
+	env, _ := s.Result()
+	v, _ := env.Get("doubled")
+	if v.Repr() != "42" {
+		t.Fatalf("doubled: %s", v.Repr())
+	}
+}
+
+// TestScenarioADebugging walks the paper's Scenario A: the developer sets a
+// breakpoint inside the buggy mean_deviation loop and watches `distance`
+// go negative — impossible for a sum of absolute differences — exposing
+// the missing abs().
+func TestScenarioADebugging(t *testing.T) {
+	src := `def mean_deviation(column):
+    mean = 0
+    for i in range(0, len(column)):
+        mean += column[i]
+    mean = mean / len(column)
+    distance = 0
+    for i in range(0, len(column)):
+        distance += column[i] - mean
+    deviation = distance / len(column)
+    return deviation
+
+result = mean_deviation([1, 2, 3, 4, 100])
+`
+	s := NewSession(parseMod(t, src), Config{})
+	// watch the accumulator each time around the second loop
+	s.SetBreakpoint(8, "")
+	ev := s.Start()
+	sawNegative := false
+	for ev.Reason == ReasonBreakpoint {
+		v, err := s.Eval("distance")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.HasPrefix(v.Repr(), "-") {
+			sawNegative = true
+		}
+		ev = s.Continue()
+	}
+	if !ev.Terminal {
+		t.Fatalf("expected completion, got %+v", ev)
+	}
+	if !sawNegative {
+		t.Fatal("the debugger should reveal a negative distance accumulator (the Scenario A bug)")
+	}
+}
+
+func TestRemoteDebugging(t *testing.T) {
+	s := NewSession(parseMod(t, countdownSrc), Config{})
+	srv := NewRemoteServer(s)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- srv.ServeConn(conn)
+	}()
+
+	rc, err := DialRemote(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if err := rc.SetBreakpoint(3, "i == 2"); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := rc.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Reason != ReasonBreakpoint || ev.Line != 3 {
+		t.Fatalf("remote stop: %+v", ev)
+	}
+	vars, err := rc.Locals()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vars["i"] != "2" {
+		t.Fatalf("remote locals: %v", vars)
+	}
+	val, err := rc.Eval("total + 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != "101" { // 0+1 accumulated before i==2
+		t.Fatalf("remote eval: %s", val)
+	}
+	stack, err := rc.Stack()
+	if err != nil || len(stack) != 1 {
+		t.Fatalf("remote stack: %v %v", stack, err)
+	}
+	src, err := rc.Source()
+	if err != nil || len(src) < 4 {
+		t.Fatalf("remote source: %d lines, %v", len(src), err)
+	}
+	ev, err = rc.Continue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Terminal {
+		t.Fatalf("remote terminal: %+v", ev)
+	}
+	rc.Close()
+	<-done
+}
+
+func TestRemoteUnknownCommand(t *testing.T) {
+	s := NewSession(parseMod(t, "x = 1\n"), Config{})
+	srv := NewRemoteServer(s)
+	resp := srv.handle(Request{Seq: 9, Command: "fly"})
+	if resp.Success || !strings.Contains(resp.Error, "unknown command") {
+		t.Fatalf("resp: %+v", resp)
+	}
+}
+
+func TestRequestPause(t *testing.T) {
+	// A long-running loop with no breakpoints: RequestPause is the only
+	// way to stop it (PyCharm's "Pause Program").
+	src := "i = 0\nwhile i < 100000000:\n    i = i + 1\n"
+	s := NewSession(parseMod(t, src), Config{})
+	done := make(chan Event, 1)
+	go func() { done <- s.Start() }()
+	// let it run a little, then pause
+	time.Sleep(20 * time.Millisecond)
+	s.RequestPause()
+	select {
+	case ev := <-done:
+		if ev.Reason != ReasonPause {
+			t.Fatalf("expected pause, got %+v", ev)
+		}
+		v, err := s.Eval("i")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, ok := v.(script.IntVal); !ok || n <= 0 {
+			t.Fatalf("i should have advanced: %v", v)
+		}
+		kill := s.Kill()
+		if kill.Reason != ReasonKilled {
+			t.Fatalf("kill: %+v", kill)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pause never landed")
+	}
+}
+
+func TestBreakpointHitCounts(t *testing.T) {
+	s := NewSession(parseMod(t, countdownSrc), Config{})
+	s.SetBreakpoint(3, "")
+	ev := s.Start()
+	hits := 1
+	for {
+		ev = s.Continue()
+		if ev.Terminal {
+			break
+		}
+		hits++
+	}
+	if hits != 5 {
+		t.Fatalf("hits: %d", hits)
+	}
+	bps := s.Breakpoints()
+	if len(bps) != 1 || bps[0].HitCount != 5 {
+		t.Fatalf("breakpoint meta: %+v", bps)
+	}
+}

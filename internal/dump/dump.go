@@ -1,0 +1,178 @@
+// Package dump implements database persistence for the embedded engine:
+// a binary snapshot of every user table and UDF definition. monetlited
+// uses it to survive restarts (-persist flag); it is also how a developer
+// ships a reproducible demo database.
+package dump
+
+import (
+	"encoding/binary"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+const magic = "MLDUMP1\n"
+
+// Dump writes a snapshot of db (tables + functions) to w.
+func Dump(db *engine.DB, w io.Writer) error {
+	var buf []byte
+	err := db.Lock(func(cat *storage.Catalog) error {
+		buf = append(buf, magic...)
+		names := cat.TableNames()
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+		for _, name := range names {
+			t, err := cat.Table(name)
+			if err != nil {
+				return err
+			}
+			buf = storage.EncodeTable(buf, t)
+		}
+		funcs := cat.Functions()
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(funcs)))
+		for _, f := range funcs {
+			buf = encodeFunc(buf, f)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(buf); err != nil {
+		return core.Errorf(core.KindIO, "write dump: %v", err)
+	}
+	return nil
+}
+
+func encodeFunc(buf []byte, f *storage.FuncDef) []byte {
+	buf = storage.AppendString(buf, f.Name)
+	buf = storage.AppendString(buf, f.Language)
+	buf = storage.AppendString(buf, f.Body)
+	if f.IsTable {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = encodeSchema(buf, f.Params)
+	buf = encodeSchema(buf, f.Returns)
+	return buf
+}
+
+func encodeSchema(buf []byte, s storage.Schema) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	for _, c := range s {
+		buf = storage.AppendString(buf, c.Name)
+		buf = append(buf, byte(c.Type))
+	}
+	return buf
+}
+
+// Restore loads a snapshot produced by Dump into db. The database should
+// be empty; existing tables or functions with clashing names fail the
+// restore.
+func Restore(db *engine.DB, r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return core.Errorf(core.KindIO, "read dump: %v", err)
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return core.Errorf(core.KindProtocol, "not a monetlite dump")
+	}
+	br := storage.NewByteReader(data[len(magic):])
+	ntables, err := br.U32()
+	if err != nil {
+		return err
+	}
+	var tables []*storage.Table
+	for i := uint32(0); i < ntables; i++ {
+		t, err := storage.DecodeTable(br)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+	nfuncs, err := br.U32()
+	if err != nil {
+		return err
+	}
+	var funcs []*storage.FuncDef
+	for i := uint32(0); i < nfuncs; i++ {
+		f, err := decodeFunc(br)
+		if err != nil {
+			return err
+		}
+		funcs = append(funcs, f)
+	}
+	if br.Remaining() != 0 {
+		return core.Errorf(core.KindProtocol, "trailing bytes in dump")
+	}
+	return db.Lock(func(cat *storage.Catalog) error {
+		for _, t := range tables {
+			if err := cat.CreateTable(t); err != nil {
+				return err
+			}
+		}
+		for _, f := range funcs {
+			if err := cat.CreateFunction(f, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func decodeFunc(br *storage.ByteReader) (*storage.FuncDef, error) {
+	f := &storage.FuncDef{}
+	var err error
+	if f.Name, err = br.Str(); err != nil {
+		return nil, err
+	}
+	if f.Language, err = br.Str(); err != nil {
+		return nil, err
+	}
+	if f.Body, err = br.Str(); err != nil {
+		return nil, err
+	}
+	isTable, err := br.U8()
+	if err != nil {
+		return nil, err
+	}
+	f.IsTable = isTable == 1
+	if f.Params, err = decodeSchema(br); err != nil {
+		return nil, err
+	}
+	if f.Returns, err = decodeSchema(br); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func decodeSchema(br *storage.ByteReader) (storage.Schema, error) {
+	n, err := br.U32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<12 {
+		return nil, core.Errorf(core.KindProtocol, "implausible schema size %d", n)
+	}
+	var s storage.Schema
+	for i := uint32(0); i < n; i++ {
+		name, err := br.Str()
+		if err != nil {
+			return nil, err
+		}
+		tb, err := br.U8()
+		if err != nil {
+			return nil, err
+		}
+		typ := storage.Type(tb)
+		switch typ {
+		case storage.TInt, storage.TFloat, storage.TStr, storage.TBool, storage.TBlob:
+		default:
+			return nil, core.Errorf(core.KindProtocol, "unknown type %d in dump", tb)
+		}
+		s = append(s, storage.ColumnDef{Name: name, Type: typ})
+	}
+	return s, nil
+}

@@ -1,0 +1,282 @@
+// Package engine implements the query executor of the embedded MonetDB-like
+// database: DDL/DML, SELECT evaluation, and — centrally for the paper —
+// Python UDF execution in the operator-at-a-time model (whole columns per
+// call), loopback queries via the _conn object, the tuple-at-a-time mode of
+// §2.4 for comparison, and the server-side sys_extract function that devUDF
+// substitutes for a UDF call to pull its input data out for local debugging.
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+
+	// Register the sklearn/mllib module shims with the script runtime so
+	// UDFs can import them, matching the paper's Listing 1.
+	_ "repro/internal/mllib"
+)
+
+// Mode selects the UDF processing model (paper §2.4).
+type Mode int
+
+const (
+	// ModeOperatorAtATime calls a scalar UDF once with whole columns
+	// (MonetDB's model).
+	ModeOperatorAtATime Mode = iota
+	// ModeTupleAtATime calls a scalar UDF once per row (the Postgres/MySQL
+	// model, simulated per §2.4 "by issuing a loop over the input tuples").
+	ModeTupleAtATime
+)
+
+func (m Mode) String() string {
+	if m == ModeTupleAtATime {
+		return "tuple-at-a-time"
+	}
+	return "operator-at-a-time"
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	mu  sync.Mutex
+	cat *storage.Catalog
+	// FS backs COPY INTO and UDF file access (os.listdir / open). Defaults
+	// to the process file system.
+	FS core.FS
+	// Mode selects the UDF processing model.
+	Mode Mode
+	// MaxUDFSteps bounds each UDF invocation's interpreter steps
+	// (0 = unlimited).
+	MaxUDFSteps int64
+	// UDFOutput receives print() output of server-side UDFs — the paper's
+	// "print debugging" channel. Defaults to io.Discard.
+	UDFOutput *bytes.Buffer
+
+	compiled map[string]*compiledUDF
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{
+		cat:      storage.NewCatalog(),
+		FS:       core.OSFS{},
+		compiled: map[string]*compiledUDF{},
+	}
+}
+
+// Conn is a session: credentials plus the database handle. The wire server
+// creates one per authenticated client; the encryption option of the
+// extract function derives its key from the session password.
+type Conn struct {
+	DB       *DB
+	User     string
+	Password string
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Table holds the result set; nil for statements without one.
+	Table *storage.Table
+	// Msg is the status tag ("CREATE TABLE", "INSERT 3", ...).
+	Msg string
+}
+
+// Exec parses and executes one statement under the database lock.
+func (c *Conn) Exec(sql string) (*Result, error) {
+	c.DB.mu.Lock()
+	defer c.DB.mu.Unlock()
+	return c.exec(sql)
+}
+
+// ExecAll executes a semicolon-separated script, stopping at the first
+// error.
+func (c *Conn) ExecAll(sql string) ([]*Result, error) {
+	stmts, err := sqlparse.ParseAll(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.DB.mu.Lock()
+	defer c.DB.mu.Unlock()
+	var out []*Result
+	for _, st := range stmts {
+		r, err := c.execStmt(st)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// exec runs one statement without taking the lock (loopback queries from
+// inside UDFs re-enter here).
+func (c *Conn) exec(sql string) (*Result, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return c.execStmt(st)
+}
+
+func (c *Conn) execStmt(st sqlparse.Statement) (*Result, error) {
+	switch st := st.(type) {
+	case *sqlparse.CreateTable:
+		t := storage.NewTable(st.Name, st.Schema)
+		if err := c.DB.cat.CreateTable(t); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "CREATE TABLE"}, nil
+	case *sqlparse.DropTable:
+		if err := c.DB.cat.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		return &Result{Msg: "DROP TABLE"}, nil
+	case *sqlparse.CreateFunction:
+		return c.createFunction(st)
+	case *sqlparse.DropFunction:
+		if err := c.DB.cat.DropFunction(st.Name); err != nil {
+			return nil, err
+		}
+		delete(c.DB.compiled, strings.ToLower(st.Name))
+		return &Result{Msg: "DROP FUNCTION"}, nil
+	case *sqlparse.Insert:
+		return c.insert(st)
+	case *sqlparse.CopyInto:
+		return c.copyInto(st)
+	case *sqlparse.Select:
+		t, err := c.evalSelect(st)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Table: t, Msg: fmt.Sprintf("SELECT %d", t.NumRows())}, nil
+	default:
+		return nil, core.Errorf(core.KindSyntax, "unsupported statement %T", st)
+	}
+}
+
+func (c *Conn) createFunction(st *sqlparse.CreateFunction) (*Result, error) {
+	if isBuiltinName(st.Name) {
+		return nil, core.Errorf(core.KindConstraint,
+			"cannot create function %q: name is reserved", st.Name)
+	}
+	def := &storage.FuncDef{
+		Name:     st.Name,
+		Params:   st.Params,
+		Language: st.Language,
+		Body:     st.Body,
+		Returns:  st.Returns,
+		IsTable:  st.IsTable,
+	}
+	if err := c.DB.cat.CreateFunction(def, st.OrReplace); err != nil {
+		return nil, err
+	}
+	delete(c.DB.compiled, strings.ToLower(st.Name))
+	return &Result{Msg: "CREATE FUNCTION"}, nil
+}
+
+func (c *Conn) insert(st *sqlparse.Insert) (*Result, error) {
+	t, err := c.DB.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range st.Rows {
+		vals := make([]any, len(row))
+		for i, e := range row {
+			v, err := constEval(e)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+		if err := t.AppendRow(vals); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Msg: fmt.Sprintf("INSERT %d", len(st.Rows))}, nil
+}
+
+// constEval evaluates a literal (possibly negated) INSERT value.
+func constEval(e sqlparse.Expr) (any, error) {
+	switch e := e.(type) {
+	case *sqlparse.IntLit:
+		return e.Value, nil
+	case *sqlparse.FloatLit:
+		return e.Value, nil
+	case *sqlparse.StrLit:
+		return e.Value, nil
+	case *sqlparse.BoolLit:
+		return e.Value, nil
+	case *sqlparse.NullLit:
+		return nil, nil
+	case *sqlparse.UnaryExpr:
+		if e.Op == "-" {
+			v, err := constEval(e.X)
+			if err != nil {
+				return nil, err
+			}
+			switch v := v.(type) {
+			case int64:
+				return -v, nil
+			case float64:
+				return -v, nil
+			}
+		}
+		return nil, core.Errorf(core.KindSyntax, "INSERT values must be literals")
+	case *sqlparse.BinaryExpr:
+		l, err := constEval(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := constEval(e.R)
+		if err != nil {
+			return nil, err
+		}
+		li, lok := l.(int64)
+		ri, rok := r.(int64)
+		if lok && rok {
+			switch e.Op {
+			case "+":
+				return li + ri, nil
+			case "-":
+				return li - ri, nil
+			case "*":
+				return li * ri, nil
+			}
+		}
+		return nil, core.Errorf(core.KindSyntax, "INSERT values must be literals")
+	default:
+		return nil, core.Errorf(core.KindSyntax, "INSERT values must be literals")
+	}
+}
+
+func (c *Conn) copyInto(st *sqlparse.CopyInto) (*Result, error) {
+	t, err := c.DB.cat.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	data, err := c.DB.FS.ReadFile(st.Path)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.LoadCSV(bytes.NewReader(data), st.Header)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Msg: fmt.Sprintf("COPY %d", n)}, nil
+}
+
+// Catalog exposes the catalog for in-process embedders (the devudf package
+// uses it in local/embedded mode; the wire server goes through SQL).
+func (db *DB) Catalog() *storage.Catalog { return db.cat }
+
+// Lock runs fn with the database lock held, for embedders that need a
+// consistent multi-statement view.
+func (db *DB) Lock(fn func(cat *storage.Catalog) error) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return fn(db.cat)
+}

@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (g STRING, i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('b', 1), ('a', 2), ('b', 3), ('a', 1)`)
+	r := mustExec(t, c, `SELECT g, i FROM t ORDER BY g, i DESC`)
+	g, _ := r.Table.Column("g")
+	i, _ := r.Table.Column("i")
+	if g.Strs[0] != "a" || i.Ints[0] != 2 || g.Strs[2] != "b" || i.Ints[2] != 3 {
+		t.Fatalf("order: %v %v", g.Strs, i.Ints)
+	}
+}
+
+func TestGroupByMultipleColumns(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (a STRING, b STRING, v INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('x','p',1), ('x','q',2), ('x','p',3), ('y','p',4)`)
+	r := mustExec(t, c, `SELECT a, b, SUM(v) AS s FROM t GROUP BY a, b ORDER BY a, b`)
+	if r.Table.NumRows() != 3 {
+		t.Fatalf("groups: %d", r.Table.NumRows())
+	}
+	s, _ := r.Table.Column("s")
+	if s.Ints[0] != 4 || s.Ints[1] != 2 || s.Ints[2] != 4 {
+		t.Fatalf("sums: %v", s.Ints)
+	}
+}
+
+func TestStringConcatAndScalarFunctions(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (s STRING, f DOUBLE)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('ab', 2.25), (NULL, -9.0)`)
+	r := mustExec(t, c, `SELECT s || '!' AS e, UPPER(s) AS u, LOWER('ABC') AS l, LENGTH(s) AS n,
+		ABS(f) AS a, ROUND(f, 1) AS rr, SQRT(ABS(f)) AS q, FLOOR(f) AS fl, CEIL(f) AS ce FROM t`)
+	e, _ := r.Table.Column("e")
+	if e.Strs[0] != "ab!" || !e.IsNull(1) {
+		t.Fatalf("concat: %v nulls=%v", e.Strs, e.Nulls)
+	}
+	u, _ := r.Table.Column("u")
+	if u.Strs[0] != "AB" {
+		t.Fatalf("upper: %v", u.Strs)
+	}
+	n, _ := r.Table.Column("n")
+	if n.Ints[0] != 2 || !n.IsNull(1) {
+		t.Fatalf("length: %v", n.Ints)
+	}
+	a, _ := r.Table.Column("a")
+	if a.Flts[1] != 9.0 {
+		t.Fatalf("abs: %v", a.Flts)
+	}
+	q, _ := r.Table.Column("q")
+	if q.Flts[0] != 1.5 {
+		t.Fatalf("sqrt: %v", q.Flts)
+	}
+	fl, _ := r.Table.Column("fl")
+	ce, _ := r.Table.Column("ce")
+	if fl.Flts[0] != 2 || ce.Flts[0] != 3 {
+		t.Fatalf("floor/ceil: %v %v", fl.Flts, ce.Flts)
+	}
+}
+
+func TestCastErrorsAndArity(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (s STRING)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('not-a-number')`)
+	execErr(t, c, `SELECT CAST(s AS INTEGER) FROM t`)
+	execErr(t, c, `SELECT ABS('x')`)
+	execErr(t, c, `SELECT ABS(1, 2)`)
+	execErr(t, c, `SELECT LENGTH(1)`)
+}
+
+func TestUDFStepLimit(t *testing.T) {
+	c := newTestConn()
+	c.DB.MaxUDFSteps = 10_000
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1)`)
+	mustExec(t, c, `CREATE FUNCTION spin(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    n = 0
+    while True:
+        n += 1
+    return n
+}`)
+	err := execErr(t, c, `SELECT spin(i) FROM t`)
+	if !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+// TestLoopbackWrites: a UDF can modify the database through _conn — the
+// loopback connection is a full SQL channel, as in MonetDB/Python.
+func TestLoopbackWrites(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE audit (msg STRING)`)
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (5)`)
+	mustExec(t, c, `CREATE FUNCTION logged_double(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    _conn.execute("INSERT INTO audit VALUES ('called')")
+    out = []
+    for v in x:
+        out.append(v * 2)
+    return out
+}`)
+	r := mustExec(t, c, `SELECT logged_double(i) FROM t`)
+	if r.Table.Cols[0].Ints[0] != 10 {
+		t.Fatalf("result: %v", r.Table.Cols[0].Ints)
+	}
+	r = mustExec(t, c, `SELECT COUNT(*) FROM audit`)
+	if r.Table.Cols[0].Ints[0] != 1 {
+		t.Fatalf("audit rows: %v", r.Table.Cols[0].Ints)
+	}
+}
+
+func TestLoopbackSingleRowScalars(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE cfg (k STRING, v INTEGER)`)
+	mustExec(t, c, `INSERT INTO cfg VALUES ('threshold', 42)`)
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1)`)
+	// one-row loopback results arrive as scalars (Listing 3 convention)
+	mustExec(t, c, `CREATE FUNCTION with_cfg(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    res = _conn.execute("SELECT v FROM cfg WHERE k = 'threshold'")
+    return res['v']
+}`)
+	r := mustExec(t, c, `SELECT with_cfg(i) FROM t`)
+	if r.Table.Cols[0].Ints[0] != 42 {
+		t.Fatalf("scalar loopback: %v", r.Table.Cols[0].Ints)
+	}
+}
+
+func TestScalarSubqueryMustBeSingleRow(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1), (2)`)
+	execErr(t, c, `SELECT i FROM t WHERE i = (SELECT i FROM t)`)
+}
+
+func TestProjectionLengthMismatch(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1), (2), (3)`)
+	mustExec(t, c, `CREATE FUNCTION two_rows(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    return [1, 2]
+}`)
+	err := execErr(t, c, `SELECT two_rows(i) FROM t`)
+	if !strings.Contains(err.Error(), "2 rows for 3 input rows") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestTableUDFTupleReturn(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE FUNCTION pair() RETURNS TABLE(a INTEGER, b STRING) LANGUAGE PYTHON {
+    return ([1, 2], ["x", "y"])
+}`)
+	r := mustExec(t, c, `SELECT * FROM pair()`)
+	if r.Table.NumRows() != 2 {
+		t.Fatalf("rows: %d", r.Table.NumRows())
+	}
+	b, _ := r.Table.Column("b")
+	if b.Strs[1] != "y" {
+		t.Fatalf("b: %v", b.Strs)
+	}
+}
+
+func TestTableUDFMissingColumn(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE FUNCTION half() RETURNS TABLE(a INTEGER, b INTEGER) LANGUAGE PYTHON {
+    return {'a': [1]}
+}`)
+	err := execErr(t, c, `SELECT * FROM half()`)
+	if !strings.Contains(err.Error(), "missing column") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestNullPropagationInArithmetic(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1), (NULL)`)
+	r := mustExec(t, c, `SELECT i + 1 AS x, i * 2 AS y FROM t`)
+	x, _ := r.Table.Column("x")
+	if x.Ints[0] != 2 || !x.IsNull(1) {
+		t.Fatalf("null propagation: %v %v", x.Ints, x.Nulls)
+	}
+}
+
+func TestDivisionByZeroInSQL(t *testing.T) {
+	c := newTestConn()
+	execErr(t, c, `SELECT 1 / 0`)
+	execErr(t, c, `SELECT 1.5 / 0`)
+	execErr(t, c, `SELECT 1 % 0`)
+}
+
+func TestSysMetaTablesViaSQL(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE data (x INTEGER, y STRING)`)
+	mustExec(t, c, `INSERT INTO data VALUES (1, 'a')`)
+	r := mustExec(t, c, `SELECT name, rows FROM sys.tables`)
+	if r.Table.NumRows() != 1 || r.Table.Cols[0].Strs[0] != "data" || r.Table.Cols[1].Ints[0] != 1 {
+		t.Fatalf("sys.tables: %v %v", r.Table.Cols[0].Strs, r.Table.Cols[1].Ints)
+	}
+	r = mustExec(t, c, `SELECT COUNT(*) FROM sys.columns WHERE table_name = 'data'`)
+	if r.Table.Cols[0].Ints[0] != 2 {
+		t.Fatalf("sys.columns: %v", r.Table.Cols[0].Ints)
+	}
+}
+
+func TestValueConversionMatrix(t *testing.T) {
+	// every storage type survives the column→script→column round trip
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER, f DOUBLE, s STRING, b BOOLEAN, bl BLOB)`)
+	mustExec(t, c, `INSERT INTO t VALUES (7, 2.5, 'hey', TRUE, 'bytes'), (NULL, NULL, NULL, NULL, NULL)`)
+	mustExec(t, c, `CREATE FUNCTION echo(i INTEGER, f DOUBLE, s STRING, b BOOLEAN, bl BLOB)
+RETURNS TABLE(i INTEGER, f DOUBLE, s STRING, b BOOLEAN, bl BLOB) LANGUAGE PYTHON {
+    return {'i': i, 'f': f, 's': s, 'b': b, 'bl': bl}
+}`)
+	r := mustExec(t, c, `SELECT * FROM echo((SELECT i, f, s, b, bl FROM t))`)
+	if r.Table.NumRows() != 2 {
+		t.Fatalf("rows: %d", r.Table.NumRows())
+	}
+	for ci, want := range []storage.Type{storage.TInt, storage.TFloat, storage.TStr, storage.TBool, storage.TBlob} {
+		col := r.Table.Cols[ci]
+		if col.Typ != want {
+			t.Fatalf("col %d type %v, want %v", ci, col.Typ, want)
+		}
+		if !col.IsNull(1) {
+			t.Fatalf("col %d should keep NULL", ci)
+		}
+	}
+	if r.Table.Cols[0].Ints[0] != 7 || r.Table.Cols[2].Strs[0] != "hey" ||
+		string(r.Table.Cols[4].Blobs[0]) != "bytes" {
+		t.Fatal("values corrupted in round trip")
+	}
+}
+
+func TestUDFArityMismatch(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1)`)
+	mustExec(t, c, `CREATE FUNCTION f2(a INTEGER, b INTEGER) RETURNS INTEGER LANGUAGE PYTHON { return a }`)
+	err := execErr(t, c, `SELECT f2(i) FROM t`)
+	if !strings.Contains(err.Error(), "expects 2 argument(s), got 1") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestScalarUDFInFromClause(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE FUNCTION fortytwo() RETURNS INTEGER LANGUAGE PYTHON { return 42 }`)
+	r := mustExec(t, c, `SELECT * FROM fortytwo()`)
+	if r.Table.NumRows() != 1 || r.Table.Cols[0].Ints[0] != 42 {
+		t.Fatalf("scalar in FROM: %+v", r.Table.Cols[0])
+	}
+}
+
+func TestTableFunctionAsScalarRejected(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1)`)
+	mustExec(t, c, `CREATE FUNCTION tf() RETURNS TABLE(a INTEGER) LANGUAGE PYTHON { return [1] }`)
+	err := execErr(t, c, `SELECT tf() FROM t`)
+	if !strings.Contains(err.Error(), "table function") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestEngineErrorKindsCrossLayers(t *testing.T) {
+	c := newTestConn()
+	if err := execErr(t, c, `SELEKT`); core.KindOf(err) != core.KindSyntax {
+		t.Fatalf("syntax kind: %v", err)
+	}
+	if err := execErr(t, c, `SELECT * FROM nope`); core.KindOf(err) != core.KindName {
+		t.Fatalf("name kind: %v", err)
+	}
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	if err := execErr(t, c, `CREATE TABLE t (i INTEGER)`); core.KindOf(err) != core.KindConstraint {
+		t.Fatalf("constraint kind: %v", err)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (g STRING, i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES ('a', 1), ('a', 1), ('b', 1), ('a', 2), ('b', 1)`)
+	r := mustExec(t, c, `SELECT DISTINCT g, i FROM t ORDER BY g, i`)
+	if r.Table.NumRows() != 3 {
+		t.Fatalf("distinct rows: %d", r.Table.NumRows())
+	}
+	r = mustExec(t, c, `SELECT DISTINCT g FROM t`)
+	if r.Table.NumRows() != 2 {
+		t.Fatalf("distinct g: %d", r.Table.NumRows())
+	}
+}
+
+func TestHaving(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE sales (region STRING, amount INTEGER)`)
+	mustExec(t, c, `INSERT INTO sales VALUES ('n', 10), ('n', 20), ('s', 5), ('w', 100)`)
+	r := mustExec(t, c, `SELECT region, SUM(amount) AS total FROM sales GROUP BY region HAVING SUM(amount) > 20 ORDER BY region`)
+	if r.Table.NumRows() != 2 {
+		t.Fatalf("having groups: %d", r.Table.NumRows())
+	}
+	reg, _ := r.Table.Column("region")
+	if reg.Strs[0] != "n" || reg.Strs[1] != "w" {
+		t.Fatalf("regions: %v", reg.Strs)
+	}
+	// HAVING with COUNT
+	r = mustExec(t, c, `SELECT region FROM sales GROUP BY region HAVING COUNT(*) >= 2`)
+	if r.Table.NumRows() != 1 || r.Table.Cols[0].Strs[0] != "n" {
+		t.Fatalf("count having: %+v", r.Table.Cols[0].Strs)
+	}
+	// HAVING without GROUP BY/aggregates is rejected
+	execErr(t, c, `SELECT region FROM sales HAVING region = 'n'`)
+}

@@ -1,0 +1,623 @@
+package engine
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// evalCtx is the row context an expression evaluates against: a source
+// table (nil for FROM-less selects) and its row count.
+type evalCtx struct {
+	conn *Conn
+	src  *storage.Table
+	n    int
+}
+
+// evalExpr evaluates an expression vectorized over the context, returning a
+// column of length ctx.n or of length 1 (a constant, broadcast by callers).
+func (c *Conn) evalExpr(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) {
+	switch e := e.(type) {
+	case *sqlparse.IntLit:
+		col := storage.NewColumn("", storage.TInt)
+		col.AppendInt(e.Value)
+		return col, nil
+	case *sqlparse.FloatLit:
+		col := storage.NewColumn("", storage.TFloat)
+		col.AppendFloat(e.Value)
+		return col, nil
+	case *sqlparse.StrLit:
+		col := storage.NewColumn("", storage.TStr)
+		col.AppendStr(e.Value)
+		return col, nil
+	case *sqlparse.BoolLit:
+		col := storage.NewColumn("", storage.TBool)
+		col.AppendBool(e.Value)
+		return col, nil
+	case *sqlparse.NullLit:
+		col := storage.NewColumn("", storage.TStr)
+		col.AppendNull()
+		return col, nil
+	case *sqlparse.ColRef:
+		if ctx.src == nil {
+			return nil, core.Errorf(core.KindName, "no FROM clause to resolve column %q", e.Name)
+		}
+		col, err := ctx.src.Column(e.Name)
+		if err != nil {
+			return nil, err
+		}
+		return col, nil
+	case *sqlparse.UnaryExpr:
+		x, err := c.evalExpr(ctx, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return evalUnary(e.Op, x)
+	case *sqlparse.BinaryExpr:
+		l, err := c.evalExpr(ctx, e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.evalExpr(ctx, e.R)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinary(e.Op, l, r)
+	case *sqlparse.IsNullExpr:
+		x, err := c.evalExpr(ctx, e.X)
+		if err != nil {
+			return nil, err
+		}
+		out := storage.NewColumn("", storage.TBool)
+		for i := 0; i < x.Len(); i++ {
+			v := x.IsNull(i)
+			if e.Neg {
+				v = !v
+			}
+			out.AppendBool(v)
+		}
+		return out, nil
+	case *sqlparse.CastExpr:
+		x, err := c.evalExpr(ctx, e.X)
+		if err != nil {
+			return nil, err
+		}
+		return castColumn(x, e.To)
+	case *sqlparse.FuncCall:
+		return c.evalCall(ctx, e)
+	case *sqlparse.Subquery:
+		// scalar subquery: single column, single row
+		t, err := c.evalSelect(e.Sel)
+		if err != nil {
+			return nil, err
+		}
+		if len(t.Cols) != 1 || t.NumRows() != 1 {
+			return nil, core.Errorf(core.KindConstraint,
+				"scalar subquery must return one row and one column (got %dx%d)",
+				t.NumRows(), len(t.Cols))
+		}
+		return t.Cols[0], nil
+	default:
+		return nil, core.Errorf(core.KindSyntax, "unsupported expression %T", e)
+	}
+}
+
+// evalCall dispatches a function expression: scalar builtin, aggregate
+// (over the whole context, for non-grouped use), or Python UDF.
+func (c *Conn) evalCall(ctx *evalCtx, call *sqlparse.FuncCall) (*storage.Column, error) {
+	name := strings.ToLower(call.Name)
+	if isAggregateName(name) {
+		v, err := c.evalAggregate(ctx, call)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	if fn, ok := scalarBuiltins[name]; ok {
+		args, err := c.evalArgs(ctx, call.Args)
+		if err != nil {
+			return nil, err
+		}
+		return fn(args)
+	}
+	if name == extractFuncName {
+		return nil, core.Errorf(core.KindConstraint,
+			"%s is table-valued; use it in FROM", extractFuncName)
+	}
+	if c.DB.cat.HasFunction(call.Name) {
+		argCols, isColumn, err := c.udfArgColumns(ctx, call.Args)
+		if err != nil {
+			return nil, err
+		}
+		out, err := c.callScalarUDF(call.Name, argCols, isColumn)
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return nil, core.Errorf(core.KindName, "no such function: %s", call.Name)
+}
+
+func (c *Conn) evalArgs(ctx *evalCtx, args []sqlparse.Expr) ([]*storage.Column, error) {
+	out := make([]*storage.Column, len(args))
+	for i, a := range args {
+		col, err := c.evalExpr(ctx, a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = col
+	}
+	return out, nil
+}
+
+// udfArgColumns evaluates UDF arguments, expanding table-valued subqueries
+// into one column per output column (the paper's
+// train_rnforest((SELECT data, labels FROM trainingset), n) shape). The
+// parallel isColumn slice records MonetDB/Python's calling convention per
+// argument: column references and subquery outputs arrive in the UDF as
+// arrays (lists), constant expressions as scalars — regardless of how many
+// rows the column happens to hold.
+func (c *Conn) udfArgColumns(ctx *evalCtx, args []sqlparse.Expr) ([]*storage.Column, []bool, error) {
+	var out []*storage.Column
+	var isColumn []bool
+	for _, a := range args {
+		if sub, ok := a.(*sqlparse.Subquery); ok {
+			t, err := c.evalSelect(sub.Sel)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, t.Cols...)
+			for range t.Cols {
+				isColumn = append(isColumn, true)
+			}
+			continue
+		}
+		col, err := c.evalExpr(ctx, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, col)
+		isColumn = append(isColumn, exprIsColumnar(a))
+	}
+	return out, isColumn, nil
+}
+
+// exprIsColumnar reports whether an argument expression derives from table
+// data (and therefore arrives in the UDF as a list). Aggregates reduce
+// columns to scalars, so they do not count as columnar.
+func exprIsColumnar(e sqlparse.Expr) bool {
+	switch e := e.(type) {
+	case *sqlparse.ColRef:
+		return true
+	case *sqlparse.Subquery:
+		return true
+	case *sqlparse.BinaryExpr:
+		return exprIsColumnar(e.L) || exprIsColumnar(e.R)
+	case *sqlparse.UnaryExpr:
+		return exprIsColumnar(e.X)
+	case *sqlparse.CastExpr:
+		return exprIsColumnar(e.X)
+	case *sqlparse.IsNullExpr:
+		return exprIsColumnar(e.X)
+	case *sqlparse.FuncCall:
+		if isAggregateName(e.Name) {
+			return false
+		}
+		for _, a := range e.Args {
+			if exprIsColumnar(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ---- vectorized operators ----
+
+// aligned iterates two columns with length-1 broadcast.
+func aligned(l, r *storage.Column) (int, func(i int) (int, int), error) {
+	ln, rn := l.Len(), r.Len()
+	switch {
+	case ln == rn:
+		return ln, func(i int) (int, int) { return i, i }, nil
+	case ln == 1:
+		return rn, func(i int) (int, int) { return 0, i }, nil
+	case rn == 1:
+		return ln, func(i int) (int, int) { return i, 0 }, nil
+	default:
+		return 0, nil, core.Errorf(core.KindConstraint,
+			"column length mismatch: %d vs %d", ln, rn)
+	}
+}
+
+func numericAt(c *storage.Column, i int) (float64, bool) {
+	switch c.Typ {
+	case storage.TInt:
+		return float64(c.Ints[i]), true
+	case storage.TFloat:
+		return c.Flts[i], true
+	case storage.TBool:
+		if c.Bools[i] {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+func evalUnary(op string, x *storage.Column) (*storage.Column, error) {
+	switch op {
+	case "-":
+		out := storage.NewColumn("", x.Typ)
+		for i := 0; i < x.Len(); i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			switch x.Typ {
+			case storage.TInt:
+				out.AppendInt(-x.Ints[i])
+			case storage.TFloat:
+				out.AppendFloat(-x.Flts[i])
+			default:
+				return nil, core.Errorf(core.KindType, "cannot negate %s", x.Typ)
+			}
+		}
+		return out, nil
+	case "NOT":
+		out := storage.NewColumn("", storage.TBool)
+		for i := 0; i < x.Len(); i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			out.AppendBool(!truthyAt(x, i))
+		}
+		return out, nil
+	default:
+		return nil, core.Errorf(core.KindSyntax, "unsupported unary operator %q", op)
+	}
+}
+
+func truthyAt(c *storage.Column, i int) bool {
+	if c.IsNull(i) {
+		return false
+	}
+	switch c.Typ {
+	case storage.TBool:
+		return c.Bools[i]
+	case storage.TInt:
+		return c.Ints[i] != 0
+	case storage.TFloat:
+		return c.Flts[i] != 0
+	case storage.TStr:
+		return c.Strs[i] != ""
+	default:
+		return false
+	}
+}
+
+func evalBinary(op string, l, r *storage.Column) (*storage.Column, error) {
+	n, at, err := aligned(l, r)
+	if err != nil {
+		return nil, err
+	}
+	switch op {
+	case "+", "-", "*", "/", "%":
+		return evalArith(op, l, r, n, at)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return evalCompare(op, l, r, n, at)
+	case "AND", "OR":
+		out := storage.NewColumn("", storage.TBool)
+		for i := 0; i < n; i++ {
+			li, ri := at(i)
+			lv, rv := truthyAt(l, li), truthyAt(r, ri)
+			if op == "AND" {
+				out.AppendBool(lv && rv)
+			} else {
+				out.AppendBool(lv || rv)
+			}
+		}
+		return out, nil
+	case "||":
+		out := storage.NewColumn("", storage.TStr)
+		for i := 0; i < n; i++ {
+			li, ri := at(i)
+			if l.IsNull(li) || r.IsNull(ri) {
+				out.AppendNull()
+				continue
+			}
+			out.AppendStr(l.FormatValue(li) + r.FormatValue(ri))
+		}
+		return out, nil
+	default:
+		return nil, core.Errorf(core.KindSyntax, "unsupported operator %q", op)
+	}
+}
+
+func evalArith(op string, l, r *storage.Column, n int, at func(int) (int, int)) (*storage.Column, error) {
+	bothInt := l.Typ == storage.TInt && r.Typ == storage.TInt
+	if bothInt {
+		out := storage.NewColumn("", storage.TInt)
+		for i := 0; i < n; i++ {
+			li, ri := at(i)
+			if l.IsNull(li) || r.IsNull(ri) {
+				out.AppendNull()
+				continue
+			}
+			a, b := l.Ints[li], r.Ints[ri]
+			switch op {
+			case "+":
+				out.AppendInt(a + b)
+			case "-":
+				out.AppendInt(a - b)
+			case "*":
+				out.AppendInt(a * b)
+			case "/":
+				if b == 0 {
+					return nil, core.Errorf(core.KindRuntime, "division by zero")
+				}
+				out.AppendInt(a / b)
+			case "%":
+				if b == 0 {
+					return nil, core.Errorf(core.KindRuntime, "division by zero")
+				}
+				out.AppendInt(a % b)
+			}
+		}
+		return out, nil
+	}
+	out := storage.NewColumn("", storage.TFloat)
+	for i := 0; i < n; i++ {
+		li, ri := at(i)
+		if l.IsNull(li) || r.IsNull(ri) {
+			out.AppendNull()
+			continue
+		}
+		a, aok := numericAt(l, li)
+		b, bok := numericAt(r, ri)
+		if !aok || !bok {
+			return nil, core.Errorf(core.KindType,
+				"cannot apply %q to %s and %s", op, l.Typ, r.Typ)
+		}
+		switch op {
+		case "+":
+			out.AppendFloat(a + b)
+		case "-":
+			out.AppendFloat(a - b)
+		case "*":
+			out.AppendFloat(a * b)
+		case "/":
+			if b == 0 {
+				return nil, core.Errorf(core.KindRuntime, "division by zero")
+			}
+			out.AppendFloat(a / b)
+		case "%":
+			if b == 0 {
+				return nil, core.Errorf(core.KindRuntime, "division by zero")
+			}
+			out.AppendFloat(math.Mod(a, b))
+		}
+	}
+	return out, nil
+}
+
+func evalCompare(op string, l, r *storage.Column, n int, at func(int) (int, int)) (*storage.Column, error) {
+	out := storage.NewColumn("", storage.TBool)
+	for i := 0; i < n; i++ {
+		li, ri := at(i)
+		if l.IsNull(li) || r.IsNull(ri) {
+			out.AppendNull() // SQL three-valued: comparisons with NULL are NULL
+			continue
+		}
+		cmp, err := compareAt(l, li, r, ri)
+		if err != nil {
+			return nil, err
+		}
+		var v bool
+		switch op {
+		case "=":
+			v = cmp == 0
+		case "<>":
+			v = cmp != 0
+		case "<":
+			v = cmp < 0
+		case "<=":
+			v = cmp <= 0
+		case ">":
+			v = cmp > 0
+		case ">=":
+			v = cmp >= 0
+		}
+		out.AppendBool(v)
+	}
+	return out, nil
+}
+
+func compareAt(l *storage.Column, li int, r *storage.Column, ri int) (int, error) {
+	a, aok := numericAt(l, li)
+	b, bok := numericAt(r, ri)
+	if aok && bok {
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	if l.Typ == storage.TStr && r.Typ == storage.TStr {
+		return strings.Compare(l.Strs[li], r.Strs[ri]), nil
+	}
+	return 0, core.Errorf(core.KindType, "cannot compare %s with %s", l.Typ, r.Typ)
+}
+
+func castColumn(x *storage.Column, to storage.Type) (*storage.Column, error) {
+	out := storage.NewColumn("", to)
+	for i := 0; i < x.Len(); i++ {
+		if x.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		if err := out.AppendValue(x.Value(i)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ---- scalar builtins ----
+
+type scalarFn func(args []*storage.Column) (*storage.Column, error)
+
+var scalarBuiltins = map[string]scalarFn{
+	"abs":    fnAbs,
+	"length": fnLength,
+	"upper":  fnStrMap(strings.ToUpper),
+	"lower":  fnStrMap(strings.ToLower),
+	"sqrt":   fnFloatMap("sqrt", math.Sqrt),
+	"floor":  fnFloatMap("floor", math.Floor),
+	"ceil":   fnFloatMap("ceil", math.Ceil),
+	"round":  fnRound,
+}
+
+func isBuiltinName(name string) bool {
+	n := strings.ToLower(name)
+	if _, ok := scalarBuiltins[n]; ok {
+		return true
+	}
+	return isAggregateName(n) || n == extractFuncName
+}
+
+func arity(name string, args []*storage.Column, want int) error {
+	if len(args) != want {
+		return core.Errorf(core.KindType, "%s expects %d argument(s), got %d", name, want, len(args))
+	}
+	return nil
+}
+
+func fnAbs(args []*storage.Column) (*storage.Column, error) {
+	if err := arity("ABS", args, 1); err != nil {
+		return nil, err
+	}
+	x := args[0]
+	out := storage.NewColumn("", x.Typ)
+	for i := 0; i < x.Len(); i++ {
+		if x.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		switch x.Typ {
+		case storage.TInt:
+			v := x.Ints[i]
+			if v < 0 {
+				v = -v
+			}
+			out.AppendInt(v)
+		case storage.TFloat:
+			out.AppendFloat(math.Abs(x.Flts[i]))
+		default:
+			return nil, core.Errorf(core.KindType, "ABS needs a numeric argument")
+		}
+	}
+	return out, nil
+}
+
+func fnLength(args []*storage.Column) (*storage.Column, error) {
+	if err := arity("LENGTH", args, 1); err != nil {
+		return nil, err
+	}
+	x := args[0]
+	out := storage.NewColumn("", storage.TInt)
+	for i := 0; i < x.Len(); i++ {
+		if x.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		switch x.Typ {
+		case storage.TStr:
+			out.AppendInt(int64(len(x.Strs[i])))
+		case storage.TBlob:
+			out.AppendInt(int64(len(x.Blobs[i])))
+		default:
+			return nil, core.Errorf(core.KindType, "LENGTH needs a string or blob argument")
+		}
+	}
+	return out, nil
+}
+
+func fnStrMap(fn func(string) string) scalarFn {
+	return func(args []*storage.Column) (*storage.Column, error) {
+		if err := arity("string function", args, 1); err != nil {
+			return nil, err
+		}
+		x := args[0]
+		if x.Typ != storage.TStr {
+			return nil, core.Errorf(core.KindType, "expected a string argument")
+		}
+		out := storage.NewColumn("", storage.TStr)
+		for i := 0; i < x.Len(); i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			out.AppendStr(fn(x.Strs[i]))
+		}
+		return out, nil
+	}
+}
+
+func fnFloatMap(name string, fn func(float64) float64) scalarFn {
+	return func(args []*storage.Column) (*storage.Column, error) {
+		if err := arity(name, args, 1); err != nil {
+			return nil, err
+		}
+		x := args[0]
+		out := storage.NewColumn("", storage.TFloat)
+		for i := 0; i < x.Len(); i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			v, ok := numericAt(x, i)
+			if !ok {
+				return nil, core.Errorf(core.KindType, "%s needs a numeric argument", name)
+			}
+			out.AppendFloat(fn(v))
+		}
+		return out, nil
+	}
+}
+
+func fnRound(args []*storage.Column) (*storage.Column, error) {
+	if len(args) < 1 || len(args) > 2 {
+		return nil, core.Errorf(core.KindType, "ROUND expects 1 or 2 arguments")
+	}
+	digits := int64(0)
+	if len(args) == 2 {
+		if args[1].Typ != storage.TInt || args[1].Len() != 1 {
+			return nil, core.Errorf(core.KindType, "ROUND digits must be an integer constant")
+		}
+		digits = args[1].Ints[0]
+	}
+	scale := math.Pow(10, float64(digits))
+	x := args[0]
+	out := storage.NewColumn("", storage.TFloat)
+	for i := 0; i < x.Len(); i++ {
+		if x.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		v, ok := numericAt(x, i)
+		if !ok {
+			return nil, core.Errorf(core.KindType, "ROUND needs a numeric argument")
+		}
+		out.AppendFloat(math.Round(v*scale) / scale)
+	}
+	return out, nil
+}

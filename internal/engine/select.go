@@ -1,0 +1,630 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// evalSelect executes a SELECT and materializes its result table.
+func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
+	src, err := c.evalFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+
+	// WHERE
+	if sel.Where != nil && src != nil {
+		ctx := &evalCtx{conn: c, src: src, n: src.NumRows()}
+		pred, err := c.evalExpr(ctx, sel.Where)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Len() == 1 && src.NumRows() != 1 {
+			// constant predicate broadcast
+			keep := truthyAt(pred, 0)
+			if !keep {
+				src = emptyLike(src)
+			}
+		} else {
+			var idx []int
+			for i := 0; i < pred.Len(); i++ {
+				if truthyAt(pred, i) {
+					idx = append(idx, i)
+				}
+			}
+			src = gatherTable(src, idx)
+		}
+	}
+
+	var result *storage.Table
+	if len(sel.GroupBy) > 0 || hasAggregate(sel.Items) {
+		result, err = c.evalAggregateSelect(sel, src)
+	} else {
+		if sel.Having != nil {
+			return nil, core.Errorf(core.KindSyntax, "HAVING requires GROUP BY or aggregates")
+		}
+		result, err = c.project(sel, src)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		result = distinctRows(result)
+	}
+
+	// ORDER BY
+	if len(sel.OrderBy) > 0 {
+		if err := c.orderResult(sel, result, src); err != nil {
+			return nil, err
+		}
+	}
+
+	// LIMIT
+	if sel.Limit >= 0 && int64(result.NumRows()) > sel.Limit {
+		idx := make([]int, sel.Limit)
+		for i := range idx {
+			idx[i] = i
+		}
+		result = gatherTable(result, idx)
+	}
+	return result, nil
+}
+
+// evalFrom materializes the FROM source, or nil for FROM-less selects.
+func (c *Conn) evalFrom(from sqlparse.FromClause) (*storage.Table, error) {
+	switch f := from.(type) {
+	case nil:
+		return nil, nil
+	case *sqlparse.FromTable:
+		t, err := c.DB.cat.Table(f.Name)
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	case *sqlparse.FromSelect:
+		return c.evalSelect(f.Sel)
+	case *sqlparse.FromFunc:
+		return c.evalTableFunc(f.Call)
+	default:
+		return nil, core.Errorf(core.KindSyntax, "unsupported FROM clause %T", from)
+	}
+}
+
+// evalTableFunc executes a table-valued function in FROM: sys_extract or a
+// Python table UDF.
+func (c *Conn) evalTableFunc(call *sqlparse.FuncCall) (*storage.Table, error) {
+	if strings.EqualFold(call.Name, extractFuncName) {
+		return c.evalExtract(call)
+	}
+	def, err := c.DB.cat.Function(call.Name)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &evalCtx{conn: c, src: nil, n: 1}
+	argCols, isColumn, err := c.udfArgColumns(ctx, call.Args)
+	if err != nil {
+		return nil, err
+	}
+	return c.callTableUDF(def, argCols, isColumn)
+}
+
+// project evaluates the projection list of a non-aggregate select.
+func (c *Conn) project(sel *sqlparse.Select, src *storage.Table) (*storage.Table, error) {
+	n := 1
+	if src != nil {
+		n = src.NumRows()
+	}
+	ctx := &evalCtx{conn: c, src: src, n: n}
+	out := &storage.Table{Name: "result"}
+	for i, item := range sel.Items {
+		if item.Star {
+			if src == nil {
+				return nil, core.Errorf(core.KindSyntax, "SELECT * requires a FROM clause")
+			}
+			for _, col := range src.Cols {
+				cc := col.Clone()
+				out.Cols = append(out.Cols, cc)
+			}
+			continue
+		}
+		col, err := c.evalExpr(ctx, item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		named := col.Clone()
+		named.Name = itemName(item, i)
+		out.Cols = append(out.Cols, named)
+	}
+	return broadcastColumns(out)
+}
+
+// broadcastColumns reconciles column lengths: length-1 columns broadcast to
+// the longest column (the operator-at-a-time convention that lets a scalar
+// UDF result or constant sit beside full columns).
+func broadcastColumns(t *storage.Table) (*storage.Table, error) {
+	maxLen := 0
+	for _, c := range t.Cols {
+		if c.Len() > maxLen {
+			maxLen = c.Len()
+		}
+	}
+	for i, c := range t.Cols {
+		switch {
+		case c.Len() == maxLen:
+		case c.Len() == 1:
+			idx := make([]int, maxLen)
+			g := c.Gather(idx)
+			g.Name = c.Name
+			t.Cols[i] = g
+		default:
+			return nil, core.Errorf(core.KindConstraint,
+				"projection columns have mismatched lengths (%d vs %d)", c.Len(), maxLen)
+		}
+	}
+	return t, nil
+}
+
+func itemName(item sqlparse.SelectItem, i int) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sqlparse.ColRef:
+		return e.Name
+	case *sqlparse.FuncCall:
+		return strings.ToLower(e.Name)
+	default:
+		return fmt.Sprintf("col%d", i+1)
+	}
+}
+
+// ---- aggregates ----
+
+var aggregateNames = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+func isAggregateName(name string) bool { return aggregateNames[strings.ToLower(name)] }
+
+func hasAggregate(items []sqlparse.SelectItem) bool {
+	for _, it := range items {
+		if it.Expr != nil && exprHasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func exprHasAggregate(e sqlparse.Expr) bool {
+	switch e := e.(type) {
+	case *sqlparse.FuncCall:
+		if isAggregateName(e.Name) {
+			return true
+		}
+		for _, a := range e.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	case *sqlparse.BinaryExpr:
+		return exprHasAggregate(e.L) || exprHasAggregate(e.R)
+	case *sqlparse.UnaryExpr:
+		return exprHasAggregate(e.X)
+	case *sqlparse.CastExpr:
+		return exprHasAggregate(e.X)
+	case *sqlparse.IsNullExpr:
+		return exprHasAggregate(e.X)
+	}
+	return false
+}
+
+// evalAggregate computes a whole-context aggregate used directly inside an
+// expression (non-grouped query), returning a length-1 column.
+func (c *Conn) evalAggregate(ctx *evalCtx, call *sqlparse.FuncCall) (*storage.Column, error) {
+	if ctx.src == nil {
+		return nil, core.Errorf(core.KindSyntax, "aggregate %s requires a FROM clause", call.Name)
+	}
+	return c.aggregateOver(ctx.src, call)
+}
+
+// aggregateOver computes one aggregate call over all rows of t.
+func (c *Conn) aggregateOver(t *storage.Table, call *sqlparse.FuncCall) (*storage.Column, error) {
+	name := strings.ToLower(call.Name)
+	n := t.NumRows()
+	if name == "count" && call.Star {
+		out := storage.NewColumn("", storage.TInt)
+		out.AppendInt(int64(n))
+		return out, nil
+	}
+	if len(call.Args) != 1 {
+		return nil, core.Errorf(core.KindType, "%s expects exactly one argument", strings.ToUpper(name))
+	}
+	ctx := &evalCtx{conn: c, src: t, n: n}
+	col, err := c.evalExpr(ctx, call.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "count":
+		cnt := int64(0)
+		for i := 0; i < col.Len(); i++ {
+			if !col.IsNull(i) {
+				cnt++
+			}
+		}
+		out := storage.NewColumn("", storage.TInt)
+		out.AppendInt(cnt)
+		return out, nil
+	case "sum", "avg":
+		sum := 0.0
+		cnt := 0
+		allInt := col.Typ == storage.TInt
+		var isum int64
+		for i := 0; i < col.Len(); i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			v, ok := numericAt(col, i)
+			if !ok {
+				return nil, core.Errorf(core.KindType, "%s needs numeric input", strings.ToUpper(name))
+			}
+			sum += v
+			if allInt {
+				isum += col.Ints[i]
+			}
+			cnt++
+		}
+		if name == "avg" {
+			out := storage.NewColumn("", storage.TFloat)
+			if cnt == 0 {
+				out.AppendNull()
+			} else {
+				out.AppendFloat(sum / float64(cnt))
+			}
+			return out, nil
+		}
+		if allInt {
+			out := storage.NewColumn("", storage.TInt)
+			if cnt == 0 {
+				out.AppendNull()
+			} else {
+				out.AppendInt(isum)
+			}
+			return out, nil
+		}
+		out := storage.NewColumn("", storage.TFloat)
+		if cnt == 0 {
+			out.AppendNull()
+		} else {
+			out.AppendFloat(sum)
+		}
+		return out, nil
+	case "min", "max":
+		out := storage.NewColumn("", col.Typ)
+		best := -1
+		for i := 0; i < col.Len(); i++ {
+			if col.IsNull(i) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			cmp, err := compareAt(col, i, col, best)
+			if err != nil {
+				return nil, err
+			}
+			if (name == "min" && cmp < 0) || (name == "max" && cmp > 0) {
+				best = i
+			}
+		}
+		if best < 0 {
+			out.AppendNull()
+		} else {
+			if err := out.AppendValue(col.Value(best)); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	default:
+		return nil, core.Errorf(core.KindName, "unknown aggregate %s", name)
+	}
+}
+
+// evalAggregateSelect handles grouped queries (and ungrouped aggregates).
+func (c *Conn) evalAggregateSelect(sel *sqlparse.Select, src *storage.Table) (*storage.Table, error) {
+	if src == nil {
+		return nil, core.Errorf(core.KindSyntax, "aggregates require a FROM clause")
+	}
+	groups, err := c.groupRows(sel.GroupBy, src)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Having != nil {
+		kept := groups[:0]
+		for _, g := range groups {
+			sub := gatherTable(src, g)
+			hv, err := c.evalGroupItem(sub, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if hv.Len() == 1 && truthyAt(hv, 0) {
+				kept = append(kept, g)
+			}
+		}
+		groups = kept
+	}
+	out := &storage.Table{Name: "result"}
+	var outCols []*storage.Column
+	for gi, g := range groups {
+		sub := gatherTable(src, g)
+		for ii, item := range sel.Items {
+			if item.Star {
+				return nil, core.Errorf(core.KindSyntax, "SELECT * is not valid in an aggregate query")
+			}
+			val, err := c.evalGroupItem(sub, item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if gi == 0 && ii >= len(outCols) {
+				col := storage.NewColumn(itemName(item, ii), val.Typ)
+				outCols = append(outCols, col)
+			}
+			col := outCols[ii]
+			if val.Len() != 1 {
+				return nil, core.Errorf(core.KindConstraint,
+					"aggregate query item must produce one value per group")
+			}
+			if val.IsNull(0) {
+				col.AppendNull()
+			} else if err := col.AppendValue(val.Value(0)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(groups) == 0 {
+		// Ungrouped aggregate over an empty table still yields one row.
+		if len(sel.GroupBy) == 0 {
+			sub := emptyLike(src)
+			for ii, item := range sel.Items {
+				val, err := c.evalGroupItem(sub, item.Expr)
+				if err != nil {
+					return nil, err
+				}
+				col := storage.NewColumn(itemName(item, ii), val.Typ)
+				if val.IsNull(0) {
+					col.AppendNull()
+				} else if err := col.AppendValue(val.Value(0)); err != nil {
+					return nil, err
+				}
+				outCols = append(outCols, col)
+			}
+		} else {
+			for ii, item := range sel.Items {
+				outCols = append(outCols, storage.NewColumn(itemName(item, ii), storage.TStr))
+			}
+		}
+	}
+	out.Cols = outCols
+	return out, nil
+}
+
+// evalGroupItem evaluates one projection item over a single group's rows,
+// producing a single value. Aggregates reduce the group; other expressions
+// evaluate per-row and must be constant within the group (we take row 0).
+func (c *Conn) evalGroupItem(group *storage.Table, e sqlparse.Expr) (*storage.Column, error) {
+	if call, ok := e.(*sqlparse.FuncCall); ok && isAggregateName(call.Name) {
+		return c.aggregateOver(group, call)
+	}
+	switch e := e.(type) {
+	case *sqlparse.BinaryExpr:
+		if exprHasAggregate(e) {
+			l, err := c.evalGroupItem(group, e.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := c.evalGroupItem(group, e.R)
+			if err != nil {
+				return nil, err
+			}
+			return evalBinary(e.Op, l, r)
+		}
+	case *sqlparse.UnaryExpr:
+		if exprHasAggregate(e) {
+			x, err := c.evalGroupItem(group, e.X)
+			if err != nil {
+				return nil, err
+			}
+			return evalUnary(e.Op, x)
+		}
+	}
+	ctx := &evalCtx{conn: c, src: group, n: group.NumRows()}
+	col, err := c.evalExpr(ctx, e)
+	if err != nil {
+		return nil, err
+	}
+	if col.Len() == 0 {
+		out := storage.NewColumn("", col.Typ)
+		out.AppendNull()
+		return out, nil
+	}
+	return col.Gather([]int{0}), nil
+}
+
+// groupRows partitions row indexes by the GROUP BY key (one group of all
+// rows when there is no GROUP BY). Group order follows first appearance.
+func (c *Conn) groupRows(exprs []sqlparse.Expr, src *storage.Table) ([][]int, error) {
+	n := src.NumRows()
+	if len(exprs) == 0 {
+		if n == 0 {
+			return nil, nil
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}, nil
+	}
+	ctx := &evalCtx{conn: c, src: src, n: n}
+	keyCols := make([]*storage.Column, len(exprs))
+	for i, e := range exprs {
+		col, err := c.evalExpr(ctx, e)
+		if err != nil {
+			return nil, err
+		}
+		if col.Len() == 1 && n > 1 {
+			col = col.Gather(make([]int, n))
+		}
+		keyCols[i] = col
+	}
+	index := map[string]int{}
+	var groups [][]int
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		for _, kc := range keyCols {
+			if kc.IsNull(i) {
+				sb.WriteString("\x00N")
+			} else {
+				sb.WriteString(kc.FormatValue(i))
+			}
+			sb.WriteByte('\x01')
+		}
+		k := sb.String()
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], i)
+	}
+	return groups, nil
+}
+
+// orderResult sorts the result table in place per ORDER BY. Keys resolve
+// against result columns first (aliases), then source columns.
+func (c *Conn) orderResult(sel *sqlparse.Select, result, src *storage.Table) error {
+	n := result.NumRows()
+	keys := make([]*storage.Column, len(sel.OrderBy))
+	for ki, item := range sel.OrderBy {
+		switch e := item.Expr.(type) {
+		case *sqlparse.IntLit:
+			pos := int(e.Value)
+			if pos < 1 || pos > len(result.Cols) {
+				return core.Errorf(core.KindConstraint, "ORDER BY position %d out of range", pos)
+			}
+			keys[ki] = result.Cols[pos-1]
+			continue
+		case *sqlparse.ColRef:
+			if col, err := result.Column(e.Name); err == nil {
+				keys[ki] = col
+				continue
+			}
+		}
+		if src == nil || src.NumRows() != n {
+			return core.Errorf(core.KindConstraint,
+				"ORDER BY expression must reference an output column")
+		}
+		ctx := &evalCtx{conn: c, src: src, n: n}
+		col, err := c.evalExpr(ctx, item.Expr)
+		if err != nil {
+			return err
+		}
+		if col.Len() == 1 && n > 1 {
+			col = col.Gather(make([]int, n))
+		}
+		keys[ki] = col
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		for ki, key := range keys {
+			ia, ib := idx[a], idx[b]
+			an, bn := key.IsNull(ia), key.IsNull(ib)
+			var cmp int
+			switch {
+			case an && bn:
+				cmp = 0
+			case an:
+				cmp = -1 // NULLs first
+			case bn:
+				cmp = 1
+			default:
+				var err error
+				cmp, err = compareAt(key, ia, key, ib)
+				if err != nil {
+					sortErr = err
+					return false
+				}
+			}
+			if sel.OrderBy[ki].Desc {
+				cmp = -cmp
+			}
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	for i, col := range result.Cols {
+		g := col.Gather(idx)
+		g.Name = col.Name
+		result.Cols[i] = g
+	}
+	return nil
+}
+
+// distinctRows drops duplicate result rows, keeping first occurrences.
+func distinctRows(t *storage.Table) *storage.Table {
+	seen := map[string]bool{}
+	var idx []int
+	for r := 0; r < t.NumRows(); r++ {
+		var sb strings.Builder
+		for _, col := range t.Cols {
+			if col.IsNull(r) {
+				sb.WriteString("\x00N")
+			} else {
+				sb.WriteString(col.FormatValue(r))
+			}
+			sb.WriteByte('\x01')
+		}
+		k := sb.String()
+		if !seen[k] {
+			seen[k] = true
+			idx = append(idx, r)
+		}
+	}
+	if len(idx) == t.NumRows() {
+		return t
+	}
+	return gatherTable(t, idx)
+}
+
+func gatherTable(t *storage.Table, idx []int) *storage.Table {
+	out := &storage.Table{Name: t.Name}
+	for _, col := range t.Cols {
+		g := col.Gather(idx)
+		g.Name = col.Name
+		out.Cols = append(out.Cols, g)
+	}
+	return out
+}
+
+func emptyLike(t *storage.Table) *storage.Table {
+	return storage.NewTable(t.Name, t.Schema())
+}

@@ -1,0 +1,417 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/script"
+	"repro/internal/storage"
+	"repro/internal/transform"
+)
+
+// compiledUDF caches a parsed UDF wrapper module, keyed by a hash of the
+// synthesized source so CREATE OR REPLACE invalidates naturally.
+type compiledUDF struct {
+	hash string
+	mod  *script.Module
+}
+
+func bodyHash(src string) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:8])
+}
+
+// compileUDF wraps the stored body into a callable function definition
+// (MonetDB stores only the body — paper Listing 1) and parses it.
+func (c *Conn) compileUDF(def *storage.FuncDef) (*script.Module, error) {
+	src := transform.WrapFunction(def.Name, def.Params.Names(), def.Body)
+	h := bodyHash(src)
+	key := strings.ToLower(def.Name)
+	if cu, ok := c.DB.compiled[key]; ok && cu.hash == h {
+		return cu.mod, nil
+	}
+	mod, err := script.Parse(def.Name, src)
+	if err != nil {
+		return nil, core.Errorf(core.KindSyntax, "in UDF %s: %v", def.Name, errText(err))
+	}
+	c.DB.compiled[key] = &compiledUDF{hash: h, mod: mod}
+	return mod, nil
+}
+
+func errText(err error) string {
+	if ce, ok := err.(*core.Error); ok {
+		return ce.Msg
+	}
+	return err.Error()
+}
+
+// newUDFInterp builds a fresh interpreter for one UDF invocation.
+func (c *Conn) newUDFInterp() *script.Interp {
+	in := script.NewInterp()
+	in.FS = c.DB.FS
+	in.MaxSteps = c.DB.MaxUDFSteps
+	if c.DB.UDFOutput != nil {
+		in.Stdout = c.DB.UDFOutput
+	} else {
+		in.Stdout = io.Discard
+	}
+	return in
+}
+
+// prepareUDF compiles and instantiates a UDF, returning the interpreter and
+// the bound function value with _conn installed for loopback queries.
+func (c *Conn) prepareUDF(def *storage.FuncDef) (*script.Interp, script.Value, error) {
+	mod, err := c.compileUDF(def)
+	if err != nil {
+		return nil, nil, err
+	}
+	in := c.newUDFInterp()
+	env, err := in.Run(mod)
+	if err != nil {
+		return nil, nil, wrapUDFErr(def.Name, err)
+	}
+	fn, ok := env.Get(def.Name)
+	if !ok {
+		return nil, nil, core.Errorf(core.KindRuntime, "UDF %s did not define itself", def.Name)
+	}
+	env.Set("_conn", c.loopbackConn(in))
+	return in, fn, nil
+}
+
+func wrapUDFErr(name string, err error) error {
+	if re, ok := err.(*script.RuntimeError); ok {
+		return core.Errorf(core.KindRuntime, "UDF %s failed: %s", name, re.Error())
+	}
+	return core.Errorf(core.KindRuntime, "UDF %s failed: %v", name, err)
+}
+
+// callScalarUDF executes a scalar UDF over argument columns in the active
+// processing mode, returning the result column (length-1 results broadcast
+// at projection time). isColumn follows udfArgColumns's calling
+// convention: columnar arguments pass as lists, constants as scalars.
+func (c *Conn) callScalarUDF(name string, argCols []*storage.Column, isColumn []bool) (*storage.Column, error) {
+	def, err := c.DB.cat.Function(name)
+	if err != nil {
+		return nil, err
+	}
+	if def.IsTable {
+		return nil, core.Errorf(core.KindType,
+			"%s is a table function; use it in FROM", def.Name)
+	}
+	if len(argCols) != len(def.Params) {
+		return nil, core.Errorf(core.KindConstraint,
+			"%s expects %d argument(s), got %d", def.Name, len(def.Params), len(argCols))
+	}
+	if c.DB.Mode == ModeTupleAtATime {
+		return c.callScalarUDFTuple(def, argCols)
+	}
+	in, fn, err := c.prepareUDF(def)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]script.Value, len(argCols))
+	for i, col := range argCols {
+		args[i] = columnToValue(col, isColumn[i])
+	}
+	out, err := in.Call(fn, args)
+	if err != nil {
+		return nil, wrapUDFErr(def.Name, err)
+	}
+	rows := maxColLen(argCols)
+	return valueToColumn(out, def.Returns[0].Name, def.Returns[0].Type, rows)
+}
+
+// callScalarUDFTuple is the §2.4 tuple-at-a-time model: one interpreter
+// call per input row, scalar in, scalar out.
+func (c *Conn) callScalarUDFTuple(def *storage.FuncDef, argCols []*storage.Column) (*storage.Column, error) {
+	in, fn, err := c.prepareUDF(def)
+	if err != nil {
+		return nil, err
+	}
+	rows := maxColLen(argCols)
+	out := storage.NewColumn(def.Returns[0].Name, def.Returns[0].Type)
+	args := make([]script.Value, len(argCols))
+	for r := 0; r < rows; r++ {
+		for i, col := range argCols {
+			ri := r
+			if col.Len() == 1 {
+				ri = 0
+			}
+			args[i] = cellToValue(col, ri)
+		}
+		v, err := in.Call(fn, args)
+		if err != nil {
+			return nil, wrapUDFErr(def.Name, err)
+		}
+		if err := appendScriptValue(out, v); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// callTableUDF executes a RETURNS TABLE(...) UDF.
+func (c *Conn) callTableUDF(def *storage.FuncDef, argCols []*storage.Column, isColumn []bool) (*storage.Table, error) {
+	if len(argCols) != len(def.Params) {
+		return nil, core.Errorf(core.KindConstraint,
+			"%s expects %d argument(s), got %d", def.Name, len(def.Params), len(argCols))
+	}
+	in, fn, err := c.prepareUDF(def)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]script.Value, len(argCols))
+	for i, col := range argCols {
+		args[i] = columnToValue(col, isColumn[i])
+	}
+	out, err := in.Call(fn, args)
+	if err != nil {
+		return nil, wrapUDFErr(def.Name, err)
+	}
+	if !def.IsTable {
+		// scalar function used in FROM: one column, broadcast as a table
+		col, err := valueToColumn(out, def.Returns[0].Name, def.Returns[0].Type, -1)
+		if err != nil {
+			return nil, err
+		}
+		return &storage.Table{Name: def.Name, Cols: []*storage.Column{col}}, nil
+	}
+	return scriptResultToTable(def, out)
+}
+
+// scriptResultToTable converts a table UDF's return value — a dict keyed by
+// column name, a positional tuple, a bare list (single column) or a scalar
+// (single row) — into a table matching the declared schema.
+func scriptResultToTable(def *storage.FuncDef, v script.Value) (*storage.Table, error) {
+	t := &storage.Table{Name: def.Name}
+	switch v := v.(type) {
+	case *script.DictVal:
+		for _, ret := range def.Returns {
+			cell, ok := v.GetStr(ret.Name)
+			if !ok {
+				return nil, core.Errorf(core.KindConstraint,
+					"UDF %s result is missing column %q", def.Name, ret.Name)
+			}
+			col, err := valueToColumn(cell, ret.Name, ret.Type, -1)
+			if err != nil {
+				return nil, err
+			}
+			t.Cols = append(t.Cols, col)
+		}
+	case *script.TupleVal:
+		if len(v.Items) != len(def.Returns) {
+			return nil, core.Errorf(core.KindConstraint,
+				"UDF %s returned %d columns, declared %d", def.Name, len(v.Items), len(def.Returns))
+		}
+		for i, ret := range def.Returns {
+			col, err := valueToColumn(v.Items[i], ret.Name, ret.Type, -1)
+			if err != nil {
+				return nil, err
+			}
+			t.Cols = append(t.Cols, col)
+		}
+	default:
+		if len(def.Returns) != 1 {
+			return nil, core.Errorf(core.KindConstraint,
+				"UDF %s must return a dict or tuple of %d columns", def.Name, len(def.Returns))
+		}
+		col, err := valueToColumn(v, def.Returns[0].Name, def.Returns[0].Type, -1)
+		if err != nil {
+			return nil, err
+		}
+		t.Cols = append(t.Cols, col)
+	}
+	tt, err := broadcastColumns(t)
+	if err != nil {
+		return nil, err
+	}
+	return tt, nil
+}
+
+func maxColLen(cols []*storage.Column) int {
+	n := 0
+	for _, c := range cols {
+		if c.Len() > n {
+			n = c.Len()
+		}
+	}
+	return n
+}
+
+// ---- value conversion ----
+
+// columnToValue converts a column to the UDF-facing representation per
+// MonetDB/Python's convention: arguments deriving from table data arrive
+// as lists (isColumn true), constant expressions as bare scalars — even
+// when the column holds a single row.
+func columnToValue(col *storage.Column, isColumn bool) script.Value {
+	if !isColumn {
+		if col.Len() == 0 {
+			return script.None
+		}
+		return cellToValue(col, 0)
+	}
+	items := make([]script.Value, col.Len())
+	for i := range items {
+		items[i] = cellToValue(col, i)
+	}
+	return script.NewList(items...)
+}
+
+func cellToValue(col *storage.Column, i int) script.Value {
+	if col.IsNull(i) {
+		return script.None
+	}
+	switch col.Typ {
+	case storage.TInt:
+		return script.IntVal(col.Ints[i])
+	case storage.TFloat:
+		return script.FloatVal(col.Flts[i])
+	case storage.TStr:
+		return script.StrVal(col.Strs[i])
+	case storage.TBool:
+		return script.BoolVal(col.Bools[i])
+	case storage.TBlob:
+		return script.BytesVal(col.Blobs[i])
+	default:
+		return script.None
+	}
+}
+
+// valueToColumn converts a UDF result into a typed column. expectRows > 0
+// enforces MonetDB's rule that a scalar UDF over n-row columns returns
+// either n values or a single (aggregate-style) value; pass -1 to accept
+// any length.
+func valueToColumn(v script.Value, name string, typ storage.Type, expectRows int) (*storage.Column, error) {
+	col := storage.NewColumn(name, typ)
+	items, isSeq := sequenceItems(v)
+	if !isSeq {
+		if err := appendScriptValue(col, v); err != nil {
+			return nil, err
+		}
+		return col, nil
+	}
+	for _, it := range items {
+		if err := appendScriptValue(col, it); err != nil {
+			return nil, err
+		}
+	}
+	if expectRows > 0 && col.Len() != expectRows && col.Len() != 1 {
+		return nil, core.Errorf(core.KindConstraint,
+			"UDF returned %d rows for %d input rows", col.Len(), expectRows)
+	}
+	return col, nil
+}
+
+func sequenceItems(v script.Value) ([]script.Value, bool) {
+	switch v := v.(type) {
+	case *script.ListVal:
+		return v.Items, true
+	case *script.TupleVal:
+		return v.Items, true
+	case script.RangeVal:
+		items := make([]script.Value, 0, v.Len())
+		if v.Step != 0 {
+			for i := v.Start; int64(len(items)) < v.Len(); i += v.Step {
+				items = append(items, script.IntVal(i))
+			}
+		}
+		return items, true
+	default:
+		return nil, false
+	}
+}
+
+func appendScriptValue(col *storage.Column, v script.Value) error {
+	if _, ok := v.(script.NoneVal); ok {
+		col.AppendNull()
+		return nil
+	}
+	switch col.Typ {
+	case storage.TInt:
+		if n, ok := script.AsInt(v); ok {
+			col.AppendInt(n)
+			return nil
+		}
+		if f, ok := v.(script.FloatVal); ok {
+			col.AppendInt(int64(f))
+			return nil
+		}
+	case storage.TFloat:
+		if f, ok := script.AsFloat(v); ok {
+			col.AppendFloat(f)
+			return nil
+		}
+	case storage.TStr:
+		if s, ok := v.(script.StrVal); ok {
+			col.AppendStr(string(s))
+			return nil
+		}
+		col.AppendStr(script.Str(v))
+		return nil
+	case storage.TBool:
+		col.AppendBool(script.Truthy(v))
+		return nil
+	case storage.TBlob:
+		switch v := v.(type) {
+		case script.BytesVal:
+			col.AppendBlob([]byte(v))
+			return nil
+		case script.StrVal:
+			col.AppendBlob([]byte(v))
+			return nil
+		}
+	}
+	return core.Errorf(core.KindType,
+		"cannot convert %s value to %s column", v.TypeName(), col.Typ)
+}
+
+// ---- loopback connection (_conn) ----
+
+// loopbackConn builds the _conn object passed to every UDF (paper §2.3):
+// execute(sql) runs a query against this same database and returns a dict
+// of column name to values — a list per column, or a bare scalar when the
+// result has exactly one row (the convention Listing 3 relies on:
+// res['clf'] of a one-row result is directly loads-able).
+func (c *Conn) loopbackConn(in *script.Interp) *script.ObjectVal {
+	obj := script.NewObject("connection")
+	obj.Methods["execute"] = func(_ *script.Interp, args []script.Value, _ map[string]script.Value) (script.Value, error) {
+		if len(args) != 1 {
+			return nil, core.Errorf(core.KindType, "execute() takes exactly one argument")
+		}
+		sql, ok := args[0].(script.StrVal)
+		if !ok {
+			return nil, core.Errorf(core.KindType, "execute() argument must be a string")
+		}
+		res, err := c.exec(string(sql))
+		if err != nil {
+			return nil, err
+		}
+		if res.Table == nil {
+			return script.None, nil
+		}
+		return TableToScriptDict(res.Table), nil
+	}
+	return obj
+}
+
+// TableToScriptDict converts a result table to the loopback dict shape.
+func TableToScriptDict(t *storage.Table) *script.DictVal {
+	d := script.NewDict()
+	single := t.NumRows() == 1
+	for _, col := range t.Cols {
+		if single {
+			d.SetStr(col.Name, cellToValue(col, 0))
+			continue
+		}
+		items := make([]script.Value, col.Len())
+		for i := range items {
+			items[i] = cellToValue(col, i)
+		}
+		d.SetStr(col.Name, script.NewList(items...))
+	}
+	return d
+}

@@ -1,0 +1,54 @@
+package pickle
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/script"
+)
+
+func TestDumpsLoads(t *testing.T) {
+	d := script.NewDict()
+	d.SetStr("column", script.NewList(script.IntVal(1), script.IntVal(2)))
+	d.SetStr("n", script.IntVal(5))
+	blob, err := Dumps(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Loads(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !script.Equal(d, back) {
+		t.Fatalf("round trip: %s vs %s", d.Repr(), back.Repr())
+	}
+}
+
+func TestFileHelpers(t *testing.T) {
+	fs := core.NewMemFS(nil)
+	v := script.NewList(script.StrVal("a"), script.FloatVal(2.5), script.None)
+	if err := DumpFile(fs, "proj/input.bin", v); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(fs, "proj/input.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !script.Equal(v, back) {
+		t.Fatalf("round trip: %s vs %s", v.Repr(), back.Repr())
+	}
+	if _, err := LoadFile(fs, "missing.bin"); err == nil {
+		t.Fatal("missing file should error")
+	}
+	// corrupt file
+	_ = fs.WriteFile("bad.bin", []byte("garbage"))
+	if _, err := LoadFile(fs, "bad.bin"); err == nil {
+		t.Fatal("garbage should fail to load")
+	}
+}
+
+func TestDumpsRejectsUnpicklable(t *testing.T) {
+	if _, err := Dumps(&script.FuncVal{Name: "f"}); err == nil {
+		t.Fatal("functions must not pickle")
+	}
+}

@@ -1,0 +1,320 @@
+package script
+
+// Node is the common interface of all PyLite AST nodes.
+type Node interface {
+	// Pos returns the 1-based source line of the node.
+	Pos() int
+}
+
+type pos struct{ Line int }
+
+func (p pos) Pos() int { return p.Line }
+
+// ---- Statements ----
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Module is a parsed source file: a flat list of top-level statements.
+type Module struct {
+	Name  string
+	Body  []Stmt
+	Lines []string // original source split by line, for tracebacks
+}
+
+// ExprStmt is a bare expression evaluated for effect (e.g. a call).
+type ExprStmt struct {
+	pos
+	X Expr
+}
+
+// AssignStmt binds Value to each of Targets (a = b = expr is not supported;
+// exactly one target). Targets can be Name, Index, Attr or Tuple nodes.
+type AssignStmt struct {
+	pos
+	Target Expr
+	Value  Expr
+}
+
+// AugAssignStmt is an augmented assignment such as x += 1. Op is the
+// operator without '=', e.g. "+".
+type AugAssignStmt struct {
+	pos
+	Target Expr
+	Op     string
+	Value  Expr
+}
+
+// ReturnStmt returns Value (nil means None) from the enclosing function.
+type ReturnStmt struct {
+	pos
+	Value Expr
+}
+
+// PassStmt does nothing.
+type PassStmt struct{ pos }
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ pos }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ pos }
+
+// IfStmt is an if/elif/else chain. Elifs are nested IfStmts in Else.
+type IfStmt struct {
+	pos
+	Cond Expr
+	Body []Stmt
+	Else []Stmt // may be nil
+}
+
+// WhileStmt loops while Cond is truthy.
+type WhileStmt struct {
+	pos
+	Cond Expr
+	Body []Stmt
+}
+
+// ForStmt iterates Target over Iter.
+type ForStmt struct {
+	pos
+	Target Expr // Name or Tuple of Names
+	Iter   Expr
+	Body   []Stmt
+}
+
+// DefStmt defines a function.
+type DefStmt struct {
+	pos
+	Name    string
+	Params  []Param
+	Body    []Stmt
+	EndLine int
+}
+
+// Param is a function parameter with an optional default expression.
+type Param struct {
+	Name    string
+	Default Expr // nil when required
+}
+
+// ImportStmt is `import a.b` or `import a.b as c`.
+type ImportStmt struct {
+	pos
+	Module string
+	Alias  string // binding name; defaults to first path segment
+}
+
+// FromImportStmt is `from a.b import c, d as e`.
+type FromImportStmt struct {
+	pos
+	Module string
+	Names  [][2]string // pairs of (exported name, binding alias)
+}
+
+// GlobalStmt declares names as referring to module scope.
+type GlobalStmt struct {
+	pos
+	Names []string
+}
+
+// DelStmt removes a binding or container element.
+type DelStmt struct {
+	pos
+	Target Expr
+}
+
+// AssertStmt raises when Cond is falsy.
+type AssertStmt struct {
+	pos
+	Cond Expr
+	Msg  Expr // may be nil
+}
+
+// RaiseStmt raises an error. Value may be nil (re-raise is not supported).
+type RaiseStmt struct {
+	pos
+	Value Expr
+}
+
+// TryStmt is try/except/finally. Only a single catch-all except clause with
+// an optional binding name is supported, which covers the paper's needs.
+type TryStmt struct {
+	pos
+	Body    []Stmt
+	ExcName string // binding for the error message; "" for none
+	Handler []Stmt // nil when no except clause
+	Finally []Stmt // nil when no finally clause
+}
+
+func (*ExprStmt) stmt()       {}
+func (*AssignStmt) stmt()     {}
+func (*AugAssignStmt) stmt()  {}
+func (*ReturnStmt) stmt()     {}
+func (*PassStmt) stmt()       {}
+func (*BreakStmt) stmt()      {}
+func (*ContinueStmt) stmt()   {}
+func (*IfStmt) stmt()         {}
+func (*WhileStmt) stmt()      {}
+func (*ForStmt) stmt()        {}
+func (*DefStmt) stmt()        {}
+func (*ImportStmt) stmt()     {}
+func (*FromImportStmt) stmt() {}
+func (*GlobalStmt) stmt()     {}
+func (*DelStmt) stmt()        {}
+func (*AssertStmt) stmt()     {}
+func (*RaiseStmt) stmt()      {}
+func (*TryStmt) stmt()        {}
+
+// ---- Expressions ----
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	expr()
+}
+
+// Name references a variable.
+type Name struct {
+	pos
+	Ident string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	pos
+	Value float64
+}
+
+// StrLit is a string literal (already unescaped).
+type StrLit struct {
+	pos
+	Value string
+}
+
+// BoolLit is True or False.
+type BoolLit struct {
+	pos
+	Value bool
+}
+
+// NoneLit is None.
+type NoneLit struct{ pos }
+
+// ListLit is [a, b, ...].
+type ListLit struct {
+	pos
+	Elems []Expr
+}
+
+// TupleLit is (a, b) or a bare comma-list a, b.
+type TupleLit struct {
+	pos
+	Elems []Expr
+}
+
+// DictLit is {k: v, ...}.
+type DictLit struct {
+	pos
+	Keys   []Expr
+	Values []Expr
+}
+
+// UnaryExpr applies Op ("-", "not", "+") to X.
+type UnaryExpr struct {
+	pos
+	Op string
+	X  Expr
+}
+
+// BinExpr applies a binary operator. Comparisons are represented here too;
+// chained comparisons (a < b < c) are expanded by the parser into
+// (a < b) and (b < c).
+type BinExpr struct {
+	pos
+	Op   string // + - * / // % ** == != < <= > >= and or in notin is
+	L, R Expr
+}
+
+// CallExpr invokes Fn with positional Args and keyword Kwargs.
+type CallExpr struct {
+	pos
+	Fn     Expr
+	Args   []Expr
+	KwName []string
+	KwVal  []Expr
+}
+
+// IndexExpr is X[Idx].
+type IndexExpr struct {
+	pos
+	X   Expr
+	Idx Expr
+}
+
+// SliceExpr is X[Lo:Hi] with optional bounds.
+type SliceExpr struct {
+	pos
+	X      Expr
+	Lo, Hi Expr // either may be nil
+}
+
+// AttrExpr is X.Name.
+type AttrExpr struct {
+	pos
+	X    Expr
+	Name string
+}
+
+// LambdaExpr is lambda params: body-expression.
+type LambdaExpr struct {
+	pos
+	Params []Param
+	Body   Expr
+}
+
+// CondExpr is the ternary `a if cond else b`.
+type CondExpr struct {
+	pos
+	Cond       Expr
+	Then, Else Expr
+}
+
+// CompExpr is a list comprehension `[elem for target in iter if cond]`.
+// Like Python 2 (and unlike Python 3), the loop variable is evaluated in
+// the enclosing scope.
+type CompExpr struct {
+	pos
+	Elem   Expr
+	Target Expr
+	Iter   Expr
+	Cond   Expr // nil when absent
+}
+
+func (*Name) expr()       {}
+func (*IntLit) expr()     {}
+func (*FloatLit) expr()   {}
+func (*StrLit) expr()     {}
+func (*BoolLit) expr()    {}
+func (*NoneLit) expr()    {}
+func (*ListLit) expr()    {}
+func (*TupleLit) expr()   {}
+func (*DictLit) expr()    {}
+func (*UnaryExpr) expr()  {}
+func (*BinExpr) expr()    {}
+func (*CallExpr) expr()   {}
+func (*IndexExpr) expr()  {}
+func (*SliceExpr) expr()  {}
+func (*AttrExpr) expr()   {}
+func (*LambdaExpr) expr() {}
+func (*CondExpr) expr()   {}
+func (*CompExpr) expr()   {}

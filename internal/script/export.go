@@ -1,0 +1,45 @@
+package script
+
+import "repro/internal/core"
+
+// Exported conversion helpers for packages that embed PyLite (the engine,
+// the wire layer and native modules such as mllib).
+
+// ToSlice materializes any iterable value into a Go slice of values.
+func ToSlice(in *Interp, v Value) ([]Value, error) { return toSlice(in, v) }
+
+// AsFloat converts bool/int/float values to float64.
+func AsFloat(v Value) (float64, bool) { return asFloat(v) }
+
+// AsInt converts bool/int values to int64.
+func AsInt(v Value) (int64, bool) { return asInt(v) }
+
+// NewBuiltin wraps a Go function as a callable PyLite value.
+func NewBuiltin(name string, fn BuiltinFunc) *BuiltinVal { return bi(name, fn) }
+
+// EvalInFrame parses src as a single expression and evaluates it in the
+// given frame's environment. The debugger uses this for watch expressions
+// and conditional breakpoints; it must only be called while the interpreter
+// is paused inside a trace callback (the interpreter is single-threaded).
+func (in *Interp) EvalInFrame(src string, f *Frame) (Value, error) {
+	mod, err := Parse("<watch>", src)
+	if err != nil {
+		return nil, err
+	}
+	if len(mod.Body) != 1 {
+		return nil, core.Errorf(core.KindSyntax, "watch input must be a single expression")
+	}
+	es, ok := mod.Body[0].(*ExprStmt)
+	if !ok {
+		return nil, core.Errorf(core.KindSyntax, "watch input must be an expression, not a statement")
+	}
+	saveFrame := in.frame
+	saveTrace := in.Trace
+	in.frame = f
+	in.Trace = nil // watch evaluation must not re-enter the debugger
+	defer func() {
+		in.frame = saveFrame
+		in.Trace = saveTrace
+	}()
+	return in.eval(es.X, f)
+}

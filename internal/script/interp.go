@@ -1,0 +1,1438 @@
+package script
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// TraceKind classifies trace events delivered to the debugger hook.
+type TraceKind int
+
+// Trace event kinds, mirroring CPython's sys.settrace events.
+const (
+	TraceLine TraceKind = iota
+	TraceCall
+	TraceReturn
+	TraceException
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceLine:
+		return "line"
+	case TraceCall:
+		return "call"
+	case TraceReturn:
+		return "return"
+	case TraceException:
+		return "exception"
+	default:
+		return "?"
+	}
+}
+
+// TraceEvent is delivered to the interpreter's Trace hook before each line,
+// on function entry/exit and when an error propagates.
+type TraceEvent struct {
+	Kind  TraceKind
+	Frame *Frame
+	Line  int
+	Err   error // TraceException only
+}
+
+// TraceFunc observes execution. Returning a non-nil error aborts the script
+// (the debugger uses this for "stop").
+type TraceFunc func(*Interp, TraceEvent) error
+
+// Frame is one activation record on the PyLite call stack.
+type Frame struct {
+	FuncName string
+	Module   *Module
+	Env      *Env
+	Line     int
+	Caller   *Frame
+	Depth    int
+}
+
+// Interp executes PyLite modules. The zero value is not usable; construct
+// with NewInterp. An Interp is not safe for concurrent use; the engine
+// creates one per query (or per connection for loopback state).
+type Interp struct {
+	// Stdout receives print() output.
+	Stdout io.Writer
+	// FS backs the os module and open(); nil disables file access.
+	FS core.FS
+	// MaxSteps aborts runaway scripts when > 0.
+	MaxSteps int64
+	// Trace, when set, observes line/call/return/exception events.
+	Trace TraceFunc
+	// ModuleProvider resolves imports beyond the standard shims; the engine
+	// injects database-aware modules through it.
+	ModuleProvider func(name string) (Value, bool)
+
+	// Globals is the module-level environment of the last Run.
+	Globals *Env
+
+	builtins *Env
+	modules  map[string]Value
+	steps    int64
+	frame    *Frame
+}
+
+// NewInterp returns a ready interpreter with builtins installed.
+func NewInterp() *Interp {
+	in := &Interp{Stdout: io.Discard, modules: map[string]Value{}}
+	in.builtins = NewEnv(nil)
+	installBuiltins(in.builtins)
+	return in
+}
+
+// Steps reports the number of statements executed so far.
+func (in *Interp) Steps() int64 { return in.steps }
+
+// CurrentFrame returns the innermost active frame (nil when idle). The
+// debugger inspects it during trace callbacks.
+func (in *Interp) CurrentFrame() *Frame { return in.frame }
+
+// control-flow signals, implemented as error sentinels.
+type breakSignal struct{}
+type continueSignal struct{}
+type returnSignal struct{ v Value }
+
+func (breakSignal) Error() string    { return "break outside loop" }
+func (continueSignal) Error() string { return "continue outside loop" }
+func (returnSignal) Error() string   { return "return outside function" }
+
+// RuntimeError is a PyLite runtime failure carrying a script-level
+// traceback. It unwraps to a *core.Error of kind KindRuntime.
+type RuntimeError struct {
+	Msg   string
+	Line  int
+	Stack []string // innermost last, "func (module:line)"
+	// Value carries the raised value for `raise` so try/except can bind it.
+	Value Value
+}
+
+func (e *RuntimeError) Error() string {
+	var sb strings.Builder
+	sb.WriteString(e.Msg)
+	if len(e.Stack) > 0 {
+		sb.WriteString("\nTraceback (most recent call last):")
+		for _, fr := range e.Stack {
+			sb.WriteString("\n  ")
+			sb.WriteString(fr)
+		}
+	}
+	return sb.String()
+}
+
+// Unwrap exposes the error kind for core.KindOf.
+func (e *RuntimeError) Unwrap() error { return core.Errorf(core.KindRuntime, "%s", e.Msg) }
+
+func (in *Interp) rtErrf(line int, format string, args ...any) *RuntimeError {
+	e := &RuntimeError{Msg: fmt.Sprintf(format, args...), Line: line}
+	for f := in.frame; f != nil; f = f.Caller {
+		mod := "<script>"
+		if f.Module != nil {
+			mod = f.Module.Name
+		}
+		e.Stack = append([]string{fmt.Sprintf("%s (%s:%d)", f.FuncName, mod, f.Line)}, e.Stack...)
+	}
+	return e
+}
+
+// Run executes a module in a fresh global environment and returns it.
+func (in *Interp) Run(mod *Module) (*Env, error) {
+	globals := NewEnv(in.builtins)
+	in.Globals = globals
+	frame := &Frame{FuncName: "<module>", Module: mod, Env: globals, Depth: 0}
+	in.frame = frame
+	defer func() { in.frame = nil }()
+	if err := in.execBlock(mod.Body, frame); err != nil {
+		if _, ok := err.(returnSignal); ok {
+			return globals, nil
+		}
+		return globals, err
+	}
+	return globals, nil
+}
+
+// RunInEnv executes a module's body in an existing global environment. The
+// devUDF local-run harness uses this to execute generated prologue +
+// function definitions in one scope.
+func (in *Interp) RunInEnv(mod *Module, globals *Env) error {
+	in.Globals = globals
+	frame := &Frame{FuncName: "<module>", Module: mod, Env: globals, Depth: 0}
+	in.frame = frame
+	defer func() { in.frame = nil }()
+	return in.execBlock(mod.Body, frame)
+}
+
+// NewGlobals creates an empty module scope chained to builtins.
+func (in *Interp) NewGlobals() *Env { return NewEnv(in.builtins) }
+
+// Call invokes a callable value (function or builtin) from Go with
+// positional arguments. This is how the engine executes UDFs.
+func (in *Interp) Call(fn Value, args []Value) (Value, error) {
+	return in.call(fn, args, nil, 0)
+}
+
+func (in *Interp) bumpStep(line int) error {
+	in.steps++
+	if in.MaxSteps > 0 && in.steps > in.MaxSteps {
+		return in.rtErrf(line, "step limit exceeded (%d)", in.MaxSteps)
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(body []Stmt, f *Frame) error {
+	for _, st := range body {
+		if err := in.exec(st, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) exec(st Stmt, f *Frame) error {
+	f.Line = st.Pos()
+	if err := in.bumpStep(st.Pos()); err != nil {
+		return err
+	}
+	if in.Trace != nil {
+		if err := in.Trace(in, TraceEvent{Kind: TraceLine, Frame: f, Line: st.Pos()}); err != nil {
+			return err
+		}
+	}
+	switch st := st.(type) {
+	case *ExprStmt:
+		_, err := in.eval(st.X, f)
+		return err
+	case *AssignStmt:
+		v, err := in.eval(st.Value, f)
+		if err != nil {
+			return err
+		}
+		return in.assign(st.Target, v, f)
+	case *AugAssignStmt:
+		cur, err := in.eval(st.Target, f)
+		if err != nil {
+			return err
+		}
+		rhs, err := in.eval(st.Value, f)
+		if err != nil {
+			return err
+		}
+		v, err := in.binop(st.Op, cur, rhs, st.Pos())
+		if err != nil {
+			return err
+		}
+		return in.assign(st.Target, v, f)
+	case *ReturnStmt:
+		var v Value = None
+		if st.Value != nil {
+			var err error
+			v, err = in.eval(st.Value, f)
+			if err != nil {
+				return err
+			}
+		}
+		return returnSignal{v}
+	case *PassStmt:
+		return nil
+	case *BreakStmt:
+		return breakSignal{}
+	case *ContinueStmt:
+		return continueSignal{}
+	case *IfStmt:
+		cond, err := in.eval(st.Cond, f)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return in.execBlock(st.Body, f)
+		}
+		if st.Else != nil {
+			return in.execBlock(st.Else, f)
+		}
+		return nil
+	case *WhileStmt:
+		for {
+			cond, err := in.eval(st.Cond, f)
+			if err != nil {
+				return err
+			}
+			if !Truthy(cond) {
+				return nil
+			}
+			if err := in.execBlock(st.Body, f); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					return nil
+				case continueSignal:
+					continue
+				default:
+					return err
+				}
+			}
+			if err := in.bumpStep(st.Pos()); err != nil {
+				return err
+			}
+		}
+	case *ForStmt:
+		iter, err := in.eval(st.Iter, f)
+		if err != nil {
+			return err
+		}
+		stop := false
+		err = in.iterate(iter, st.Pos(), func(item Value) error {
+			if err := in.assign(st.Target, item, f); err != nil {
+				return err
+			}
+			if err := in.execBlock(st.Body, f); err != nil {
+				switch err.(type) {
+				case breakSignal:
+					stop = true
+					return breakSignal{}
+				case continueSignal:
+					return nil
+				default:
+					return err
+				}
+			}
+			return in.bumpStep(st.Pos())
+		})
+		if stop {
+			return nil
+		}
+		return err
+	case *DefStmt:
+		fn := &FuncVal{
+			Name: st.Name, Params: st.Params, Body: st.Body,
+			Closure: f.Env, Module: f.Module, DefLine: st.Pos(),
+		}
+		f.Env.Set(st.Name, fn)
+		return nil
+	case *ImportStmt:
+		mod, err := in.importModule(st.Module, st.Pos())
+		if err != nil {
+			return err
+		}
+		f.Env.Set(st.Alias, mod)
+		return nil
+	case *FromImportStmt:
+		mod, err := in.importModule(st.Module, st.Pos())
+		if err != nil {
+			return err
+		}
+		obj, ok := mod.(*ObjectVal)
+		if !ok {
+			return in.rtErrf(st.Pos(), "cannot import names from %s", mod.TypeName())
+		}
+		for _, pair := range st.Names {
+			v, err := in.getAttr(obj, pair[0], st.Pos())
+			if err != nil {
+				return in.rtErrf(st.Pos(), "cannot import name '%s' from '%s'", pair[0], st.Module)
+			}
+			f.Env.Set(pair[1], v)
+		}
+		return nil
+	case *GlobalStmt:
+		for _, n := range st.Names {
+			f.Env.DeclareGlobal(n)
+		}
+		return nil
+	case *DelStmt:
+		return in.del(st.Target, f)
+	case *AssertStmt:
+		cond, err := in.eval(st.Cond, f)
+		if err != nil {
+			return err
+		}
+		if Truthy(cond) {
+			return nil
+		}
+		msg := "assertion failed"
+		if st.Msg != nil {
+			mv, err := in.eval(st.Msg, f)
+			if err != nil {
+				return err
+			}
+			msg = Str(mv)
+		}
+		return in.rtErrf(st.Pos(), "AssertionError: %s", msg)
+	case *RaiseStmt:
+		msg := "exception"
+		var val Value = None
+		if st.Value != nil {
+			v, err := in.eval(st.Value, f)
+			if err != nil {
+				return err
+			}
+			val = v
+			// `raise Exception("msg")` parses as a call; the Exception
+			// builtin returns its argument, so Str(v) is the message.
+			msg = Str(v)
+		}
+		re := in.rtErrf(st.Pos(), "%s", msg)
+		re.Value = val
+		return re
+	case *TryStmt:
+		err := in.execBlock(st.Body, f)
+		switch err.(type) {
+		case nil:
+		case breakSignal, continueSignal, returnSignal:
+			// control flow passes through finally
+		default:
+			if st.Handler != nil {
+				if in.Trace != nil {
+					_ = in.Trace(in, TraceEvent{Kind: TraceException, Frame: f, Line: f.Line, Err: err})
+				}
+				if st.ExcName != "" {
+					var bound Value = StrVal(err.Error())
+					if re, ok := err.(*RuntimeError); ok {
+						bound = StrVal(re.Msg)
+					}
+					f.Env.Set(st.ExcName, bound)
+				}
+				err = in.execBlock(st.Handler, f)
+			}
+		}
+		if st.Finally != nil {
+			if ferr := in.execBlock(st.Finally, f); ferr != nil {
+				return ferr
+			}
+		}
+		return err
+	default:
+		return in.rtErrf(st.Pos(), "unsupported statement %T", st)
+	}
+}
+
+func (in *Interp) del(target Expr, f *Frame) error {
+	switch t := target.(type) {
+	case *Name:
+		if !f.Env.Delete(t.Ident) {
+			return in.rtErrf(t.Pos(), "name '%s' is not defined", t.Ident)
+		}
+		return nil
+	case *IndexExpr:
+		container, err := in.eval(t.X, f)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(t.Idx, f)
+		if err != nil {
+			return err
+		}
+		switch c := container.(type) {
+		case *DictVal:
+			ok, err := c.Delete(idx)
+			if err != nil {
+				return in.rtErrf(t.Pos(), "%v", err)
+			}
+			if !ok {
+				return in.rtErrf(t.Pos(), "KeyError: %s", idx.Repr())
+			}
+			return nil
+		case *ListVal:
+			i, ok := asInt(idx)
+			if !ok {
+				return in.rtErrf(t.Pos(), "list indices must be integers")
+			}
+			n := int64(len(c.Items))
+			if i < 0 {
+				i += n
+			}
+			if i < 0 || i >= n {
+				return in.rtErrf(t.Pos(), "list index out of range")
+			}
+			c.Items = append(c.Items[:i], c.Items[i+1:]...)
+			return nil
+		}
+		return in.rtErrf(t.Pos(), "cannot delete from %s", container.TypeName())
+	default:
+		return in.rtErrf(target.Pos(), "cannot delete this expression")
+	}
+}
+
+func (in *Interp) assign(target Expr, v Value, f *Frame) error {
+	switch t := target.(type) {
+	case *Name:
+		f.Env.Set(t.Ident, v)
+		return nil
+	case *TupleLit:
+		return in.unpack(t.Elems, v, f, t.Pos())
+	case *ListLit:
+		return in.unpack(t.Elems, v, f, t.Pos())
+	case *IndexExpr:
+		container, err := in.eval(t.X, f)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(t.Idx, f)
+		if err != nil {
+			return err
+		}
+		switch c := container.(type) {
+		case *ListVal:
+			i, ok := asInt(idx)
+			if !ok {
+				return in.rtErrf(t.Pos(), "list indices must be integers, not %s", idx.TypeName())
+			}
+			n := int64(len(c.Items))
+			if i < 0 {
+				i += n
+			}
+			if i < 0 || i >= n {
+				return in.rtErrf(t.Pos(), "list assignment index out of range")
+			}
+			c.Items[i] = v
+			return nil
+		case *DictVal:
+			if err := c.Set(idx, v); err != nil {
+				return in.rtErrf(t.Pos(), "%v", err)
+			}
+			return nil
+		default:
+			return in.rtErrf(t.Pos(), "'%s' object does not support item assignment", container.TypeName())
+		}
+	case *AttrExpr:
+		obj, err := in.eval(t.X, f)
+		if err != nil {
+			return err
+		}
+		o, ok := obj.(*ObjectVal)
+		if !ok {
+			return in.rtErrf(t.Pos(), "cannot set attribute on '%s'", obj.TypeName())
+		}
+		o.Attrs.SetStr(t.Name, v)
+		return nil
+	default:
+		return in.rtErrf(target.Pos(), "cannot assign to this expression")
+	}
+}
+
+func (in *Interp) unpack(targets []Expr, v Value, f *Frame, line int) error {
+	var items []Value
+	switch v := v.(type) {
+	case *TupleVal:
+		items = v.Items
+	case *ListVal:
+		items = v.Items
+	case *DictVal:
+		// Deviation from CPython (which unpacks keys): unpacking a dict
+		// yields its values in insertion order, so the paper's Listing 3
+		// idiom `(tdata, tlabels) = _conn.execute("SELECT data, labels...")`
+		// binds the two result columns directly.
+		items = v.Values()
+	default:
+		return in.rtErrf(line, "cannot unpack non-sequence %s", v.TypeName())
+	}
+	if len(items) != len(targets) {
+		return in.rtErrf(line, "cannot unpack %d values into %d targets", len(items), len(targets))
+	}
+	for i, t := range targets {
+		if err := in.assign(t, items[i], f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// iterate drives the for-loop protocol over every iterable value type.
+func (in *Interp) iterate(v Value, line int, yield func(Value) error) error {
+	propagate := func(err error) error {
+		if _, ok := err.(breakSignal); ok {
+			return nil
+		}
+		return err
+	}
+	switch v := v.(type) {
+	case *ListVal:
+		for _, it := range v.Items {
+			if err := yield(it); err != nil {
+				return propagate(err)
+			}
+		}
+	case *TupleVal:
+		for _, it := range v.Items {
+			if err := yield(it); err != nil {
+				return propagate(err)
+			}
+		}
+	case RangeVal:
+		if v.Step == 0 {
+			return in.rtErrf(line, "range() step must not be zero")
+		}
+		if v.Step > 0 {
+			for i := v.Start; i < v.Stop; i += v.Step {
+				if err := yield(IntVal(i)); err != nil {
+					return propagate(err)
+				}
+			}
+		} else {
+			for i := v.Start; i > v.Stop; i += v.Step {
+				if err := yield(IntVal(i)); err != nil {
+					return propagate(err)
+				}
+			}
+		}
+	case StrVal:
+		for _, r := range string(v) {
+			if err := yield(StrVal(string(r))); err != nil {
+				return propagate(err)
+			}
+		}
+	case *DictVal:
+		for _, k := range v.Keys() {
+			if err := yield(k); err != nil {
+				return propagate(err)
+			}
+		}
+	case *ObjectVal:
+		if it, ok := v.Opaque.(interface{ IterValues() ([]Value, error) }); ok {
+			items, err := it.IterValues()
+			if err != nil {
+				return in.rtErrf(line, "%v", err)
+			}
+			for _, item := range items {
+				if err := yield(item); err != nil {
+					return propagate(err)
+				}
+			}
+			return nil
+		}
+		return in.rtErrf(line, "'%s' object is not iterable", v.Class)
+	default:
+		return in.rtErrf(line, "'%s' object is not iterable", v.TypeName())
+	}
+	return nil
+}
+
+func (in *Interp) eval(e Expr, f *Frame) (Value, error) {
+	switch e := e.(type) {
+	case *IntLit:
+		return IntVal(e.Value), nil
+	case *FloatLit:
+		return FloatVal(e.Value), nil
+	case *StrLit:
+		return StrVal(e.Value), nil
+	case *BoolLit:
+		return BoolVal(e.Value), nil
+	case *NoneLit:
+		return None, nil
+	case *Name:
+		if v, ok := f.Env.Get(e.Ident); ok {
+			return v, nil
+		}
+		return nil, in.rtErrf(e.Pos(), "name '%s' is not defined", e.Ident)
+	case *ListLit:
+		items := make([]Value, len(e.Elems))
+		for i, el := range e.Elems {
+			v, err := in.eval(el, f)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = v
+		}
+		return &ListVal{Items: items}, nil
+	case *TupleLit:
+		items := make([]Value, len(e.Elems))
+		for i, el := range e.Elems {
+			v, err := in.eval(el, f)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = v
+		}
+		return &TupleVal{Items: items}, nil
+	case *DictLit:
+		d := NewDict()
+		for i := range e.Keys {
+			k, err := in.eval(e.Keys[i], f)
+			if err != nil {
+				return nil, err
+			}
+			v, err := in.eval(e.Values[i], f)
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Set(k, v); err != nil {
+				return nil, in.rtErrf(e.Pos(), "%v", err)
+			}
+		}
+		return d, nil
+	case *UnaryExpr:
+		x, err := in.eval(e.X, f)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "not":
+			return BoolVal(!Truthy(x)), nil
+		case "-":
+			switch x := x.(type) {
+			case IntVal:
+				return IntVal(-x), nil
+			case FloatVal:
+				return FloatVal(-x), nil
+			case BoolVal:
+				if x {
+					return IntVal(-1), nil
+				}
+				return IntVal(0), nil
+			}
+			return nil, in.rtErrf(e.Pos(), "bad operand type for unary -: '%s'", x.TypeName())
+		}
+		return nil, in.rtErrf(e.Pos(), "unsupported unary operator %q", e.Op)
+	case *BinExpr:
+		// short-circuit and/or
+		if e.Op == "and" {
+			l, err := in.eval(e.L, f)
+			if err != nil {
+				return nil, err
+			}
+			if !Truthy(l) {
+				return l, nil
+			}
+			return in.eval(e.R, f)
+		}
+		if e.Op == "or" {
+			l, err := in.eval(e.L, f)
+			if err != nil {
+				return nil, err
+			}
+			if Truthy(l) {
+				return l, nil
+			}
+			return in.eval(e.R, f)
+		}
+		l, err := in.eval(e.L, f)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.eval(e.R, f)
+		if err != nil {
+			return nil, err
+		}
+		return in.binop(e.Op, l, r, e.Pos())
+	case *CondExpr:
+		c, err := in.eval(e.Cond, f)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(c) {
+			return in.eval(e.Then, f)
+		}
+		return in.eval(e.Else, f)
+	case *CallExpr:
+		fn, err := in.eval(e.Fn, f)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, len(e.Args))
+		for i, a := range e.Args {
+			v, err := in.eval(a, f)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		var kwargs map[string]Value
+		if len(e.KwName) > 0 {
+			kwargs = make(map[string]Value, len(e.KwName))
+			for i, n := range e.KwName {
+				v, err := in.eval(e.KwVal[i], f)
+				if err != nil {
+					return nil, err
+				}
+				kwargs[n] = v
+			}
+		}
+		return in.call(fn, args, kwargs, e.Pos())
+	case *IndexExpr:
+		x, err := in.eval(e.X, f)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(e.Idx, f)
+		if err != nil {
+			return nil, err
+		}
+		return in.index(x, idx, e.Pos())
+	case *SliceExpr:
+		x, err := in.eval(e.X, f)
+		if err != nil {
+			return nil, err
+		}
+		var lo, hi Value = None, None
+		if e.Lo != nil {
+			if lo, err = in.eval(e.Lo, f); err != nil {
+				return nil, err
+			}
+		}
+		if e.Hi != nil {
+			if hi, err = in.eval(e.Hi, f); err != nil {
+				return nil, err
+			}
+		}
+		return in.slice(x, lo, hi, e.Pos())
+	case *AttrExpr:
+		x, err := in.eval(e.X, f)
+		if err != nil {
+			return nil, err
+		}
+		return in.getAttr(x, e.Name, e.Pos())
+	case *LambdaExpr:
+		return &FuncVal{
+			Name: "", Params: e.Params, Expr: e.Body,
+			Closure: f.Env, Module: f.Module, DefLine: e.Pos(),
+		}, nil
+	case *CompExpr:
+		iter, err := in.eval(e.Iter, f)
+		if err != nil {
+			return nil, err
+		}
+		out := &ListVal{}
+		err = in.iterate(iter, e.Pos(), func(item Value) error {
+			if err := in.assign(e.Target, item, f); err != nil {
+				return err
+			}
+			if e.Cond != nil {
+				cond, err := in.eval(e.Cond, f)
+				if err != nil {
+					return err
+				}
+				if !Truthy(cond) {
+					return nil
+				}
+			}
+			v, err := in.eval(e.Elem, f)
+			if err != nil {
+				return err
+			}
+			out.Items = append(out.Items, v)
+			return in.bumpStep(e.Pos())
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	default:
+		return nil, in.rtErrf(e.Pos(), "unsupported expression %T", e)
+	}
+}
+
+// call dispatches on callable kind.
+func (in *Interp) call(fn Value, args []Value, kwargs map[string]Value, line int) (Value, error) {
+	switch fn := fn.(type) {
+	case *BuiltinVal:
+		v, err := fn.Fn(in, args, kwargs)
+		if err != nil {
+			if _, ok := err.(*RuntimeError); ok {
+				return nil, err
+			}
+			return nil, in.rtErrf(line, "%s: %v", fn.Name, errMsg(err))
+		}
+		if v == nil {
+			v = None
+		}
+		return v, nil
+	case *FuncVal:
+		return in.callFunc(fn, args, kwargs, line)
+	default:
+		return nil, in.rtErrf(line, "'%s' object is not callable", fn.TypeName())
+	}
+}
+
+// errMsg strips the core error prefix for nicer script-level messages.
+func errMsg(err error) string {
+	if ce, ok := err.(*core.Error); ok {
+		return ce.Msg
+	}
+	return err.Error()
+}
+
+const maxCallDepth = 200
+
+func (in *Interp) callFunc(fn *FuncVal, args []Value, kwargs map[string]Value, line int) (Value, error) {
+	caller := in.frame
+	depth := 0
+	if caller != nil {
+		depth = caller.Depth + 1
+	}
+	if depth > maxCallDepth {
+		return nil, in.rtErrf(line, "maximum recursion depth exceeded")
+	}
+	env := NewEnv(fn.Closure)
+	// bind parameters
+	if len(args) > len(fn.Params) {
+		return nil, in.rtErrf(line, "%s() takes %d arguments but %d were given",
+			displayName(fn), len(fn.Params), len(args))
+	}
+	bound := make(map[string]bool, len(fn.Params))
+	for i, a := range args {
+		env.Set(fn.Params[i].Name, a)
+		bound[fn.Params[i].Name] = true
+	}
+	for name, v := range kwargs {
+		found := false
+		for _, p := range fn.Params {
+			if p.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, in.rtErrf(line, "%s() got an unexpected keyword argument '%s'", displayName(fn), name)
+		}
+		if bound[name] {
+			return nil, in.rtErrf(line, "%s() got multiple values for argument '%s'", displayName(fn), name)
+		}
+		env.Set(name, v)
+		bound[name] = true
+	}
+	for _, p := range fn.Params {
+		if bound[p.Name] {
+			continue
+		}
+		if p.Default == nil {
+			return nil, in.rtErrf(line, "%s() missing required argument: '%s'", displayName(fn), p.Name)
+		}
+		dframe := &Frame{FuncName: displayName(fn), Module: fn.Module, Env: fn.Closure, Line: fn.DefLine, Caller: caller, Depth: depth}
+		prev := in.frame
+		in.frame = dframe
+		dv, err := in.eval(p.Default, dframe)
+		in.frame = prev
+		if err != nil {
+			return nil, err
+		}
+		env.Set(p.Name, dv)
+	}
+	frame := &Frame{FuncName: displayName(fn), Module: fn.Module, Env: env, Line: fn.DefLine, Caller: caller, Depth: depth}
+	in.frame = frame
+	defer func() { in.frame = caller }()
+
+	if in.Trace != nil {
+		if err := in.Trace(in, TraceEvent{Kind: TraceCall, Frame: frame, Line: fn.DefLine}); err != nil {
+			return nil, err
+		}
+	}
+	var result Value = None
+	var err error
+	if fn.Expr != nil { // lambda
+		result, err = in.eval(fn.Expr, frame)
+	} else {
+		err = in.execBlock(fn.Body, frame)
+		if rs, ok := err.(returnSignal); ok {
+			result, err = rs.v, nil
+		}
+	}
+	if err != nil {
+		if in.Trace != nil {
+			_ = in.Trace(in, TraceEvent{Kind: TraceException, Frame: frame, Line: frame.Line, Err: err})
+		}
+		return nil, err
+	}
+	if in.Trace != nil {
+		if terr := in.Trace(in, TraceEvent{Kind: TraceReturn, Frame: frame, Line: frame.Line}); terr != nil {
+			return nil, terr
+		}
+	}
+	return result, nil
+}
+
+func displayName(fn *FuncVal) string {
+	if fn.Name == "" {
+		return "<lambda>"
+	}
+	return fn.Name
+}
+
+func (in *Interp) index(x, idx Value, line int) (Value, error) {
+	switch x := x.(type) {
+	case *ListVal:
+		i, ok := asInt(idx)
+		if !ok {
+			return nil, in.rtErrf(line, "list indices must be integers, not %s", idx.TypeName())
+		}
+		n := int64(len(x.Items))
+		if i < 0 {
+			i += n
+		}
+		if i < 0 || i >= n {
+			return nil, in.rtErrf(line, "list index out of range")
+		}
+		return x.Items[i], nil
+	case *TupleVal:
+		i, ok := asInt(idx)
+		if !ok {
+			return nil, in.rtErrf(line, "tuple indices must be integers, not %s", idx.TypeName())
+		}
+		n := int64(len(x.Items))
+		if i < 0 {
+			i += n
+		}
+		if i < 0 || i >= n {
+			return nil, in.rtErrf(line, "tuple index out of range")
+		}
+		return x.Items[i], nil
+	case StrVal:
+		i, ok := asInt(idx)
+		if !ok {
+			return nil, in.rtErrf(line, "string indices must be integers")
+		}
+		runes := []rune(string(x))
+		n := int64(len(runes))
+		if i < 0 {
+			i += n
+		}
+		if i < 0 || i >= n {
+			return nil, in.rtErrf(line, "string index out of range")
+		}
+		return StrVal(string(runes[i])), nil
+	case *DictVal:
+		v, ok, err := x.Get(idx)
+		if err != nil {
+			return nil, in.rtErrf(line, "%v", err)
+		}
+		if !ok {
+			return nil, in.rtErrf(line, "KeyError: %s", idx.Repr())
+		}
+		return v, nil
+	case RangeVal:
+		i, ok := asInt(idx)
+		if !ok {
+			return nil, in.rtErrf(line, "range indices must be integers")
+		}
+		n := x.Len()
+		if i < 0 {
+			i += n
+		}
+		if i < 0 || i >= n {
+			return nil, in.rtErrf(line, "range index out of range")
+		}
+		return IntVal(x.Start + i*x.Step), nil
+	default:
+		return nil, in.rtErrf(line, "'%s' object is not subscriptable", x.TypeName())
+	}
+}
+
+func (in *Interp) slice(x, lo, hi Value, line int) (Value, error) {
+	bounds := func(n int64) (int64, int64, error) {
+		start, stop := int64(0), n
+		if _, isNone := lo.(NoneVal); !isNone {
+			i, ok := asInt(lo)
+			if !ok {
+				return 0, 0, in.rtErrf(line, "slice indices must be integers")
+			}
+			start = i
+			if start < 0 {
+				start += n
+			}
+			if start < 0 {
+				start = 0
+			}
+			if start > n {
+				start = n
+			}
+		}
+		if _, isNone := hi.(NoneVal); !isNone {
+			i, ok := asInt(hi)
+			if !ok {
+				return 0, 0, in.rtErrf(line, "slice indices must be integers")
+			}
+			stop = i
+			if stop < 0 {
+				stop += n
+			}
+			if stop < 0 {
+				stop = 0
+			}
+			if stop > n {
+				stop = n
+			}
+		}
+		if stop < start {
+			stop = start
+		}
+		return start, stop, nil
+	}
+	switch x := x.(type) {
+	case *ListVal:
+		start, stop, err := bounds(int64(len(x.Items)))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Value, stop-start)
+		copy(out, x.Items[start:stop])
+		return &ListVal{Items: out}, nil
+	case *TupleVal:
+		start, stop, err := bounds(int64(len(x.Items)))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Value, stop-start)
+		copy(out, x.Items[start:stop])
+		return &TupleVal{Items: out}, nil
+	case StrVal:
+		runes := []rune(string(x))
+		start, stop, err := bounds(int64(len(runes)))
+		if err != nil {
+			return nil, err
+		}
+		return StrVal(string(runes[start:stop])), nil
+	default:
+		return nil, in.rtErrf(line, "'%s' object is not sliceable", x.TypeName())
+	}
+}
+
+func (in *Interp) binop(op string, l, r Value, line int) (Value, error) {
+	switch op {
+	case "==":
+		return BoolVal(Equal(l, r)), nil
+	case "!=":
+		return BoolVal(!Equal(l, r)), nil
+	case "<", "<=", ">", ">=":
+		c, err := Compare(l, r)
+		if err != nil {
+			return nil, in.rtErrf(line, "%v", err)
+		}
+		switch op {
+		case "<":
+			return BoolVal(c < 0), nil
+		case "<=":
+			return BoolVal(c <= 0), nil
+		case ">":
+			return BoolVal(c > 0), nil
+		default:
+			return BoolVal(c >= 0), nil
+		}
+	case "is":
+		return BoolVal(identical(l, r)), nil
+	case "isnot":
+		return BoolVal(!identical(l, r)), nil
+	case "in", "notin":
+		found, err := in.contains(r, l, line)
+		if err != nil {
+			return nil, err
+		}
+		if op == "notin" {
+			found = !found
+		}
+		return BoolVal(found), nil
+	}
+
+	// string/list algebra
+	switch lv := l.(type) {
+	case StrVal:
+		switch op {
+		case "+":
+			if rv, ok := r.(StrVal); ok {
+				return lv + rv, nil
+			}
+		case "*":
+			if n, ok := asInt(r); ok {
+				return StrVal(strings.Repeat(string(lv), clampRepeat(n))), nil
+			}
+		case "%":
+			return in.formatPercent(string(lv), r, line)
+		}
+	case *ListVal:
+		switch op {
+		case "+":
+			if rv, ok := r.(*ListVal); ok {
+				out := make([]Value, 0, len(lv.Items)+len(rv.Items))
+				out = append(out, lv.Items...)
+				out = append(out, rv.Items...)
+				return &ListVal{Items: out}, nil
+			}
+		case "*":
+			if n, ok := asInt(r); ok {
+				cnt := clampRepeat(n)
+				out := make([]Value, 0, len(lv.Items)*cnt)
+				for i := 0; i < cnt; i++ {
+					out = append(out, lv.Items...)
+				}
+				return &ListVal{Items: out}, nil
+			}
+		}
+	case *TupleVal:
+		if op == "+" {
+			if rv, ok := r.(*TupleVal); ok {
+				out := make([]Value, 0, len(lv.Items)+len(rv.Items))
+				out = append(out, lv.Items...)
+				out = append(out, rv.Items...)
+				return &TupleVal{Items: out}, nil
+			}
+		}
+	}
+
+	// numeric tower
+	li, lIsInt := asIntStrict(l)
+	ri, rIsInt := asIntStrict(r)
+	if lIsInt && rIsInt {
+		switch op {
+		case "+":
+			return IntVal(li + ri), nil
+		case "-":
+			return IntVal(li - ri), nil
+		case "*":
+			return IntVal(li * ri), nil
+		case "/":
+			if ri == 0 {
+				return nil, in.rtErrf(line, "division by zero")
+			}
+			return FloatVal(float64(li) / float64(ri)), nil
+		case "//":
+			if ri == 0 {
+				return nil, in.rtErrf(line, "integer division or modulo by zero")
+			}
+			return IntVal(floorDiv(li, ri)), nil
+		case "%":
+			if ri == 0 {
+				return nil, in.rtErrf(line, "integer division or modulo by zero")
+			}
+			return IntVal(pyMod(li, ri)), nil
+		case "**":
+			if ri < 0 {
+				return FloatVal(math.Pow(float64(li), float64(ri))), nil
+			}
+			return IntVal(intPow(li, ri)), nil
+		}
+	}
+	lf, lok := asFloat(l)
+	rf, rok := asFloat(r)
+	if lok && rok {
+		switch op {
+		case "+":
+			return FloatVal(lf + rf), nil
+		case "-":
+			return FloatVal(lf - rf), nil
+		case "*":
+			return FloatVal(lf * rf), nil
+		case "/":
+			if rf == 0 {
+				return nil, in.rtErrf(line, "float division by zero")
+			}
+			return FloatVal(lf / rf), nil
+		case "//":
+			if rf == 0 {
+				return nil, in.rtErrf(line, "float floor division by zero")
+			}
+			return FloatVal(math.Floor(lf / rf)), nil
+		case "%":
+			if rf == 0 {
+				return nil, in.rtErrf(line, "float modulo by zero")
+			}
+			m := math.Mod(lf, rf)
+			if m != 0 && (m < 0) != (rf < 0) {
+				m += rf
+			}
+			return FloatVal(m), nil
+		case "**":
+			return FloatVal(math.Pow(lf, rf)), nil
+		}
+	}
+	return nil, in.rtErrf(line, "unsupported operand type(s) for %s: '%s' and '%s'",
+		op, l.TypeName(), r.TypeName())
+}
+
+func clampRepeat(n int64) int {
+	if n < 0 {
+		return 0
+	}
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	return int(n)
+}
+
+// asIntStrict treats bools as ints (Python semantics) but not floats.
+func asIntStrict(v Value) (int64, bool) { return asInt(v) }
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func pyMod(a, b int64) int64 {
+	m := a % b
+	if m != 0 && (m < 0) != (b < 0) {
+		m += b
+	}
+	return m
+}
+
+func intPow(base, exp int64) int64 {
+	result := int64(1)
+	for exp > 0 {
+		if exp&1 == 1 {
+			result *= base
+		}
+		base *= base
+		exp >>= 1
+	}
+	return result
+}
+
+func identical(a, b Value) bool {
+	switch av := a.(type) {
+	case NoneVal:
+		_, ok := b.(NoneVal)
+		return ok
+	case *ListVal:
+		bv, ok := b.(*ListVal)
+		return ok && av == bv
+	case *DictVal:
+		bv, ok := b.(*DictVal)
+		return ok && av == bv
+	case *ObjectVal:
+		bv, ok := b.(*ObjectVal)
+		return ok && av == bv
+	case *FuncVal:
+		bv, ok := b.(*FuncVal)
+		return ok && av == bv
+	default:
+		return Equal(a, b)
+	}
+}
+
+func (in *Interp) contains(container, item Value, line int) (bool, error) {
+	switch c := container.(type) {
+	case *ListVal:
+		for _, it := range c.Items {
+			if Equal(it, item) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *TupleVal:
+		for _, it := range c.Items {
+			if Equal(it, item) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case StrVal:
+		s, ok := item.(StrVal)
+		if !ok {
+			return false, in.rtErrf(line, "'in <string>' requires string as left operand")
+		}
+		return strings.Contains(string(c), string(s)), nil
+	case *DictVal:
+		_, ok, err := c.Get(item)
+		if err != nil {
+			return false, in.rtErrf(line, "%v", err)
+		}
+		return ok, nil
+	case RangeVal:
+		i, ok := asInt(item)
+		if !ok {
+			return false, nil
+		}
+		if c.Step > 0 {
+			return i >= c.Start && i < c.Stop && (i-c.Start)%c.Step == 0, nil
+		}
+		if c.Step < 0 {
+			return i <= c.Start && i > c.Stop && (c.Start-i)%(-c.Step) == 0, nil
+		}
+		return false, nil
+	default:
+		return false, in.rtErrf(line, "argument of type '%s' is not iterable", container.TypeName())
+	}
+}
+
+// formatPercent implements the printf-style '%' operator on strings, which
+// the paper's Listing 3 uses to inject parameters into loopback SQL.
+func (in *Interp) formatPercent(format string, arg Value, line int) (Value, error) {
+	var args []Value
+	if t, ok := arg.(*TupleVal); ok {
+		args = t.Items
+	} else {
+		args = []Value{arg}
+	}
+	var sb strings.Builder
+	ai := 0
+	for i := 0; i < len(format); i++ {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			continue
+		}
+		if i+1 >= len(format) {
+			return nil, in.rtErrf(line, "incomplete format")
+		}
+		i++
+		verb := format[i]
+		if verb == '%' {
+			sb.WriteByte('%')
+			continue
+		}
+		if ai >= len(args) {
+			return nil, in.rtErrf(line, "not enough arguments for format string")
+		}
+		v := args[ai]
+		ai++
+		switch verb {
+		case 'd', 'i':
+			iv, ok := asInt(v)
+			if !ok {
+				if fv, fok := v.(FloatVal); fok {
+					iv = int64(fv)
+				} else {
+					return nil, in.rtErrf(line, "%%d format: a number is required, not %s", v.TypeName())
+				}
+			}
+			fmt.Fprintf(&sb, "%d", iv)
+		case 'f':
+			fv, ok := asFloat(v)
+			if !ok {
+				return nil, in.rtErrf(line, "%%f format: a number is required, not %s", v.TypeName())
+			}
+			fmt.Fprintf(&sb, "%f", fv)
+		case 'g':
+			fv, ok := asFloat(v)
+			if !ok {
+				return nil, in.rtErrf(line, "%%g format: a number is required, not %s", v.TypeName())
+			}
+			fmt.Fprintf(&sb, "%g", fv)
+		case 's':
+			sb.WriteString(Str(v))
+		case 'r':
+			sb.WriteString(v.Repr())
+		default:
+			return nil, in.rtErrf(line, "unsupported format character %q", string(verb))
+		}
+	}
+	if ai < len(args) {
+		return nil, in.rtErrf(line, "not all arguments converted during string formatting")
+	}
+	return StrVal(sb.String()), nil
+}
+
+// importModule resolves standard shims first, then the provider hook.
+func (in *Interp) importModule(name string, line int) (Value, error) {
+	if m, ok := in.modules[name]; ok {
+		return m, nil
+	}
+	if m, ok := stdModule(in, name); ok {
+		in.modules[name] = m
+		return m, nil
+	}
+	if in.ModuleProvider != nil {
+		if m, ok := in.ModuleProvider(name); ok {
+			in.modules[name] = m
+			return m, nil
+		}
+	}
+	return nil, in.rtErrf(line, "ModuleNotFoundError: no module named '%s'", name)
+}

@@ -1,0 +1,467 @@
+package script
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDelStatement(t *testing.T) {
+	env := runSrc(t, `
+x = 1
+del x
+l = [1, 2, 3]
+del l[1]
+d = {"a": 1, "b": 2}
+del d["a"]
+`)
+	if _, ok := env.Get("x"); ok {
+		t.Fatal("x should be deleted")
+	}
+	if got := getVar(t, env, "l").Repr(); got != "[1, 3]" {
+		t.Fatalf("l: %s", got)
+	}
+	if got := getVar(t, env, "d").Repr(); got != "{'b': 2}" {
+		t.Fatalf("d: %s", got)
+	}
+	if err := runSrcErr(t, `del missing_name`); err == nil {
+		t.Fatal("del of unknown name should fail")
+	}
+	if err := runSrcErr(t, `
+d = {}
+del d["k"]
+`); err == nil || !strings.Contains(err.Error(), "KeyError") {
+		t.Fatalf("del missing key: %v", err)
+	}
+}
+
+func TestDictMethodsExtended(t *testing.T) {
+	env := runSrc(t, `
+d = {"a": 1}
+d.update({"b": 2, "a": 9})
+v = d.pop("a")
+miss = d.pop("zz", -1)
+cp = d.copy()
+cp["c"] = 3
+n_orig = len(d)
+n_copy = len(cp)
+items = d.items()
+vals = d.values()
+`)
+	wantInt(t, env, "v", 9)
+	wantInt(t, env, "miss", -1)
+	wantInt(t, env, "n_orig", 1)
+	wantInt(t, env, "n_copy", 2)
+	if got := getVar(t, env, "items").Repr(); got != "[('b', 2)]" {
+		t.Fatalf("items: %s", got)
+	}
+	if got := getVar(t, env, "vals").Repr(); got != "[2]" {
+		t.Fatalf("values: %s", got)
+	}
+}
+
+func TestListMethodsExtended(t *testing.T) {
+	env := runSrc(t, `
+l = [1, 2, 3, 2]
+l.insert(0, 0)
+l.insert(-1, 99)
+c = l.count(2)
+l.remove(2)
+l.reverse()
+cp = l.copy()
+cp.append(7)
+n = len(l)
+ncp = len(cp)
+`)
+	wantInt(t, env, "c", 2)
+	wantInt(t, env, "n", 5)
+	wantInt(t, env, "ncp", 6)
+	if err := runSrcErr(t, `[].pop()`); err == nil {
+		t.Fatal("pop from empty list should fail")
+	}
+	if err := runSrcErr(t, `[1].remove(9)`); err == nil {
+		t.Fatal("remove missing should fail")
+	}
+}
+
+func TestSortedWithKeyAndLambdaDefaults(t *testing.T) {
+	env := runSrc(t, `
+words = ["bbb", "a", "cc"]
+by_len = sorted(words, key=lambda w: len(w))
+add = lambda a, b=10: a + b
+x = add(1)
+y = add(1, 2)
+`)
+	if got := getVar(t, env, "by_len").Repr(); got != "['a', 'cc', 'bbb']" {
+		t.Fatalf("by_len: %s", got)
+	}
+	wantInt(t, env, "x", 11)
+	wantInt(t, env, "y", 3)
+}
+
+func TestAugmentedOperators(t *testing.T) {
+	env := runSrc(t, `
+x = 10
+x -= 3
+x *= 2
+x //= 3
+x **= 2
+x %= 7
+y = 8
+y /= 2
+`)
+	wantInt(t, env, "x", 2) // ((10-3)*2)//3 = 4; 4**2=16; 16%7=2
+	wantFloat(t, env, "y", 4)
+}
+
+func TestNestedFunctionsAndRecursionInClosure(t *testing.T) {
+	env := runSrc(t, `
+def outer(n):
+    def helper(k):
+        if k <= 0:
+            return 0
+        return k + helper(k - 1)
+    return helper(n)
+
+s = outer(4)
+`)
+	wantInt(t, env, "s", 10)
+}
+
+func TestPickleDumpToFile(t *testing.T) {
+	fs := core.NewMemFS(nil)
+	mod, err := Parse("t", `
+import pickle
+data = {"k": [1, 2, 3]}
+f = open("out.bin", "wb")
+pickle.dump(data, f)
+f.close()
+back = pickle.load(open("out.bin", "rb"))
+same = back == data
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp()
+	in.FS = fs
+	env, err := in.Run(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Truthy(getVar(t, env, "same")) {
+		t.Fatal("pickle file round trip")
+	}
+}
+
+func TestOSPathJoin(t *testing.T) {
+	env := runSrcWithFS(t, core.NewMemFS(map[string]string{"d/f.txt": "x"}), `
+import os
+p = os.path.join("a", "b", "c.txt")
+b = os.path.basename("x/y/z.csv")
+`)
+	wantStr(t, env, "p", "a/b/c.txt")
+	wantStr(t, env, "b", "z.csv")
+}
+
+func runSrcWithFS(t *testing.T, fs core.FS, src string) *Env {
+	t.Helper()
+	mod, err := Parse("test", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp()
+	in.FS = fs
+	env, err := in.Run(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestRandomModuleDeterminism(t *testing.T) {
+	src := `
+import random
+random.seed(7)
+a = random.randint(0, 1000000)
+random.seed(7)
+b = random.randint(0, 1000000)
+same = a == b
+l = [1, 2, 3, 4, 5]
+s = random.sample(l, 3)
+n = len(s)
+`
+	env := runSrc(t, src)
+	if !Truthy(getVar(t, env, "same")) {
+		t.Fatal("seeded randint must be deterministic")
+	}
+	wantInt(t, env, "n", 3)
+}
+
+func TestMathModuleExtended(t *testing.T) {
+	env := runSrc(t, `
+import math
+a = math.pow(2, 10)
+b = math.log2(8)
+c = math.fabs(-2.5)
+d = math.exp(0)
+`)
+	wantFloat(t, env, "a", 1024)
+	wantFloat(t, env, "b", 3)
+	wantFloat(t, env, "c", 2.5)
+	wantFloat(t, env, "d", 1)
+}
+
+func TestStringFormattingErrors(t *testing.T) {
+	for _, src := range []string{
+		`x = "%d" % "nope"`,
+		`x = "%d %d" % 1`,
+		`x = "%d" % (1, 2)`,
+		`x = "%q" % 1`,
+	} {
+		if err := runSrcErr(t, src); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+	env := runSrc(t, `
+a = "%s=%d (%f)" % ("x", 3, 1.5)
+b = "100%%" % ()
+`)
+	wantStr(t, env, "a", "x=3 (1.500000)")
+	wantStr(t, env, "b", "100%")
+}
+
+func TestIsAndIdentity(t *testing.T) {
+	env := runSrc(t, `
+a = [1]
+b = a
+c = [1]
+same = a is b
+diff = a is c
+eq = a == c
+none_is = None is None
+not_none = a is not None
+`)
+	if !Truthy(getVar(t, env, "same")) || Truthy(getVar(t, env, "diff")) {
+		t.Fatal("identity semantics")
+	}
+	if !Truthy(getVar(t, env, "eq")) || !Truthy(getVar(t, env, "none_is")) || !Truthy(getVar(t, env, "not_none")) {
+		t.Fatal("equality/None semantics")
+	}
+}
+
+func TestWhileWithBreakElseAbsence(t *testing.T) {
+	env := runSrc(t, `
+found = -1
+i = 0
+while i < 100:
+    if i * i > 50:
+        found = i
+        break
+    i += 1
+`)
+	wantInt(t, env, "found", 8)
+}
+
+func TestNegativeStepLoop(t *testing.T) {
+	env := runSrc(t, `
+out = []
+for i in range(5, 0, -2):
+    out.append(i)
+`)
+	if got := getVar(t, env, "out").Repr(); got != "[5, 3, 1]" {
+		t.Fatalf("out: %s", got)
+	}
+}
+
+func TestSliceEdgeCases(t *testing.T) {
+	env := runSrc(t, `
+l = [0, 1, 2, 3, 4]
+a = l[:]
+b = l[2:]
+c = l[:2]
+d = l[-2:]
+e = l[10:20]
+f = l[3:1]
+s = "hello"[1:-1]
+`)
+	if getVar(t, env, "a").Repr() != "[0, 1, 2, 3, 4]" ||
+		getVar(t, env, "b").Repr() != "[2, 3, 4]" ||
+		getVar(t, env, "c").Repr() != "[0, 1]" ||
+		getVar(t, env, "d").Repr() != "[3, 4]" ||
+		getVar(t, env, "e").Repr() != "[]" ||
+		getVar(t, env, "f").Repr() != "[]" {
+		t.Fatal("slice semantics")
+	}
+	wantStr(t, env, "s", "ell")
+}
+
+func TestKeywordOnlyCallErrors(t *testing.T) {
+	if err := runSrcErr(t, `
+def f(a):
+    return a
+f(b=1)
+`); err == nil || !strings.Contains(err.Error(), "unexpected keyword") {
+		t.Fatalf("err: %v", err)
+	}
+	if err := runSrcErr(t, `
+def f(a):
+    return a
+f(1, a=2)
+`); err == nil || !strings.Contains(err.Error(), "multiple values") {
+		t.Fatalf("err: %v", err)
+	}
+	if err := runSrcErr(t, `
+def f(a, b):
+    return a
+f(1)
+`); err == nil || !strings.Contains(err.Error(), "missing required argument") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestUnpackErrors(t *testing.T) {
+	if err := runSrcErr(t, `(a, b) = [1, 2, 3]`); err == nil {
+		t.Fatal("arity mismatch should fail")
+	}
+	if err := runSrcErr(t, `(a, b) = 5`); err == nil {
+		t.Fatal("non-sequence unpack should fail")
+	}
+	env := runSrc(t, `
+[p, q] = (7, 8)
+`)
+	wantInt(t, env, "p", 7)
+	wantInt(t, env, "q", 8)
+}
+
+func TestDictUnpackingListing3Idiom(t *testing.T) {
+	// documented deviation: unpacking a dict yields its values in order
+	env := runSrc(t, `
+d = {"data": [1, 2], "labels": [0, 1]}
+(tdata, tlabels) = d
+`)
+	if getVar(t, env, "tdata").Repr() != "[1, 2]" || getVar(t, env, "tlabels").Repr() != "[0, 1]" {
+		t.Fatal("dict unpack should bind values in insertion order")
+	}
+}
+
+func TestTryFinallyWithReturn(t *testing.T) {
+	env := runSrc(t, `
+log = []
+
+def f():
+    try:
+        return 1
+    finally:
+        log.append("cleanup")
+
+x = f()
+`)
+	wantInt(t, env, "x", 1)
+	if got := getVar(t, env, "log").Repr(); got != "['cleanup']" {
+		t.Fatalf("finally must run on return: %s", got)
+	}
+}
+
+func TestRaiseInsideTryPropagates(t *testing.T) {
+	err := runSrcErr(t, `
+try:
+    raise ValueError("inner")
+finally:
+    x = 1
+`)
+	if !strings.Contains(err.Error(), "inner") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestGlobalInNestedFunction(t *testing.T) {
+	env := runSrc(t, `
+count = 0
+
+def outer():
+    def inner():
+        global count
+        count += 1
+    inner()
+    inner()
+
+outer()
+`)
+	wantInt(t, env, "count", 2)
+}
+
+func TestEvalInFrameIsolation(t *testing.T) {
+	mod, err := Parse("t", `
+x = 5
+
+def f(y):
+    return y + 1
+
+r = f(2)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInterp()
+	var captured *Frame
+	in.Trace = func(_ *Interp, ev TraceEvent) error {
+		if ev.Kind == TraceLine && ev.Frame.FuncName == "f" {
+			captured = ev.Frame
+			// evaluate a watch mid-flight
+			v, err := in.EvalInFrame("y * 10", ev.Frame)
+			if err != nil {
+				t.Errorf("watch: %v", err)
+			} else if v.Repr() != "20" {
+				t.Errorf("watch value: %s", v.Repr())
+			}
+		}
+		return nil
+	}
+	if _, err := in.Run(mod); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil {
+		t.Fatal("never saw f's frame")
+	}
+}
+
+func TestListComprehension(t *testing.T) {
+	env := runSrc(t, `
+squares = [x * x for x in range(5)]
+evens = [x for x in range(10) if x % 2 == 0]
+pairsums = [a + b for (a, b) in [(1, 2), (3, 4)]]
+nested = [len(w) for w in ["aa", "b", "ccc"] if len(w) > 1]
+`)
+	if got := getVar(t, env, "squares").Repr(); got != "[0, 1, 4, 9, 16]" {
+		t.Fatalf("squares: %s", got)
+	}
+	if got := getVar(t, env, "evens").Repr(); got != "[0, 2, 4, 6, 8]" {
+		t.Fatalf("evens: %s", got)
+	}
+	if got := getVar(t, env, "pairsums").Repr(); got != "[3, 7]" {
+		t.Fatalf("pairsums: %s", got)
+	}
+	if got := getVar(t, env, "nested").Repr(); got != "[2, 3]" {
+		t.Fatalf("nested: %s", got)
+	}
+}
+
+func TestListComprehensionErrors(t *testing.T) {
+	if _, err := Parse("bad", "x = [a for]\n"); err == nil {
+		t.Fatal("bad comprehension should fail to parse")
+	}
+	if err := runSrcErr(t, "x = [y for y in 5]\n"); err == nil {
+		t.Fatal("non-iterable comprehension should fail")
+	}
+}
+
+func TestListComprehensionInUDFStyle(t *testing.T) {
+	// the Listing 3 accuracy computation, comprehension-style
+	env := runSrc(t, `
+predictions = [0, 1, 1, 0]
+tlabels = [0, 1, 0, 0]
+correct = sum([1 for i in range(len(predictions)) if predictions[i] == tlabels[i]])
+`)
+	wantInt(t, env, "correct", 3)
+}

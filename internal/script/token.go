@@ -1,0 +1,80 @@
+// Package script implements PyLite, a small indentation-sensitive,
+// dynamically-typed scripting language with Python surface syntax. PyLite is
+// the stand-in for MonetDB/Python's embedded CPython in this reproduction:
+// UDF bodies from the paper's listings run in it nearly verbatim, and its
+// tracing hooks are what the interactive debugger (internal/debug) and the
+// devUDF local-run harness attach to.
+package script
+
+import "fmt"
+
+// TokKind enumerates PyLite token kinds.
+type TokKind int
+
+// Token kinds. Structural tokens (NEWLINE/INDENT/DEDENT) are synthesized by
+// the lexer from line breaks and leading whitespace, as in Python.
+const (
+	TokEOF TokKind = iota
+	TokNewline
+	TokIndent
+	TokDedent
+	TokName
+	TokInt
+	TokFloat
+	TokString
+	TokOp      // operators and punctuation; Lit holds the exact spelling
+	TokKeyword // def, if, ... ; Lit holds the keyword
+)
+
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokNewline:
+		return "NEWLINE"
+	case TokIndent:
+		return "INDENT"
+	case TokDedent:
+		return "DEDENT"
+	case TokName:
+		return "NAME"
+	case TokInt:
+		return "INT"
+	case TokFloat:
+		return "FLOAT"
+	case TokString:
+		return "STRING"
+	case TokOp:
+		return "OP"
+	case TokKeyword:
+		return "KEYWORD"
+	default:
+		return "?"
+	}
+}
+
+// Token is a single lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Lit  string // exact spelling; for TokString, the decoded value
+	Line int    // 1-based
+	Col  int    // 1-based
+}
+
+func (t Token) String() string {
+	if t.Lit == "" {
+		return t.Kind.String()
+	}
+	return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+}
+
+// keywords is the PyLite reserved-word set.
+var keywords = map[string]bool{
+	"def": true, "return": true, "if": true, "elif": true, "else": true,
+	"for": true, "while": true, "in": true, "not": true, "and": true,
+	"or": true, "pass": true, "break": true, "continue": true,
+	"import": true, "from": true, "as": true, "is": true,
+	"True": true, "False": true, "None": true, "lambda": true,
+	"try": true, "except": true, "finally": true, "raise": true,
+	"global": true, "del": true, "assert": true,
+}

@@ -1,0 +1,111 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// formatRoundTrips checks Format∘Parse is a fixpoint: formatting, parsing
+// and formatting again must not change the text.
+func formatRoundTrips(t *testing.T, sql string) string {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	once := Format(st)
+	st2, err := Parse(once)
+	if err != nil {
+		t.Fatalf("re-Parse(%q): %v", once, err)
+	}
+	twice := Format(st2)
+	if once != twice {
+		t.Fatalf("format not stable:\n1: %s\n2: %s", once, twice)
+	}
+	return once
+}
+
+func TestFormatRoundTripCorpus(t *testing.T) {
+	corpus := []string{
+		`SELECT 1`,
+		`SELECT i, s FROM t`,
+		`SELECT * FROM sys.functions`,
+		`SELECT i * 2 + 1 AS x FROM t WHERE i > 3 AND s <> 'a' ORDER BY x DESC LIMIT 5`,
+		`SELECT COUNT(*), SUM(i) FROM t GROUP BY g`,
+		`SELECT mean_deviation(i) FROM numbers`,
+		`SELECT * FROM loadNumbers('/tmp/csvs')`,
+		`SELECT * FROM train_rnforest((SELECT data, labels FROM trainingset), 5)`,
+		`SELECT * FROM (SELECT i FROM t WHERE i < 3) sub`,
+		`SELECT CAST(i AS DOUBLE) FROM t WHERE s IS NOT NULL`,
+		`SELECT i FROM t WHERE NOT (i = 1 OR i = 2)`,
+		`SELECT 'it''s' || s FROM t`,
+		`SELECT -i FROM t WHERE i IS NULL`,
+		`INSERT INTO t VALUES (1, 'a', 2.5, TRUE, NULL), (2, 'b', -1.0, FALSE, NULL)`,
+		`CREATE TABLE t (i INTEGER, f DOUBLE, s STRING, b BOOLEAN, bl BLOB)`,
+		`DROP TABLE t`,
+		`DROP FUNCTION f`,
+		`COPY INTO t FROM 'dir/file.csv' WITH HEADER`,
+		`SELECT 1.5e10`,
+		`SELECT ABS(i), ROUND(f, 2) FROM t ORDER BY 1`,
+	}
+	for _, sql := range corpus {
+		formatRoundTrips(t, sql)
+	}
+}
+
+func TestFormatCreateFunctionRoundTrip(t *testing.T) {
+	sql := `CREATE OR REPLACE FUNCTION f(a INTEGER, b STRING) RETURNS TABLE(x DOUBLE, y BLOB) LANGUAGE PYTHON {
+    d = {'x': 1.0, 'y': b}
+    return d
+}`
+	out := formatRoundTrips(t, sql)
+	if !strings.Contains(out, "CREATE OR REPLACE FUNCTION f(a INTEGER, b STRING)") {
+		t.Fatalf("header: %s", out)
+	}
+	if !strings.Contains(out, "RETURNS TABLE(x DOUBLE, y BLOB)") {
+		t.Fatalf("returns: %s", out)
+	}
+	// the body must survive byte-exactly modulo indentation
+	st, _ := Parse(out)
+	cf := st.(*CreateFunction)
+	if !strings.Contains(cf.Body, "d = {'x': 1.0, 'y': b}") {
+		t.Fatalf("body: %q", cf.Body)
+	}
+}
+
+func TestFormatPreservesSemantics(t *testing.T) {
+	// Precedence must survive the round trip even though Format adds
+	// parentheses.
+	sql := `SELECT 1 + 2 * 3 - 4 / 2`
+	st, _ := Parse(sql)
+	out := Format(st)
+	st2, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// evaluate both ASTs by structural comparison of formatted forms
+	if Format(st2) != out {
+		t.Fatalf("unstable: %s vs %s", Format(st2), out)
+	}
+	if !strings.Contains(out, "(2 * 3)") || !strings.Contains(out, "(4 / 2)") {
+		t.Fatalf("precedence lost: %s", out)
+	}
+}
+
+func TestFormatExprEdgeCases(t *testing.T) {
+	cases := map[string]string{
+		`SELECT 2.0`:         "2.0", // float keeps a decimal point
+		`SELECT 1e6`:         "1e+06",
+		`SELECT TRUE, FALSE`: "TRUE, FALSE",
+		`SELECT t.c FROM t`:  "t.c",
+	}
+	for sql, want := range cases {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", sql, err)
+		}
+		if out := Format(st); !strings.Contains(out, want) {
+			t.Errorf("Format(%q) = %q, want it to contain %q", sql, out, want)
+		}
+	}
+}

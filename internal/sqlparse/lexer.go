@@ -1,0 +1,235 @@
+// Package sqlparse implements the SQL dialect of the embedded MonetDB-like
+// engine: DDL for tables and Python UDFs (CREATE FUNCTION ... LANGUAGE
+// PYTHON { body }), DML (INSERT, COPY INTO), and SELECT queries with UDF
+// calls, table functions, aggregates and table-valued subquery arguments —
+// everything the paper's listings and the devUDF workflow exercise.
+package sqlparse
+
+import (
+	"strings"
+
+	"repro/internal/core"
+)
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNumber
+	tString // '...' literal, decoded
+	tOp
+	tBody // { ... } UDF body, raw with outer braces stripped
+)
+
+type token struct {
+	kind tokKind
+	lit  string
+	pos  int // byte offset, for error messages
+}
+
+// sqlKeywords is consulted for error messages only; the parser matches
+// keywords case-insensitively by spelling.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return core.Errorf(core.KindSyntax, "SQL: "+format, args...)
+}
+
+// lex tokenizes the whole statement. The UDF body `{ ... }` is captured as
+// a single tBody token with balanced-brace scanning that respects PyLite
+// string literals (dict literals inside UDF bodies contain braces).
+func (lx *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		lx.skipSpace()
+		if lx.pos >= len(lx.src) {
+			toks = append(toks, token{kind: tEOF, pos: lx.pos})
+			return toks, nil
+		}
+		start := lx.pos
+		c := lx.src[lx.pos]
+		switch {
+		case c == '{':
+			body, err := lx.lexBody()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tBody, lit: body, pos: start})
+		case c == '\'':
+			s, err := lx.lexString()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tString, lit: s, pos: start})
+		case c == '"':
+			// quoted identifier
+			lx.pos++
+			j := strings.IndexByte(lx.src[lx.pos:], '"')
+			if j < 0 {
+				return nil, lx.errf("unterminated quoted identifier")
+			}
+			toks = append(toks, token{kind: tIdent, lit: lx.src[lx.pos : lx.pos+j], pos: start})
+			lx.pos += j + 1
+		case isSQLDigit(c) || (c == '.' && lx.pos+1 < len(lx.src) && isSQLDigit(lx.src[lx.pos+1])):
+			toks = append(toks, token{kind: tNumber, lit: lx.lexNumber(), pos: start})
+		case isSQLIdentStart(c):
+			toks = append(toks, token{kind: tIdent, lit: lx.lexIdent(), pos: start})
+		default:
+			op, err := lx.lexOp()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tOp, lit: op, pos: start})
+		}
+	}
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			lx.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '-' {
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func (lx *lexer) lexString() (string, error) {
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		if c == '\'' {
+			// '' escapes a quote
+			if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				lx.pos += 2
+				continue
+			}
+			lx.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+	return "", lx.errf("unterminated string literal")
+}
+
+func (lx *lexer) lexNumber() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && (isSQLDigit(lx.src[lx.pos]) || lx.src[lx.pos] == '.') {
+		lx.pos++
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		save := lx.pos
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && isSQLDigit(lx.src[lx.pos]) {
+			for lx.pos < len(lx.src) && isSQLDigit(lx.src[lx.pos]) {
+				lx.pos++
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	return lx.src[start:lx.pos]
+}
+
+func (lx *lexer) lexIdent() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isSQLIdentCont(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	return lx.src[start:lx.pos]
+}
+
+var sqlMultiOps = []string{"<>", "<=", ">=", "!=", "||"}
+
+func (lx *lexer) lexOp() (string, error) {
+	rest := lx.src[lx.pos:]
+	for _, op := range sqlMultiOps {
+		if strings.HasPrefix(rest, op) {
+			lx.pos += len(op)
+			return op, nil
+		}
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ',', '.', ';', ':':
+		lx.pos++
+		return string(c), nil
+	}
+	return "", lx.errf("unexpected character %q", string(c))
+}
+
+// lexBody captures a balanced { ... } block, skipping PyLite string
+// literals so that braces inside them do not confuse the balance count.
+func (lx *lexer) lexBody() (string, error) {
+	depth := 0
+	start := lx.pos
+	i := lx.pos
+	for i < len(lx.src) {
+		c := lx.src[i]
+		switch c {
+		case '{':
+			depth++
+			i++
+		case '}':
+			depth--
+			i++
+			if depth == 0 {
+				lx.pos = i
+				return lx.src[start+1 : i-1], nil
+			}
+		case '\'', '"':
+			q := c
+			// triple-quoted?
+			if strings.HasPrefix(lx.src[i:], strings.Repeat(string(q), 3)) {
+				end := strings.Index(lx.src[i+3:], strings.Repeat(string(q), 3))
+				if end < 0 {
+					return "", lx.errf("unterminated string inside UDF body")
+				}
+				i += 3 + end + 3
+				continue
+			}
+			i++
+			for i < len(lx.src) && lx.src[i] != q {
+				if lx.src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(lx.src) {
+				return "", lx.errf("unterminated string inside UDF body")
+			}
+			i++
+		case '#':
+			for i < len(lx.src) && lx.src[i] != '\n' {
+				i++
+			}
+		default:
+			i++
+		}
+	}
+	return "", lx.errf("unterminated UDF body: missing '}'")
+}
+
+func isSQLDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isSQLIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isSQLIdentCont(c byte) bool { return isSQLIdentStart(c) || isSQLDigit(c) }

@@ -1,0 +1,261 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Column is a typed value vector with a validity (null) bitmap. Exactly one
+// of the typed slices is populated, matching Typ — the operator-at-a-time
+// engine passes these whole vectors to UDFs, which is the MonetDB execution
+// model the paper relies on.
+type Column struct {
+	Name  string
+	Typ   Type
+	Ints  []int64
+	Flts  []float64
+	Strs  []string
+	Bools []bool
+	Blobs [][]byte
+	Nulls []bool // parallel validity; nil means no nulls
+}
+
+// NewColumn creates an empty column of the given type.
+func NewColumn(name string, t Type) *Column { return &Column{Name: name, Typ: t} }
+
+// Len returns the number of rows.
+func (c *Column) Len() int {
+	switch c.Typ {
+	case TInt:
+		return len(c.Ints)
+	case TFloat:
+		return len(c.Flts)
+	case TStr:
+		return len(c.Strs)
+	case TBool:
+		return len(c.Bools)
+	case TBlob:
+		return len(c.Blobs)
+	default:
+		return 0
+	}
+}
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.Nulls != nil && c.Nulls[i] }
+
+func (c *Column) growNulls() {
+	if c.Nulls != nil {
+		c.Nulls = append(c.Nulls, false)
+	}
+}
+
+// AppendInt appends an integer row.
+func (c *Column) AppendInt(v int64) { c.Ints = append(c.Ints, v); c.growNulls() }
+
+// AppendFloat appends a float row.
+func (c *Column) AppendFloat(v float64) { c.Flts = append(c.Flts, v); c.growNulls() }
+
+// AppendStr appends a string row.
+func (c *Column) AppendStr(v string) { c.Strs = append(c.Strs, v); c.growNulls() }
+
+// AppendBool appends a boolean row.
+func (c *Column) AppendBool(v bool) { c.Bools = append(c.Bools, v); c.growNulls() }
+
+// AppendBlob appends a blob row.
+func (c *Column) AppendBlob(v []byte) { c.Blobs = append(c.Blobs, v); c.growNulls() }
+
+// AppendNull appends a NULL row.
+func (c *Column) AppendNull() {
+	switch c.Typ {
+	case TInt:
+		c.Ints = append(c.Ints, 0)
+	case TFloat:
+		c.Flts = append(c.Flts, 0)
+	case TStr:
+		c.Strs = append(c.Strs, "")
+	case TBool:
+		c.Bools = append(c.Bools, false)
+	case TBlob:
+		c.Blobs = append(c.Blobs, nil)
+	}
+	if c.Nulls == nil {
+		c.Nulls = make([]bool, c.Len())
+	} else {
+		c.Nulls = append(c.Nulls, false)
+	}
+	c.Nulls[c.Len()-1] = true
+}
+
+// Value returns row i as a Go value (nil for NULL).
+func (c *Column) Value(i int) any {
+	if c.IsNull(i) {
+		return nil
+	}
+	switch c.Typ {
+	case TInt:
+		return c.Ints[i]
+	case TFloat:
+		return c.Flts[i]
+	case TStr:
+		return c.Strs[i]
+	case TBool:
+		return c.Bools[i]
+	case TBlob:
+		return c.Blobs[i]
+	default:
+		return nil
+	}
+}
+
+// AppendValue appends a Go value with coercion to the column type. nil
+// appends NULL.
+func (c *Column) AppendValue(v any) error {
+	if v == nil {
+		c.AppendNull()
+		return nil
+	}
+	switch c.Typ {
+	case TInt:
+		switch v := v.(type) {
+		case int64:
+			c.AppendInt(v)
+		case int:
+			c.AppendInt(int64(v))
+		case float64:
+			c.AppendInt(int64(v))
+		case bool:
+			if v {
+				c.AppendInt(1)
+			} else {
+				c.AppendInt(0)
+			}
+		case string:
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return core.Errorf(core.KindType, "cannot convert %q to INTEGER", v)
+			}
+			c.AppendInt(n)
+		default:
+			return coerceErr(v, c.Typ)
+		}
+	case TFloat:
+		switch v := v.(type) {
+		case float64:
+			c.AppendFloat(v)
+		case int64:
+			c.AppendFloat(float64(v))
+		case int:
+			c.AppendFloat(float64(v))
+		case string:
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return core.Errorf(core.KindType, "cannot convert %q to DOUBLE", v)
+			}
+			c.AppendFloat(f)
+		default:
+			return coerceErr(v, c.Typ)
+		}
+	case TStr:
+		switch v := v.(type) {
+		case string:
+			c.AppendStr(v)
+		case int64:
+			c.AppendStr(strconv.FormatInt(v, 10))
+		case float64:
+			c.AppendStr(strconv.FormatFloat(v, 'g', -1, 64))
+		case bool:
+			c.AppendStr(strconv.FormatBool(v))
+		default:
+			return coerceErr(v, c.Typ)
+		}
+	case TBool:
+		switch v := v.(type) {
+		case bool:
+			c.AppendBool(v)
+		case int64:
+			c.AppendBool(v != 0)
+		default:
+			return coerceErr(v, c.Typ)
+		}
+	case TBlob:
+		switch v := v.(type) {
+		case []byte:
+			c.AppendBlob(v)
+		case string:
+			c.AppendBlob([]byte(v))
+		default:
+			return coerceErr(v, c.Typ)
+		}
+	}
+	return nil
+}
+
+func coerceErr(v any, t Type) error {
+	return core.Errorf(core.KindType, "cannot store %T in %s column", v, t)
+}
+
+// Clone deep-copies the column.
+func (c *Column) Clone() *Column {
+	out := &Column{Name: c.Name, Typ: c.Typ}
+	out.Ints = append([]int64(nil), c.Ints...)
+	out.Flts = append([]float64(nil), c.Flts...)
+	out.Strs = append([]string(nil), c.Strs...)
+	out.Bools = append([]bool(nil), c.Bools...)
+	if c.Blobs != nil {
+		out.Blobs = make([][]byte, len(c.Blobs))
+		for i, b := range c.Blobs {
+			out.Blobs[i] = append([]byte(nil), b...)
+		}
+	}
+	out.Nulls = append([]bool(nil), c.Nulls...)
+	return out
+}
+
+// Gather returns a new column holding the rows at the given indexes, in
+// order. Used by filters, sampling and ORDER BY.
+func (c *Column) Gather(idx []int) *Column {
+	out := NewColumn(c.Name, c.Typ)
+	for _, i := range idx {
+		if c.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		switch c.Typ {
+		case TInt:
+			out.AppendInt(c.Ints[i])
+		case TFloat:
+			out.AppendFloat(c.Flts[i])
+		case TStr:
+			out.AppendStr(c.Strs[i])
+		case TBool:
+			out.AppendBool(c.Bools[i])
+		case TBlob:
+			out.AppendBlob(c.Blobs[i])
+		}
+	}
+	return out
+}
+
+// FormatValue renders row i the way the SQL shell prints it.
+func (c *Column) FormatValue(i int) string {
+	if c.IsNull(i) {
+		return "NULL"
+	}
+	switch c.Typ {
+	case TInt:
+		return strconv.FormatInt(c.Ints[i], 10)
+	case TFloat:
+		return strconv.FormatFloat(c.Flts[i], 'g', -1, 64)
+	case TStr:
+		return c.Strs[i]
+	case TBool:
+		return strconv.FormatBool(c.Bools[i])
+	case TBlob:
+		return fmt.Sprintf("<blob %dB>", len(c.Blobs[i]))
+	default:
+		return "?"
+	}
+}

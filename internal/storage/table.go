@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"encoding/csv"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Table is a named collection of equal-length columns.
+type Table struct {
+	Name string
+	Cols []*Column
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, schema Schema) *Table {
+	t := &Table{Name: name}
+	for _, def := range schema {
+		t.Cols = append(t.Cols, NewColumn(def.Name, def.Type))
+	}
+	return t
+}
+
+// Schema derives the table's schema from its columns.
+func (t *Table) Schema() Schema {
+	s := make(Schema, len(t.Cols))
+	for i, c := range t.Cols {
+		s[i] = ColumnDef{Name: c.Name, Type: c.Typ}
+	}
+	return s
+}
+
+// NumRows returns the row count (0 for a table with no columns).
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return t.Cols[0].Len()
+}
+
+// Column returns the column with the given (case-insensitive) name.
+func (t *Table) Column(name string) (*Column, error) {
+	for _, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return c, nil
+		}
+	}
+	return nil, core.Errorf(core.KindName, "no such column: %s.%s", t.Name, name)
+}
+
+// AppendRow appends one row of Go values with per-column coercion.
+func (t *Table) AppendRow(vals []any) error {
+	if len(vals) != len(t.Cols) {
+		return core.Errorf(core.KindConstraint,
+			"table %s has %d columns but %d values were supplied", t.Name, len(t.Cols), len(vals))
+	}
+	for i, v := range vals {
+		if err := t.Cols[i].AppendValue(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name}
+	for _, c := range t.Cols {
+		out.Cols = append(out.Cols, c.Clone())
+	}
+	return out
+}
+
+// LoadCSV bulk-appends rows from CSV data. Values are coerced to the column
+// types; empty fields become NULL. header reports whether the first record
+// is a header line to skip.
+func (t *Table) LoadCSV(r io.Reader, header bool) (int, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(t.Cols)
+	cr.TrimLeadingSpace = true
+	n := 0
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, core.Errorf(core.KindIO, "csv: %v", err)
+		}
+		if first && header {
+			first = false
+			continue
+		}
+		first = false
+		vals := make([]any, len(rec))
+		for i, f := range rec {
+			if f == "" {
+				vals[i] = nil
+			} else {
+				vals[i] = f
+			}
+		}
+		if err := t.AppendRow(vals); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

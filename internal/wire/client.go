@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"net"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// ConnParams are the five client connection parameters of the devUDF
+// settings window (paper Fig. 2).
+type ConnParams struct {
+	Host     string
+	Port     int
+	Database string
+	User     string
+	Password string
+}
+
+// Addr renders host:port.
+func (p ConnParams) Addr() string {
+	host := p.Host
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, itoa(p.Port))
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// Client is a connected, authenticated database session.
+type Client struct {
+	params ConnParams
+	nc     net.Conn
+	// BytesRead counts payload bytes received, for the transfer benches.
+	BytesRead int64
+	// BytesWritten counts payload bytes sent.
+	BytesWritten int64
+}
+
+// Dial connects and authenticates.
+func Dial(p ConnParams) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", p.Addr(), 10*time.Second)
+	if err != nil {
+		return nil, core.Errorf(core.KindIO, "connect %s: %v", p.Addr(), err)
+	}
+	c := &Client{params: p, nc: nc}
+	if err := c.send(MsgAuth, EncodeAuth(p.User, p.Password, p.Database)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	typ, payload, err := c.recv()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	switch typ {
+	case MsgAuthOK:
+		return c, nil
+	case MsgErr:
+		nc.Close()
+		return nil, DecodeError(payload)
+	default:
+		nc.Close()
+		return nil, core.Errorf(core.KindProtocol, "unexpected handshake reply %d", typ)
+	}
+}
+
+// Params returns the connection parameters this client was dialed with.
+func (c *Client) Params() ConnParams { return c.params }
+
+func (c *Client) send(typ byte, payload []byte) error {
+	c.BytesWritten += int64(len(payload)) + 5
+	return WriteFrame(c.nc, typ, payload)
+}
+
+func (c *Client) recv() (byte, []byte, error) {
+	typ, payload, err := ReadFrame(c.nc)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.BytesRead += int64(len(payload)) + 5
+	return typ, payload, nil
+}
+
+// Query executes SQL on the server and returns the status message and the
+// result table (nil for statements without one).
+func (c *Client) Query(sql string) (string, *storage.Table, error) {
+	if err := c.send(MsgQuery, []byte(sql)); err != nil {
+		return "", nil, err
+	}
+	typ, payload, err := c.recv()
+	if err != nil {
+		return "", nil, err
+	}
+	switch typ {
+	case MsgResult:
+		return DecodeResult(payload)
+	case MsgErr:
+		return "", nil, DecodeError(payload)
+	default:
+		return "", nil, core.Errorf(core.KindProtocol, "unexpected reply type %d", typ)
+	}
+}
+
+// Close says goodbye and closes the socket.
+func (c *Client) Close() error {
+	_ = c.send(MsgClose, nil)
+	// best-effort read of the goodbye
+	_ = c.nc.SetReadDeadline(time.Now().Add(time.Second))
+	_, _, _ = ReadFrame(c.nc)
+	return c.nc.Close()
+}

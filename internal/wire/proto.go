@@ -1,0 +1,153 @@
+// Package wire implements the client/server protocol of the embedded
+// database — the reproduction's stand-in for MonetDB's MAPI/JDBC transport
+// the devUDF plugin connects through. Frames are length-prefixed binary
+// messages; result sets travel in a columnar binary encoding.
+package wire
+
+import (
+	"encoding/binary"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Protocol message types.
+const (
+	MsgAuth    byte = 1  // client → server: user, password, database
+	MsgQuery   byte = 2  // client → server: SQL text
+	MsgClose   byte = 3  // client → server: goodbye
+	MsgAuthOK  byte = 16 // server → client: server banner
+	MsgResult  byte = 17 // server → client: status + optional result table
+	MsgErr     byte = 18 // server → client: error kind + message
+	MsgGoodbye byte = 19 // server → client: close ack
+)
+
+// maxFrame bounds a single frame (64 MiB) as a protocol sanity check.
+const maxFrame = 64 << 20
+
+// WriteFrame writes a [length][type][payload] frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return core.Errorf(core.KindProtocol, "frame too large (%d bytes)", len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return core.Errorf(core.KindIO, "write frame: %v", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return core.Errorf(core.KindIO, "write frame: %v", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, core.Errorf(core.KindIO, "read frame header: %v", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, core.Errorf(core.KindProtocol, "bad frame length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, core.Errorf(core.KindIO, "read frame body: %v", err)
+	}
+	return buf[0], buf[1:], nil
+}
+
+// ---- payload encoding helpers ----
+
+func appendString(buf []byte, s string) []byte { return storage.AppendString(buf, s) }
+
+// ---- auth / error payloads ----
+
+// EncodeAuth encodes the MsgAuth payload (Fig. 2's connection parameters
+// minus host/port, which name the socket itself).
+func EncodeAuth(user, password, database string) []byte {
+	buf := appendString(nil, user)
+	buf = appendString(buf, password)
+	return appendString(buf, database)
+}
+
+// DecodeAuth decodes a MsgAuth payload.
+func DecodeAuth(payload []byte) (user, password, database string, err error) {
+	r := storage.NewByteReader(payload)
+	if user, err = r.Str(); err != nil {
+		return
+	}
+	if password, err = r.Str(); err != nil {
+		return
+	}
+	database, err = r.Str()
+	return
+}
+
+// EncodeError encodes a MsgErr payload.
+func EncodeError(kind core.ErrorKind, msg string) []byte {
+	buf := []byte{byte(kind)}
+	return appendString(buf, msg)
+}
+
+// DecodeError decodes a MsgErr payload into a *core.Error.
+func DecodeError(payload []byte) error {
+	r := storage.NewByteReader(payload)
+	k, err := r.U8()
+	if err != nil {
+		return err
+	}
+	msg, err := r.Str()
+	if err != nil {
+		return err
+	}
+	return &core.Error{Kind: core.ErrorKind(k), Msg: msg}
+}
+
+// ---- result set encoding ----
+
+// EncodeResult encodes a status message plus optional result table using
+// the shared storage codec.
+func EncodeResult(msg string, t *storage.Table) []byte {
+	buf := appendString(nil, msg)
+	if t == nil {
+		return append(buf, 0)
+	}
+	buf = append(buf, 1)
+	return storage.EncodeTable(buf, t)
+}
+
+// DecodeResult decodes a MsgResult payload.
+func DecodeResult(payload []byte) (msg string, t *storage.Table, err error) {
+	r := storage.NewByteReader(payload)
+	if msg, err = r.Str(); err != nil {
+		return
+	}
+	has, err := r.U8()
+	if err != nil {
+		return "", nil, err
+	}
+	if has == 0 {
+		if r.Remaining() != 0 {
+			return "", nil, core.Errorf(core.KindProtocol, "trailing bytes in result payload")
+		}
+		return msg, nil, nil
+	}
+	t, err = storage.DecodeTable(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if r.Remaining() != 0 {
+		return "", nil, core.Errorf(core.KindProtocol, "trailing bytes in result payload")
+	}
+	t.Name = "result"
+	return msg, t, nil
+}

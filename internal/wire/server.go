@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"errors"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+)
+
+// Server serves one database over TCP to wire clients. The zero value is
+// not usable; construct with NewServer.
+type Server struct {
+	// Database is the database name clients must present (Fig. 2's
+	// "database" connection parameter).
+	Database string
+	// Users maps user name to password.
+	Users map[string]string
+	// DB is the embedded engine instance.
+	DB *engine.DB
+	// Logf, when set, receives connection-level log lines.
+	Logf func(format string, args ...any)
+
+	ln     net.Listener
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer creates a server for db with a single user account.
+func NewServer(database, user, password string, db *engine.DB) *Server {
+	return &Server{
+		Database: database,
+		Users:    map[string]string{user: password},
+		DB:       db,
+	}
+}
+
+// Listen binds addr ("host:port"; ":0" picks a free port) and starts
+// accepting connections in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", core.Errorf(core.KindIO, "listen %s: %v", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and waits for active connections to finish their
+// current request.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			log.Printf("wire: accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn speaks the protocol with one client: auth handshake, then a
+// query loop until MsgClose or disconnect.
+func (s *Server) serveConn(nc net.Conn) {
+	defer nc.Close()
+	sess, err := s.handshake(nc)
+	if err != nil {
+		s.logf("handshake failed from %s: %v", nc.RemoteAddr(), err)
+		return
+	}
+	s.logf("session opened: user=%s from %s", sess.User, nc.RemoteAddr())
+	for {
+		typ, payload, err := ReadFrame(nc)
+		if err != nil {
+			if err != io.EOF {
+				s.logf("read: %v", err)
+			}
+			return
+		}
+		switch typ {
+		case MsgQuery:
+			res, err := sess.Exec(string(payload))
+			if err != nil {
+				if werr := WriteFrame(nc, MsgErr, EncodeError(core.KindOf(err), errString(err))); werr != nil {
+					return
+				}
+				continue
+			}
+			if err := WriteFrame(nc, MsgResult, EncodeResult(res.Msg, res.Table)); err != nil {
+				return
+			}
+		case MsgClose:
+			_ = WriteFrame(nc, MsgGoodbye, nil)
+			return
+		default:
+			_ = WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol, "unexpected message type"))
+			return
+		}
+	}
+}
+
+func errString(err error) string {
+	var ce *core.Error
+	if errors.As(err, &ce) {
+		return ce.Msg
+	}
+	return err.Error()
+}
+
+func (s *Server) handshake(nc net.Conn) (*engine.Conn, error) {
+	typ, payload, err := ReadFrame(nc)
+	if err != nil {
+		return nil, err
+	}
+	if typ != MsgAuth {
+		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol, "expected auth message"))
+		return nil, core.Errorf(core.KindProtocol, "expected auth, got type %d", typ)
+	}
+	user, password, database, err := DecodeAuth(payload)
+	if err != nil {
+		return nil, err
+	}
+	if database != s.Database {
+		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindAuth, "unknown database "+database))
+		return nil, core.Errorf(core.KindAuth, "unknown database %q", database)
+	}
+	want, ok := s.Users[user]
+	if !ok || want != password {
+		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindAuth, "invalid credentials"))
+		return nil, core.Errorf(core.KindAuth, "invalid credentials for %q", user)
+	}
+	if err := WriteFrame(nc, MsgAuthOK, appendString(nil, "monetlite/1.0")); err != nil {
+		return nil, err
+	}
+	return &engine.Conn{DB: s.DB, User: user, Password: password}, nil
+}

@@ -1,0 +1,78 @@
+// Package monetlite is the public face of the embedded MonetDB-like
+// database this reproduction builds as its substrate: a columnar SQL engine
+// with Python (PyLite) UDFs executed operator-at-a-time, sys.* meta tables
+// that store UDF source code, loopback queries, and a TCP wire protocol.
+//
+// Typical embedded use:
+//
+//	db := monetlite.NewDB()
+//	conn := monetlite.Connect(db, "monetdb", "monetdb")
+//	conn.Exec(`CREATE TABLE numbers (i INTEGER)`)
+//
+// Typical served use:
+//
+//	srv := monetlite.NewServer("demo", "monetdb", "monetdb", db)
+//	addr, _ := srv.Listen("127.0.0.1:50000")
+//	cli, _ := monetlite.Dial(monetlite.ConnParams{ ... })
+package monetlite
+
+import (
+	"repro/internal/engine"
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// DB is an embedded database instance.
+type DB = engine.DB
+
+// Conn is an authenticated session against a DB (embedded use).
+type Conn = engine.Conn
+
+// Result is the outcome of one statement.
+type Result = engine.Result
+
+// Table is a materialized result set or stored table.
+type Table = storage.Table
+
+// Column is one typed column of a Table.
+type Column = storage.Column
+
+// Mode selects the UDF processing model (paper §2.4).
+type Mode = engine.Mode
+
+// Processing models.
+const (
+	// ModeOperatorAtATime is MonetDB's model: one UDF call per query,
+	// whole columns in.
+	ModeOperatorAtATime = engine.ModeOperatorAtATime
+	// ModeTupleAtATime is the Postgres/MySQL model: one UDF call per row.
+	ModeTupleAtATime = engine.ModeTupleAtATime
+)
+
+// Server serves a DB over TCP.
+type Server = wire.Server
+
+// Client is a wire-protocol client session.
+type Client = wire.Client
+
+// ConnParams are the five connection parameters of the devUDF settings
+// window (paper Fig. 2): host, port, database, user, password.
+type ConnParams = wire.ConnParams
+
+// NewDB creates an empty embedded database.
+func NewDB() *DB { return engine.NewDB() }
+
+// Connect opens an embedded session with credentials (the password keys
+// the encryption option of the extract function).
+func Connect(db *DB, user, password string) *Conn {
+	return &engine.Conn{DB: db, User: user, Password: password}
+}
+
+// NewServer creates a wire server exposing db as the named database with a
+// single user account.
+func NewServer(database, user, password string, db *DB) *Server {
+	return wire.NewServer(database, user, password, db)
+}
+
+// Dial connects and authenticates to a served database.
+func Dial(p ConnParams) (*Client, error) { return wire.Dial(p) }

@@ -1,0 +1,68 @@
+package monetlite_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/monetlite"
+)
+
+func TestEmbeddedUse(t *testing.T) {
+	db := monetlite.NewDB()
+	db.FS = core.NewMemFS(nil)
+	conn := monetlite.Connect(db, "monetdb", "monetdb")
+	results, err := conn.ExecAll(`
+CREATE TABLE t (i INTEGER, s STRING);
+INSERT INTO t VALUES (1, 'one'), (2, 'two');
+SELECT COUNT(*) AS n FROM t;
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := results[2].Table.Cols[0].Ints[0]; n != 2 {
+		t.Fatalf("count: %d", n)
+	}
+}
+
+func TestServedUse(t *testing.T) {
+	db := monetlite.NewDB()
+	db.FS = core.NewMemFS(nil)
+	srv := monetlite.NewServer("demo", "u", "p", db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	host, port := split(addr)
+	cli, err := monetlite.Dial(monetlite.ConnParams{
+		Host: host, Port: port, Database: "demo", User: "u", Password: "p",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if _, _, err := cli.Query(`CREATE TABLE t (i INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err := cli.Query(`INSERT INTO t VALUES (1), (2), (3)`)
+	if err != nil || msg != "INSERT 3" {
+		t.Fatalf("%q %v", msg, err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if monetlite.ModeOperatorAtATime.String() != "operator-at-a-time" ||
+		monetlite.ModeTupleAtATime.String() != "tuple-at-a-time" {
+		t.Fatal("mode names")
+	}
+}
+
+func split(addr string) (string, int) {
+	i := strings.LastIndexByte(addr, ':')
+	port := 0
+	for _, ch := range addr[i+1:] {
+		port = port*10 + int(ch-'0')
+	}
+	return addr[:i], port
+}
