@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -19,6 +20,9 @@ import (
 	"repro/internal/transfer"
 	"repro/monetlite"
 )
+
+// ctx is the background context the benches pass to the v2 session API.
+var ctx = context.Background()
 
 // ---- T1: Table 1 ----
 
@@ -58,11 +62,11 @@ func fixtureClient(b *testing.B, fx *bench.Fixture, opts devudf.TransferOptions)
 	settings.Connection = fx.Params
 	settings.DebugQuery = `SELECT mean_deviation(i) FROM numbers`
 	settings.Transfer = opts
-	c, err := devudf.Connect(settings, core.NewMemFS(nil))
+	c, err := devudf.Open(ctx, settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 		b.Fatal(err)
 	}
 	return c
@@ -82,7 +86,7 @@ func BenchmarkExtractCompression(b *testing.B) {
 				b.ResetTimer()
 				var payload int
 				for i := 0; i < b.N; i++ {
-					info, err := c.ExtractInputs("mean_deviation")
+					info, err := c.ExtractInputs(ctx, "mean_deviation")
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -111,7 +115,7 @@ func BenchmarkExtractSampling(b *testing.B) {
 			b.ResetTimer()
 			var payload int
 			for i := 0; i < b.N; i++ {
-				info, err := c.ExtractInputs("mean_deviation")
+				info, err := c.ExtractInputs(ctx, "mean_deviation")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -134,7 +138,7 @@ func BenchmarkExtractEncryption(b *testing.B) {
 			defer c.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+				if _, err := c.ExtractInputs(ctx, "mean_deviation"); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -157,7 +161,7 @@ func BenchmarkDebugCycleTraditional(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.TraditionalCycle(info, bench.MeanDeviationFixedBody); err != nil {
+		if _, err := c.TraditionalCycle(ctx, info, bench.MeanDeviationFixedBody); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,7 +174,7 @@ func BenchmarkDebugCycleDevUDF(b *testing.B) {
 	defer done()
 	c := fixtureClient(b, fx, devudf.TransferOptions{})
 	defer c.Close()
-	if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+	if _, err := c.ExtractInputs(ctx, "mean_deviation"); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -178,7 +182,7 @@ func BenchmarkDebugCycleDevUDF(b *testing.B) {
 		if err := c.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.RunLocal("mean_deviation"); err != nil {
+		if _, err := c.RunLocal(ctx, "mean_deviation"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,7 +195,7 @@ func BenchmarkDebugCycleDevUDFSampled(b *testing.B) {
 	defer done()
 	c := fixtureClient(b, fx, devudf.TransferOptions{SampleSize: 500, Seed: 42})
 	defer c.Close()
-	if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+	if _, err := c.ExtractInputs(ctx, "mean_deviation"); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -199,7 +203,7 @@ func BenchmarkDebugCycleDevUDFSampled(b *testing.B) {
 		if err := c.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := c.RunLocal("mean_deviation"); err != nil {
+		if _, err := c.RunLocal(ctx, "mean_deviation"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -274,20 +278,20 @@ func BenchmarkNestedUDFLocal(b *testing.B) {
 	settings := devudf.DefaultSettings()
 	settings.Connection = fx.Params
 	settings.DebugQuery = `SELECT * FROM find_best_classifier(3)`
-	c, err := devudf.Connect(settings, core.NewMemFS(nil))
+	c, err := devudf.Open(ctx, settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.ImportUDFs("find_best_classifier"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "find_best_classifier"); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := c.ExtractInputs("find_best_classifier"); err != nil {
+	if _, err := c.ExtractInputs(ctx, "find_best_classifier"); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c.RunLocal("find_best_classifier"); err != nil {
+		if _, err := c.RunLocal(ctx, "find_best_classifier"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -300,21 +304,21 @@ func BenchmarkInDBVsClient(b *testing.B) {
 	fx, done := startNumbers(b, rows)
 	defer done()
 	b.Run("in-DB", func(b *testing.B) {
-		cli, err := monetlite.Dial(fx.Params)
+		cli, err := monetlite.DialContext(ctx, fx.Params)
 		if err != nil {
 			b.Fatal(err)
 		}
 		defer cli.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := cli.Query(`SELECT mean_deviation(i) FROM numbers`); err != nil {
+			if _, _, err := cli.Query(ctx, `SELECT mean_deviation(i) FROM numbers`); err != nil {
 				b.Fatal(err)
 			}
 		}
 		b.ReportMetric(float64(cli.BytesRead)/float64(b.N), "wireB/op")
 	})
 	b.Run("client-pull", func(b *testing.B) {
-		cli, err := monetlite.Dial(fx.Params)
+		cli, err := monetlite.DialContext(ctx, fx.Params)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -322,7 +326,7 @@ func BenchmarkInDBVsClient(b *testing.B) {
 		analysis := clientAnalysis(b)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			_, tbl, err := cli.Query(`SELECT i FROM numbers`)
+			_, tbl, err := cli.Query(ctx, `SELECT i FROM numbers`)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -360,6 +364,94 @@ func clientAnalysis(b *testing.B) func([]int64) error {
 		_, err := in.Call(fn, []script.Value{script.NewList(items...)})
 		return err
 	}
+}
+
+// ---- v2 transport: streaming vs buffered result transfer ----
+
+// BenchmarkWireTransfer pits the v2 chunked streaming path against the v1
+// one-shot buffered path for the same result set, plus a pooled-connection
+// variant — the transport side of the §2.2 transfer-cost argument.
+func BenchmarkWireTransfer(b *testing.B) {
+	const rows = 200_000
+	fx, err := bench.StartServer(
+		`CREATE TABLE numbers (i INTEGER)`,
+		bench.NumbersInsert("numbers", rows),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fx.Close()
+	// stream aggressively so the benchmark exercises the chunked path
+	fx.Server.StreamThreshold = 64 << 10
+
+	b.Run("buffered-v1", func(b *testing.B) {
+		cli, err := monetlite.DialContext(ctx, fx.Params, monetlite.WithProtoVersion(monetlite.ProtoV1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, tbl, err := cli.Query(ctx, `SELECT i FROM numbers`)
+			if err != nil || tbl.NumRows() != rows {
+				b.Fatalf("%v %v", tbl, err)
+			}
+		}
+	})
+	b.Run("buffered-v2", func(b *testing.B) {
+		cli, err := monetlite.DialContext(ctx, fx.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, tbl, err := cli.Query(ctx, `SELECT i FROM numbers`)
+			if err != nil || tbl.NumRows() != rows {
+				b.Fatalf("%v %v", tbl, err)
+			}
+		}
+	})
+	b.Run("streaming-v2", func(b *testing.B) {
+		cli, err := monetlite.DialContext(ctx, fx.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rs, err := cli.QueryStream(ctx, `SELECT i FROM numbers`)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sum int64
+			got := 0
+			for rs.Next() {
+				col := rs.Batch().Cols[0]
+				for _, v := range col.Ints {
+					sum += v
+				}
+				got += col.Len()
+			}
+			if err := rs.Err(); err != nil || got != rows {
+				b.Fatalf("%d %v", got, err)
+			}
+			_ = sum
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		pool := monetlite.NewPool(fx.Params, 4)
+		defer pool.Close()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_, tbl, err := pool.Query(ctx, `SELECT i FROM numbers`)
+				if err != nil || tbl.NumRows() != rows {
+					b.Fatalf("%v %v", tbl, err)
+				}
+			}
+		})
+	})
 }
 
 // ---- substrate microbenchmarks ----

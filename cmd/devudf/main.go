@@ -16,10 +16,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
@@ -35,6 +37,18 @@ func main() {
 		os.Exit(2)
 	}
 	fs := core.OSFS{}
+	// The first ^C cancels in-flight wire operations; a second one falls
+	// back to the default handler and exits the process.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		cancel()
+		signal.Stop(sig)
+		signal.Reset(os.Interrupt)
+	}()
 	cmd, args := os.Args[1], os.Args[2:]
 	var err error
 	switch cmd {
@@ -43,17 +57,17 @@ func main() {
 	case "settings":
 		err = cmdSettings(fs, args)
 	case "list":
-		err = cmdList(fs)
+		err = cmdList(ctx, fs)
 	case "import":
-		err = cmdImport(fs, args)
+		err = cmdImport(ctx, fs, args)
 	case "export":
-		err = cmdExport(fs, args)
+		err = cmdExport(ctx, fs, args)
 	case "extract":
-		err = cmdExtract(fs, args)
+		err = cmdExtract(ctx, fs, args)
 	case "run":
-		err = cmdRun(fs, args)
+		err = cmdRun(ctx, fs, args)
 	case "debug":
-		err = cmdDebug(fs, args)
+		err = cmdDebug(ctx, fs, args)
 	case "vcs":
 		err = cmdVCS(fs, args)
 	case "help", "-h", "--help":
@@ -95,12 +109,12 @@ func printMenu(w io.Writer) {
 `)
 }
 
-func connect(fs core.FS) (*devudf.Client, devudf.Settings, error) {
+func connect(ctx context.Context, fs core.FS) (*devudf.Client, devudf.Settings, error) {
 	settings, err := devudf.LoadSettings(fs)
 	if err != nil {
 		return nil, settings, err
 	}
-	c, err := devudf.Connect(settings, fs)
+	c, err := devudf.Open(ctx, settings, devudf.WithFS(fs))
 	return c, settings, err
 }
 
@@ -194,13 +208,13 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
-func cmdList(fs core.FS) error {
-	c, _, err := connect(fs)
+func cmdList(ctx context.Context, fs core.FS) error {
+	c, _, err := connect(ctx, fs)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	infos, err := c.ListServerUDFs()
+	infos, err := c.ListServerUDFs(ctx)
 	if err != nil {
 		return err
 	}
@@ -227,25 +241,25 @@ func cmdList(fs core.FS) error {
 	return nil
 }
 
-func cmdImport(fs core.FS, args []string) error {
+func cmdImport(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("import", flag.ExitOnError)
 	all := flags.Bool("all", false, "import all functions stored in the server")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
-	c, _, err := connect(fs)
+	c, _, err := connect(ctx, fs)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	var imported []string
 	if *all {
-		imported, err = c.ImportAll()
+		imported, err = c.ImportAll(ctx)
 	} else {
 		if flags.NArg() == 0 {
 			return fmt.Errorf("specify UDF names or -all")
 		}
-		imported, err = c.ImportUDFs(flags.Args()...)
+		imported, err = c.ImportUDFs(ctx, flags.Args()...)
 	}
 	if err != nil {
 		return err
@@ -256,13 +270,13 @@ func cmdImport(fs core.FS, args []string) error {
 	return nil
 }
 
-func cmdExport(fs core.FS, args []string) error {
+func cmdExport(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("export", flag.ExitOnError)
 	all := flags.Bool("all", false, "export every project UDF")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
-	c, _, err := connect(fs)
+	c, _, err := connect(ctx, fs)
 	if err != nil {
 		return err
 	}
@@ -277,14 +291,14 @@ func cmdExport(fs core.FS, args []string) error {
 	if len(names) == 0 {
 		return fmt.Errorf("specify UDF names or -all")
 	}
-	if err := c.ExportUDFs(names...); err != nil {
+	if err := c.ExportUDFs(ctx, names...); err != nil {
 		return err
 	}
 	fmt.Printf("exported %s back to the server\n", strings.Join(names, ", "))
 	return nil
 }
 
-func cmdExtract(fs core.FS, args []string) error {
+func cmdExtract(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("extract", flag.ExitOnError)
 	udf := flags.String("udf", "", "UDF to extract input data for")
 	if err := flags.Parse(args); err != nil {
@@ -293,12 +307,12 @@ func cmdExtract(fs core.FS, args []string) error {
 	if *udf == "" {
 		return fmt.Errorf("-udf is required")
 	}
-	c, _, err := connect(fs)
+	c, _, err := connect(ctx, fs)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	info, err := c.ExtractInputs(*udf)
+	info, err := c.ExtractInputs(ctx, *udf)
 	if err != nil {
 		return err
 	}
@@ -308,7 +322,7 @@ func cmdExtract(fs core.FS, args []string) error {
 	return nil
 }
 
-func cmdRun(fs core.FS, args []string) error {
+func cmdRun(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("run", flag.ExitOnError)
 	udf := flags.String("udf", "", "UDF to run locally")
 	if err := flags.Parse(args); err != nil {
@@ -317,12 +331,12 @@ func cmdRun(fs core.FS, args []string) error {
 	if *udf == "" {
 		return fmt.Errorf("-udf is required")
 	}
-	c, _, err := connect(fs)
+	c, _, err := connect(ctx, fs)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	res, err := c.RunLocal(*udf)
+	res, err := c.RunLocal(ctx, *udf)
 	if res != nil && res.Stdout != "" {
 		fmt.Print(res.Stdout)
 	}
@@ -333,7 +347,7 @@ func cmdRun(fs core.FS, args []string) error {
 	return nil
 }
 
-func cmdDebug(fs core.FS, args []string) error {
+func cmdDebug(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("debug", flag.ExitOnError)
 	udf := flags.String("udf", "", "UDF to debug locally")
 	if err := flags.Parse(args); err != nil {
@@ -342,12 +356,12 @@ func cmdDebug(fs core.FS, args []string) error {
 	if *udf == "" {
 		return fmt.Errorf("-udf is required")
 	}
-	c, _, err := connect(fs)
+	c, _, err := connect(ctx, fs)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	sess, err := c.NewDebugSession(*udf, true)
+	sess, err := c.NewDebugSession(ctx, *udf, true)
 	if err != nil {
 		return err
 	}

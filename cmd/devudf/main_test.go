@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -64,18 +65,18 @@ func TestDebugREPLScripted(t *testing.T) {
 	settings := devudf.DefaultSettings()
 	settings.Connection = fx.Params
 	settings.DebugQuery = `SELECT mean_deviation(i) FROM numbers`
-	client, err := devudf.Connect(settings, core.NewMemFS(nil))
+	client, err := devudf.Open(context.Background(), settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := client.ImportUDFs(context.Background(), "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.ExtractInputs("mean_deviation"); err != nil {
+	if _, err := client.ExtractInputs(context.Background(), "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
-	sess, err := client.NewDebugSession("mean_deviation", false)
+	sess, err := client.NewDebugSession(context.Background(), "mean_deviation", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,15 +139,15 @@ func TestDebugREPLQuitBeforeStart(t *testing.T) {
 	defer fx.Close()
 	settings := devudf.DefaultSettings()
 	settings.Connection = fx.Params
-	client, err := devudf.Connect(settings, core.NewMemFS(nil))
+	client, err := devudf.Open(context.Background(), settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := client.ImportUDFs(context.Background(), "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
-	sess, err := client.NewDebugSession("mean_deviation", false)
+	sess, err := client.NewDebugSession(context.Background(), "mean_deviation", false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,9 @@ import (
 	"repro/internal/transform"
 	"repro/monetlite"
 )
+
+// ctx is the background context the experiment drivers pass to the v2 API.
+var ctx = context.Background()
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (T1, F1, E1..E7, SA, SB)")
@@ -89,7 +93,7 @@ Figures 2/3 are reproduced by the golden-tested 'devudf settings/list/import/exp
 // bytes and elapsed time.
 func extractOnce(c *devudf.Client, udf string) (payload int, elapsed time.Duration, err error) {
 	start := time.Now()
-	info, err := c.ExtractInputs(udf)
+	info, err := c.ExtractInputs(ctx, udf)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -101,7 +105,7 @@ func newFixtureClient(fx *bench.Fixture, query string, opts devudf.TransferOptio
 	settings.Connection = fx.Params
 	settings.DebugQuery = query
 	settings.Transfer = opts
-	return devudf.Connect(settings, core.NewMemFS(nil))
+	return devudf.Open(ctx, settings, devudf.WithFS(core.NewMemFS(nil)))
 }
 
 func expE1(scale int) error {
@@ -123,7 +127,7 @@ func expE1(scale int) error {
 				fx.Close()
 				return err
 			}
-			if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+			if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 				fx.Close()
 				return err
 			}
@@ -164,12 +168,12 @@ func expE2(scale int) error {
 		if err != nil {
 			return err
 		}
-		if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+		if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 			c.Close()
 			return err
 		}
 		start := time.Now()
-		info, err := c.ExtractInputs("mean_deviation")
+		info, err := c.ExtractInputs(ctx, "mean_deviation")
 		elapsed := time.Since(start)
 		c.Close()
 		if err != nil {
@@ -202,7 +206,7 @@ func expE3(scale int) error {
 				fx.Close()
 				return err
 			}
-			if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+			if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 				fx.Close()
 				c.Close()
 				return err
@@ -243,18 +247,18 @@ func expE4(scale int) error {
 			return 0, err
 		}
 		defer c.Close()
-		if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+		if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 			return 0, err
 		}
 		start := time.Now()
-		if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+		if _, err := c.ExtractInputs(ctx, "mean_deviation"); err != nil {
 			return 0, err
 		}
 		for i := 0; i < k; i++ {
 			if err := c.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
 				return 0, err
 			}
-			if _, err := c.RunLocal("mean_deviation"); err != nil {
+			if _, err := c.RunLocal(ctx, "mean_deviation"); err != nil {
 				return 0, err
 			}
 		}
@@ -270,7 +274,7 @@ func expE4(scale int) error {
 		if err != nil {
 			return err
 		}
-		if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+		if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 			c.Close()
 			return err
 		}
@@ -281,7 +285,7 @@ func expE4(scale int) error {
 		}
 		startTrad := time.Now()
 		for i := 0; i < k; i++ {
-			if _, err := c.TraditionalCycle(info, bench.MeanDeviationFixedBody); err != nil {
+			if _, err := c.TraditionalCycle(ctx, info, bench.MeanDeviationFixedBody); err != nil {
 				c.Close()
 				return err
 			}
@@ -369,15 +373,15 @@ func expE6(scale int) error {
 		return err
 	}
 	defer c.Close()
-	imported, err := c.ImportUDFs("find_best_classifier")
+	imported, err := c.ImportUDFs(ctx, "find_best_classifier")
 	if err != nil {
 		return err
 	}
-	if _, err := c.ExtractInputs("find_best_classifier"); err != nil {
+	if _, err := c.ExtractInputs(ctx, "find_best_classifier"); err != nil {
 		return err
 	}
 	startLocal := time.Now()
-	local, err := c.RunLocal("find_best_classifier")
+	local, err := c.RunLocal(ctx, "find_best_classifier")
 	if err != nil {
 		return err
 	}
@@ -401,13 +405,13 @@ func expE7(scale int) error {
 			return err
 		}
 		// in-DB: ship only the answer
-		cli, err := monetlite.Dial(fx.Params)
+		cli, err := monetlite.DialContext(ctx, fx.Params)
 		if err != nil {
 			fx.Close()
 			return err
 		}
 		start := time.Now()
-		if _, _, err := cli.Query(`SELECT mean_deviation(i) FROM numbers`); err != nil {
+		if _, _, err := cli.Query(ctx, `SELECT mean_deviation(i) FROM numbers`); err != nil {
 			fx.Close()
 			return err
 		}
@@ -417,7 +421,7 @@ func expE7(scale int) error {
 		// the client's interpreter (the paper's data-scientist scenario:
 		// Python on both sides — only the data's location differs)
 		start = time.Now()
-		_, tbl, err := cli.Query(`SELECT i FROM numbers`)
+		_, tbl, err := cli.Query(ctx, `SELECT i FROM numbers`)
 		if err != nil {
 			fx.Close()
 			return err
@@ -459,13 +463,13 @@ func expSA(int) error {
 		return err
 	}
 	defer c.Close()
-	if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 		return err
 	}
-	if _, err := c.ExtractInputs("mean_deviation"); err != nil {
+	if _, err := c.ExtractInputs(ctx, "mean_deviation"); err != nil {
 		return err
 	}
-	sess, err := c.NewDebugSession("mean_deviation", false)
+	sess, err := c.NewDebugSession(ctx, "mean_deviation", false)
 	if err != nil {
 		return err
 	}
@@ -493,12 +497,12 @@ func expSA(int) error {
 	if err := c.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
 		return err
 	}
-	local, err := c.RunLocal("mean_deviation")
+	local, err := c.RunLocal(ctx, "mean_deviation")
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fixed locally: %s\n", local.Value.Repr())
-	if err := c.ExportUDFs("mean_deviation"); err != nil {
+	if err := c.ExportUDFs(ctx, "mean_deviation"); err != nil {
 		return err
 	}
 	res, err = conn.Exec(`SELECT mean_deviation(i) FROM numbers`)
@@ -538,7 +542,7 @@ func expSB(int) error {
 		return err
 	}
 	defer c.Close()
-	if _, err := c.ImportUDFs("loadNumbers"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "loadNumbers"); err != nil {
 		return err
 	}
 	fixed := `import os
@@ -552,7 +556,7 @@ return result`
 	if err := c.EditBody("loadNumbers", fixed); err != nil {
 		return err
 	}
-	if err := c.ExportUDFs("loadNumbers"); err != nil {
+	if err := c.ExportUDFs(ctx, "loadNumbers"); err != nil {
 		return err
 	}
 	res, err = conn.Exec(`SELECT COUNT(*) AS n, SUM(i) AS total FROM loadNumbers('csvs')`)

@@ -10,9 +10,11 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/storage"
@@ -28,18 +30,18 @@ func main() {
 	execute := flag.String("e", "", "execute this SQL and exit")
 	flag.Parse()
 
-	cli, err := monetlite.Dial(monetlite.ConnParams{
+	sess := &session{params: monetlite.ConnParams{
 		Host: *host, Port: *port, Database: *db,
 		User: *user, Password: *password,
-	})
-	if err != nil {
+	}}
+	defer sess.close()
+	if err := sess.connect(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "mclient:", err)
 		os.Exit(1)
 	}
-	defer cli.Close()
 
 	if *execute != "" {
-		if ok := runSQL(cli, *execute); !ok {
+		if ok := sess.run(*execute); !ok {
 			os.Exit(1)
 		}
 		return
@@ -59,13 +61,78 @@ func main() {
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.Contains(line, ";") && braceBalance(buf.String()) == 0 {
-			runSQL(cli, buf.String())
+			sess.run(buf.String())
 			buf.Reset()
 			fmt.Print("sql> ")
 		} else {
 			fmt.Print("...> ")
 		}
 	}
+}
+
+// session is the shell's connection: one wire client, redialed whenever a
+// cancelled statement poisons it.
+type session struct {
+	params monetlite.ConnParams
+	cli    *monetlite.Client
+}
+
+func (s *session) connect(ctx context.Context) error {
+	cli, err := monetlite.DialContext(ctx, s.params)
+	if err != nil {
+		return err
+	}
+	s.cli = cli
+	return nil
+}
+
+func (s *session) close() {
+	if s.cli != nil {
+		s.cli.Close()
+	}
+}
+
+// run executes one statement under a signal-scoped context: ^C cancels
+// just this statement, and keeps its default exit behavior while the shell
+// sits at the prompt. A cancelled statement leaves the connection
+// mid-protocol, so the next statement reconnects transparently.
+func (s *session) run(sql string) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	// Reset (not just Stop) so ^C at the prompt regains its default
+	// process-terminating behavior between statements.
+	defer signal.Reset(os.Interrupt)
+	defer signal.Stop(sig)
+	go func() {
+		select {
+		case <-sig:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	if s.cli == nil || s.cli.Broken() {
+		if s.cli != nil {
+			s.cli.Close()
+			fmt.Println("mclient: reconnecting after aborted statement")
+		}
+		if err := s.connect(ctx); err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+	}
+	msg, tbl, err := s.cli.Query(ctx, sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return false
+	}
+	if tbl != nil {
+		printTable(tbl)
+	}
+	fmt.Println(msg)
+	return true
 }
 
 // braceBalance counts unclosed UDF-body braces so multi-line CREATE
@@ -81,19 +148,6 @@ func braceBalance(s string) int {
 		}
 	}
 	return depth
-}
-
-func runSQL(cli *monetlite.Client, sql string) bool {
-	msg, tbl, err := cli.Query(sql)
-	if err != nil {
-		fmt.Println("error:", err)
-		return false
-	}
-	if tbl != nil {
-		printTable(tbl)
-	}
-	fmt.Println(msg)
-	return true
 }
 
 // printTable renders a result set with column-aligned ASCII borders, the

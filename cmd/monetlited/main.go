@@ -31,6 +31,7 @@ func main() {
 	persist := flag.String("persist", "", "snapshot file: restored at startup if present, written at shutdown")
 	tupleMode := flag.Bool("tuple-at-a-time", false, "use the tuple-at-a-time UDF processing model (paper §2.4)")
 	maxSteps := flag.Int64("max-udf-steps", 50_000_000, "interpreter step budget per UDF call (0 = unlimited)")
+	streamThreshold := flag.Int("stream-threshold", 1<<20, "encoded result size (bytes) above which v2 sessions get chunked streaming (negative streams everything)")
 	flag.Parse()
 
 	db := monetlite.NewDB()
@@ -64,6 +65,7 @@ func main() {
 
 	srv := monetlite.NewServer(*dbName, *user, *password, db)
 	srv.Logf = log.Printf
+	srv.StreamThreshold = *streamThreshold
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -73,7 +75,7 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	fmt.Println("\nmonetlited: shutting down")
+	fmt.Println("\nmonetlited: draining connections and shutting down")
 	if err := srv.Close(); err != nil {
 		log.Fatalf("close: %v", err)
 	}

@@ -1,6 +1,7 @@
 package devudf
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,46 +13,96 @@ import (
 	"repro/internal/wire"
 )
 
-// Client is a plugin session: an authenticated wire connection plus the
-// project workspace. It implements the import/export windows of Fig. 3 and
-// the local run/debug workflow of §2.1–2.3.
+// Client is a plugin session: a pooled set of authenticated wire
+// connections plus the project workspace. It implements the import/export
+// windows of Fig. 3 and the local run/debug workflow of §2.1–2.3. Every
+// server-touching method takes a context that cancels the underlying wire
+// operation.
 type Client struct {
 	Settings Settings
 	Project  *Project
 
-	wc *wire.Client
+	pool *wire.Pool
 }
 
-// Connect dials the database from the settings and opens the project in fs.
-func Connect(settings Settings, fs core.FS) (*Client, error) {
-	wc, err := wire.Dial(settings.Connection)
+// Open dials the database from the settings and opens the project
+// workspace. The returned client is backed by a bounded connection pool;
+// connectivity and credentials are verified eagerly with one checkout.
+func Open(ctx context.Context, settings Settings, opts ...Option) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := clientConfig{fs: core.OSFS{}, poolSize: 4}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.poolSize < 1 {
+		cfg.poolSize = 1
+	}
+	pool := wire.NewPool(settings.Connection, cfg.poolSize, cfg.dialOpts...)
+	wc, err := pool.Get(ctx)
 	if err != nil {
+		pool.Close()
 		return nil, err
 	}
+	pool.Put(wc)
 	return &Client{
 		Settings: settings,
-		Project:  OpenProject(fs, settings.ProjectDir),
-		wc:       wc,
+		Project:  OpenProject(cfg.fs, settings.ProjectDir),
+		pool:     pool,
 	}, nil
 }
 
-// Close closes the server connection.
-func (c *Client) Close() error { return c.wc.Close() }
+// Connect dials the database from the settings and opens the project in fs.
+//
+// Deprecated: use Open, which accepts a context and options.
+func Connect(settings Settings, fs core.FS) (*Client, error) {
+	return Open(context.Background(), settings, WithFS(fs))
+}
 
-// Wire exposes the underlying wire client (byte counters for benches).
-func (c *Client) Wire() *wire.Client { return c.wc }
+// Close closes the connection pool.
+func (c *Client) Close() error { return c.pool.Close() }
+
+// Pool exposes the underlying connection pool (stats for the benches,
+// direct checkouts for streaming consumers).
+func (c *Client) Pool() *wire.Pool { return c.pool }
 
 // Query runs raw SQL on the server (the mclient path).
-func (c *Client) Query(sql string) (string, *storage.Table, error) { return c.wc.Query(sql) }
+func (c *Client) Query(ctx context.Context, sql string) (string, *storage.Table, error) {
+	return c.pool.Query(ctx, sql)
+}
 
-// ListServerUDFs queries the server's meta tables for stored UDFs — the
-// population of the "Import UDFs" window (Fig. 3a).
-func (c *Client) ListServerUDFs() ([]UDFInfo, error) {
-	_, funcs, err := c.wc.Query(`SELECT id, name, func, language, is_table FROM sys.functions ORDER BY name`)
+// serverCatalog is one consistent snapshot of the server's UDF meta
+// tables: the Fig. 3a listing plus every function body, fetched with two
+// queries total so imports never re-read the catalog per UDF.
+type serverCatalog struct {
+	infos  []UDFInfo
+	bodies map[string]string // lower(name) → function body
+}
+
+func (sc *serverCatalog) find(name string) *UDFInfo {
+	for i := range sc.infos {
+		if strings.EqualFold(sc.infos[i].Name, name) {
+			return &sc.infos[i]
+		}
+	}
+	return nil
+}
+
+// has is the isUDF predicate for query analysis; bodies is already keyed
+// by lowercase name, so this stays O(1) per identifier probed.
+func (sc *serverCatalog) has(name string) bool {
+	_, ok := sc.bodies[strings.ToLower(name)]
+	return ok
+}
+
+// listServerUDFs pulls the whole UDF catalog in two meta queries.
+func (c *Client) listServerUDFs(ctx context.Context) (*serverCatalog, error) {
+	_, funcs, err := c.pool.Query(ctx, `SELECT id, name, func, language, is_table FROM sys.functions ORDER BY name`)
 	if err != nil {
 		return nil, err
 	}
-	_, args, err := c.wc.Query(`SELECT function_id, name, type, number, is_result FROM sys.function_args ORDER BY function_id, number`)
+	_, args, err := c.pool.Query(ctx, `SELECT function_id, name, type, number, is_result FROM sys.function_args ORDER BY function_id, number`)
 	if err != nil {
 		return nil, err
 	}
@@ -71,12 +122,13 @@ func (c *Client) ListServerUDFs() ([]UDFInfo, error) {
 				argRow{an.Strs[i], at.Strs[i], ir.Bools[i]})
 		}
 	}
-	var out []UDFInfo
+	cat := &serverCatalog{bodies: map[string]string{}}
 	if funcs == nil {
-		return out, nil
+		return cat, nil
 	}
 	id, _ := funcs.Column("id")
 	name, _ := funcs.Column("name")
+	body, _ := funcs.Column("func")
 	lang, _ := funcs.Column("language")
 	isTable, _ := funcs.Column("is_table")
 	for i := 0; i < funcs.NumRows(); i++ {
@@ -93,64 +145,47 @@ func (c *Client) ListServerUDFs() ([]UDFInfo, error) {
 				info.Params = append(info.Params, pi)
 			}
 		}
-		out = append(out, info)
+		cat.infos = append(cat.infos, info)
+		cat.bodies[strings.ToLower(info.Name)] = body.Strs[i]
 	}
-	return out, nil
+	return cat, nil
 }
 
-// fetchUDF pulls one UDF's metadata and body from the meta tables.
-func (c *Client) fetchUDF(name string) (UDFInfo, string, error) {
-	infos, err := c.ListServerUDFs()
-	if err != nil {
-		return UDFInfo{}, "", err
-	}
-	var found *UDFInfo
-	for i := range infos {
-		if strings.EqualFold(infos[i].Name, name) {
-			found = &infos[i]
-			break
-		}
-	}
-	if found == nil {
-		return UDFInfo{}, "", core.Errorf(core.KindName, "server has no UDF %q", name)
-	}
-	_, body, err := c.wc.Query(
-		"SELECT func FROM sys.functions WHERE name = " + sqlQuote(found.Name))
-	if err != nil {
-		return UDFInfo{}, "", err
-	}
-	if body == nil || body.NumRows() != 1 {
-		return UDFInfo{}, "", core.Errorf(core.KindProtocol, "unexpected meta result for %q", name)
-	}
-	col, err := body.Column("func")
-	if err != nil {
-		return UDFInfo{}, "", err
-	}
-	return *found, col.Strs[0], nil
-}
-
-func sqlQuote(s string) string { return "'" + strings.ReplaceAll(s, "'", "''") + "'" }
-
-// serverHasUDF is the isUDF predicate for query analysis.
-func (c *Client) serverHasUDF(infos []UDFInfo) func(string) bool {
-	set := map[string]bool{}
-	for _, i := range infos {
-		set[strings.ToLower(i.Name)] = true
-	}
-	return func(name string) bool { return set[strings.ToLower(name)] }
-}
-
-// ImportUDFs imports the named UDFs (Fig. 3a): it extracts each body from
-// the server's meta tables, applies the Listing 2 code transformation
-// (header synthesis + input-loading prologue) and writes the runnable
-// script into the project. Nested UDFs reachable through loopback queries
-// (§2.3) are imported transitively. It returns every imported name.
-func (c *Client) ImportUDFs(names ...string) ([]string, error) {
-	infos, err := c.ListServerUDFs()
+// ListServerUDFs queries the server's meta tables for stored UDFs — the
+// population of the "Import UDFs" window (Fig. 3a).
+func (c *Client) ListServerUDFs(ctx context.Context) ([]UDFInfo, error) {
+	cat, err := c.listServerUDFs(ctx)
 	if err != nil {
 		return nil, err
 	}
-	isUDF := c.serverHasUDF(infos)
+	return cat.infos, nil
+}
+
+// fetchUDF resolves one UDF's metadata and body from a catalog snapshot.
+func fetchUDF(cat *serverCatalog, name string) (UDFInfo, string, error) {
+	info := cat.find(name)
+	if info == nil {
+		return UDFInfo{}, "", core.Errorf(core.KindName, "server has no UDF %q", name)
+	}
+	body, ok := cat.bodies[strings.ToLower(info.Name)]
+	if !ok {
+		return UDFInfo{}, "", core.Errorf(core.KindProtocol, "unexpected meta result for %q", name)
+	}
+	return *info, body, nil
+}
+
+// ImportUDFs imports the named UDFs (Fig. 3a): it extracts each body from
+// a single snapshot of the server's meta tables, applies the Listing 2
+// code transformation (header synthesis + input-loading prologue) and
+// writes the runnable script into the project. Nested UDFs reachable
+// through loopback queries (§2.3) are imported transitively. It returns
+// every imported name.
+func (c *Client) ImportUDFs(ctx context.Context, names ...string) ([]string, error) {
+	cat, err := c.listServerUDFs(ctx)
+	if err != nil {
+		return nil, err
+	}
+	isUDF := func(name string) bool { return cat.has(name) }
 	var imported []string
 	seen := map[string]bool{}
 	queue := append([]string(nil), names...)
@@ -162,7 +197,7 @@ func (c *Client) ImportUDFs(names ...string) ([]string, error) {
 			continue
 		}
 		seen[key] = true
-		info, body, err := c.fetchUDF(name)
+		info, body, err := fetchUDF(cat, name)
 		if err != nil {
 			return imported, err
 		}
@@ -185,22 +220,22 @@ func (c *Client) ImportUDFs(names ...string) ([]string, error) {
 
 // ImportAll imports every UDF stored on the server (the "import all
 // functions" choice of Fig. 3a).
-func (c *Client) ImportAll() ([]string, error) {
-	infos, err := c.ListServerUDFs()
+func (c *Client) ImportAll(ctx context.Context) ([]string, error) {
+	cat, err := c.listServerUDFs(ctx)
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, len(infos))
-	for i, info := range infos {
+	names := make([]string, len(cat.infos))
+	for i, info := range cat.infos {
 		names[i] = info.Name
 	}
-	return c.ImportUDFs(names...)
+	return c.ImportUDFs(ctx, names...)
 }
 
 // ExportUDFs reverses the import transformation (Fig. 3b): it extracts the
 // (possibly edited) function body from each project file and commits it
 // back to the server with CREATE OR REPLACE FUNCTION.
-func (c *Client) ExportUDFs(names ...string) error {
+func (c *Client) ExportUDFs(ctx context.Context, names ...string) error {
 	for _, name := range names {
 		info, src, err := c.Project.LoadUDF(name)
 		if err != nil {
@@ -214,7 +249,7 @@ func (c *Client) ExportUDFs(names ...string) error {
 		if err != nil {
 			return err
 		}
-		if _, _, err := c.wc.Query(sql); err != nil {
+		if _, _, err := c.pool.Query(ctx, sql); err != nil {
 			return core.Errorf(core.KindRuntime, "export %s: %v", info.Name, err)
 		}
 	}
@@ -222,12 +257,12 @@ func (c *Client) ExportUDFs(names ...string) error {
 }
 
 // ExportAll exports every UDF in the project.
-func (c *Client) ExportAll() error {
+func (c *Client) ExportAll(ctx context.Context) error {
 	names, err := c.Project.List()
 	if err != nil {
 		return err
 	}
-	return c.ExportUDFs(names...)
+	return c.ExportUDFs(ctx, names...)
 }
 
 // createFunctionSQL renders CREATE OR REPLACE FUNCTION through the SQL AST
@@ -263,8 +298,12 @@ func createFunctionSQL(info UDFInfo, body string) (string, error) {
 
 // DescribeServerUDF renders one server UDF the way MonetDB's meta-table
 // listing in the paper's Listing 1 looks (name + body), for the CLI.
-func (c *Client) DescribeServerUDF(name string) (string, error) {
-	info, body, err := c.fetchUDF(name)
+func (c *Client) DescribeServerUDF(ctx context.Context, name string) (string, error) {
+	cat, err := c.listServerUDFs(ctx)
+	if err != nil {
+		return "", err
+	}
+	info, body, err := fetchUDF(cat, name)
 	if err != nil {
 		return "", err
 	}

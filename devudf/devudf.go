@@ -75,6 +75,33 @@ func DefaultSettings() Settings {
 	}
 }
 
+// clientConfig collects the Open options.
+type clientConfig struct {
+	fs       core.FS
+	poolSize int
+	dialOpts []wire.DialOption
+}
+
+// Option customizes Open.
+type Option func(*clientConfig)
+
+// WithFS selects the file system the project workspace lives in. Default:
+// the process file system (core.OSFS).
+func WithFS(fs core.FS) Option {
+	return func(c *clientConfig) { c.fs = fs }
+}
+
+// WithPoolSize bounds the client's connection pool (default 4).
+func WithPoolSize(n int) Option {
+	return func(c *clientConfig) { c.poolSize = n }
+}
+
+// WithDialOptions forwards wire-level dial options (timeouts, keepalive,
+// logger, protocol version) to every pooled connection.
+func WithDialOptions(opts ...wire.DialOption) Option {
+	return func(c *clientConfig) { c.dialOpts = append(c.dialOpts, opts...) }
+}
+
 // SaveSettings persists settings as JSON in fs.
 func SaveSettings(fs core.FS, s Settings) error {
 	data, err := json.MarshalIndent(s, "", "  ")
@@ -85,11 +112,15 @@ func SaveSettings(fs core.FS, s Settings) error {
 }
 
 // LoadSettings reads settings from fs, returning defaults when no file
-// exists yet.
+// exists yet. Any other read failure (permissions, IO) is surfaced rather
+// than silently masked by defaults.
 func LoadSettings(fs core.FS) (Settings, error) {
 	data, err := fs.ReadFile(settingsFile)
 	if err != nil {
-		return DefaultSettings(), nil
+		if core.IsNotExist(err) {
+			return DefaultSettings(), nil
+		}
+		return Settings{}, core.Wrapf(core.KindIO, err, "read settings: %v", err)
 	}
 	var s Settings
 	if err := json.Unmarshal(data, &s); err != nil {

@@ -1,6 +1,7 @@
 package devudf
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,6 +35,9 @@ deviation = distance / len(column)
 return deviation`
 
 // startServer boots an in-process server with the demo schema.
+// ctx is the background context shared by the v2 API calls in these tests.
+var ctx = context.Background()
+
 func startServer(t *testing.T, setup ...string) (monetlite.ConnParams, *monetlite.DB) {
 	t.Helper()
 	db := monetlite.NewDB()
@@ -78,7 +82,7 @@ func newClient(t *testing.T, params monetlite.ConnParams, query string) *Client 
 	settings := DefaultSettings()
 	settings.Connection = params
 	settings.DebugQuery = query
-	c, err := Connect(settings, core.NewMemFS(nil))
+	c, err := Open(context.Background(), settings, WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +122,7 @@ func TestListAndImport(t *testing.T) {
 		buggyMeanDeviation,
 	)
 	c := newClient(t, params, `SELECT mean_deviation(i) FROM numbers`)
-	infos, err := c.ListServerUDFs()
+	infos, err := c.ListServerUDFs(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +132,7 @@ func TestListAndImport(t *testing.T) {
 	if len(infos[0].Params) != 1 || infos[0].Params[0].Type != "INTEGER" {
 		t.Fatalf("params: %+v", infos[0].Params)
 	}
-	imported, err := c.ImportUDFs("mean_deviation")
+	imported, err := c.ImportUDFs(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,12 +169,12 @@ func TestFullScenarioA(t *testing.T) {
 		buggyMeanDeviation,
 	)
 	c := newClient(t, params, `SELECT mean_deviation(i) FROM numbers`)
-	if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
 
 	// 1. extract the input data (full, uncompressed)
-	info, err := c.ExtractInputs("mean_deviation")
+	info, err := c.ExtractInputs(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +183,7 @@ func TestFullScenarioA(t *testing.T) {
 	}
 
 	// 2. reproduce the wrong answer locally
-	res, err := c.RunLocal("mean_deviation")
+	res, err := c.RunLocal(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +192,7 @@ func TestFullScenarioA(t *testing.T) {
 	}
 
 	// 3. debug: breakpoint in the accumulation loop, watch distance
-	sess, err := c.NewDebugSession("mean_deviation", false)
+	sess, err := c.NewDebugSession(ctx, "mean_deviation", false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +224,7 @@ func TestFullScenarioA(t *testing.T) {
 	}
 
 	// 5. confirm locally on the already-extracted data — no server round trip
-	res, err = c.RunLocal("mean_deviation")
+	res, err = c.RunLocal(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,10 +233,10 @@ func TestFullScenarioA(t *testing.T) {
 	}
 
 	// 6. export back and verify on the server
-	if err := c.ExportUDFs("mean_deviation"); err != nil {
+	if err := c.ExportUDFs(ctx, "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
-	_, tbl, err := c.Query(`SELECT mean_deviation(i) AS md FROM numbers`)
+	_, tbl, err := c.Query(ctx, `SELECT mean_deviation(i) AS md FROM numbers`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,10 +269,10 @@ func TestExtractWithSamplingCompressionEncryption(t *testing.T) {
 	c.Settings.Transfer.Encrypt = true
 	c.Settings.Transfer.SampleSize = 100
 	c.Settings.Transfer.Seed = 7
-	if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.ExtractInputs("mean_deviation")
+	info, err := c.ExtractInputs(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +283,7 @@ func TestExtractWithSamplingCompressionEncryption(t *testing.T) {
 		t.Fatalf("flags: %+v", info)
 	}
 	// the sampled input is runnable
-	res, err := c.RunLocal("mean_deviation")
+	res, err := c.RunLocal(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +353,7 @@ RETURNS TABLE(clf BLOB, n_estimators INTEGER) LANGUAGE PYTHON {
 };`,
 	)
 	c := newClient(t, params, `SELECT * FROM find_best_classifier(3)`)
-	imported, err := c.ImportUDFs("find_best_classifier")
+	imported, err := c.ImportUDFs(ctx, "find_best_classifier")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,10 +364,10 @@ RETURNS TABLE(clf BLOB, n_estimators INTEGER) LANGUAGE PYTHON {
 	if !c.Project.Has("train_rnforest") {
 		t.Fatal("train_rnforest missing from project")
 	}
-	if _, err := c.ExtractInputs("find_best_classifier"); err != nil {
+	if _, err := c.ExtractInputs(ctx, "find_best_classifier"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.RunLocal("find_best_classifier")
+	res, err := c.RunLocal(ctx, "find_best_classifier")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,13 +384,13 @@ RETURNS TABLE(clf BLOB, n_estimators INTEGER) LANGUAGE PYTHON {
 func TestExportRequiresImport(t *testing.T) {
 	params, _ := startServer(t)
 	c := newClient(t, params, "")
-	if err := c.ExportUDFs("ghost"); err == nil {
+	if err := c.ExportUDFs(ctx, "ghost"); err == nil {
 		t.Fatal("exporting a non-imported UDF should fail")
 	}
-	if _, err := c.ExtractInputs("ghost"); err == nil {
+	if _, err := c.ExtractInputs(ctx, "ghost"); err == nil {
 		t.Fatal("extracting for a non-imported UDF should fail")
 	}
-	if _, err := c.RunLocal("ghost"); err == nil {
+	if _, err := c.RunLocal(ctx, "ghost"); err == nil {
 		t.Fatal("running a non-imported UDF should fail")
 	}
 }
@@ -394,10 +398,10 @@ func TestExportRequiresImport(t *testing.T) {
 func TestExtractRequiresDebugQuery(t *testing.T) {
 	params, _ := startServer(t, buggyMeanDeviation)
 	c := newClient(t, params, "")
-	if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.ExtractInputs("mean_deviation"); err == nil {
+	if _, err := c.ExtractInputs(ctx, "mean_deviation"); err == nil {
 		t.Fatal("missing debug query should fail with a helpful error")
 	}
 }
@@ -408,7 +412,7 @@ func TestImportAllAndVCS(t *testing.T) {
 		`CREATE FUNCTION b(y DOUBLE) RETURNS DOUBLE LANGUAGE PYTHON { return y }`,
 	)
 	c := newClient(t, params, "")
-	imported, err := c.ImportAll()
+	imported, err := c.ImportAll(ctx)
 	if err != nil || len(imported) != 2 {
 		t.Fatalf("import all: %v %v", imported, err)
 	}
@@ -441,7 +445,7 @@ func TestImportAllAndVCS(t *testing.T) {
 func TestWriteLocalInputsQuickstart(t *testing.T) {
 	params, _ := startServer(t, buggyMeanDeviation)
 	c := newClient(t, params, "")
-	if _, err := c.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := c.ImportUDFs(ctx, "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
 	err := c.WriteLocalInputs("mean_deviation", map[string]script.Value{
@@ -450,7 +454,7 @@ func TestWriteLocalInputsQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.RunLocal("mean_deviation")
+	res, err := c.RunLocal(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -466,7 +470,7 @@ func TestWriteLocalInputsQuickstart(t *testing.T) {
 func TestDescribeServerUDF(t *testing.T) {
 	params, _ := startServer(t, buggyMeanDeviation)
 	c := newClient(t, params, "")
-	desc, err := c.DescribeServerUDF("mean_deviation")
+	desc, err := c.DescribeServerUDF(ctx, "mean_deviation")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -475,7 +479,7 @@ func TestDescribeServerUDF(t *testing.T) {
 		!strings.Contains(desc, "distance += column[i] - mean") {
 		t.Fatalf("describe:\n%s", desc)
 	}
-	if _, err := c.DescribeServerUDF("nope"); err == nil {
+	if _, err := c.DescribeServerUDF(ctx, "nope"); err == nil {
 		t.Fatal("unknown UDF should fail")
 	}
 }

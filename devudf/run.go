@@ -2,6 +2,7 @@ package devudf
 
 import (
 	"bytes"
+	"context"
 	"strings"
 
 	"repro/internal/core"
@@ -30,7 +31,7 @@ type ExtractInfo struct {
 // with the connection password, and stores the UDF's input parameters as
 // the project's input.bin (paper §2.2). The target UDF must already be
 // imported.
-func (c *Client) ExtractInputs(udfName string) (*ExtractInfo, error) {
+func (c *Client) ExtractInputs(ctx context.Context, udfName string) (*ExtractInfo, error) {
 	if c.Settings.DebugQuery == "" {
 		return nil, core.Errorf(core.KindConstraint,
 			"no debug query configured in settings (the SQL query which executes the to-be-debugged UDF)")
@@ -43,7 +44,7 @@ func (c *Client) ExtractInputs(udfName string) (*ExtractInfo, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, t, err := c.wc.Query(rewritten)
+	_, t, err := c.pool.Query(ctx, rewritten)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +89,7 @@ type RunResult struct {
 // RunLocal executes an imported UDF's generated script locally — the
 // Listing 2 flow: the prologue loads input.bin and calls the function. Run
 // ExtractInputs (or WriteLocalInputs) first.
-func (c *Client) RunLocal(udfName string) (*RunResult, error) {
+func (c *Client) RunLocal(ctx context.Context, udfName string) (*RunResult, error) {
 	info, src, err := c.Project.LoadUDF(udfName)
 	if err != nil {
 		return nil, err
@@ -102,7 +103,7 @@ func (c *Client) RunLocal(udfName string) (*RunResult, error) {
 	in.FS = c.Project.FS()
 	in.Stdout = &out
 	globals := in.NewGlobals()
-	globals.Set("_conn", c.localConn(in))
+	globals.Set("_conn", c.localConn(ctx, in))
 	if err := in.RunInEnv(mod, globals); err != nil {
 		return &RunResult{Stdout: out.String(), Steps: in.Steps()}, err
 	}
@@ -116,7 +117,7 @@ func (c *Client) RunLocal(udfName string) (*RunResult, error) {
 // NewDebugSession builds an interactive debug session over an imported
 // UDF's generated script (the "Debug" command of §2.1). The session runs
 // the same prologue as RunLocal, with _conn available for loopback.
-func (c *Client) NewDebugSession(udfName string, stopOnEntry bool) (*DebugSession, error) {
+func (c *Client) NewDebugSession(ctx context.Context, udfName string, stopOnEntry bool) (*DebugSession, error) {
 	info, src, err := c.Project.LoadUDF(udfName)
 	if err != nil {
 		return nil, err
@@ -131,7 +132,7 @@ func (c *Client) NewDebugSession(udfName string, stopOnEntry bool) (*DebugSessio
 			in.FS = c.Project.FS()
 		},
 	})
-	sess.SetGlobal("_conn", c.localConn(sess.Interp()))
+	sess.SetGlobal("_conn", c.localConn(ctx, sess.Interp()))
 	return sess, nil
 }
 
@@ -141,7 +142,7 @@ func (c *Client) NewDebugSession(udfName string, stopOnEntry bool) (*DebugSessio
 // executed locally — the shim extracts that nested UDF's input data from
 // the server (reusing the §2.2 rewrite) and invokes the local, possibly
 // edited, definition. Everything else is forwarded to the server.
-func (c *Client) localConn(in *script.Interp) *script.ObjectVal {
+func (c *Client) localConn(ctx context.Context, in *script.Interp) *script.ObjectVal {
 	obj := script.NewObject("connection")
 	obj.Methods["execute"] = func(callIn *script.Interp, args []script.Value, _ map[string]script.Value) (script.Value, error) {
 		if len(args) != 1 {
@@ -154,9 +155,9 @@ func (c *Client) localConn(in *script.Interp) *script.ObjectVal {
 		sql := string(sqlV)
 		names, err := transform.FindUDFCalls(sql, c.Project.Has)
 		if err == nil && len(names) > 0 {
-			return c.runNestedLocally(callIn, sql, names[0])
+			return c.runNestedLocally(ctx, callIn, sql, names[0])
 		}
-		_, t, err := c.wc.Query(sql)
+		_, t, err := c.pool.Query(ctx, sql)
 		if err != nil {
 			return nil, err
 		}
@@ -171,7 +172,7 @@ func (c *Client) localConn(in *script.Interp) *script.ObjectVal {
 // runNestedLocally executes one nested UDF call locally: extract the
 // nested UDF's inputs from the server, call the local definition, shape
 // the result like a loopback result dict.
-func (c *Client) runNestedLocally(in *script.Interp, sql, udfName string) (script.Value, error) {
+func (c *Client) runNestedLocally(ctx context.Context, in *script.Interp, sql, udfName string) (script.Value, error) {
 	info, src, err := c.Project.LoadUDF(udfName)
 	if err != nil {
 		return nil, err
@@ -180,7 +181,7 @@ func (c *Client) runNestedLocally(in *script.Interp, sql, udfName string) (scrip
 	if err != nil {
 		return nil, err
 	}
-	_, t, err := c.wc.Query(rewritten)
+	_, t, err := c.pool.Query(ctx, rewritten)
 	if err != nil {
 		return nil, err
 	}
@@ -210,7 +211,7 @@ func (c *Client) runNestedLocally(in *script.Interp, sql, udfName string) (scrip
 		return nil, core.Errorf(core.KindRuntime, "nested UDF %s did not define itself", info.Name)
 	}
 	// nested UDFs may themselves use _conn
-	env.Set("_conn", c.localConn(in))
+	env.Set("_conn", c.localConn(ctx, in))
 	callArgs := make([]script.Value, len(info.Params))
 	for i, p := range info.Params {
 		v, ok := params.GetStr(p.Name)
@@ -265,18 +266,18 @@ func (c *Client) WriteLocalInputs(udfName string, params map[string]script.Value
 // workflow for comparison (§1): re-CREATE the function on the server with
 // a new body and re-run the debug query remotely. The efficiency bench E4
 // pits this against the devUDF extract-once / iterate-locally loop.
-func (c *Client) TraditionalCycle(info UDFInfo, body string) (*storage.Table, error) {
+func (c *Client) TraditionalCycle(ctx context.Context, info UDFInfo, body string) (*storage.Table, error) {
 	sql, err := createFunctionSQL(info, body)
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := c.wc.Query(sql); err != nil {
+	if _, _, err := c.pool.Query(ctx, sql); err != nil {
 		return nil, err
 	}
 	if c.Settings.DebugQuery == "" {
 		return nil, core.Errorf(core.KindConstraint, "no debug query configured")
 	}
-	_, t, err := c.wc.Query(c.Settings.DebugQuery)
+	_, t, err := c.pool.Query(ctx, c.Settings.DebugQuery)
 	if err != nil {
 		return nil, err
 	}

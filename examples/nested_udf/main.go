@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -22,6 +23,9 @@ import (
 	"repro/internal/script"
 	"repro/monetlite"
 )
+
+// ctx is the background context the example threads through the v2 API.
+var ctx = context.Background()
 
 func main() {
 	setup := []string{
@@ -48,24 +52,24 @@ func main() {
 	settings := devudf.DefaultSettings()
 	settings.Connection = fx.Params
 	settings.DebugQuery = `SELECT * FROM find_best_classifier(4)`
-	client, err := devudf.Connect(settings, core.NewMemFS(nil))
+	client, err := devudf.Open(ctx, settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
-	imported, err := client.ImportUDFs("find_best_classifier")
+	imported, err := client.ImportUDFs(ctx, "find_best_classifier")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("imported %s — train_rnforest was discovered inside the\n", strings.Join(imported, " and "))
 	fmt.Println("loopback query and imported transitively")
 
-	if _, err := client.ExtractInputs("find_best_classifier"); err != nil {
+	if _, err := client.ExtractInputs(ctx, "find_best_classifier"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\n== local run: nested UDF executes locally ==")
-	local, err := client.RunLocal("find_best_classifier")
+	local, err := client.RunLocal(ctx, "find_best_classifier")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +78,7 @@ func main() {
 	fmt.Println("best n_estimators computed locally:", best.Repr())
 
 	fmt.Println("\n== debug into the nested call ==")
-	sess, err := client.NewDebugSession("find_best_classifier", false)
+	sess, err := client.NewDebugSession(ctx, "find_best_classifier", false)
 	if err != nil {
 		log.Fatal(err)
 	}

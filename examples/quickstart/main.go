@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,6 +17,9 @@ import (
 	"repro/internal/core"
 	"repro/monetlite"
 )
+
+// ctx is the background context the example threads through the v2 API.
+var ctx = context.Background()
 
 func main() {
 	// 1. A running database server with data and a stored UDF.
@@ -52,14 +56,14 @@ func main() {
 	settings.DebugQuery = `SELECT spread(v) FROM measurements`
 	settings.Transfer.Compress = true
 
-	client, err := devudf.Connect(settings, core.NewMemFS(nil))
+	client, err := devudf.Open(ctx, settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
 	// 3. Import the UDF out of the server's meta tables (Fig. 3a).
-	imported, err := client.ImportUDFs("spread")
+	imported, err := client.ImportUDFs(ctx, "spread")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,13 +73,13 @@ func main() {
 	fmt.Println(indent(src))
 
 	// 4. Extract the UDF's input data and run locally.
-	info, err := client.ExtractInputs("spread")
+	info, err := client.ExtractInputs(ctx, "spread")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("extracted %d rows (%d payload bytes, compressed=%v)\n",
 		info.SampleRows, info.PayloadBytes, info.Compressed)
-	res, err := client.RunLocal("spread")
+	res, err := client.RunLocal(ctx, "spread")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,12 +93,12 @@ return vals[n - 2] - vals[1]`)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err = client.RunLocal("spread")
+	res, err = client.RunLocal(ctx, "spread")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("edited local result (outliers trimmed):", res.Value.Repr())
-	if err := client.ExportUDFs("spread"); err != nil {
+	if err := client.ExportUDFs(ctx, "spread"); err != nil {
 		log.Fatal(err)
 	}
 

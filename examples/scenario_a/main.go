@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -21,6 +22,9 @@ import (
 	"repro/internal/core"
 	"repro/monetlite"
 )
+
+// ctx is the background context the example threads through the v2 API.
+var ctx = context.Background()
 
 func main() {
 	fx, err := bench.StartServer(
@@ -48,16 +52,16 @@ func main() {
 	settings := devudf.DefaultSettings()
 	settings.Connection = fx.Params
 	settings.DebugQuery = `SELECT mean_deviation(i) FROM numbers`
-	client, err := devudf.Connect(settings, core.NewMemFS(nil))
+	client, err := devudf.Open(ctx, settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
 
-	if _, err := client.ImportUDFs("mean_deviation"); err != nil {
+	if _, err := client.ImportUDFs(ctx, "mean_deviation"); err != nil {
 		log.Fatal(err)
 	}
-	info, err := client.ExtractInputs("mean_deviation")
+	info, err := client.ExtractInputs(ctx, "mean_deviation")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,7 +70,7 @@ func main() {
 	// Interactive debugging: break on the accumulation line and watch the
 	// 'distance' accumulator go negative — impossible for a sum of
 	// absolute deviations.
-	sess, err := client.NewDebugSession("mean_deviation", false)
+	sess, err := client.NewDebugSession(ctx, "mean_deviation", false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,12 +97,12 @@ func main() {
 	if err := client.EditBody("mean_deviation", bench.MeanDeviationFixedBody); err != nil {
 		log.Fatal(err)
 	}
-	local, err := client.RunLocal("mean_deviation")
+	local, err := client.RunLocal(ctx, "mean_deviation")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("fixed, local verification:", local.Value.Repr())
-	if err := client.ExportUDFs("mean_deviation"); err != nil {
+	if err := client.ExportUDFs(ctx, "mean_deviation"); err != nil {
 		log.Fatal(err)
 	}
 	res, err = conn.Exec(`SELECT mean_deviation(i) FROM numbers`)

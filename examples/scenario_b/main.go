@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -19,6 +20,9 @@ import (
 	"repro/internal/core"
 	"repro/monetlite"
 )
+
+// ctx is the background context the example threads through the v2 API.
+var ctx = context.Background()
 
 func main() {
 	// Three CSV files of integers; c.csv carries the value that changes
@@ -59,19 +63,19 @@ func main() {
 		"csvs/b.csv": "4\n5\n",
 		"csvs/c.csv": "100\n",
 	})
-	client, err := devudf.Connect(settings, projectFS)
+	client, err := devudf.Open(ctx, settings, devudf.WithFS(projectFS))
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	if _, err := client.ImportUDFs("loadNumbers"); err != nil {
+	if _, err := client.ImportUDFs(ctx, "loadNumbers"); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := client.ExtractInputs("loadNumbers"); err != nil {
+	if _, err := client.ExtractInputs(ctx, "loadNumbers"); err != nil {
 		log.Fatal(err)
 	}
 
-	sess, err := client.NewDebugSession("loadNumbers", false)
+	sess, err := client.NewDebugSession(ctx, "loadNumbers", false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,12 +111,12 @@ return result`
 	if err := client.EditBody("loadNumbers", fixed); err != nil {
 		log.Fatal(err)
 	}
-	local, err := client.RunLocal("loadNumbers")
+	local, err := client.RunLocal(ctx, "loadNumbers")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("\nfixed, local verification returns", local.Value.Repr())
-	if err := client.ExportUDFs("loadNumbers"); err != nil {
+	if err := client.ExportUDFs(ctx, "loadNumbers"); err != nil {
 		log.Fatal(err)
 	}
 	res, err = conn.Exec(`SELECT COUNT(*) AS n, SUM(i) AS total FROM loadNumbers('csvs')`)

@@ -4,7 +4,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
@@ -58,6 +60,10 @@ func (k ErrorKind) String() string {
 type Error struct {
 	Kind ErrorKind
 	Msg  string
+	// Err is the wrapped cause, when there is one; it is preserved for
+	// errors.Is/As (e.g. context.Canceled, fs.ErrNotExist) but does not
+	// travel over the wire.
+	Err error
 }
 
 // Errorf constructs an *Error with fmt-style formatting.
@@ -65,7 +71,20 @@ func Errorf(kind ErrorKind, format string, args ...any) *Error {
 	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...)}
 }
 
+// Wrapf constructs an *Error that wraps cause, so errors.Is/As see through
+// it while the kind/message still classify it for the wire and the CLI.
+func Wrapf(kind ErrorKind, cause error, format string, args ...any) *Error {
+	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...), Err: cause}
+}
+
 func (e *Error) Error() string { return e.Kind.String() + " error: " + e.Msg }
+
+// Unwrap exposes the wrapped cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// IsNotExist reports whether err stems from a missing file, across both the
+// OS-backed and the in-memory FS implementations.
+func IsNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
 
 // KindOf extracts the ErrorKind from err, or KindUnknown when err is not a
 // *core.Error.
@@ -125,7 +144,7 @@ func (o OSFS) path(name string) string {
 func (o OSFS) ReadFile(name string) ([]byte, error) {
 	b, err := os.ReadFile(o.path(name))
 	if err != nil {
-		return nil, Errorf(KindIO, "%v", err)
+		return nil, Wrapf(KindIO, err, "%v", err)
 	}
 	return b, nil
 }
@@ -134,7 +153,7 @@ func (o OSFS) ReadFile(name string) ([]byte, error) {
 func (o OSFS) ListDir(dir string) ([]string, error) {
 	ents, err := os.ReadDir(o.path(dir))
 	if err != nil {
-		return nil, Errorf(KindIO, "%v", err)
+		return nil, Wrapf(KindIO, err, "%v", err)
 	}
 	names := make([]string, 0, len(ents))
 	for _, e := range ents {
@@ -183,7 +202,7 @@ func (m *MemFS) ReadFile(name string) ([]byte, error) {
 	defer m.mu.RUnlock()
 	b, ok := m.files[normalize(name)]
 	if !ok {
-		return nil, Errorf(KindIO, "no such file: %s", name)
+		return nil, Wrapf(KindIO, fs.ErrNotExist, "no such file: %s", name)
 	}
 	out := make([]byte, len(b))
 	copy(out, b)
@@ -210,7 +229,7 @@ func (m *MemFS) ListDir(dir string) ([]string, error) {
 		seen[rest] = true
 	}
 	if len(seen) == 0 {
-		return nil, Errorf(KindIO, "no such directory: %s", dir)
+		return nil, Wrapf(KindIO, fs.ErrNotExist, "no such directory: %s", dir)
 	}
 	names := make([]string, 0, len(seen))
 	for n := range seen {

@@ -68,6 +68,15 @@ func NewDB() *DB {
 	}
 }
 
+// RegisterTable installs a pre-built table into the catalog under the
+// database lock — the bulk-load path for data generators and tests whose
+// volumes would be impractical to feed through INSERT statements.
+func (db *DB) RegisterTable(t *storage.Table) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cat.CreateTable(t)
+}
+
 // Conn is a session: credentials plus the database handle. The wire server
 // creates one per authenticated client; the encryption option of the
 // extract function derives its key from the session password.

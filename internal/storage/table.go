@@ -40,6 +40,72 @@ func (t *Table) NumRows() int {
 	return t.Cols[0].Len()
 }
 
+// SliceRows returns a view table holding rows [lo, hi) of t. Column slices
+// alias t's backing arrays — the view must not be appended to or mutated.
+// The wire protocol uses it to batch large result sets into chunks.
+func (t *Table) SliceRows(lo, hi int) *Table {
+	out := &Table{Name: t.Name, Cols: make([]*Column, len(t.Cols))}
+	for i, c := range t.Cols {
+		sc := &Column{Name: c.Name, Typ: c.Typ}
+		switch c.Typ {
+		case TInt:
+			sc.Ints = c.Ints[lo:hi]
+		case TFloat:
+			sc.Flts = c.Flts[lo:hi]
+		case TStr:
+			sc.Strs = c.Strs[lo:hi]
+		case TBool:
+			sc.Bools = c.Bools[lo:hi]
+		case TBlob:
+			sc.Blobs = c.Blobs[lo:hi]
+		}
+		if c.Nulls != nil {
+			sc.Nulls = c.Nulls[lo:hi]
+		}
+		out.Cols[i] = sc
+	}
+	return out
+}
+
+// AppendTable appends all rows of o (which must have the same schema) to t.
+// The streaming client uses it to reassemble chunked result sets.
+func (t *Table) AppendTable(o *Table) error {
+	if len(o.Cols) != len(t.Cols) {
+		return core.Errorf(core.KindConstraint,
+			"cannot append %d-column batch to %d-column table", len(o.Cols), len(t.Cols))
+	}
+	for i, c := range t.Cols {
+		oc := o.Cols[i]
+		if oc.Typ != c.Typ {
+			return core.Errorf(core.KindConstraint,
+				"column %s: type mismatch appending batch", c.Name)
+		}
+		if oc.Nulls != nil && c.Nulls == nil {
+			c.Nulls = make([]bool, c.Len())
+		}
+		switch c.Typ {
+		case TInt:
+			c.Ints = append(c.Ints, oc.Ints...)
+		case TFloat:
+			c.Flts = append(c.Flts, oc.Flts...)
+		case TStr:
+			c.Strs = append(c.Strs, oc.Strs...)
+		case TBool:
+			c.Bools = append(c.Bools, oc.Bools...)
+		case TBlob:
+			c.Blobs = append(c.Blobs, oc.Blobs...)
+		}
+		if c.Nulls != nil {
+			if oc.Nulls != nil {
+				c.Nulls = append(c.Nulls, oc.Nulls...)
+			} else {
+				c.Nulls = append(c.Nulls, make([]bool, oc.Len())...)
+			}
+		}
+	}
+	return nil
+}
+
 // Column returns the column with the given (case-insensitive) name.
 func (t *Table) Column(name string) (*Column, error) {
 	for _, c := range t.Cols {

@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"context"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -49,55 +51,157 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
-// Client is a connected, authenticated database session.
+// Client is a connected, authenticated database session. A Client is not
+// safe for concurrent use; Pool hands out Clients one checkout at a time.
 type Client struct {
-	params ConnParams
-	nc     net.Conn
+	params  ConnParams
+	nc      net.Conn
+	cfg     dialConfig
+	version byte        // negotiated protocol version
+	broken  atomic.Bool // protocol desync (cancellation, IO error): do not reuse
 	// BytesRead counts payload bytes received, for the transfer benches.
 	BytesRead int64
 	// BytesWritten counts payload bytes sent.
 	BytesWritten int64
+	// poolCountedRead/Written are the Pool's accounting high-water marks.
+	poolCountedRead    int64
+	poolCountedWritten int64
 }
 
-// Dial connects and authenticates.
-func Dial(p ConnParams) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", p.Addr(), 10*time.Second)
-	if err != nil {
-		return nil, core.Errorf(core.KindIO, "connect %s: %v", p.Addr(), err)
+// DialContext connects and authenticates, negotiating the protocol version.
+// The context governs the TCP connect and the handshake; cancelling it
+// afterwards has no effect on the connection.
+func DialContext(ctx context.Context, p ConnParams, opts ...DialOption) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	c := &Client{params: p, nc: nc}
-	if err := c.send(MsgAuth, EncodeAuth(p.User, p.Password, p.Database)); err != nil {
+	cfg := defaultDialConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	d := net.Dialer{Timeout: cfg.dialTimeout, KeepAlive: cfg.keepAlive}
+	nc, err := d.DialContext(ctx, "tcp", p.Addr())
+	if err != nil {
+		return nil, core.Wrapf(core.KindIO, err, "connect %s: %v", p.Addr(), err)
+	}
+	c := &Client{params: p, nc: nc, cfg: cfg, version: ProtoV1}
+	if err := c.handshake(ctx); err != nil {
 		nc.Close()
 		return nil, err
+	}
+	c.logf("wire: connected to %s (proto v%d)", p.Addr(), c.version)
+	return c, nil
+}
+
+// Dial connects and authenticates with default options.
+//
+// Deprecated: use DialContext, which supports cancellation and options.
+func Dial(p ConnParams) (*Client, error) {
+	return DialContext(context.Background(), p)
+}
+
+func (c *Client) handshake(ctx context.Context) error {
+	stop := c.watch(ctx)
+	err := c.handshakeLocked()
+	if werr := stop(); werr != nil {
+		return werr
+	}
+	return err
+}
+
+func (c *Client) handshakeLocked() error {
+	p := c.params
+	if err := c.send(MsgAuth, EncodeAuth(p.User, p.Password, p.Database, c.cfg.version)); err != nil {
+		return err
 	}
 	typ, payload, err := c.recv()
 	if err != nil {
-		nc.Close()
-		return nil, err
+		return err
 	}
 	switch typ {
 	case MsgAuthOK:
-		return c, nil
+		_, ver, err := DecodeAuthOK(payload)
+		if err != nil {
+			return err
+		}
+		if ver > c.cfg.version {
+			ver = c.cfg.version
+		}
+		c.version = ver
+		return nil
 	case MsgErr:
-		nc.Close()
-		return nil, DecodeError(payload)
+		return DecodeError(payload)
 	default:
-		nc.Close()
-		return nil, core.Errorf(core.KindProtocol, "unexpected handshake reply %d", typ)
+		return core.Errorf(core.KindProtocol, "unexpected handshake reply %d", typ)
 	}
 }
 
 // Params returns the connection parameters this client was dialed with.
 func (c *Client) Params() ConnParams { return c.params }
 
+// ProtoVersion returns the negotiated protocol version.
+func (c *Client) ProtoVersion() byte { return c.version }
+
+// Broken reports whether the connection is protocol-desynced (a cancelled
+// in-flight operation, an IO error) and must not be reused. Pool discards
+// broken connections at checkin.
+func (c *Client) Broken() bool { return c.broken.Load() }
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.logf != nil {
+		c.cfg.logf(format, args...)
+	}
+}
+
+// watch arms a watchdog that unblocks pending socket IO when ctx is
+// cancelled, by forcing an immediate deadline. The returned stop function
+// disarms it and reports the context error, if it fired.
+func (c *Client) watch(ctx context.Context) (stop func() error) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() error { return nil }
+	}
+	stopCh := make(chan struct{})
+	doneCh := make(chan struct{})
+	go func() {
+		defer close(doneCh)
+		select {
+		case <-ctx.Done():
+			// The connection is now mid-protocol; poison it so a pool
+			// never hands it out again.
+			c.broken.Store(true)
+			_ = c.nc.SetDeadline(time.Now())
+		case <-stopCh:
+		}
+	}()
+	return func() error {
+		close(stopCh)
+		<-doneCh
+		if err := ctx.Err(); err != nil {
+			return core.Wrapf(core.KindIO, err, "operation aborted: %v", err)
+		}
+		return nil
+	}
+}
+
 func (c *Client) send(typ byte, payload []byte) error {
+	if c.cfg.writeTimeout > 0 {
+		_ = c.nc.SetWriteDeadline(time.Now().Add(c.cfg.writeTimeout))
+	}
 	c.BytesWritten += int64(len(payload)) + 5
-	return WriteFrame(c.nc, typ, payload)
+	if err := WriteFrame(c.nc, typ, payload); err != nil {
+		c.broken.Store(true)
+		return err
+	}
+	return nil
 }
 
 func (c *Client) recv() (byte, []byte, error) {
+	if c.cfg.readTimeout > 0 {
+		_ = c.nc.SetReadDeadline(time.Now().Add(c.cfg.readTimeout))
+	}
 	typ, payload, err := ReadFrame(c.nc)
 	if err != nil {
+		c.broken.Store(true)
 		return 0, nil, err
 	}
 	c.BytesRead += int64(len(payload)) + 5
@@ -105,30 +209,137 @@ func (c *Client) recv() (byte, []byte, error) {
 }
 
 // Query executes SQL on the server and returns the status message and the
-// result table (nil for statements without one).
-func (c *Client) Query(sql string) (string, *storage.Table, error) {
-	if err := c.send(MsgQuery, []byte(sql)); err != nil {
-		return "", nil, err
-	}
-	typ, payload, err := c.recv()
+// fully materialized result table (nil for statements without one). Large
+// v2 result sets arrive chunked and are reassembled here; use QueryStream
+// to consume them incrementally instead.
+func (c *Client) Query(ctx context.Context, sql string) (string, *storage.Table, error) {
+	rows, err := c.QueryStream(ctx, sql)
 	if err != nil {
 		return "", nil, err
 	}
+	return rows.ReadAll()
+}
+
+// Exec executes SQL for its side effects and returns the status message,
+// discarding result rows batch-by-batch so peak memory stays at one chunk.
+func (c *Client) Exec(ctx context.Context, sql string) (string, error) {
+	rows, err := c.QueryStream(ctx, sql)
+	if err != nil {
+		return "", err
+	}
+	for rows.Next() {
+	}
+	if err := rows.Close(); err != nil {
+		return "", err
+	}
+	return rows.Msg(), nil
+}
+
+// QueryStream executes SQL and returns a Rows iterator over the result
+// batches. The context governs the whole stream: cancelling it aborts the
+// iteration and poisons the connection. Rows must be fully consumed or
+// Closed before the next operation on this client.
+func (c *Client) QueryStream(ctx context.Context, sql string) (*Rows, error) {
+	if c.broken.Load() {
+		return nil, core.Errorf(core.KindIO, "connection is broken")
+	}
+	stop := c.watch(ctx)
+	rows, err := c.queryStreamLocked(ctx, sql)
+	if err != nil {
+		if werr := stop(); werr != nil {
+			return nil, werr
+		}
+		return nil, err
+	}
+	rows.stop = stop
+	return rows, nil
+}
+
+// queryStreamLocked sends the query and consumes the first response frame,
+// classifying the reply into a one-shot result or a chunk stream.
+func (c *Client) queryStreamLocked(ctx context.Context, sql string) (*Rows, error) {
+	if err := c.send(MsgQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	typ, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
 	switch typ {
 	case MsgResult:
-		return DecodeResult(payload)
+		msg, t, err := DecodeResult(payload)
+		if err != nil {
+			c.broken.Store(true)
+			return nil, err
+		}
+		return &Rows{c: c, msg: msg, pending: t, finished: true}, nil
+	case MsgResultChunk:
+		t, err := DecodeResultChunk(payload)
+		if err != nil {
+			c.broken.Store(true)
+			return nil, err
+		}
+		return &Rows{c: c, pending: t, streaming: true}, nil
+	case MsgResultEnd:
+		msg, _, err := DecodeResultEnd(payload)
+		if err != nil {
+			c.broken.Store(true)
+			return nil, err
+		}
+		return &Rows{c: c, msg: msg, streaming: true, finished: true}, nil
 	case MsgErr:
-		return "", nil, DecodeError(payload)
+		return nil, DecodeError(payload)
 	default:
-		return "", nil, core.Errorf(core.KindProtocol, "unexpected reply type %d", typ)
+		c.broken.Store(true)
+		return nil, core.Errorf(core.KindProtocol, "unexpected reply type %d", typ)
+	}
+}
+
+// Ping round-trips a liveness probe (v2 sessions; v1 falls back to a cheap
+// no-op query). The pool uses it to health-check idle connections.
+func (c *Client) Ping(ctx context.Context) error {
+	if c.broken.Load() {
+		return core.Errorf(core.KindIO, "connection is broken")
+	}
+	if c.version < ProtoV2 {
+		_, err := c.Exec(ctx, "SELECT 1 AS ping")
+		return err
+	}
+	stop := c.watch(ctx)
+	err := c.pingLocked()
+	if werr := stop(); werr != nil {
+		return werr
+	}
+	return err
+}
+
+func (c *Client) pingLocked() error {
+	if err := c.send(MsgPing, nil); err != nil {
+		return err
+	}
+	typ, payload, err := c.recv()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case MsgPong:
+		return nil
+	case MsgErr:
+		return DecodeError(payload)
+	default:
+		c.broken.Store(true)
+		return core.Errorf(core.KindProtocol, "unexpected ping reply %d", typ)
 	}
 }
 
 // Close says goodbye and closes the socket.
 func (c *Client) Close() error {
-	_ = c.send(MsgClose, nil)
-	// best-effort read of the goodbye
-	_ = c.nc.SetReadDeadline(time.Now().Add(time.Second))
-	_, _, _ = ReadFrame(c.nc)
+	if !c.broken.Load() {
+		_ = c.send(MsgClose, nil)
+		// best-effort read of the goodbye
+		_ = c.nc.SetReadDeadline(time.Now().Add(time.Second))
+		_, _, _ = ReadFrame(c.nc)
+	}
+	c.broken.Store(true)
 	return c.nc.Close()
 }

@@ -1,0 +1,61 @@
+package wire
+
+import "time"
+
+// dialConfig collects the knobs of the v2 client surface. All fields have
+// working zero-value defaults so DialContext(ctx, params) alone behaves
+// like the old Dial.
+type dialConfig struct {
+	dialTimeout  time.Duration
+	readTimeout  time.Duration // per-receive deadline; 0 = none
+	writeTimeout time.Duration // per-send deadline; 0 = none
+	keepAlive    time.Duration
+	logf         func(format string, args ...any)
+	version      byte // highest protocol version to offer
+}
+
+func defaultDialConfig() dialConfig {
+	return dialConfig{
+		dialTimeout: 10 * time.Second,
+		keepAlive:   30 * time.Second,
+		version:     ProtoV2,
+	}
+}
+
+// DialOption customizes DialContext.
+type DialOption func(*dialConfig)
+
+// WithDialTimeout bounds the TCP connect (default 10s).
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.dialTimeout = d }
+}
+
+// WithReadTimeout applies a deadline to every receive on the connection.
+// Zero (the default) means reads block until the context is cancelled.
+func WithReadTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.readTimeout = d }
+}
+
+// WithWriteTimeout applies a deadline to every send on the connection.
+func WithWriteTimeout(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.writeTimeout = d }
+}
+
+// WithKeepAlive sets the TCP keepalive period (default 30s; negative
+// disables keepalives).
+func WithKeepAlive(d time.Duration) DialOption {
+	return func(c *dialConfig) { c.keepAlive = d }
+}
+
+// WithLogger routes connection-level log lines (dial, negotiation, broken
+// connections) to logf. Default: silent.
+func WithLogger(logf func(format string, args ...any)) DialOption {
+	return func(c *dialConfig) { c.logf = logf }
+}
+
+// WithProtoVersion caps the protocol version the client offers during the
+// handshake. WithProtoVersion(ProtoV1) forces the legacy one-shot result
+// path, for back-compat testing against old servers.
+func WithProtoVersion(v byte) DialOption {
+	return func(c *dialConfig) { c.version = v }
+}

@@ -1,0 +1,263 @@
+package wire
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Pool is a bounded connection pool over DialContext. Checkouts are
+// health-checked: broken connections are discarded at checkin, and idle
+// connections past IdlePingAfter are pinged before being handed out.
+// All methods are safe for concurrent use.
+type Pool struct {
+	// IdlePingAfter is how long a connection may sit idle before a checkout
+	// verifies it with a Ping. Zero applies the 30s default; negative
+	// disables idle pings.
+	IdlePingAfter time.Duration
+
+	params ConnParams
+	opts   []DialOption
+	size   int
+
+	sem  chan struct{}    // bounds open+checked-out connections
+	idle chan *pooledConn // open connections between checkouts
+
+	mu     sync.Mutex
+	closed bool
+
+	waits        atomic.Int64
+	dials        atomic.Int64
+	discards     atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+}
+
+// pooledConn pairs a connection with its idle stamp.
+type pooledConn struct {
+	c         *Client
+	idleSince time.Time
+}
+
+// PoolStats is a snapshot of pool activity.
+type PoolStats struct {
+	Size     int   // configured bound
+	Idle     int   // open connections awaiting checkout
+	InUse    int   // connections currently checked out
+	Waits    int64 // checkouts that blocked on the bound
+	Dials    int64 // connections opened over the pool's lifetime
+	Discards int64 // connections dropped by health checks
+	// BytesRead/BytesWritten aggregate wire traffic of retired and
+	// checked-in connections.
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// NewPool creates a pool of at most size connections to params, dialed with
+// opts. Connections are opened lazily, on checkout.
+func NewPool(params ConnParams, size int, opts ...DialOption) *Pool {
+	if size < 1 {
+		size = 1
+	}
+	return &Pool{
+		params: params,
+		opts:   opts,
+		size:   size,
+		sem:    make(chan struct{}, size),
+		idle:   make(chan *pooledConn, size),
+	}
+}
+
+// Get checks a healthy connection out of the pool, dialing a fresh one when
+// none is idle. It blocks while the pool is at its bound until a connection
+// is checked in or ctx is cancelled. Every Get must be paired with a Put.
+func (p *Pool) Get(ctx context.Context) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if p.isClosed() {
+		return nil, core.Errorf(core.KindIO, "pool is closed")
+	}
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		p.waits.Add(1)
+		select {
+		case p.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, core.Wrapf(core.KindIO, ctx.Err(), "pool checkout: %v", ctx.Err())
+		}
+	}
+	// Token held: either reuse an idle connection or dial.
+	for {
+		select {
+		case pc := <-p.idle:
+			if c := p.vet(ctx, pc); c != nil {
+				return c, nil
+			}
+		default:
+			c, err := DialContext(ctx, p.params, p.opts...)
+			if err != nil {
+				<-p.sem
+				return nil, err
+			}
+			p.dials.Add(1)
+			return c, nil
+		}
+	}
+}
+
+// vet health-checks an idle connection at checkout, returning nil (and
+// retiring it) when it fails.
+func (p *Pool) vet(ctx context.Context, pc *pooledConn) *Client {
+	if pc.c.Broken() {
+		p.retire(pc)
+		return nil
+	}
+	after := p.IdlePingAfter
+	if after == 0 {
+		after = 30 * time.Second
+	}
+	if after > 0 && time.Since(pc.idleSince) >= after {
+		if err := pc.c.Ping(ctx); err != nil {
+			p.retire(pc)
+			return nil
+		}
+	}
+	return pc.c
+}
+
+// Put checks a connection back in. Broken connections are closed and their
+// slot freed; the next Get dials a replacement.
+func (p *Pool) Put(c *Client) {
+	if c == nil {
+		<-p.sem
+		return
+	}
+	pc := &pooledConn{c: c, idleSince: time.Now()}
+	p.account(pc)
+	if c.Broken() || p.isClosed() {
+		p.retire(pc)
+		<-p.sem
+		return
+	}
+	select {
+	case p.idle <- pc:
+		// A Close may have drained the idle set between our check and the
+		// push; re-check so the connection is not stranded open.
+		if p.isClosed() {
+			select {
+			case pc2 := <-p.idle:
+				p.retire(pc2)
+			default:
+			}
+		}
+	default:
+		p.retire(pc)
+	}
+	<-p.sem
+}
+
+// account folds a connection's byte counters into the pool totals. The
+// high-water marks live on the Client (accessed only while it is held
+// exclusively), so repeated checkins never double-count.
+func (p *Pool) account(pc *pooledConn) {
+	p.bytesRead.Add(pc.c.BytesRead - pc.c.poolCountedRead)
+	p.bytesWritten.Add(pc.c.BytesWritten - pc.c.poolCountedWritten)
+	pc.c.poolCountedRead = pc.c.BytesRead
+	pc.c.poolCountedWritten = pc.c.BytesWritten
+}
+
+func (p *Pool) retire(pc *pooledConn) {
+	p.discards.Add(1)
+	_ = pc.c.Close()
+}
+
+// Query checks out a connection, runs Query, and checks it back in.
+func (p *Pool) Query(ctx context.Context, sql string) (string, *storage.Table, error) {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return "", nil, err
+	}
+	defer p.Put(c)
+	return c.Query(ctx, sql)
+}
+
+// QueryStream checks out a connection and starts a streaming query on it.
+// The connection is checked back in automatically when the stream is fully
+// consumed or Closed — a Rows obtained here must not be abandoned, or its
+// connection stays checked out.
+func (p *Pool) QueryStream(ctx context.Context, sql string) (*Rows, error) {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.QueryStream(ctx, sql)
+	if err != nil {
+		p.Put(c)
+		return nil, err
+	}
+	rows.release = func() { p.Put(c) }
+	return rows, nil
+}
+
+// Exec checks out a connection, runs Exec, and checks it back in.
+func (p *Pool) Exec(ctx context.Context, sql string) (string, error) {
+	c, err := p.Get(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer p.Put(c)
+	return c.Exec(ctx, sql)
+}
+
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Stats snapshots pool activity. Byte totals cover checked-in connections;
+// traffic of a connection currently checked out is folded in at its next
+// checkin.
+func (p *Pool) Stats() PoolStats {
+	idle := len(p.idle)
+	inUse := len(p.sem)
+	if inUse < 0 {
+		inUse = 0
+	}
+	return PoolStats{
+		Size:         p.size,
+		Idle:         idle,
+		InUse:        inUse,
+		Waits:        p.waits.Load(),
+		Dials:        p.dials.Load(),
+		Discards:     p.discards.Load(),
+		BytesRead:    p.bytesRead.Load(),
+		BytesWritten: p.bytesWritten.Load(),
+	}
+}
+
+// Close marks the pool closed and closes every idle connection. Checked-out
+// connections are closed as they are Put back.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	for {
+		select {
+		case pc := <-p.idle:
+			_ = pc.c.Close()
+		default:
+			return nil
+		}
+	}
+}

@@ -14,17 +14,35 @@ import (
 
 // Protocol message types.
 const (
-	MsgAuth    byte = 1  // client → server: user, password, database
+	MsgAuth    byte = 1  // client → server: user, password, database [+ version]
 	MsgQuery   byte = 2  // client → server: SQL text
 	MsgClose   byte = 3  // client → server: goodbye
-	MsgAuthOK  byte = 16 // server → client: server banner
+	MsgPing    byte = 4  // client → server: liveness probe (v2)
+	MsgAuthOK  byte = 16 // server → client: server banner [+ negotiated version]
 	MsgResult  byte = 17 // server → client: status + optional result table
 	MsgErr     byte = 18 // server → client: error kind + message
 	MsgGoodbye byte = 19 // server → client: close ack
+	// v2 streaming result protocol: zero or more chunks carrying column
+	// batches, terminated by an end frame carrying the status message.
+	MsgResultChunk byte = 20 // server → client: one column batch
+	MsgResultEnd   byte = 21 // server → client: stream terminator + status
+	MsgPong        byte = 22 // server → client: ping ack
+)
+
+// Protocol versions negotiated during the auth handshake. A v1 client omits
+// the version byte from MsgAuth and is served the one-shot MsgResult path
+// only; a v2 session may receive chunked result streams and may ping.
+const (
+	ProtoV1 byte = 1
+	ProtoV2 byte = 2
 )
 
 // maxFrame bounds a single frame (64 MiB) as a protocol sanity check.
+// Result sets larger than this must travel the v2 chunked streaming path.
 const maxFrame = 64 << 20
+
+// DefaultChunkBytes is the target encoded size of one MsgResultChunk batch.
+const DefaultChunkBytes = 4 << 20
 
 // WriteFrame writes a [length][type][payload] frame.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
@@ -72,15 +90,22 @@ func appendString(buf []byte, s string) []byte { return storage.AppendString(buf
 // ---- auth / error payloads ----
 
 // EncodeAuth encodes the MsgAuth payload (Fig. 2's connection parameters
-// minus host/port, which name the socket itself).
-func EncodeAuth(user, password, database string) []byte {
+// minus host/port, which name the socket itself) plus the client's highest
+// supported protocol version. v1 clients historically omitted the trailing
+// version byte; DecodeAuth treats its absence as ProtoV1.
+func EncodeAuth(user, password, database string, version byte) []byte {
 	buf := appendString(nil, user)
 	buf = appendString(buf, password)
-	return appendString(buf, database)
+	buf = appendString(buf, database)
+	if version > ProtoV1 {
+		buf = append(buf, version)
+	}
+	return buf
 }
 
-// DecodeAuth decodes a MsgAuth payload.
-func DecodeAuth(payload []byte) (user, password, database string, err error) {
+// DecodeAuth decodes a MsgAuth payload. A payload without the trailing
+// version byte is a v1 client.
+func DecodeAuth(payload []byte) (user, password, database string, version byte, err error) {
 	r := storage.NewByteReader(payload)
 	if user, err = r.Str(); err != nil {
 		return
@@ -88,7 +113,40 @@ func DecodeAuth(payload []byte) (user, password, database string, err error) {
 	if password, err = r.Str(); err != nil {
 		return
 	}
-	database, err = r.Str()
+	if database, err = r.Str(); err != nil {
+		return
+	}
+	version = ProtoV1
+	if r.Remaining() > 0 {
+		version, err = r.U8()
+		if err != nil {
+			return
+		}
+		if r.Remaining() != 0 {
+			err = core.Errorf(core.KindProtocol, "trailing bytes in auth payload")
+			return
+		}
+	}
+	return
+}
+
+// EncodeAuthOK encodes the MsgAuthOK payload: server banner plus the
+// negotiated protocol version. v1 clients ignore the payload entirely.
+func EncodeAuthOK(banner string, version byte) []byte {
+	return append(appendString(nil, banner), version)
+}
+
+// DecodeAuthOK decodes a MsgAuthOK payload. Banners from pre-negotiation
+// servers lack the version byte and imply ProtoV1.
+func DecodeAuthOK(payload []byte) (banner string, version byte, err error) {
+	r := storage.NewByteReader(payload)
+	if banner, err = r.Str(); err != nil {
+		return
+	}
+	version = ProtoV1
+	if r.Remaining() > 0 {
+		version, err = r.U8()
+	}
 	return
 }
 
@@ -123,6 +181,151 @@ func EncodeResult(msg string, t *storage.Table) []byte {
 	}
 	buf = append(buf, 1)
 	return storage.EncodeTable(buf, t)
+}
+
+// ---- v2 chunked result stream ----
+
+// EncodeResultChunk encodes one MsgResultChunk payload: a column batch in
+// the shared table codec, carrying the full schema so every chunk is
+// self-describing.
+func EncodeResultChunk(batch *storage.Table) []byte {
+	return storage.EncodeTable(nil, batch)
+}
+
+// DecodeResultChunk decodes a MsgResultChunk payload.
+func DecodeResultChunk(payload []byte) (*storage.Table, error) {
+	r := storage.NewByteReader(payload)
+	t, err := storage.DecodeTable(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, core.Errorf(core.KindProtocol, "trailing bytes in result chunk")
+	}
+	return t, nil
+}
+
+// EncodeResultEnd encodes the MsgResultEnd payload: the status message plus
+// the total row count, so the client can cross-check the stream.
+func EncodeResultEnd(msg string, rows int64) []byte {
+	buf := appendString(nil, msg)
+	return binary.BigEndian.AppendUint64(buf, uint64(rows))
+}
+
+// DecodeResultEnd decodes a MsgResultEnd payload.
+func DecodeResultEnd(payload []byte) (msg string, rows int64, err error) {
+	r := storage.NewByteReader(payload)
+	if msg, err = r.Str(); err != nil {
+		return
+	}
+	n, err := r.U64()
+	if err != nil {
+		return "", 0, err
+	}
+	if r.Remaining() != 0 {
+		return "", 0, core.Errorf(core.KindProtocol, "trailing bytes in result end")
+	}
+	return msg, int64(n), nil
+}
+
+// encodedRowBytes estimates the encoded size of row i across all columns of
+// t, used to slice a result set into chunks that respect the frame cap.
+func encodedRowBytes(t *storage.Table, i int) int {
+	n := 0
+	for _, c := range t.Cols {
+		switch c.Typ {
+		case storage.TInt, storage.TFloat:
+			n += 8
+		case storage.TStr:
+			n += 4 + len(c.Strs[i])
+		case storage.TBool:
+			n++
+		case storage.TBlob:
+			n += 4 + len(c.Blobs[i])
+		}
+		n++ // validity bitmap amortization, rounded up
+	}
+	return n
+}
+
+// EncodedTableSize conservatively estimates a table's encoded payload size
+// without materializing the encoding; the server compares it against the
+// stream threshold to pick the one-shot or chunked result path.
+func EncodedTableSize(t *storage.Table) int {
+	n := chunkOverhead(t)
+	for _, c := range t.Cols {
+		switch c.Typ {
+		case storage.TInt, storage.TFloat:
+			n += 8 * c.Len()
+		case storage.TBool:
+			n += c.Len()
+		case storage.TStr:
+			for _, s := range c.Strs {
+				n += 4 + len(s)
+			}
+		case storage.TBlob:
+			for _, b := range c.Blobs {
+				n += 4 + len(b)
+			}
+		}
+		if c.Nulls != nil {
+			n += (c.Len() + 7) / 8
+		}
+	}
+	return n
+}
+
+// chunkOverhead bounds the per-chunk schema/header bytes.
+func chunkOverhead(t *storage.Table) int {
+	n := 4 + len(t.Name) + 4
+	for _, c := range t.Cols {
+		n += 4 + len(c.Name) + 1 + 4 + 1
+	}
+	return n
+}
+
+// WriteResultStream writes a result table as a MsgResultChunk sequence
+// followed by MsgResultEnd, slicing rows into batches of about chunkBytes
+// encoded bytes each (a single row larger than the frame cap is a protocol
+// error). It is how v2 sessions ship result sets beyond maxFrame.
+func WriteResultStream(w io.Writer, msg string, t *storage.Table, chunkBytes int) error {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if chunkBytes > maxFrame/2 {
+		chunkBytes = maxFrame / 2
+	}
+	rows := t.NumRows()
+	overhead := chunkOverhead(t)
+	if rows == 0 {
+		// Ship one empty chunk so the client still learns the schema, the
+		// way the one-shot path's empty table does.
+		if err := WriteFrame(w, MsgResultChunk, EncodeResultChunk(t.SliceRows(0, 0))); err != nil {
+			return err
+		}
+		return WriteFrame(w, MsgResultEnd, EncodeResultEnd(msg, 0))
+	}
+	lo := 0
+	for lo < rows {
+		hi, size := lo, overhead
+		for hi < rows {
+			rb := encodedRowBytes(t, hi)
+			if overhead+rb+1 > maxFrame {
+				return core.Errorf(core.KindProtocol,
+					"single row of %d bytes exceeds the frame cap", rb)
+			}
+			if hi > lo && size+rb > chunkBytes {
+				break
+			}
+			size += rb
+			hi++
+		}
+		if err := WriteFrame(w, MsgResultChunk, EncodeResultChunk(t.SliceRows(lo, hi))); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return WriteFrame(w, MsgResultEnd, EncodeResultEnd(msg, int64(rows)))
 }
 
 // DecodeResult decodes a MsgResult payload.

@@ -11,6 +11,11 @@ import (
 	"repro/internal/engine"
 )
 
+// pipelineDepth bounds how many requests a connection may have in flight
+// while earlier ones execute: the reader keeps pulling frames so a v2
+// client can pipeline queries without waiting for responses.
+const pipelineDepth = 16
+
 // Server serves one database over TCP to wire clients. The zero value is
 // not usable; construct with NewServer.
 type Server struct {
@@ -23,10 +28,18 @@ type Server struct {
 	DB *engine.DB
 	// Logf, when set, receives connection-level log lines.
 	Logf func(format string, args ...any)
+	// StreamThreshold is the encoded result size (bytes) above which a v2
+	// session receives the chunked streaming path instead of one MsgResult.
+	// Zero applies the 1 MiB default; negative streams everything.
+	StreamThreshold int
+	// ChunkBytes is the target encoded size of one streamed chunk; zero
+	// applies DefaultChunkBytes.
+	ChunkBytes int
 
 	ln     net.Listener
 	mu     sync.Mutex
 	closed bool
+	drain  chan struct{}
 	wg     sync.WaitGroup
 }
 
@@ -36,6 +49,7 @@ func NewServer(database, user, password string, db *engine.DB) *Server {
 		Database: database,
 		Users:    map[string]string{user: password},
 		DB:       db,
+		drain:    make(chan struct{}),
 	}
 }
 
@@ -52,12 +66,19 @@ func (s *Server) Listen(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting and waits for active connections to finish their
-// current request.
+// Close stops accepting, asks every connection to drain — in-flight and
+// already-pipelined requests finish and their responses are delivered —
+// and waits for them to wind down.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	wasClosed := s.closed
 	s.closed = true
 	s.mu.Unlock()
+	if !wasClosed {
+		if s.drain != nil {
+			close(s.drain)
+		}
+	}
 	var err error
 	if s.ln != nil {
 		err = s.ln.Close()
@@ -70,6 +91,14 @@ func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
 	}
+}
+
+func (s *Server) draining() <-chan struct{} {
+	if s.drain == nil {
+		// Zero-value construction; never drains early.
+		return make(chan struct{})
+	}
+	return s.drain
 }
 
 func (s *Server) acceptLoop() {
@@ -94,44 +123,128 @@ func (s *Server) acceptLoop() {
 	}
 }
 
+// frame is one client request read off the socket.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
 // serveConn speaks the protocol with one client: auth handshake, then a
-// query loop until MsgClose or disconnect.
+// pipelined request loop until MsgClose, disconnect, or server drain. A
+// reader goroutine keeps pulling frames while the main loop executes, so
+// clients may pipeline requests; responses are written in order.
 func (s *Server) serveConn(nc net.Conn) {
 	defer nc.Close()
-	sess, err := s.handshake(nc)
+	sess, version, err := s.handshake(nc)
 	if err != nil {
 		s.logf("handshake failed from %s: %v", nc.RemoteAddr(), err)
 		return
 	}
-	s.logf("session opened: user=%s from %s", sess.User, nc.RemoteAddr())
-	for {
-		typ, payload, err := ReadFrame(nc)
-		if err != nil {
-			if err != io.EOF {
-				s.logf("read: %v", err)
-			}
-			return
-		}
-		switch typ {
-		case MsgQuery:
-			res, err := sess.Exec(string(payload))
+	s.logf("session opened: user=%s proto=v%d from %s", sess.User, version, nc.RemoteAddr())
+
+	reqs := make(chan frame, pipelineDepth)
+	connDone := make(chan struct{})
+	defer close(connDone)
+	go func() {
+		defer close(reqs)
+		for {
+			typ, payload, err := ReadFrame(nc)
 			if err != nil {
-				if werr := WriteFrame(nc, MsgErr, EncodeError(core.KindOf(err), errString(err))); werr != nil {
-					return
+				if err != io.EOF {
+					s.logf("read from %s: %v", nc.RemoteAddr(), err)
 				}
-				continue
-			}
-			if err := WriteFrame(nc, MsgResult, EncodeResult(res.Msg, res.Table)); err != nil {
 				return
 			}
-		case MsgClose:
-			_ = WriteFrame(nc, MsgGoodbye, nil)
-			return
-		default:
-			_ = WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol, "unexpected message type"))
-			return
+			select {
+			case reqs <- frame{typ, payload}:
+				if typ == MsgClose {
+					return
+				}
+			case <-connDone:
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case fr, ok := <-reqs:
+			if !ok {
+				return
+			}
+			if !s.handleFrame(nc, sess, version, fr) {
+				return
+			}
+		case <-s.draining():
+			// Graceful drain: answer everything already pipelined, say
+			// goodbye, hang up. The deferred nc.Close unblocks the reader.
+			for {
+				select {
+				case fr, ok := <-reqs:
+					if !ok {
+						return
+					}
+					if !s.handleFrame(nc, sess, version, fr) {
+						return
+					}
+				default:
+					_ = WriteFrame(nc, MsgGoodbye, nil)
+					s.logf("session drained: user=%s from %s", sess.User, nc.RemoteAddr())
+					return
+				}
+			}
 		}
 	}
+}
+
+// handleFrame executes one request and writes its response, reporting
+// whether the connection should keep serving.
+func (s *Server) handleFrame(nc net.Conn, sess *engine.Conn, version byte, fr frame) bool {
+	switch fr.typ {
+	case MsgQuery:
+		res, err := sess.Exec(string(fr.payload))
+		if err != nil {
+			return WriteFrame(nc, MsgErr, EncodeError(core.KindOf(err), errString(err))) == nil
+		}
+		return s.writeResult(nc, version, res) == nil
+	case MsgPing:
+		return WriteFrame(nc, MsgPong, nil) == nil
+	case MsgClose:
+		_ = WriteFrame(nc, MsgGoodbye, nil)
+		return false
+	default:
+		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol, "unexpected message type"))
+		return false
+	}
+}
+
+// writeResult ships a statement result: small results (and every v1
+// session) get the one-shot MsgResult; v2 results whose encoding crosses
+// the stream threshold travel as a MsgResultChunk/MsgResultEnd stream and
+// are therefore not bounded by the frame cap.
+func (s *Server) writeResult(nc net.Conn, version byte, res *engine.Result) error {
+	if version >= ProtoV2 && res.Table != nil {
+		threshold := s.StreamThreshold
+		if threshold == 0 {
+			threshold = 1 << 20
+		}
+		// A threshold at or above the frame cap would route unframeable
+		// results onto the one-shot path; anything near the cap must stream.
+		if threshold > maxFrame/2 {
+			threshold = maxFrame / 2
+		}
+		if threshold < 0 || EncodedTableSize(res.Table) > threshold {
+			return WriteResultStream(nc, res.Msg, res.Table, s.ChunkBytes)
+		}
+	}
+	payload := EncodeResult(res.Msg, res.Table)
+	if len(payload)+1 > maxFrame {
+		// A v1 session asked for more than one frame can carry: report it
+		// instead of killing the connection with an unframeable write.
+		return WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol,
+			"result set exceeds the 64 MiB frame cap; reconnect with protocol v2 streaming"))
+	}
+	return WriteFrame(nc, MsgResult, payload)
 }
 
 func errString(err error) string {
@@ -142,30 +255,33 @@ func errString(err error) string {
 	return err.Error()
 }
 
-func (s *Server) handshake(nc net.Conn) (*engine.Conn, error) {
+func (s *Server) handshake(nc net.Conn) (*engine.Conn, byte, error) {
 	typ, payload, err := ReadFrame(nc)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if typ != MsgAuth {
 		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol, "expected auth message"))
-		return nil, core.Errorf(core.KindProtocol, "expected auth, got type %d", typ)
+		return nil, 0, core.Errorf(core.KindProtocol, "expected auth, got type %d", typ)
 	}
-	user, password, database, err := DecodeAuth(payload)
+	user, password, database, version, err := DecodeAuth(payload)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	if version > ProtoV2 {
+		version = ProtoV2 // serve future clients at our highest version
 	}
 	if database != s.Database {
 		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindAuth, "unknown database "+database))
-		return nil, core.Errorf(core.KindAuth, "unknown database %q", database)
+		return nil, 0, core.Errorf(core.KindAuth, "unknown database %q", database)
 	}
 	want, ok := s.Users[user]
 	if !ok || want != password {
 		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindAuth, "invalid credentials"))
-		return nil, core.Errorf(core.KindAuth, "invalid credentials for %q", user)
+		return nil, 0, core.Errorf(core.KindAuth, "invalid credentials for %q", user)
 	}
-	if err := WriteFrame(nc, MsgAuthOK, appendString(nil, "monetlite/1.0")); err != nil {
-		return nil, err
+	if err := WriteFrame(nc, MsgAuthOK, EncodeAuthOK("monetlite/2.0", version)); err != nil {
+		return nil, 0, err
 	}
-	return &engine.Conn{DB: s.DB, User: user, Password: password}, nil
+	return &engine.Conn{DB: s.DB, User: user, Password: password}, version, nil
 }

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -164,13 +165,13 @@ func TestClientServerEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.Query(`CREATE TABLE t (i INTEGER)`); err != nil {
+	if _, _, err := c.Query(context.Background(), `CREATE TABLE t (i INTEGER)`); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Query(`INSERT INTO t VALUES (1), (2), (3)`); err != nil {
+	if _, _, err := c.Query(context.Background(), `INSERT INTO t VALUES (1), (2), (3)`); err != nil {
 		t.Fatal(err)
 	}
-	msg, tbl, err := c.Query(`SELECT SUM(i) AS s FROM t`)
+	msg, tbl, err := c.Query(context.Background(), `SELECT SUM(i) AS s FROM t`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestServerSQLErrorDoesNotKillConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	_, _, err = c.Query(`SELECT * FROM missing`)
+	_, _, err = c.Query(context.Background(), `SELECT * FROM missing`)
 	if err == nil {
 		t.Fatal("expected SQL error")
 	}
@@ -197,7 +198,7 @@ func TestServerSQLErrorDoesNotKillConnection(t *testing.T) {
 		t.Fatalf("kind should cross the wire: %v (%v)", core.KindOf(err), err)
 	}
 	// connection still usable
-	if _, _, err := c.Query(`SELECT 1 AS one`); err != nil {
+	if _, _, err := c.Query(context.Background(), `SELECT 1 AS one`); err != nil {
 		t.Fatalf("connection should survive SQL errors: %v", err)
 	}
 }
@@ -227,7 +228,7 @@ func TestConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := setup.Query(`CREATE TABLE t (i INTEGER)`); err != nil {
+	if _, _, err := setup.Query(context.Background(), `CREATE TABLE t (i INTEGER)`); err != nil {
 		t.Fatal(err)
 	}
 	setup.Close()
@@ -243,7 +244,7 @@ func TestConcurrentClients(t *testing.T) {
 			}
 			defer c.Close()
 			for i := 0; i < 20; i++ {
-				if _, _, err := c.Query(`INSERT INTO t VALUES (1)`); err != nil {
+				if _, _, err := c.Query(context.Background(), `INSERT INTO t VALUES (1)`); err != nil {
 					errs <- err
 					return
 				}
@@ -261,7 +262,7 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer check.Close()
-	_, tbl, err := check.Query(`SELECT COUNT(*) AS n FROM t`)
+	_, tbl, err := check.Query(context.Background(), `SELECT COUNT(*) AS n FROM t`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,11 +292,11 @@ func TestRemoteUDFThroughWire(t *testing.T) {
     return distance / len(column)
 }`,
 	} {
-		if _, _, err := c.Query(sql); err != nil {
+		if _, _, err := c.Query(context.Background(), sql); err != nil {
 			t.Fatalf("%q: %v", sql[:20], err)
 		}
 	}
-	_, tbl, err := c.Query(`SELECT mean_deviation(i) AS md FROM numbers`)
+	_, tbl, err := c.Query(context.Background(), `SELECT mean_deviation(i) AS md FROM numbers`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestRemoteUDFThroughWire(t *testing.T) {
 		t.Fatalf("md = %v", tbl.Cols[0].Flts)
 	}
 	// meta tables over the wire (the devUDF import path)
-	_, meta, err := c.Query(`SELECT name, func FROM sys.functions`)
+	_, meta, err := c.Query(context.Background(), `SELECT name, func FROM sys.functions`)
 	if err != nil {
 		t.Fatal(err)
 	}

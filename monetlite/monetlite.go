@@ -13,10 +13,12 @@
 //
 //	srv := monetlite.NewServer("demo", "monetdb", "monetdb", db)
 //	addr, _ := srv.Listen("127.0.0.1:50000")
-//	cli, _ := monetlite.Dial(monetlite.ConnParams{ ... })
+//	cli, _ := monetlite.DialContext(ctx, monetlite.ConnParams{ ... })
 package monetlite
 
 import (
+	"context"
+
 	"repro/internal/engine"
 	"repro/internal/storage"
 	"repro/internal/wire"
@@ -55,9 +57,35 @@ type Server = wire.Server
 // Client is a wire-protocol client session.
 type Client = wire.Client
 
+// Pool is a bounded, health-checked wire connection pool.
+type Pool = wire.Pool
+
+// Rows streams a wire result set batch-at-a-time.
+type Rows = wire.Rows
+
+// DialOption customizes DialContext (timeouts, keepalive, logger,
+// protocol version).
+type DialOption = wire.DialOption
+
 // ConnParams are the five connection parameters of the devUDF settings
 // window (paper Fig. 2): host, port, database, user, password.
 type ConnParams = wire.ConnParams
+
+// Wire protocol versions negotiated during the handshake.
+const (
+	ProtoV1 = wire.ProtoV1
+	ProtoV2 = wire.ProtoV2
+)
+
+// Dial options, re-exported from the wire layer.
+var (
+	WithDialTimeout  = wire.WithDialTimeout
+	WithReadTimeout  = wire.WithReadTimeout
+	WithWriteTimeout = wire.WithWriteTimeout
+	WithKeepAlive    = wire.WithKeepAlive
+	WithLogger       = wire.WithLogger
+	WithProtoVersion = wire.WithProtoVersion
+)
 
 // NewDB creates an empty embedded database.
 func NewDB() *DB { return engine.NewDB() }
@@ -74,5 +102,20 @@ func NewServer(database, user, password string, db *DB) *Server {
 	return wire.NewServer(database, user, password, db)
 }
 
+// DialContext connects and authenticates to a served database, negotiating
+// the protocol version. The context governs connect and handshake;
+// per-operation contexts are passed to Query/Exec/QueryStream.
+func DialContext(ctx context.Context, p ConnParams, opts ...DialOption) (*Client, error) {
+	return wire.DialContext(ctx, p, opts...)
+}
+
+// NewPool creates a bounded connection pool over DialContext; connections
+// are opened lazily and health-checked at checkout.
+func NewPool(p ConnParams, size int, opts ...DialOption) *Pool {
+	return wire.NewPool(p, size, opts...)
+}
+
 // Dial connects and authenticates to a served database.
+//
+// Deprecated: use DialContext, which supports cancellation and options.
 func Dial(p ConnParams) (*Client, error) { return wire.Dial(p) }

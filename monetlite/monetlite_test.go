@@ -1,8 +1,10 @@
 package monetlite_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/monetlite"
@@ -42,12 +44,52 @@ func TestServedUse(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cli.Close()
-	if _, _, err := cli.Query(`CREATE TABLE t (i INTEGER)`); err != nil {
+	if _, _, err := cli.Query(context.Background(), `CREATE TABLE t (i INTEGER)`); err != nil {
 		t.Fatal(err)
 	}
-	msg, _, err := cli.Query(`INSERT INTO t VALUES (1), (2), (3)`)
+	msg, _, err := cli.Query(context.Background(), `INSERT INTO t VALUES (1), (2), (3)`)
 	if err != nil || msg != "INSERT 3" {
 		t.Fatalf("%q %v", msg, err)
+	}
+}
+
+func TestPooledAndStreamingUse(t *testing.T) {
+	db := monetlite.NewDB()
+	db.FS = core.NewMemFS(nil)
+	srv := monetlite.NewServer("demo", "u", "p", db)
+	srv.StreamThreshold = 1 // stream every result to a v2 session
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	host, port := split(addr)
+	ctx := context.Background()
+	pool := monetlite.NewPool(monetlite.ConnParams{
+		Host: host, Port: port, Database: "demo", User: "u", Password: "p",
+	}, 2, monetlite.WithDialTimeout(5*time.Second))
+	defer pool.Close()
+	if _, err := pool.Exec(ctx, `CREATE TABLE t (i INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Exec(ctx, `INSERT INTO t VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := pool.QueryStream(ctx, `SELECT i FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for rows.Next() {
+		for _, v := range rows.Batch().Cols[0].Ints {
+			sum += v
+		}
+	}
+	if err := rows.Err(); err != nil || sum != 6 {
+		t.Fatalf("%d %v", sum, err)
+	}
+	if !rows.Streaming() {
+		t.Fatal("expected the chunked path")
 	}
 }
 
