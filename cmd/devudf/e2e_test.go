@@ -1,0 +1,181 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// TestE2EWorkflowGolden drives the CLI verbs end to end against an
+// in-process monetlited — the paper's Fig. 2 workflow in one test:
+// settings → list → import → extract → run → debug (local) →
+// debug -remote (in-server) → export — and compares the full normalized
+// transcript against a golden file. Regenerate with:
+//
+//	E2E_GOLDEN_UPDATE=1 go test -run TestE2EWorkflowGolden ./cmd/devudf
+func TestE2EWorkflowGolden(t *testing.T) {
+	fx, err := bench.StartServer(
+		`CREATE TABLE numbers (i INTEGER)`,
+		`INSERT INTO numbers VALUES (1), (2), (3), (4), (100)`,
+		bench.MeanDeviationBuggy,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fx.Close()
+	fs := core.NewMemFS(nil)
+	ctx := context.Background()
+	port := strconv.Itoa(fx.Params.Port)
+
+	var transcript strings.Builder
+	step := func(name string, stdin string, fn func() error) {
+		t.Helper()
+		transcript.WriteString("==== " + name + " ====\n")
+		out := captureOutput(t, stdin, fn)
+		transcript.WriteString(out)
+	}
+
+	step("settings", "", func() error {
+		return cmdSettings(fs, []string{
+			"-set", "host=" + fx.Params.Host,
+			"-set", "port=" + port,
+			"-set", "database=demo",
+			"-set", "user=monetdb",
+			"-set", "password=monetdb",
+			"-set", "query=SELECT mean_deviation(i) FROM numbers",
+		})
+	})
+	step("list", "", func() error { return cmdList(ctx, fs) })
+	step("import", "", func() error { return cmdImport(ctx, fs, []string{"mean_deviation"}) })
+	step("extract", "", func() error { return cmdExtract(ctx, fs, []string{"-udf", "mean_deviation"}) })
+	step("run", "", func() error { return cmdRun(ctx, fs, []string{"-udf", "mean_deviation"}) })
+
+	// Local debugging of the imported script: the accumulation line of the
+	// generated wrapper; found dynamically, asserted below, normalized in
+	// the transcript only through the scripted commands.
+	src, err := loadUDFSource(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpLine := 0
+	for i, ln := range strings.Split(src, "\n") {
+		if strings.Contains(ln, "distance += column[i] - mean") {
+			bpLine = i + 1
+		}
+	}
+	if bpLine == 0 {
+		t.Fatalf("generated script lost the accumulation line:\n%s", src)
+	}
+	localScript := strings.Join([]string{
+		"b " + strconv.Itoa(bpLine) + " i == 3",
+		"c", // start: stop on entry
+		"c", // run to the conditional breakpoint
+		"p distance",
+		"locals",
+		"stack",
+		"n",
+		"q",
+	}, "\n") + "\n"
+	step("debug", localScript, func() error {
+		return cmdDebug(ctx, fs, []string{"-udf", "mean_deviation"})
+	})
+
+	// Remote debugging: same UDF, executing inside the server. Line 8 of
+	// the server-side wrapper is the same accumulation statement.
+	remoteScript := strings.Join([]string{
+		"c", // start: stop on entry
+		"b 8 i == 2",
+		"c",
+		"p distance",
+		"locals",
+		"stack",
+		"n",
+		"c",
+	}, "\n") + "\n"
+	step("debug -remote", remoteScript, func() error {
+		return cmdDebug(ctx, fs, []string{"-udf", "mean_deviation", "-remote"})
+	})
+
+	step("export", "", func() error { return cmdExport(ctx, fs, []string{"mean_deviation"}) })
+
+	got := strings.ReplaceAll(transcript.String(), port, "PORT")
+	got = strings.ReplaceAll(got, "b "+strconv.Itoa(bpLine), "b LINE")
+	got = strings.ReplaceAll(got, "line "+strconv.Itoa(bpLine), "line LINE")
+	got = strings.ReplaceAll(got, ":"+strconv.Itoa(bpLine), ":LINE")
+	got = strings.ReplaceAll(got, strconv.Itoa(bpLine)+" | ", "LINE | ")
+
+	golden := filepath.Join("testdata", "e2e_golden.txt")
+	if os.Getenv("E2E_GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (run with E2E_GOLDEN_UPDATE=1): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("e2e transcript drifted from %s:\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// loadUDFSource reads the imported script through the same fs the CLI used.
+func loadUDFSource(fs core.FS) (string, error) {
+	data, err := fs.ReadFile("udfproject/mean_deviation.py")
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// captureOutput runs fn with os.Stdout (and optionally os.Stdin) redirected
+// through pipes and returns everything written.
+func captureOutput(t *testing.T, stdin string, fn func() error) string {
+	t.Helper()
+	oldOut := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var oldIn *os.File
+	if stdin != "" {
+		oldIn = os.Stdin
+		ir, iw, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		os.Stdin = ir
+		go func() {
+			io.WriteString(iw, stdin)
+			iw.Close()
+		}()
+	}
+	outCh := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outCh <- string(data)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = oldOut
+	if oldIn != nil {
+		os.Stdin = oldIn
+	}
+	out := <-outCh
+	if ferr != nil {
+		t.Fatalf("step failed: %v\noutput so far:\n%s", ferr, out)
+	}
+	return out
+}

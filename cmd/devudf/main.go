@@ -349,7 +349,9 @@ func cmdRun(ctx context.Context, fs core.FS, args []string) error {
 
 func cmdDebug(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("debug", flag.ExitOnError)
-	udf := flags.String("udf", "", "UDF to debug locally")
+	udf := flags.String("udf", "", "UDF to debug")
+	remote := flags.Bool("remote", false,
+		"attach to the UDF executing inside the server (wire v2 debug sub-protocol) instead of running it locally")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -361,21 +363,90 @@ func cmdDebug(ctx context.Context, fs core.FS, args []string) error {
 		return err
 	}
 	defer c.Close()
+	if *remote {
+		sess, err := c.NewRemoteDebugSession(ctx, *udf, true)
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		return debugREPL(sess, os.Stdin, os.Stdout)
+	}
 	sess, err := c.NewDebugSession(ctx, *udf, true)
 	if err != nil {
 		return err
 	}
-	return debugREPL(sess, os.Stdin, os.Stdout)
+	return debugREPL(newLocalDriver(sess), os.Stdin, os.Stdout)
 }
 
+// debugDriver is the REPL's view of a debug session: the local in-process
+// debugger and the remote in-server one drive the same interactive loop.
+// devudf.RemoteDebugSession implements it directly; localDriver adapts
+// devudf.DebugSession.
+type debugDriver interface {
+	SetBreakpoint(line int, condition string) error
+	Breakpoints() []debug.Breakpoint
+	Source() []string
+	Start() (devudf.DebugEvent, error)
+	Continue() (devudf.DebugEvent, error)
+	StepOver() (devudf.DebugEvent, error)
+	StepInto() (devudf.DebugEvent, error)
+	StepOut() (devudf.DebugEvent, error)
+	Kill() (devudf.DebugEvent, error)
+	Eval(expr string) (string, error)
+	Locals() (map[string]string, error)
+	Stack() ([]debug.FrameInfo, error)
+}
+
+// localDriver adapts the in-process DebugSession to the driver surface
+// (values rendered to their repr, errors folded into events).
+type localDriver struct{ sess *devudf.DebugSession }
+
+func newLocalDriver(sess *devudf.DebugSession) debugDriver { return localDriver{sess} }
+
+func (d localDriver) SetBreakpoint(line int, condition string) error {
+	d.sess.SetBreakpoint(line, condition)
+	return nil
+}
+func (d localDriver) Breakpoints() []debug.Breakpoint      { return d.sess.Breakpoints() }
+func (d localDriver) Source() []string                     { return d.sess.Source() }
+func (d localDriver) Start() (devudf.DebugEvent, error)    { return d.sess.Start(), nil }
+func (d localDriver) Continue() (devudf.DebugEvent, error) { return d.sess.Continue(), nil }
+func (d localDriver) StepOver() (devudf.DebugEvent, error) { return d.sess.StepOver(), nil }
+func (d localDriver) StepInto() (devudf.DebugEvent, error) { return d.sess.StepInto(), nil }
+func (d localDriver) StepOut() (devudf.DebugEvent, error)  { return d.sess.StepOut(), nil }
+func (d localDriver) Kill() (devudf.DebugEvent, error)     { return d.sess.Kill(), nil }
+func (d localDriver) Eval(expr string) (string, error) {
+	v, err := d.sess.Eval(expr)
+	if err != nil {
+		return "", err
+	}
+	return v.Repr(), nil
+}
+func (d localDriver) Locals() (map[string]string, error) {
+	vars, err := d.sess.Locals()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(vars))
+	for k, v := range vars {
+		out[k] = v.Repr()
+	}
+	return out, nil
+}
+func (d localDriver) Stack() ([]debug.FrameInfo, error) { return d.sess.Stack() }
+
 // debugREPL drives a debug session with gdb-like commands.
-func debugREPL(sess *devudf.DebugSession, input io.Reader, out io.Writer) error {
+func debugREPL(sess debugDriver, input io.Reader, out io.Writer) error {
 	fmt.Fprintln(out, `devUDF debugger. Commands:
   b LINE [COND]   set breakpoint      c  continue        n  step over
   s  step into    o  step out         p EXPR  evaluate   locals
   stack           list                q  quit`)
 	started := false
-	report := func(ev devudf.DebugEvent) bool {
+	report := func(ev devudf.DebugEvent, err error) bool {
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			return false
+		}
 		if ev.Terminal {
 			if ev.Err != nil {
 				fmt.Fprintln(out, "program failed:", ev.Err)
@@ -403,7 +474,7 @@ func debugREPL(sess *devudf.DebugSession, input io.Reader, out io.Writer) error 
 		switch fields[0] {
 		case "q", "quit":
 			if started {
-				sess.Kill()
+				_, _ = sess.Kill()
 			}
 			return nil
 		case "b", "break":
@@ -416,17 +487,13 @@ func debugREPL(sess *devudf.DebugSession, input io.Reader, out io.Writer) error 
 				fmt.Fprintln(out, "bad line number")
 				break
 			}
-			sess.SetBreakpoint(line, strings.Join(fields[2:], " "))
+			if err := sess.SetBreakpoint(line, strings.Join(fields[2:], " ")); err != nil {
+				fmt.Fprintln(out, "error:", err)
+				break
+			}
 			fmt.Fprintf(out, "breakpoint set at line %d\n", line)
 		case "c", "continue", "r", "run":
-			var ev devudf.DebugEvent
-			if !started {
-				started = true
-				ev = sess.Start()
-			} else {
-				ev = sess.Continue()
-			}
-			if report(ev) {
+			if done := stepCmd(sess, &started, sess.Continue, report); done {
 				return nil
 			}
 		case "n", "next":
@@ -451,7 +518,7 @@ func debugREPL(sess *devudf.DebugSession, input io.Reader, out io.Writer) error 
 				fmt.Fprintln(out, "error:", err)
 				break
 			}
-			fmt.Fprintln(out, v.Repr())
+			fmt.Fprintln(out, v)
 		case "locals":
 			if !started {
 				fmt.Fprintln(out, "not running (use c to start)")
@@ -468,7 +535,7 @@ func debugREPL(sess *devudf.DebugSession, input io.Reader, out io.Writer) error 
 			}
 			sort.Strings(names)
 			for _, n := range names {
-				fmt.Fprintf(out, "  %s = %s\n", n, vars[n].Repr())
+				fmt.Fprintf(out, "  %s = %s\n", n, vars[n])
 			}
 		case "stack":
 			if !started {
@@ -499,21 +566,18 @@ func debugREPL(sess *devudf.DebugSession, input io.Reader, out io.Writer) error 
 		fmt.Fprint(out, "(devudf) ")
 	}
 	if started {
-		sess.Kill()
+		_, _ = sess.Kill()
 	}
 	return sc.Err()
 }
 
-func stepCmd(sess *devudf.DebugSession, started *bool,
-	step func() debug.Event, report func(devudf.DebugEvent) bool) bool {
-	var ev devudf.DebugEvent
+func stepCmd(sess debugDriver, started *bool,
+	step func() (devudf.DebugEvent, error), report func(devudf.DebugEvent, error) bool) bool {
 	if !*started {
 		*started = true
-		ev = sess.Start()
-	} else {
-		ev = step()
+		return report(sess.Start())
 	}
-	return report(ev)
+	return report(step())
 }
 
 func cmdVCS(fs core.FS, args []string) error {

@@ -100,7 +100,7 @@ func TestDebugREPLScripted(t *testing.T) {
 		"q",
 	}, "\n")
 	var out strings.Builder
-	if err := debugREPL(sess, strings.NewReader(script), &out); err != nil {
+	if err := debugREPL(newLocalDriver(sess), strings.NewReader(script), &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -152,7 +152,7 @@ func TestDebugREPLQuitBeforeStart(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out strings.Builder
-	if err := debugREPL(sess, strings.NewReader("p x\nlocals\nq\n"), &out); err != nil {
+	if err := debugREPL(newLocalDriver(sess), strings.NewReader("p x\nlocals\nq\n"), &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "not running") {

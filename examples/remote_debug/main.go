@@ -1,25 +1,34 @@
-// Remote debugging: the architecture split PyCharm uses with pydevd — the
-// debugger UI in one process, the debuggee in another, connected by a
-// socket speaking a JSON protocol.
+// Remote in-server debugging: the capability the paper says UDF developers
+// are denied — "the RDBMS must be in control of the code flow while the UDF
+// is being executed" (§1) — delivered over the wire. Where the local
+// workflow extracts the UDF's inputs and debugs a copy, this scenario
+// attaches to the UDF *while it executes inside monetlited*: a DAP-style
+// debug sub-protocol rides the v2 connection, the engine runs the
+// invocation under the trace hook, and stop events are pushed back to the
+// client asynchronously.
 //
-// This example runs the paper's buggy mean_deviation under a debug server
-// in one goroutine ("the debuggee process") and drives it from a
-// RemoteClient ("the IDE"): set a conditional breakpoint, inspect locals
-// and the stack, evaluate a watch expression, continue to completion.
+// The scenario: start an in-process monetlited with the paper's buggy
+// mean_deviation (Listing 4), open a devUDF client, launch the debug query
+// with a conditional breakpoint inside the UDF, inspect locals / stack / a
+// watch expression at the pause, step, and resume to completion.
 //
 //	go run ./examples/remote_debug
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"strconv"
 
-	"repro/internal/debug"
-	"repro/internal/script"
+	"repro/devudf"
+	"repro/internal/core"
+	"repro/monetlite"
 )
 
-const debuggee = `def mean_deviation(column):
+const buggyMeanDeviation = `CREATE FUNCTION mean_deviation(column INTEGER)
+RETURNS DOUBLE LANGUAGE PYTHON {
     mean = 0
     for i in range(0, len(column)):
         mean += column[i]
@@ -27,98 +36,128 @@ const debuggee = `def mean_deviation(column):
     distance = 0
     for i in range(0, len(column)):
         distance += column[i] - mean
-    return distance / len(column)
-
-result = mean_deviation([1, 2, 3, 4, 100])
-`
+    deviation = distance / len(column)
+    return deviation;
+};`
 
 func main() {
-	mod, err := script.Parse("mean_deviation.py", debuggee)
+	ctx := context.Background()
+
+	// ---- the server side: monetlited with the demo schema ----
+	db := monetlite.NewDB()
+	db.FS = core.NewMemFS(nil)
+	srv := monetlite.NewServer("demo", "monetdb", "monetdb", db)
+	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	sess := debug.NewSession(mod, debug.Config{})
-	srv := debug.NewRemoteServer(sess)
-
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer ln.Close()
-	fmt.Println("debug server listening on", ln.Addr())
-
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Print(err)
-			return
+	defer srv.Close()
+	boot := monetlite.Connect(db, "monetdb", "monetdb")
+	for _, sql := range []string{
+		`CREATE TABLE numbers (i INTEGER)`,
+		`INSERT INTO numbers VALUES (1), (2), (3), (4), (100)`,
+		buggyMeanDeviation,
+	} {
+		if _, err := boot.Exec(sql); err != nil {
+			log.Fatal(err)
 		}
-		if err := srv.ServeConn(conn); err != nil {
-			log.Print("serve:", err)
-		}
-	}()
+	}
+	fmt.Println("monetlited serving on", addr)
 
-	// ---- the "IDE" side ----
-	rc, err := debug.DialRemote(ln.Addr().String())
+	// ---- the IDE side: a devUDF client with a debug query ----
+	host, port := splitAddr(addr)
+	settings := devudf.DefaultSettings()
+	settings.Connection = devudf.ConnParams{
+		Host: host, Port: port, Database: "demo",
+		User: "monetdb", Password: "monetdb",
+	}
+	settings.DebugQuery = `SELECT mean_deviation(i) FROM numbers`
+	client, err := devudf.Open(ctx, settings, devudf.WithFS(core.NewMemFS(nil)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer rc.Close()
+	defer client.Close()
 
-	// break in the accumulation loop only once it has gone wrong
-	if err := rc.SetBreakpoint(8, "distance < -40"); err != nil {
-		log.Fatal(err)
-	}
-	ev, err := rc.Start()
+	sess, err := client.NewRemoteDebugSession(ctx, "mean_deviation", false)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("stopped: reason=%s line=%d func=%s\n", ev.Reason, ev.Line, ev.FuncName)
+	defer sess.Close()
 
-	locals, err := rc.Locals()
+	// Break in the accumulation loop only once it has gone wrong.
+	if err := sess.SetBreakpoint(8, "distance < -40"); err != nil {
+		log.Fatal(err)
+	}
+	ev, err := sess.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stopped inside the server: reason=%s line=%d func=%s\n",
+		ev.Reason, ev.Line, ev.FuncName)
+	if src := sess.Source(); ev.Line-1 < len(src) {
+		fmt.Printf("  %4d | %s\n", ev.Line, src[ev.Line-1])
+	}
+
+	locals, err := sess.Locals()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("locals at the breakpoint:")
-	for _, name := range debug.SortedVarNames(locals) {
+	for _, name := range [...]string{"i", "mean", "distance"} {
 		fmt.Printf("  %s = %s\n", name, locals[name])
 	}
-	stack, err := rc.Stack()
+	frames, err := sess.Stack()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("stack:")
-	for i, f := range stack {
+	for i, f := range frames {
 		fmt.Printf("  #%d %s at line %d\n", i, f.FuncName, f.Line)
 	}
-	watch, err := rc.Eval("column[i] - mean")
+	watch, err := sess.Eval("column[i] - mean")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("watch `column[i] - mean` =", watch)
 
-	// step once, then run to the end
-	ev, err = rc.StepOver()
+	// Step once, then run to the end.
+	ev, err = sess.StepOver()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("after step: line=%d\n", ev.Line)
 	for !ev.Terminal {
-		ev, err = rc.Continue()
+		ev, err = sess.Continue()
 		if err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("debuggee finished (%s)\n", ev.Reason)
-	rc.Close()
-	<-done
+	fmt.Printf("debuggee finished (%s), debug query status: %s\n", ev.Reason, sess.Status())
+	if err := sess.Close(); err != nil {
+		log.Fatal(err)
+	}
 
-	env, err := sess.Result()
+	// The pool keeps serving ordinary traffic after the debug run: rerun
+	// the query plain and show the (buggy — Listing 4) result.
+	_, t, err := client.Query(ctx, settings.DebugQuery)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v, _ := env.Get("result")
-	fmt.Println("program result:", v.Repr(), "(the Listing 4 bug: should be 31.2)")
+	col, err := t.Column("mean_deviation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query result: %v (the Listing 4 bug: should be 31.2)\n", col.Flts[0])
+}
+
+func splitAddr(addr string) (string, int) {
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return host, port
 }

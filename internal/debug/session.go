@@ -5,10 +5,16 @@
 // (optionally conditional), step over/into/out, pause, call-stack and
 // variable inspection, and watch expressions, built on PyLite's trace hook
 // exactly as pydevd builds on CPython's sys.settrace.
+//
+// A Session can debug either a whole module it owns (NewSession — the local
+// devUDF workflow) or an arbitrary run function under an externally-owned
+// interpreter (AttachSession — the hook the wire server uses to debug a UDF
+// invocation executing inside the database engine).
 package debug
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -64,10 +70,10 @@ type Config struct {
 	// when stepping from the gutter).
 	StopOnEntry bool
 	// Setup runs before execution to configure the interpreter (install
-	// FS, module providers, stdout).
+	// FS, module providers, stdout). Module sessions only.
 	Setup func(*script.Interp)
 	// Globals, when non-nil, pre-populates module scope (the devUDF local
-	// runner injects _conn and input parameters).
+	// runner injects _conn and input parameters). Module sessions only.
 	Globals map[string]script.Value
 }
 
@@ -107,48 +113,89 @@ const (
 	stepOut
 )
 
-// Session debugs one PyLite module execution. Control methods (Continue,
-// Step*, …) are synchronous: they resume the debuggee and return the next
-// stop event. A Session is not safe for concurrent control calls.
+// Session debugs one execution under the trace hook. Control methods
+// (Continue, Step*, …) are synchronous: they resume the debuggee and return
+// the next stop event. A Session supports a single controlling goroutine;
+// SetBreakpoint, ClearBreakpoint, RequestPause and Kill are additionally
+// safe to call from any goroutine at any time.
 type Session struct {
-	in  *script.Interp
-	mod *script.Module
+	in    *script.Interp
+	lines []string
+	run   func() error
 
+	bpMu        sync.Mutex
 	breakpoints map[int]*Breakpoint
-	cmds        chan command
-	events      chan Event
-	pauseFlag   atomic.Bool
-	killed      atomic.Bool
 
-	mode        stepMode
-	modeDepth   int
-	started     bool
-	finished    bool
-	lastErr     error
+	cmds      chan command
+	events    chan Event
+	done      chan struct{} // closed once the terminal state is recorded
+	pauseFlag atomic.Bool
+	killed    atomic.Bool
+	started   atomic.Bool
+
+	// terminal is valid to read after done is closed.
+	terminal Event
+
+	// Debuggee-goroutine-only step state.
+	mode      stepMode
+	modeDepth int
+
 	result      *script.Env
+	lastErr     error
 	cfgGlobals  map[string]script.Value
 	stopOnEntry bool
 	sawEntry    bool
 }
 
-// NewSession prepares (but does not start) a debug session over mod.
+// NewSession prepares (but does not start) a debug session over mod: the
+// session owns a fresh interpreter and runs the module's body.
 func NewSession(mod *script.Module, cfg Config) *Session {
-	s := &Session{
-		mod:         mod,
-		breakpoints: map[int]*Breakpoint{},
-		cmds:        make(chan command),
-		events:      make(chan Event),
-	}
+	s := newSession(cfg)
+	s.lines = mod.Lines
 	s.in = script.NewInterp()
 	if cfg.Setup != nil {
 		cfg.Setup(s.in)
 	}
 	s.in.Trace = s.trace
+	s.cfgGlobals = cfg.Globals
+	s.run = func() error {
+		globals := s.in.NewGlobals()
+		for k, v := range s.cfgGlobals {
+			globals.Set(k, v)
+		}
+		err := s.in.RunInEnv(mod, globals)
+		s.result = globals
+		return err
+	}
+	return s
+}
+
+// AttachSession prepares a debug session over an arbitrary run function
+// executing under an externally-owned interpreter — the wire server uses it
+// to debug one UDF invocation inside the engine. The session installs its
+// trace hook on in (replacing any existing hook); lines is the source shown
+// by Source(). The run function executes on the session's goroutine once
+// Start is called.
+func AttachSession(in *script.Interp, lines []string, run func() error, cfg Config) *Session {
+	s := newSession(cfg)
+	s.in = in
+	s.lines = lines
+	s.run = run
+	in.Trace = s.trace
+	return s
+}
+
+func newSession(cfg Config) *Session {
+	s := &Session{
+		breakpoints: map[int]*Breakpoint{},
+		cmds:        make(chan command),
+		events:      make(chan Event),
+		done:        make(chan struct{}),
+	}
 	if cfg.StopOnEntry {
 		s.mode = stepInto // pause at the very first line
 		s.stopOnEntry = true
 	}
-	s.cfgGlobals = cfg.Globals
 	return s
 }
 
@@ -159,7 +206,7 @@ func (s *Session) Interp() *script.Interp { return s.in }
 // SetGlobal injects a module-scope binding before Start (devUDF injects
 // _conn this way). It panics if called after Start.
 func (s *Session) SetGlobal(name string, v script.Value) {
-	if s.started {
+	if s.started.Load() {
 		panic("debug: SetGlobal after Start")
 	}
 	if s.cfgGlobals == nil {
@@ -168,56 +215,56 @@ func (s *Session) SetGlobal(name string, v script.Value) {
 	s.cfgGlobals[name] = v
 }
 
-// SetBreakpoint sets (or replaces) a breakpoint.
+// SetBreakpoint sets (or replaces) a breakpoint. Safe from any goroutine,
+// including while the debuggee is running.
 func (s *Session) SetBreakpoint(line int, condition string) {
+	s.bpMu.Lock()
+	defer s.bpMu.Unlock()
 	s.breakpoints[line] = &Breakpoint{Line: line, Condition: condition}
 }
 
-// ClearBreakpoint removes a breakpoint.
-func (s *Session) ClearBreakpoint(line int) { delete(s.breakpoints, line) }
+// ClearBreakpoint removes a breakpoint. Safe from any goroutine.
+func (s *Session) ClearBreakpoint(line int) {
+	s.bpMu.Lock()
+	defer s.bpMu.Unlock()
+	delete(s.breakpoints, line)
+}
 
-// Breakpoints lists breakpoints sorted by line.
+// Breakpoints lists breakpoints sorted by line. Safe from any goroutine.
 func (s *Session) Breakpoints() []Breakpoint {
+	s.bpMu.Lock()
 	out := make([]Breakpoint, 0, len(s.breakpoints))
 	for _, b := range s.breakpoints {
 		out = append(out, *b)
 	}
+	s.bpMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Line < out[j].Line })
 	return out
 }
 
-// Source returns the debugged module's source lines (1-based indexing by
+// Source returns the debugged code's source lines (1-based indexing by
 // line number: Source()[l-1]).
-func (s *Session) Source() []string { return s.mod.Lines }
+func (s *Session) Source() []string { return s.lines }
 
 // Start launches the debuggee and returns the first stop event: the entry
 // pause when StopOnEntry, otherwise the first breakpoint hit / completion.
 func (s *Session) Start() Event {
-	if s.started {
+	if !s.started.CompareAndSwap(false, true) {
 		return Event{Reason: ReasonDone, Terminal: true,
 			Err: core.Errorf(core.KindConstraint, "session already started")}
 	}
-	s.started = true
 	go func() {
-		globals := s.in.NewGlobals()
-		if s.cfgGlobals != nil {
-			for k, v := range s.cfgGlobals {
-				globals.Set(k, v)
-			}
-		}
-		err := s.in.RunInEnv(s.mod, globals)
-		s.finished = true
-		s.result = globals
+		err := s.run()
 		s.lastErr = err
 		reason := ReasonDone
 		if s.killed.Load() {
 			reason = ReasonKilled
 			err = nil
 		}
-		s.events <- Event{Reason: reason, Terminal: true, Err: err}
-		close(s.events)
+		s.terminal = Event{Reason: reason, Terminal: true, Err: err}
+		close(s.done)
 	}()
-	return <-s.events
+	return s.waitEvent()
 }
 
 // Continue resumes until the next breakpoint, pause request or completion.
@@ -232,31 +279,74 @@ func (s *Session) StepInto() Event { return s.control(command{kind: cmdStepInto}
 // StepOut resumes until control returns to the caller.
 func (s *Session) StepOut() Event { return s.control(command{kind: cmdStepOut}) }
 
-// Kill aborts the debuggee and returns the terminal event.
+// Kill aborts the debuggee and returns the terminal event. Safe from any
+// goroutine, concurrently with an in-flight control call.
 func (s *Session) Kill() Event {
+	if !s.started.Load() || s.Finished() {
+		return notPausedEvent()
+	}
 	s.killed.Store(true)
-	return s.control(command{kind: cmdKill})
+	for {
+		select {
+		case s.cmds <- command{kind: cmdKill}:
+			// Delivered: the debuggee aborts at this trace event; wait for
+			// the terminal state.
+			<-s.done
+			return s.terminal
+		case ev := <-s.events:
+			// A stop event raced our kill; the next trace event observes the
+			// killed flag, but the debuggee is paused waiting for a command,
+			// so keep offering cmdKill.
+			_ = ev
+		case <-s.done:
+			return s.terminal
+		}
+	}
 }
 
 // RequestPause asks a *running* debuggee to stop at its next line. It is
-// the one asynchronous control; the pause materializes as a ReasonPause
-// event from the in-flight Continue call.
+// asynchronous and safe from any goroutine; the pause materializes as a
+// ReasonPause event from the in-flight (or next) control call.
 func (s *Session) RequestPause() { s.pauseFlag.Store(true) }
 
-func (s *Session) control(cmd command) Event {
-	if s.finishedOrUnstarted() {
-		return Event{Reason: ReasonDone, Terminal: true,
-			Err: core.Errorf(core.KindConstraint, "debuggee is not paused")}
-	}
-	s.cmds <- cmd
-	ev, ok := <-s.events
-	if !ok {
-		return Event{Reason: ReasonDone, Terminal: true}
-	}
-	return ev
+// notPausedEvent is the error event for control calls outside a pause:
+// before Start or after the terminal event.
+func notPausedEvent() Event {
+	return Event{Reason: ReasonDone, Terminal: true,
+		Err: core.Errorf(core.KindConstraint, "debuggee is not paused")}
 }
 
-func (s *Session) finishedOrUnstarted() bool { return !s.started || s.finished }
+func (s *Session) control(cmd command) Event {
+	if !s.started.Load() || s.Finished() {
+		return notPausedEvent()
+	}
+	select {
+	case s.cmds <- cmd:
+	case <-s.done:
+		return s.terminal
+	}
+	return s.waitEvent()
+}
+
+// waitEvent blocks until the debuggee pauses or terminates.
+func (s *Session) waitEvent() Event {
+	select {
+	case ev := <-s.events:
+		return ev
+	case <-s.done:
+		return s.terminal
+	}
+}
+
+// Finished reports whether the debuggee has reached its terminal state.
+func (s *Session) Finished() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
 
 // Eval evaluates a watch expression in the paused frame.
 func (s *Session) Eval(expr string) (script.Value, error) {
@@ -283,17 +373,27 @@ func (s *Session) Stack() ([]FrameInfo, error) {
 }
 
 func (s *Session) inspect(cmd command) cmdResult {
-	if s.finishedOrUnstarted() {
+	if !s.started.Load() || s.Finished() {
 		return cmdResult{err: core.Errorf(core.KindConstraint, "debuggee is not paused")}
 	}
 	cmd.resp = make(chan cmdResult, 1)
-	s.cmds <- cmd
-	return <-cmd.resp
+	select {
+	case s.cmds <- cmd:
+	case <-s.done:
+		return cmdResult{err: core.Errorf(core.KindConstraint, "debuggee is not paused")}
+	}
+	select {
+	case res := <-cmd.resp:
+		return res
+	case <-s.done:
+		return cmdResult{err: core.Errorf(core.KindConstraint, "debuggee is not paused")}
+	}
 }
 
-// Result returns the module globals and error after the terminal event.
+// Result returns the module globals (module sessions; nil for attached
+// sessions) and error after the terminal event.
 func (s *Session) Result() (*script.Env, error) {
-	if !s.finished {
+	if !s.Finished() {
 		return nil, core.Errorf(core.KindConstraint, "debuggee has not finished")
 	}
 	return s.result, s.lastErr
@@ -309,6 +409,11 @@ func (s *Session) trace(in *script.Interp, ev script.TraceEvent) error {
 		return errKilled
 	}
 	if ev.Kind != script.TraceLine {
+		return nil
+	}
+	if s.Finished() {
+		// A stale hook on a reused interpreter (AttachSession embedders):
+		// the controller is gone, so pausing would block forever.
 		return nil
 	}
 	reason, stop := s.shouldStop(in, ev)
@@ -389,15 +494,26 @@ func (s *Session) shouldStop(in *script.Interp, ev script.TraceEvent) (StopReaso
 			return ReasonStep, true
 		}
 	}
-	if bp, ok := s.breakpoints[ev.Line]; ok {
-		if bp.Condition != "" {
-			v, err := in.EvalInFrame(bp.Condition, ev.Frame)
-			if err != nil || !script.Truthy(v) {
-				return "", false
-			}
-		}
-		bp.HitCount++
-		return ReasonBreakpoint, true
+	s.bpMu.Lock()
+	bp, ok := s.breakpoints[ev.Line]
+	var cond string
+	if ok {
+		cond = bp.Condition
 	}
-	return "", false
+	s.bpMu.Unlock()
+	if !ok {
+		return "", false
+	}
+	if cond != "" {
+		v, err := in.EvalInFrame(cond, ev.Frame)
+		if err != nil || !script.Truthy(v) {
+			return "", false
+		}
+	}
+	s.bpMu.Lock()
+	if cur, still := s.breakpoints[ev.Line]; still {
+		cur.HitCount++
+	}
+	s.bpMu.Unlock()
+	return ReasonBreakpoint, true
 }

@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/script"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 
@@ -84,6 +85,14 @@ type Conn struct {
 	DB       *DB
 	User     string
 	Password string
+	// UDFInvoke, when set, intercepts every UDF invocation on this session:
+	// it receives the UDF's name, the interpreter about to run it, the
+	// source lines of the compiled wrapper module, and the call thunk, and
+	// must return the thunk's result (calling it exactly once, on any
+	// goroutine). The wire server's remote debugger uses it to run the
+	// invocation under the trace hook.
+	UDFInvoke func(name string, in *script.Interp, lines []string,
+		call func() (script.Value, error)) (script.Value, error)
 }
 
 // Result is the outcome of one statement.

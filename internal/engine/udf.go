@@ -61,24 +61,36 @@ func (c *Conn) newUDFInterp() *script.Interp {
 	return in
 }
 
-// prepareUDF compiles and instantiates a UDF, returning the interpreter and
-// the bound function value with _conn installed for loopback queries.
-func (c *Conn) prepareUDF(def *storage.FuncDef) (*script.Interp, script.Value, error) {
+// prepareUDF compiles and instantiates a UDF, returning the interpreter,
+// the bound function value with _conn installed for loopback queries, and
+// the compiled wrapper module (whose source lines feed the debugger).
+func (c *Conn) prepareUDF(def *storage.FuncDef) (*script.Interp, script.Value, *script.Module, error) {
 	mod, err := c.compileUDF(def)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	in := c.newUDFInterp()
 	env, err := in.Run(mod)
 	if err != nil {
-		return nil, nil, wrapUDFErr(def.Name, err)
+		return nil, nil, nil, wrapUDFErr(def.Name, err)
 	}
 	fn, ok := env.Get(def.Name)
 	if !ok {
-		return nil, nil, core.Errorf(core.KindRuntime, "UDF %s did not define itself", def.Name)
+		return nil, nil, nil, core.Errorf(core.KindRuntime, "UDF %s did not define itself", def.Name)
 	}
 	env.Set("_conn", c.loopbackConn(in))
-	return in, fn, nil
+	return in, fn, mod, nil
+}
+
+// invokeUDF runs one UDF call, routing it through the session's UDFInvoke
+// hook when one is installed (the remote debugger's entry point).
+func (c *Conn) invokeUDF(def *storage.FuncDef, in *script.Interp, mod *script.Module,
+	fn script.Value, args []script.Value) (script.Value, error) {
+	call := func() (script.Value, error) { return in.Call(fn, args) }
+	if c.UDFInvoke == nil {
+		return call()
+	}
+	return c.UDFInvoke(def.Name, in, mod.Lines, call)
 }
 
 func wrapUDFErr(name string, err error) error {
@@ -108,7 +120,7 @@ func (c *Conn) callScalarUDF(name string, argCols []*storage.Column, isColumn []
 	if c.DB.Mode == ModeTupleAtATime {
 		return c.callScalarUDFTuple(def, argCols)
 	}
-	in, fn, err := c.prepareUDF(def)
+	in, fn, mod, err := c.prepareUDF(def)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +128,7 @@ func (c *Conn) callScalarUDF(name string, argCols []*storage.Column, isColumn []
 	for i, col := range argCols {
 		args[i] = columnToValue(col, isColumn[i])
 	}
-	out, err := in.Call(fn, args)
+	out, err := c.invokeUDF(def, in, mod, fn, args)
 	if err != nil {
 		return nil, wrapUDFErr(def.Name, err)
 	}
@@ -127,7 +139,7 @@ func (c *Conn) callScalarUDF(name string, argCols []*storage.Column, isColumn []
 // callScalarUDFTuple is the §2.4 tuple-at-a-time model: one interpreter
 // call per input row, scalar in, scalar out.
 func (c *Conn) callScalarUDFTuple(def *storage.FuncDef, argCols []*storage.Column) (*storage.Column, error) {
-	in, fn, err := c.prepareUDF(def)
+	in, fn, mod, err := c.prepareUDF(def)
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +154,7 @@ func (c *Conn) callScalarUDFTuple(def *storage.FuncDef, argCols []*storage.Colum
 			}
 			args[i] = cellToValue(col, ri)
 		}
-		v, err := in.Call(fn, args)
+		v, err := c.invokeUDF(def, in, mod, fn, args)
 		if err != nil {
 			return nil, wrapUDFErr(def.Name, err)
 		}
@@ -159,7 +171,7 @@ func (c *Conn) callTableUDF(def *storage.FuncDef, argCols []*storage.Column, isC
 		return nil, core.Errorf(core.KindConstraint,
 			"%s expects %d argument(s), got %d", def.Name, len(def.Params), len(argCols))
 	}
-	in, fn, err := c.prepareUDF(def)
+	in, fn, mod, err := c.prepareUDF(def)
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +179,7 @@ func (c *Conn) callTableUDF(def *storage.FuncDef, argCols []*storage.Column, isC
 	for i, col := range argCols {
 		args[i] = columnToValue(col, isColumn[i])
 	}
-	out, err := in.Call(fn, args)
+	out, err := c.invokeUDF(def, in, mod, fn, args)
 	if err != nil {
 		return nil, wrapUDFErr(def.Name, err)
 	}

@@ -1,0 +1,106 @@
+package script
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds covers the grammar: defs, control flow, literals, slices,
+// dicts, imports, exceptions — plus known-nasty edges (empty input, stray
+// indentation, unterminated strings, deep nesting).
+var fuzzSeeds = []string{
+	"",
+	"x = 1\n",
+	"def f(a, b=2):\n    return a + b\nresult = f(1)\n",
+	"for i in range(0, 10):\n    if i % 2 == 0:\n        continue\n    print(i)\n",
+	"while True:\n    break\n",
+	"d = {'a': [1, 2.5, 'x'], 'b': (1,)}\nv = d['a'][0:2]\n",
+	"import os\nfiles = os.listdir('.')\n",
+	"try:\n    x = 1 / 0\nexcept:\n    x = None\n",
+	"class\n",
+	"x = 'unterminated\n",
+	"def f():\n  return ((((((1))))))\n",
+	"x = [i * i for i in range(0, 3)]\n",
+	"lambda\n",
+	"x = -1e309\n",
+	"\tindent = 1\n",
+	"x = \"esc\\n\\t\\\"q\\\"\"\n",
+	"a, b = 1, 2\na += b\n",
+	"def g():\n    global cnt\n    cnt = cnt + 1\n",
+	"x = 1 if True else 2\n",
+	"s = 'a' * 3 + 'b'\nn = len(s)\n",
+}
+
+// FuzzParse asserts the lexer/parser never panic, parse deterministically,
+// and preserve the module's source lines — the properties the debugger
+// (breakpoints address lines of Source()) depends on.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		mod1, err1 := Parse("fuzz.py", src)
+		mod2, err2 := Parse("fuzz.py", src)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("nondeterministic parse: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() != err2.Error() {
+				t.Fatalf("nondeterministic parse error: %q vs %q", err1, err2)
+			}
+			return
+		}
+		if len(mod1.Body) != len(mod2.Body) {
+			t.Fatalf("nondeterministic statement count: %d vs %d", len(mod1.Body), len(mod2.Body))
+		}
+		// Source lines must round-trip: the debugger indexes them 1-based.
+		want := strings.Split(src, "\n")
+		if len(mod1.Lines) != len(want) {
+			t.Fatalf("module kept %d lines of %d", len(mod1.Lines), len(want))
+		}
+		for i := range want {
+			if mod1.Lines[i] != want[i] {
+				t.Fatalf("line %d drifted: %q vs %q", i+1, mod1.Lines[i], want[i])
+			}
+		}
+		// Every parsed statement must report a position inside the source.
+		for _, st := range mod1.Body {
+			if p := st.Pos(); p < 1 || p > len(want) {
+				t.Fatalf("statement position %d outside 1..%d", p, len(want))
+			}
+		}
+	})
+}
+
+// FuzzEvalExpr asserts the expression path the debugger uses for watch
+// expressions and conditional breakpoints never panics, even on adversarial
+// input typed into the condition box.
+func FuzzEvalExpr(f *testing.F) {
+	for _, seed := range []string{
+		"i > 3", "column[i] - mean", "len(x) == 0", "1 / 0", "(", "a.b.c",
+		"x = 1", "'s' + 1", "d['missing']", "f(", "not (a and b) or c",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		mod, err := Parse("cond.py", "x = 1\n")
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := NewInterp()
+		var paused bool
+		in.Trace = func(in *Interp, ev TraceEvent) error {
+			if paused || ev.Kind != TraceLine {
+				return nil
+			}
+			paused = true
+			// Evaluating any expression in a paused frame must fail cleanly
+			// or succeed — never panic or corrupt the interpreter.
+			_, _ = in.EvalInFrame(expr, ev.Frame)
+			return nil
+		}
+		if _, err := in.Run(mod); err != nil {
+			t.Fatalf("host script failed: %v", err)
+		}
+	})
+}

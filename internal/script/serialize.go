@@ -218,7 +218,14 @@ func unmarshalFrom(data []byte) (Value, []byte, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		items := make([]Value, 0, n)
+		// Every element takes at least one byte, so cap the preallocation at
+		// the remaining input: a forged length field must fail with a
+		// truncation error, not exhaust memory up front.
+		capHint := int(n)
+		if capHint > len(rest) {
+			capHint = len(rest)
+		}
+		items := make([]Value, 0, capHint)
 		for i := uint32(0); i < n; i++ {
 			var v Value
 			v, rest, err = unmarshalFrom(rest)

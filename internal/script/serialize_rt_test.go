@@ -1,0 +1,118 @@
+package script
+
+import (
+	"testing"
+)
+
+// deepValue builds a nested value exercising every serializable tag.
+func deepValue() Value {
+	d := NewDict()
+	d.SetStr("none", None)
+	d.SetStr("bools", NewList(BoolVal(true), BoolVal(false)))
+	d.SetStr("ints", NewList(IntVal(0), IntVal(-1), IntVal(1<<62)))
+	d.SetStr("floats", NewList(FloatVal(0), FloatVal(-2.5), FloatVal(1e308)))
+	d.SetStr("strs", NewList(StrVal(""), StrVal("héllo\x00world"), StrVal("quote'\"")))
+	d.SetStr("bytes", BytesVal([]byte{0, 255, 1, 2}))
+	d.SetStr("tuple", &TupleVal{Items: []Value{IntVal(1), StrVal("x")}})
+	inner := NewDict()
+	inner.SetStr("nested", NewList(IntVal(7), StrVal("deep"), None))
+	d.SetStr("dict", inner)
+	return d
+}
+
+// TestSerializeRoundTripDeep round-trips a deeply nested value and compares
+// reprs (structural equality for the value model).
+func TestSerializeRoundTripDeep(t *testing.T) {
+	v := deepValue()
+	data, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Repr() != v.Repr() {
+		t.Fatalf("round trip diverged:\n in: %s\nout: %s", v.Repr(), got.Repr())
+	}
+	// A second marshal of the decoded value is byte-identical: the codec is
+	// canonical, which the wire layer's input.bin caching relies on.
+	data2, err := Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Fatal("codec is not canonical")
+	}
+}
+
+// TestUnmarshalTruncated feeds every prefix of a marshaled deep value to
+// Unmarshal: each must error cleanly (no panic, no silent success).
+func TestUnmarshalTruncated(t *testing.T) {
+	data, err := Marshal(deepValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < len(data); k++ {
+		if _, err := Unmarshal(data[:k]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", k, len(data))
+		}
+	}
+}
+
+// TestUnmarshalAdversarial covers hand-crafted corrupt inputs: bad magic,
+// unknown tags, and length fields pointing past the buffer.
+func TestUnmarshalAdversarial(t *testing.T) {
+	good, err := Marshal(StrVal("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE\x00"),
+		"magic only":  []byte(pickleMagic),
+		"unknown tag": append([]byte(pickleMagic), 0xEE),
+		"huge str len": append([]byte(pickleMagic),
+			tagStr, 0xFF, 0xFF, 0xFF, 0xFF, 'a'),
+		"huge list len": append([]byte(pickleMagic),
+			tagList, 0xFF, 0xFF, 0xFF, 0x00),
+		"trailing garbage": append(append([]byte{}, good...), 0x01, 0x02),
+	}
+	for name, data := range cases {
+		if _, err := Unmarshal(data); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+// FuzzUnmarshal hammers the decoder with arbitrary bytes (seeded with valid
+// pickles): it must never panic, and any value it does decode must survive
+// a re-marshal/re-unmarshal cycle.
+func FuzzUnmarshal(f *testing.F) {
+	for _, v := range []Value{None, IntVal(42), StrVal("seed"), deepValue(),
+		NewList(IntVal(1), NewList(IntVal(2)))} {
+		data, err := Marshal(v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(pickleMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("decoded value does not re-marshal: %v", err)
+		}
+		v2, err := Unmarshal(again)
+		if err != nil {
+			t.Fatalf("re-marshaled value does not decode: %v", err)
+		}
+		if v.Repr() != v2.Repr() {
+			t.Fatalf("unstable codec: %s vs %s", v.Repr(), v2.Repr())
+		}
+	})
+}

@@ -19,33 +19,33 @@ func formatStmt(sb *strings.Builder, st Statement) {
 	switch st := st.(type) {
 	case *CreateTable:
 		sb.WriteString("CREATE TABLE ")
-		sb.WriteString(st.Name)
+		sb.WriteString(quoteQualified(st.Name))
 		sb.WriteString(" (")
 		for i, col := range st.Schema {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
-			sb.WriteString(col.Name)
+			sb.WriteString(quoteIdent(col.Name))
 			sb.WriteByte(' ')
 			sb.WriteString(col.Type.String())
 		}
 		sb.WriteByte(')')
 	case *DropTable:
 		sb.WriteString("DROP TABLE ")
-		sb.WriteString(st.Name)
+		sb.WriteString(quoteQualified(st.Name))
 	case *CreateFunction:
 		sb.WriteString("CREATE ")
 		if st.OrReplace {
 			sb.WriteString("OR REPLACE ")
 		}
 		sb.WriteString("FUNCTION ")
-		sb.WriteString(st.Name)
+		sb.WriteString(quoteQualified(st.Name))
 		sb.WriteByte('(')
 		for i, p := range st.Params {
 			if i > 0 {
 				sb.WriteString(", ")
 			}
-			sb.WriteString(p.Name)
+			sb.WriteString(quoteIdent(p.Name))
 			sb.WriteByte(' ')
 			sb.WriteString(p.Type.String())
 		}
@@ -56,7 +56,7 @@ func formatStmt(sb *strings.Builder, st Statement) {
 				if i > 0 {
 					sb.WriteString(", ")
 				}
-				sb.WriteString(r.Name)
+				sb.WriteString(quoteIdent(r.Name))
 				sb.WriteByte(' ')
 				sb.WriteString(r.Type.String())
 			}
@@ -71,10 +71,10 @@ func formatStmt(sb *strings.Builder, st Statement) {
 		sb.WriteString("\n}")
 	case *DropFunction:
 		sb.WriteString("DROP FUNCTION ")
-		sb.WriteString(st.Name)
+		sb.WriteString(quoteQualified(st.Name))
 	case *Insert:
 		sb.WriteString("INSERT INTO ")
-		sb.WriteString(st.Table)
+		sb.WriteString(quoteQualified(st.Table))
 		sb.WriteString(" VALUES ")
 		for i, row := range st.Rows {
 			if i > 0 {
@@ -91,7 +91,7 @@ func formatStmt(sb *strings.Builder, st Statement) {
 		}
 	case *CopyInto:
 		sb.WriteString("COPY INTO ")
-		sb.WriteString(st.Table)
+		sb.WriteString(quoteQualified(st.Table))
 		sb.WriteString(" FROM ")
 		sb.WriteString(quoteSQLString(st.Path))
 		if st.Header {
@@ -130,24 +130,24 @@ func formatSelect(sb *strings.Builder, sel *Select) {
 		sb.WriteString(FormatExpr(item.Expr))
 		if item.Alias != "" {
 			sb.WriteString(" AS ")
-			sb.WriteString(item.Alias)
+			sb.WriteString(quoteIdent(item.Alias))
 		}
 	}
 	switch f := sel.From.(type) {
 	case nil:
 	case *FromTable:
 		sb.WriteString(" FROM ")
-		sb.WriteString(f.Name)
+		sb.WriteString(quoteQualified(f.Name))
 		if f.Alias != "" {
 			sb.WriteByte(' ')
-			sb.WriteString(f.Alias)
+			sb.WriteString(quoteIdent(f.Alias))
 		}
 	case *FromFunc:
 		sb.WriteString(" FROM ")
 		sb.WriteString(FormatExpr(f.Call))
 		if f.Alias != "" {
 			sb.WriteByte(' ')
-			sb.WriteString(f.Alias)
+			sb.WriteString(quoteIdent(f.Alias))
 		}
 	case *FromSelect:
 		sb.WriteString(" FROM (")
@@ -155,7 +155,7 @@ func formatSelect(sb *strings.Builder, sel *Select) {
 		sb.WriteByte(')')
 		if f.Alias != "" {
 			sb.WriteByte(' ')
-			sb.WriteString(f.Alias)
+			sb.WriteString(quoteIdent(f.Alias))
 		}
 	}
 	if sel.Where != nil {
@@ -198,9 +198,9 @@ func FormatExpr(e Expr) string {
 	switch e := e.(type) {
 	case *ColRef:
 		if e.Table != "" {
-			return e.Table + "." + e.Name
+			return quoteIdent(e.Table) + "." + quoteIdent(e.Name)
 		}
-		return e.Name
+		return quoteIdent(e.Name)
 	case *IntLit:
 		return strconv.FormatInt(e.Value, 10)
 	case *FloatLit:
@@ -232,7 +232,7 @@ func FormatExpr(e Expr) string {
 		return "(" + FormatExpr(e.X) + " IS NULL)"
 	case *FuncCall:
 		var sb strings.Builder
-		sb.WriteString(e.Name)
+		sb.WriteString(quoteQualified(e.Name))
 		sb.WriteByte('(')
 		if e.Star {
 			sb.WriteByte('*')
@@ -260,4 +260,38 @@ func FormatExpr(e Expr) string {
 
 func quoteSQLString(s string) string {
 	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// plainIdent reports whether name lexes back as the same bare identifier;
+// anything else (empty, odd characters, reserved words) must be printed as
+// a "quoted" identifier or Format output would not reparse.
+func plainIdent(name string) bool {
+	if name == "" || reservedWords[strings.ToLower(name)] {
+		return false
+	}
+	if !isSQLIdentStart(name[0]) {
+		return false
+	}
+	for i := 1; i < len(name); i++ {
+		if !isSQLIdentCont(name[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func quoteIdent(name string) string {
+	if plainIdent(name) {
+		return name
+	}
+	return `"` + strings.ReplaceAll(name, `"`, `""`) + `"`
+}
+
+// quoteQualified quotes each part of a possibly schema-qualified name
+// ("sys.functions").
+func quoteQualified(name string) string {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return quoteIdent(name[:i]) + "." + quoteIdent(name[i+1:])
+	}
+	return quoteIdent(name)
 }

@@ -1,0 +1,106 @@
+package sqlparse
+
+import "testing"
+
+var sqlFuzzSeeds = []string{
+	"",
+	"SELECT 1",
+	"SELECT i, j FROM t WHERE i > 3 ORDER BY j DESC LIMIT 5",
+	"SELECT mean_deviation(i) FROM numbers",
+	"SELECT * FROM loadNumbers('/data') AS t",
+	"SELECT count(*), sum(i) FROM t GROUP BY j",
+	"CREATE TABLE numbers (i INTEGER, s STRING, f DOUBLE, b BOOLEAN)",
+	"DROP TABLE numbers",
+	"INSERT INTO t VALUES (1, 'a'), (-2, 'b')",
+	"COPY INTO t FROM '/tmp/x.csv'",
+	`CREATE FUNCTION f(a INTEGER) RETURNS DOUBLE LANGUAGE PYTHON { return a * 2 };`,
+	`CREATE OR REPLACE FUNCTION g(x DOUBLE, y DOUBLE) RETURNS TABLE(a DOUBLE) LANGUAGE PYTHON { return {'a': x} };`,
+	"DROP FUNCTION f",
+	"SELECT 'it''s' || 'quoted'",
+	"SELECT (1 + 2) * -3 AS v",
+	"SELECT CAST(i AS DOUBLE) FROM t",
+	"SELECT sys_extract('f', 'q', 'o', 'p') ",
+	"select distinct i from t;",
+	"SELECT\n\ti\nFROM t -- comment",
+	"SELECT \x00",
+}
+
+// FuzzParseFormat asserts the SQL lexer/parser never panic and that the
+// printer is stable: Format(Parse(sql)) must reparse, and reformatting the
+// reparse must be a fixed point. devUDF's export path (CREATE OR REPLACE
+// FUNCTION built through the AST printer) relies on exactly this property.
+func FuzzParseFormat(f *testing.F) {
+	for _, seed := range sqlFuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		st, err := Parse(sql)
+		if err != nil {
+			if _, err2 := Parse(sql); err2 == nil || err.Error() != err2.Error() {
+				t.Fatalf("nondeterministic parse error: %v vs %v", err, err2)
+			}
+			return
+		}
+		out1 := Format(st)
+		st2, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("formatted statement does not reparse: %q: %v", out1, err)
+		}
+		out2 := Format(st2)
+		if out1 != out2 {
+			t.Fatalf("format not a fixed point:\n first: %q\nsecond: %q", out1, out2)
+		}
+	})
+}
+
+// TestQuotedIdentRoundTrip pins the quoting contract the fuzzers rely on:
+// reserved words and odd names are representable via "quoted" identifiers,
+// survive Format → Parse → Format, and bare reserved words are rejected
+// with a hint.
+func TestQuotedIdentRoundTrip(t *testing.T) {
+	for _, sql := range []string{
+		`SELECT "select" FROM "from"`,
+		`SELECT "order" AS "group" FROM t`,
+		`SELECT ""`,
+		`SELECT "we""ird" FROM t`,
+		`CREATE TABLE "table" ("null" INTEGER)`,
+	} {
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		out := Format(st)
+		st2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("%s: formatted %q does not reparse: %v", sql, out, err)
+		}
+		if out2 := Format(st2); out2 != out {
+			t.Fatalf("%s: not a fixed point: %q vs %q", sql, out, out2)
+		}
+	}
+	if _, err := Parse(`SELECT select FROM t`); err == nil {
+		t.Fatal("bare reserved word should be rejected")
+	}
+}
+
+// FuzzParseAll asserts the multi-statement splitter (init scripts, ExecAll)
+// never panics and agrees with itself.
+func FuzzParseAll(f *testing.F) {
+	for _, seed := range sqlFuzzSeeds {
+		f.Add(seed)
+	}
+	f.Add("SELECT 1; SELECT 2;\nCREATE TABLE t (i INTEGER);")
+	f.Add("; ;;")
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmts, err := ParseAll(sql)
+		if err != nil {
+			return
+		}
+		for _, st := range stmts {
+			out := Format(st)
+			if _, err := Parse(out); err != nil {
+				t.Fatalf("formatted statement does not reparse: %q: %v", out, err)
+			}
+		}
+	})
+}

@@ -26,6 +26,9 @@ type token struct {
 	kind tokKind
 	lit  string
 	pos  int // byte offset, for error messages
+	// quoted marks a "double-quoted" identifier: never a keyword, and
+	// allowed to spell reserved words.
+	quoted bool
 }
 
 // sqlKeywords is consulted for error messages only; the parser matches
@@ -66,14 +69,28 @@ func (lx *lexer) lex() ([]token, error) {
 			}
 			toks = append(toks, token{kind: tString, lit: s, pos: start})
 		case c == '"':
-			// quoted identifier
+			// quoted identifier; "" escapes an embedded quote
 			lx.pos++
-			j := strings.IndexByte(lx.src[lx.pos:], '"')
-			if j < 0 {
+			var sb strings.Builder
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.src[lx.pos] == '"' {
+					if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '"' {
+						sb.WriteByte('"')
+						lx.pos += 2
+						continue
+					}
+					lx.pos++
+					closed = true
+					break
+				}
+				sb.WriteByte(lx.src[lx.pos])
+				lx.pos++
+			}
+			if !closed {
 				return nil, lx.errf("unterminated quoted identifier")
 			}
-			toks = append(toks, token{kind: tIdent, lit: lx.src[lx.pos : lx.pos+j], pos: start})
-			lx.pos += j + 1
+			toks = append(toks, token{kind: tIdent, lit: sb.String(), pos: start, quoted: true})
 		case isSQLDigit(c) || (c == '.' && lx.pos+1 < len(lx.src) && isSQLDigit(lx.src[lx.pos+1])):
 			toks = append(toks, token{kind: tNumber, lit: lx.lexNumber(), pos: start})
 		case isSQLIdentStart(c):

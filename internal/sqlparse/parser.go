@@ -62,8 +62,9 @@ func (p *parser) atOp(op string) bool {
 }
 
 // atKw matches an identifier token case-insensitively against a keyword.
+// Quoted identifiers are never keywords: `"select"` names a column.
 func (p *parser) atKw(kw string) bool {
-	return p.cur().kind == tIdent && strings.EqualFold(p.cur().lit, kw)
+	return p.cur().kind == tIdent && !p.cur().quoted && strings.EqualFold(p.cur().lit, kw)
 }
 
 func (p *parser) acceptKw(kw string) bool {
@@ -100,9 +101,30 @@ func (p *parser) expectOp(op string) error {
 	return nil
 }
 
+// reservedWords are the structural keywords the printer always emits bare.
+// They are rejected as identifiers: accepting them (e.g. a column named
+// "select") would make Format produce SQL that reparses differently.
+// Contextual keywords ("language", "header", "replace", "returns") stay
+// usable as identifiers — the server's own meta tables have a "language"
+// column.
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true,
+	"order": true, "having": true, "limit": true, "by": true,
+	"distinct": true, "asc": true, "desc": true,
+	"and": true, "or": true, "not": true, "is": true, "as": true,
+	"insert": true, "into": true, "values": true,
+	"create": true, "drop": true, "copy": true, "cast": true,
+	"table": true, "function": true,
+	"null": true, "true": true, "false": true,
+}
+
 func (p *parser) ident() (string, error) {
 	if !p.at(tIdent) {
 		return "", p.errf("expected identifier, found %q", p.cur().lit)
+	}
+	if !p.cur().quoted && reservedWords[strings.ToLower(p.cur().lit)] {
+		return "", p.errf("reserved word %q cannot be used as an identifier (quote it: \"%s\")",
+			p.cur().lit, p.cur().lit)
 	}
 	return p.next().lit, nil
 }

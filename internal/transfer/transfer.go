@@ -137,7 +137,11 @@ func parseInt(s string) (int64, error) {
 		if s[i] < '0' || s[i] > '9' {
 			return 0, core.Errorf(core.KindProtocol, "bad integer in extract options")
 		}
-		v = v*10 + int64(s[i]-'0')
+		d := int64(s[i] - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, core.Errorf(core.KindProtocol, "integer overflow in extract options")
+		}
+		v = v*10 + d
 	}
 	if neg {
 		v = -v

@@ -1,0 +1,407 @@
+package wire
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/debug"
+	"repro/internal/engine"
+)
+
+// debugFixture boots a server with the paper's buggy mean_deviation UDF and
+// a numbers table, and returns a v2 client.
+func debugFixture(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	db := engine.NewDB()
+	conn := &engine.Conn{DB: db, User: "monetdb", Password: "monetdb"}
+	for _, sql := range []string{
+		`CREATE TABLE numbers (i INTEGER)`,
+		`INSERT INTO numbers VALUES (1), (2), (3), (4), (100)`,
+		`CREATE FUNCTION mean_deviation(column INTEGER)
+RETURNS DOUBLE LANGUAGE PYTHON {
+    mean = 0
+    for i in range(0, len(column)):
+        mean += column[i]
+    mean = mean / len(column)
+    distance = 0
+    for i in range(0, len(column)):
+        distance += column[i] - mean
+    deviation = distance / len(column)
+    return deviation;
+};`,
+		`CREATE FUNCTION double_it(x INTEGER)
+RETURNS INTEGER LANGUAGE PYTHON {
+    y = x * 2
+    return y;
+};`,
+	} {
+		if _, err := conn.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer("demo", "monetdb", "monetdb", db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	host, port, _ := strings.Cut(addr, ":")
+	_ = host
+	p := ConnParams{Host: "127.0.0.1", Database: "demo", User: "monetdb", Password: "monetdb"}
+	p.Port = atoiOrFail(t, port)
+	c, err := DialContext(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func atoiOrFail(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			t.Fatalf("bad port %q", s)
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+func ctxSec(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestDebugProtocolFullCycle drives launch → stopped(breakpoint) →
+// inspection → step → continue → terminated over the wire, with a query
+// interleaved on the same connection while the debuggee is paused... it
+// cannot run (the debuggee holds the engine lock), so the interleaved
+// traffic here is a ping plus queries before and after.
+func TestDebugProtocolFullCycle(t *testing.T) {
+	_, c := debugFixture(t)
+	ctx := ctxSec(t)
+	dc, err := c.Debug()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+
+	// Non-debug traffic on the same connection before launch.
+	if msg, _, err := dc.Query(ctx, "SELECT i FROM numbers"); err != nil || msg != "SELECT 5" {
+		t.Fatalf("pre-launch query: %q %v", msg, err)
+	}
+
+	// The wrapper module is "def mean_deviation(column):" + body; line 8 is
+	// the accumulation line (distance += ...).
+	_, err = dc.RoundTrip(ctx, DebugRequest{
+		Command:     DebugCmdLaunch,
+		Query:       "SELECT mean_deviation(i) FROM numbers",
+		UDF:         "mean_deviation",
+		Breakpoints: []DebugBreakpoint{{Line: 8, Condition: "i == 3"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := dc.WaitEvent(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != DebugEventStopped || ev.Reason != string(debug.ReasonBreakpoint) || ev.Line != 8 {
+		t.Fatalf("first stop: %+v", ev)
+	}
+
+	// Inspect while paused.
+	rep, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdLocals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vars["i"] != "3" {
+		t.Fatalf("locals: %v", rep.Vars)
+	}
+	rep, err = dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdEval, Expr: "distance"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Value != "-60.0" {
+		t.Fatalf("eval distance: %q", rep.Value)
+	}
+	rep, err = dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdStack})
+	if err != nil || len(rep.Frames) == 0 || rep.Frames[0].Func != "mean_deviation" {
+		t.Fatalf("stack: %+v %v", rep.Frames, err)
+	}
+	rep, err = dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdSource})
+	if err != nil || len(rep.Source) == 0 {
+		t.Fatalf("source: %v %v", rep.Source, err)
+	}
+
+	// A resume while paused is acked immediately; the stop arrives pushed.
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdStepOver}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err = dc.WaitEvent(ctx)
+	if err != nil || ev.Kind != DebugEventStopped || ev.Reason != string(debug.ReasonStep) {
+		t.Fatalf("step stop: %+v %v", ev, err)
+	}
+
+	// Inspections against a running debuggee fail in-band, not fatally.
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdContinue}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ev, err = dc.WaitEvent(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == DebugEventTerminated {
+			break
+		}
+		if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdContinue}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ev.Err != "" {
+		t.Fatalf("terminated with error: %s", ev.Err)
+	}
+	if ev.Msg != "SELECT 1" {
+		t.Fatalf("terminated msg: %q", ev.Msg)
+	}
+
+	// The connection still serves plain traffic after the debug run.
+	if msg, table, err := dc.Query(ctx, "SELECT i FROM numbers"); err != nil || table.NumRows() != 5 {
+		t.Fatalf("post-debug query: %q %v", msg, err)
+	}
+}
+
+// TestDebugQueryWhilePaused is the regression for the frame-loop deadlock:
+// a plain query issued on the debug connection while the debuggee is paused
+// blocks on the engine lock, but the frame loop must keep serving — the
+// subsequent resume command releases the lock and the query completes.
+func TestDebugQueryWhilePaused(t *testing.T) {
+	_, c := debugFixture(t)
+	ctx := ctxSec(t)
+	dc, err := c.Debug()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	_, err = dc.RoundTrip(ctx, DebugRequest{
+		Command: DebugCmdLaunch,
+		Query:   "SELECT mean_deviation(i) FROM numbers",
+		UDF:     "mean_deviation", StopOnEntry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := dc.WaitEvent(ctx); err != nil || ev.Kind != DebugEventStopped {
+		t.Fatalf("entry stop: %+v %v", ev, err)
+	}
+	// Queue a query behind the paused debuggee's engine lock.
+	type qres struct {
+		msg string
+		err error
+	}
+	qdone := make(chan qres, 1)
+	go func() {
+		msg, _, err := dc.Query(ctx, "SELECT i FROM numbers")
+		qdone <- qres{msg, err}
+	}()
+	// The frame loop must still answer pings and debug commands with the
+	// query stuck in the worker.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdLocals}); err != nil {
+		t.Fatalf("inspect with a queued query: %v", err)
+	}
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdContinue}); err != nil {
+		t.Fatalf("resume with a queued query: %v", err)
+	}
+	ev, err := dc.WaitEvent(ctx)
+	if err != nil || ev.Kind != DebugEventTerminated {
+		t.Fatalf("terminated: %+v %v", ev, err)
+	}
+	select {
+	case r := <-qdone:
+		if r.err != nil || r.msg != "SELECT 5" {
+			t.Fatalf("queued query: %q %v", r.msg, r.err)
+		}
+	case <-ctx.Done():
+		t.Fatal("queued query never completed after resume")
+	}
+}
+
+// TestDebugTupleAtATimeMode is the regression for the stale trace hook: in
+// tuple-at-a-time mode the engine reuses one interpreter per row, so after
+// the debugged first invocation terminates, the remaining rows must run
+// free of the dead session's hook instead of deadlocking on its event
+// channel.
+func TestDebugTupleAtATimeMode(t *testing.T) {
+	srv, c := debugFixture(t)
+	srv.DB.Mode = engine.ModeTupleAtATime
+	ctx := ctxSec(t)
+	dc, err := c.Debug()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	_, err = dc.RoundTrip(ctx, DebugRequest{
+		Command:     DebugCmdLaunch,
+		Query:       "SELECT double_it(i) FROM numbers",
+		UDF:         "double_it",
+		Breakpoints: []DebugBreakpoint{{Line: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := dc.WaitEvent(ctx)
+	if err != nil || ev.Kind != DebugEventStopped || ev.Line != 2 {
+		t.Fatalf("row-1 stop: %+v %v", ev, err)
+	}
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdContinue}); err != nil {
+		t.Fatal(err)
+	}
+	// Rows 2..5 execute undebugged on the same interpreter; the query must
+	// terminate instead of wedging on the finished session's trace hook.
+	ev, err = dc.WaitEvent(ctx)
+	if err != nil || ev.Kind != DebugEventTerminated || ev.Err != "" {
+		t.Fatalf("terminated: %+v %v", ev, err)
+	}
+	if msg, _, err := dc.Query(ctx, "SELECT i FROM numbers"); err != nil || msg != "SELECT 5" {
+		t.Fatalf("query after tuple-mode debug: %q %v", msg, err)
+	}
+}
+
+// TestDebugRequiresV2 verifies a v1 session is refused debugging in-band
+// while its ordinary traffic is untouched.
+func TestDebugRequiresV2(t *testing.T) {
+	_, cV2 := debugFixture(t)
+	p := cV2.Params()
+	cV1, err := DialContext(context.Background(), p, WithProtoVersion(ProtoV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cV1.Close()
+	if cV1.ProtoVersion() != ProtoV1 {
+		t.Fatalf("negotiated %d", cV1.ProtoVersion())
+	}
+	if _, err := cV1.Debug(); err == nil {
+		t.Fatal("Debug() on a v1 client should fail client-side")
+	}
+	// Force the frame through anyway: the server must reject it in-band.
+	if err := cV1.send(MsgDebug, EncodeDebugRequest(DebugRequest{Command: DebugCmdLaunch, Query: "SELECT 1", UDF: "f"})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := cV1.recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgDebugReply {
+		t.Fatalf("reply type %d", typ)
+	}
+	rep, err := DecodeDebugReply(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Success || !strings.Contains(rep.Error, "v2") {
+		t.Fatalf("v1 debug reply: %+v", rep)
+	}
+	// Ordinary v1 traffic still works on the same connection.
+	if msg, _, err := cV1.Query(context.Background(), "SELECT i FROM numbers"); err != nil || msg != "SELECT 5" {
+		t.Fatalf("v1 query after refusal: %q %v", msg, err)
+	}
+}
+
+// TestDebugLaunchErrors covers the in-band failure paths: bad launch
+// parameters, double launch, control without a session.
+func TestDebugLaunchErrors(t *testing.T) {
+	_, c := debugFixture(t)
+	ctx := ctxSec(t)
+	dc, err := c.Debug()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdContinue}); err == nil {
+		t.Fatal("continue without a session should fail")
+	}
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdLaunch, Query: "SELECT 1"}); err == nil {
+		t.Fatal("launch without udf should fail")
+	}
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: "warp"}); err == nil {
+		t.Fatal("unknown command should fail")
+	}
+
+	// Launch against a long pause, then a second launch must be refused.
+	_, err = dc.RoundTrip(ctx, DebugRequest{
+		Command: DebugCmdLaunch,
+		Query:   "SELECT mean_deviation(i) FROM numbers",
+		UDF:     "mean_deviation", StopOnEntry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := dc.WaitEvent(ctx); err != nil || ev.Reason != string(debug.ReasonEntry) {
+		t.Fatalf("entry stop: %+v %v", ev, err)
+	}
+	if _, err := dc.RoundTrip(ctx, DebugRequest{
+		Command: DebugCmdLaunch, Query: "SELECT 1", UDF: "f",
+	}); err == nil || !strings.Contains(err.Error(), "already active") {
+		t.Fatalf("second launch: %v", err)
+	}
+	// Eval of a broken expression fails in-band, session stays paused.
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdEval, Expr: "no_such_var"}); err == nil {
+		t.Fatal("eval of undefined name should fail")
+	}
+	// Kill ends it.
+	if _, err := dc.RoundTrip(ctx, DebugRequest{Command: DebugCmdKill}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := dc.WaitEvent(ctx)
+	if err != nil || ev.Kind != DebugEventTerminated {
+		t.Fatalf("kill terminal: %+v %v", ev, err)
+	}
+	if !strings.Contains(ev.Err, "killed") {
+		t.Fatalf("killed err: %q", ev.Err)
+	}
+}
+
+// TestDebugDisconnectKillsDebuggee proves a paused debuggee does not pin
+// the database after its client vanishes: a fresh connection can query the
+// same table shortly after the debug connection drops.
+func TestDebugDisconnectKillsDebuggee(t *testing.T) {
+	_, c := debugFixture(t)
+	ctx := ctxSec(t)
+	dc, err := c.Debug()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dc.RoundTrip(ctx, DebugRequest{
+		Command: DebugCmdLaunch,
+		Query:   "SELECT mean_deviation(i) FROM numbers",
+		UDF:     "mean_deviation", StopOnEntry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev, err := dc.WaitEvent(ctx); err != nil || ev.Kind != DebugEventStopped {
+		t.Fatalf("entry stop: %+v %v", ev, err)
+	}
+	// Drop the connection with the debuggee paused (holding the DB lock).
+	dc.Close()
+
+	c2, err := DialContext(ctx, c.Params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	qctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if msg, _, err := c2.Query(qctx, "SELECT i FROM numbers"); err != nil || msg != "SELECT 5" {
+		t.Fatalf("query after debug disconnect: %q %v", msg, err)
+	}
+}

@@ -1,0 +1,157 @@
+package wire
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/debug"
+)
+
+// The debug sub-protocol (v2 sessions only) is this reproduction's stand-in
+// for the Debug Adapter Protocol tunneled through the database connection:
+// the IDE debugs a UDF executing *inside* the server, instead of the
+// local-only sandbox of internal/debug. Requests are acknowledged
+// immediately with MsgDebugReply (matched by seq); "stopped" and
+// "terminated" arrive asynchronously as server-pushed MsgDebugEvent frames
+// that may interleave with pipelined query responses on the same
+// connection.
+const (
+	MsgDebug      byte = 5  // client → server: one DebugRequest (JSON)
+	MsgDebugReply byte = 23 // server → client: DebugReply answering one request
+	MsgDebugEvent byte = 24 // server → client: asynchronous DebugEventMsg push
+)
+
+// Debug sub-protocol commands.
+const (
+	DebugCmdLaunch         = "launch"         // start the debug query under the trace hook
+	DebugCmdSetBreakpoints = "setBreakpoints" // replace the full breakpoint set
+	DebugCmdContinue       = "continue"
+	DebugCmdStepOver       = "next"
+	DebugCmdStepInto       = "stepIn"
+	DebugCmdStepOut        = "stepOut"
+	DebugCmdPause          = "pause"
+	DebugCmdStack          = "stack"
+	DebugCmdLocals         = "locals"
+	DebugCmdGlobals        = "globals"
+	DebugCmdEval           = "eval"
+	DebugCmdSource         = "source"
+	DebugCmdKill           = "kill"
+)
+
+// DebugBreakpoint is one line breakpoint with an optional condition
+// evaluated in the paused frame.
+type DebugBreakpoint struct {
+	Line      int    `json:"line"`
+	Condition string `json:"condition,omitempty"`
+}
+
+// DebugRequest is one debugger command on the wire (MsgDebug payload).
+type DebugRequest struct {
+	Seq     int    `json:"seq"`
+	Command string `json:"command"`
+	// Launch parameters.
+	Query       string            `json:"query,omitempty"` // the debug SQL query
+	UDF         string            `json:"udf,omitempty"`   // UDF to break inside
+	StopOnEntry bool              `json:"stopOnEntry,omitempty"`
+	Breakpoints []DebugBreakpoint `json:"breakpoints,omitempty"` // launch/setBreakpoints
+	// Eval parameter.
+	Expr string `json:"expr,omitempty"`
+}
+
+// DebugReply answers one DebugRequest (MsgDebugReply payload). Stop events
+// are never carried here — they arrive as MsgDebugEvent pushes.
+type DebugReply struct {
+	Seq     int    `json:"seq"`
+	Success bool   `json:"success"`
+	Error   string `json:"error,omitempty"`
+	// Inspection results.
+	Value  string            `json:"value,omitempty"`
+	Vars   map[string]string `json:"vars,omitempty"`
+	Frames []DebugFrame      `json:"frames,omitempty"`
+	Source []string          `json:"source,omitempty"`
+}
+
+// DebugFrame is one stack entry, innermost first.
+type DebugFrame struct {
+	Func  string `json:"func"`
+	Line  int    `json:"line"`
+	Depth int    `json:"depth"`
+}
+
+// Debug event kinds.
+const (
+	DebugEventStopped    = "stopped"
+	DebugEventTerminated = "terminated"
+)
+
+// DebugEventMsg is a server-pushed debug event (MsgDebugEvent payload):
+// "stopped" when the debuggee pauses, "terminated" when the debug query
+// finishes (Msg carries its status; Err its failure).
+type DebugEventMsg struct {
+	Kind   string `json:"kind"`
+	Reason string `json:"reason,omitempty"`
+	Line   int    `json:"line,omitempty"`
+	Func   string `json:"func,omitempty"`
+	Depth  int    `json:"depth,omitempty"`
+	Err    string `json:"err,omitempty"`
+	Msg    string `json:"msg,omitempty"`
+}
+
+// Event converts the wire form into a debug.Event with the session-level
+// semantics RemoteDebugSession mirrors.
+func (m *DebugEventMsg) Event() debug.Event {
+	ev := debug.Event{
+		Reason:   debug.StopReason(m.Reason),
+		Line:     m.Line,
+		FuncName: m.Func,
+		Depth:    m.Depth,
+		Terminal: m.Kind == DebugEventTerminated,
+	}
+	if m.Err != "" {
+		ev.Err = core.Errorf(core.KindRuntime, "%s", m.Err)
+	}
+	return ev
+}
+
+// EncodeDebugRequest/-Reply/-Event marshal the JSON payloads; decode
+// counterparts validate them. JSON keeps the sub-protocol DAP-shaped and
+// forward-extensible without touching the binary framing.
+
+func EncodeDebugRequest(req DebugRequest) []byte { return mustJSON(req) }
+
+func DecodeDebugRequest(payload []byte) (DebugRequest, error) {
+	var req DebugRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return req, core.Errorf(core.KindProtocol, "bad debug request: %v", err)
+	}
+	return req, nil
+}
+
+func EncodeDebugReply(rep DebugReply) []byte { return mustJSON(rep) }
+
+func DecodeDebugReply(payload []byte) (DebugReply, error) {
+	var rep DebugReply
+	if err := json.Unmarshal(payload, &rep); err != nil {
+		return rep, core.Errorf(core.KindProtocol, "bad debug reply: %v", err)
+	}
+	return rep, nil
+}
+
+func EncodeDebugEvent(ev DebugEventMsg) []byte { return mustJSON(ev) }
+
+func DecodeDebugEvent(payload []byte) (DebugEventMsg, error) {
+	var ev DebugEventMsg
+	if err := json.Unmarshal(payload, &ev); err != nil {
+		return ev, core.Errorf(core.KindProtocol, "bad debug event: %v", err)
+	}
+	return ev, nil
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// The payload structs contain only marshalable fields.
+		panic("wire: debug payload marshal: " + err.Error())
+	}
+	return data
+}

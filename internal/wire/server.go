@@ -129,10 +129,116 @@ type frame struct {
 	payload []byte
 }
 
+// serverConn is the per-connection serving state: the authenticated engine
+// session, the negotiated protocol version, the serialized frame writer,
+// and the active remote debug run (if any).
+type serverConn struct {
+	srv        *Server
+	w          *connWriter
+	sess       *engine.Conn
+	version    byte
+	connDone   chan struct{}
+	closeOnce  sync.Once
+	dr         *debugRun
+	queries    *queryQueue
+	workerDone chan struct{}
+}
+
+// queryQueue is an unbounded FIFO of pending MsgQuery payloads feeding the
+// connection's query worker. Unbounded matters: the frame loop must never
+// block queueing a query (a paused debuggee holds the engine lock, and the
+// resume command that releases it arrives on the same frame loop).
+type queryQueue struct {
+	mu     sync.Mutex
+	items  [][]byte
+	closed bool
+	wake   chan struct{}
+}
+
+func newQueryQueue() *queryQueue {
+	return &queryQueue{wake: make(chan struct{}, 1)}
+}
+
+func (q *queryQueue) push(payload []byte) {
+	q.mu.Lock()
+	q.items = append(q.items, payload)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop blocks for the next payload; ok is false once the queue is closed and
+// drained.
+func (q *queryQueue) pop() (payload []byte, ok bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			payload, q.items = q.items[0], q.items[1:]
+			q.mu.Unlock()
+			return payload, true
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		<-q.wake
+	}
+}
+
+// close marks the queue finished; pending items still drain. Idempotent.
+func (q *queryQueue) close() {
+	q.mu.Lock()
+	wasClosed := q.closed
+	q.closed = true
+	q.mu.Unlock()
+	if !wasClosed {
+		select {
+		case q.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// shutdown kills any active debuggee (closing connDone) and flushes the
+// query worker so every accepted query gets its response before the
+// connection says goodbye. Safe to call more than once.
+func (sc *serverConn) shutdown() {
+	sc.closeOnce.Do(func() { close(sc.connDone) })
+	sc.queries.close()
+	<-sc.workerDone
+}
+
+// queryWorker executes queued queries in FIFO order, writing each response
+// through the shared connWriter. Running them off the frame loop keeps
+// debug control (and ping/close) responsive while a statement — including
+// a debug query paused at a breakpoint — holds the engine lock.
+func (sc *serverConn) queryWorker() {
+	defer close(sc.workerDone)
+	for {
+		payload, ok := sc.queries.pop()
+		if !ok {
+			return
+		}
+		res, err := sc.sess.Exec(string(payload))
+		if err != nil {
+			// A failed write means the client is gone; keep draining so
+			// shutdown never blocks (subsequent writes fail fast).
+			_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
+			continue
+		}
+		_ = sc.writeResult(res)
+	}
+}
+
 // serveConn speaks the protocol with one client: auth handshake, then a
 // pipelined request loop until MsgClose, disconnect, or server drain. A
 // reader goroutine keeps pulling frames while the main loop executes, so
-// clients may pipeline requests; responses are written in order.
+// clients may pipeline requests; responses are written in order. Debug
+// events are pushed by the debug controller through the shared connWriter,
+// interleaving with (but never corrupting) response frames.
 func (s *Server) serveConn(nc net.Conn) {
 	defer nc.Close()
 	sess, version, err := s.handshake(nc)
@@ -143,8 +249,17 @@ func (s *Server) serveConn(nc net.Conn) {
 	s.logf("session opened: user=%s proto=v%d from %s", sess.User, version, nc.RemoteAddr())
 
 	reqs := make(chan frame, pipelineDepth)
-	connDone := make(chan struct{})
-	defer close(connDone)
+	sc := &serverConn{
+		srv:        s,
+		w:          &connWriter{nc: nc},
+		sess:       sess,
+		version:    version,
+		connDone:   make(chan struct{}),
+		queries:    newQueryQueue(),
+		workerDone: make(chan struct{}),
+	}
+	defer sc.shutdown()
+	go sc.queryWorker()
 	go func() {
 		defer close(reqs)
 		for {
@@ -160,7 +275,7 @@ func (s *Server) serveConn(nc net.Conn) {
 				if typ == MsgClose {
 					return
 				}
-			case <-connDone:
+			case <-sc.connDone:
 				return
 			}
 		}
@@ -172,23 +287,27 @@ func (s *Server) serveConn(nc net.Conn) {
 			if !ok {
 				return
 			}
-			if !s.handleFrame(nc, sess, version, fr) {
+			if !sc.handleFrame(fr) {
 				return
 			}
 		case <-s.draining():
 			// Graceful drain: answer everything already pipelined, say
-			// goodbye, hang up. The deferred nc.Close unblocks the reader.
+			// goodbye, hang up. The deferred nc.Close unblocks the reader;
+			// closing connDone kills any paused debuggee.
 			for {
 				select {
 				case fr, ok := <-reqs:
 					if !ok {
 						return
 					}
-					if !s.handleFrame(nc, sess, version, fr) {
+					if !sc.handleFrame(fr) {
 						return
 					}
 				default:
-					_ = WriteFrame(nc, MsgGoodbye, nil)
+					// Kill any paused debuggee and flush the query worker so
+					// every accepted query is answered before the goodbye.
+					sc.shutdown()
+					_ = sc.w.writeFrame(MsgGoodbye, nil)
 					s.logf("session drained: user=%s from %s", sess.User, nc.RemoteAddr())
 					return
 				}
@@ -197,23 +316,28 @@ func (s *Server) serveConn(nc net.Conn) {
 	}
 }
 
-// handleFrame executes one request and writes its response, reporting
-// whether the connection should keep serving.
-func (s *Server) handleFrame(nc net.Conn, sess *engine.Conn, version byte, fr frame) bool {
+// handleFrame processes one request, reporting whether the connection
+// should keep serving. Queries are queued to the per-connection worker (in
+// FIFO order, so response ordering is preserved) rather than executed here:
+// the frame loop must stay responsive for debug control even while a
+// statement — e.g. a debug query paused at a breakpoint — holds the engine
+// lock.
+func (sc *serverConn) handleFrame(fr frame) bool {
 	switch fr.typ {
 	case MsgQuery:
-		res, err := sess.Exec(string(fr.payload))
-		if err != nil {
-			return WriteFrame(nc, MsgErr, EncodeError(core.KindOf(err), errString(err))) == nil
-		}
-		return s.writeResult(nc, version, res) == nil
+		sc.queries.push(fr.payload)
+		return true
+	case MsgDebug:
+		return sc.handleDebug(fr.payload)
 	case MsgPing:
-		return WriteFrame(nc, MsgPong, nil) == nil
+		return sc.w.writeFrame(MsgPong, nil) == nil
 	case MsgClose:
-		_ = WriteFrame(nc, MsgGoodbye, nil)
+		sc.shutdown() // flush pending query responses first
+		_ = sc.w.writeFrame(MsgGoodbye, nil)
 		return false
 	default:
-		_ = WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol, "unexpected message type"))
+		sc.shutdown()
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindProtocol, "unexpected message type"))
 		return false
 	}
 }
@@ -221,9 +345,15 @@ func (s *Server) handleFrame(nc net.Conn, sess *engine.Conn, version byte, fr fr
 // writeResult ships a statement result: small results (and every v1
 // session) get the one-shot MsgResult; v2 results whose encoding crosses
 // the stream threshold travel as a MsgResultChunk/MsgResultEnd stream and
-// are therefore not bounded by the frame cap.
-func (s *Server) writeResult(nc net.Conn, version byte, res *engine.Result) error {
-	if version >= ProtoV2 && res.Table != nil {
+// are therefore not bounded by the frame cap. The whole response is written
+// under the connection's write lock so a concurrent debug event push can
+// never split a result stream mid-frame.
+func (sc *serverConn) writeResult(res *engine.Result) error {
+	s := sc.srv
+	sc.w.mu.Lock()
+	defer sc.w.mu.Unlock()
+	nc := sc.w.nc
+	if sc.version >= ProtoV2 && res.Table != nil {
 		threshold := s.StreamThreshold
 		if threshold == 0 {
 			threshold = 1 << 20
