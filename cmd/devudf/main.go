@@ -25,10 +25,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 
 	"repro/devudf"
 	"repro/internal/core"
 	"repro/internal/debug"
+	"repro/internal/udfrt"
 )
 
 func main() {
@@ -223,6 +225,8 @@ func cmdList(ctx context.Context, fs core.FS) error {
 		return nil
 	}
 	fmt.Println("UDFs on the server (Import UDFs window):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "  \tNAME\tLANGUAGE\tKIND\tDEBUGGABLE")
 	for _, info := range infos {
 		kind := "scalar"
 		if info.IsTable {
@@ -236,14 +240,24 @@ func cmdList(ctx context.Context, fs core.FS) error {
 		if c.Project.Has(info.Name) {
 			mark = "[x]" // already imported
 		}
-		fmt.Printf("  %s %s(%s)  %s %s\n", mark, info.Name, strings.Join(params, ", "), info.Language, kind)
+		debuggable := "yes"
+		if !devudf.LanguageDebuggable(info.Language) {
+			debuggable = "no"
+		}
+		fmt.Fprintf(tw, "  %s\t%s(%s)\t%s\t%s\t%s\n",
+			mark, info.Name, strings.Join(params, ", "), languageName(info.Language), kind, debuggable)
 	}
-	return nil
+	return tw.Flush()
 }
+
+// languageName normalizes a catalog language for display (one shared rule:
+// udfrt.Canonical).
+func languageName(lang string) string { return udfrt.Canonical(lang) }
 
 func cmdImport(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("import", flag.ExitOnError)
 	all := flags.Bool("all", false, "import all functions stored in the server")
+	language := flags.String("language", "", "only import UDFs of this language (PYTHON, GO, ...)")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -252,15 +266,31 @@ func cmdImport(ctx context.Context, fs core.FS, args []string) error {
 		return err
 	}
 	defer c.Close()
-	var imported []string
-	if *all {
-		imported, err = c.ImportAll(ctx)
-	} else {
-		if flags.NArg() == 0 {
-			return fmt.Errorf("specify UDF names or -all")
+	names := flags.Args()
+	var infos []devudf.UDFInfo
+	if *all || *language != "" {
+		// one catalog snapshot serves both the -all expansion and the
+		// -language filter
+		if infos, err = c.ListServerUDFs(ctx); err != nil {
+			return err
 		}
-		imported, err = c.ImportUDFs(ctx, flags.Args()...)
 	}
+	if *all {
+		names = names[:0]
+		for _, info := range infos {
+			names = append(names, info.Name)
+		}
+	} else if len(names) == 0 {
+		return fmt.Errorf("specify UDF names or -all")
+	}
+	if *language != "" {
+		names = filterByLanguage(infos, names, *language)
+		if len(names) == 0 {
+			fmt.Printf("no matching UDFs with language %s\n", languageName(*language))
+			return nil
+		}
+	}
+	imported, err := c.ImportUDFs(ctx, names...)
 	if err != nil {
 		return err
 	}
@@ -270,9 +300,28 @@ func cmdImport(ctx context.Context, fs core.FS, args []string) error {
 	return nil
 }
 
+// filterByLanguage keeps the named UDFs whose LANGUAGE matches
+// (case-insensitive; names missing from the catalog are kept so the import
+// reports them).
+func filterByLanguage(infos []devudf.UDFInfo, names []string, language string) []string {
+	langOf := map[string]string{}
+	for _, info := range infos {
+		langOf[strings.ToLower(info.Name)] = languageName(info.Language)
+	}
+	want := languageName(language)
+	var out []string
+	for _, name := range names {
+		if lang, ok := langOf[strings.ToLower(name)]; !ok || lang == want {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 func cmdExport(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("export", flag.ExitOnError)
 	all := flags.Bool("all", false, "export every project UDF")
+	language := flags.String("language", "", "only export project UDFs of this language (PYTHON, GO, ...)")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
@@ -290,6 +339,24 @@ func cmdExport(ctx context.Context, fs core.FS, args []string) error {
 	}
 	if len(names) == 0 {
 		return fmt.Errorf("specify UDF names or -all")
+	}
+	if *language != "" {
+		want := languageName(*language)
+		kept := names[:0]
+		for _, name := range names {
+			info, _, err := c.Project.LoadUDF(name)
+			if err != nil {
+				return err
+			}
+			if languageName(info.Language) == want {
+				kept = append(kept, name)
+			}
+		}
+		names = kept
+		if len(names) == 0 {
+			fmt.Printf("no project UDFs with language %s\n", want)
+			return nil
+		}
 	}
 	if err := c.ExportUDFs(ctx, names...); err != nil {
 		return err

@@ -10,6 +10,8 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/transform"
+	"repro/internal/udfrt"
+	"repro/internal/udfrt/pyrt"
 	"repro/internal/wire"
 )
 
@@ -201,12 +203,19 @@ func (c *Client) ImportUDFs(ctx context.Context, names ...string) ([]string, err
 		if err != nil {
 			return imported, err
 		}
-		src := transform.BuildLocalScript(transform.LocalScriptInfo{
-			Name:      info.Name,
-			Params:    info.ParamNames(),
-			Body:      body,
-			InputFile: "./" + c.Project.InputPath(info.Name),
-		})
+		var src string
+		if languageOf(info) == pyrt.Name {
+			src = transform.BuildLocalScript(transform.LocalScriptInfo{
+				Name:      info.Name,
+				Params:    info.ParamNames(),
+				Body:      body,
+				InputFile: "./" + c.Project.InputPath(info.Name),
+			})
+		} else {
+			// Native UDFs carry no editable source; the stub records the
+			// signature and the bound symbol so extract/run/export still work.
+			src = nativeStub(info, body)
+		}
 		if err := c.Project.SaveUDF(info, src); err != nil {
 			return imported, err
 		}
@@ -232,18 +241,57 @@ func (c *Client) ImportAll(ctx context.Context) ([]string, error) {
 	return c.ImportUDFs(ctx, names...)
 }
 
+// nativeSymbolMarker tags the stub line carrying a native UDF's registered
+// symbol so exports can round-trip it.
+const nativeSymbolMarker = "# native-symbol:"
+
+// nativeStub is the project file written for UDFs whose implementation is
+// native code (LANGUAGE GO): there is no source to edit, but the stub keeps
+// the import visible and records the bound symbol.
+func nativeStub(info UDFInfo, symbol string) string {
+	symbol = strings.TrimSpace(symbol)
+	if symbol == "" {
+		symbol = info.Name
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s is a native %s UDF; its implementation is compiled into the\n",
+		info.Name, languageOf(info))
+	sb.WriteString("# host binary and cannot be edited here. Register it in this process with\n")
+	fmt.Fprintf(&sb, "# devudf.RegisterGoUDF(%q, fn) to run it on extracted inputs.\n", symbol)
+	fmt.Fprintf(&sb, "%s %s\n", nativeSymbolMarker, symbol)
+	return sb.String()
+}
+
+// nativeSymbol recovers the symbol recorded by nativeStub ("" when absent,
+// which binds to the UDF's own name).
+func nativeSymbol(src string) string {
+	for _, ln := range strings.Split(src, "\n") {
+		if rest, ok := strings.CutPrefix(ln, nativeSymbolMarker); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
 // ExportUDFs reverses the import transformation (Fig. 3b): it extracts the
 // (possibly edited) function body from each project file and commits it
-// back to the server with CREATE OR REPLACE FUNCTION.
+// back to the server with CREATE OR REPLACE FUNCTION. Native UDFs export
+// their recorded symbol as the body — the implementation itself lives in
+// the server binary.
 func (c *Client) ExportUDFs(ctx context.Context, names ...string) error {
 	for _, name := range names {
 		info, src, err := c.Project.LoadUDF(name)
 		if err != nil {
 			return err
 		}
-		body, err := transform.ExtractBody(src, info.Name)
-		if err != nil {
-			return err
+		var body string
+		if languageOf(info) == pyrt.Name {
+			body, err = transform.ExtractBody(src, info.Name)
+			if err != nil {
+				return err
+			}
+		} else {
+			body = nativeSymbol(src)
 		}
 		sql, err := createFunctionSQL(info, body)
 		if err != nil {
@@ -308,7 +356,8 @@ func (c *Client) DescribeServerUDF(ctx context.Context, name string) (string, er
 		return "", err
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "name: %s\nlanguage: %s\ntable function: %v\nparams:", info.Name, info.Language, info.IsTable)
+	fmt.Fprintf(&sb, "name: %s\nlanguage: %s\ndebuggable: %v\ntable function: %v\nparams:",
+		info.Name, languageOf(info), udfrt.LanguageDebuggable(info.Language), info.IsTable)
 	for _, p := range info.Params {
 		fmt.Fprintf(&sb, " %s %s", p.Name, p.Type)
 	}

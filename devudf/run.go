@@ -12,6 +12,8 @@ import (
 	"repro/internal/script"
 	"repro/internal/storage"
 	"repro/internal/transform"
+	"repro/internal/udfrt"
+	"repro/internal/udfrt/pyrt"
 )
 
 // ExtractInfo summarizes one input extraction (§2.2): how much data the
@@ -86,13 +88,19 @@ type RunResult struct {
 	Steps int64
 }
 
-// RunLocal executes an imported UDF's generated script locally — the
-// Listing 2 flow: the prologue loads input.bin and calls the function. Run
-// ExtractInputs (or WriteLocalInputs) first.
+// RunLocal executes an imported UDF locally on its extracted inputs, routed
+// by the UDF's language: PYTHON UDFs run their generated script (the
+// Listing 2 flow — the prologue loads input.bin and calls the function),
+// native UDFs dispatch through the udfrt runtime registry against the
+// locally registered implementation. Run ExtractInputs (or
+// WriteLocalInputs) first.
 func (c *Client) RunLocal(ctx context.Context, udfName string) (*RunResult, error) {
 	info, src, err := c.Project.LoadUDF(udfName)
 	if err != nil {
 		return nil, err
+	}
+	if languageOf(info) != pyrt.Name {
+		return c.runLocalNative(info, src)
 	}
 	mod, err := script.Parse(info.Name+".py", src)
 	if err != nil {
@@ -114,13 +122,100 @@ func (c *Client) RunLocal(ctx context.Context, udfName string) (*RunResult, erro
 	return &RunResult{Value: result, Stdout: out.String(), Steps: in.Steps()}, nil
 }
 
+// languageOf normalizes a project UDF's language (historic metadata without
+// one means PYTHON).
+func languageOf(info UDFInfo) string { return udfrt.Canonical(info.Language) }
+
+// runLocalNative executes a non-interpreted UDF on its extracted inputs:
+// rebuild the catalog definition from the project metadata, compile it
+// through the runtime registry (the implementation must be registered in
+// this process — see RegisterGoUDF), shape input.bin into a batch, call.
+func (c *Client) runLocalNative(info UDFInfo, src string) (*RunResult, error) {
+	rt, err := udfrt.Lookup(info.Language)
+	if err != nil {
+		return nil, err
+	}
+	params, err := toSchema(info.Params)
+	if err != nil {
+		return nil, err
+	}
+	returns, err := toSchema(info.Returns)
+	if err != nil {
+		return nil, err
+	}
+	if len(returns) == 0 {
+		return nil, core.Errorf(core.KindConstraint, "UDF %s has no declared return type", info.Name)
+	}
+	def := &storage.FuncDef{
+		Name: info.Name, Params: params, Returns: returns,
+		Language: languageOf(info), Body: nativeSymbol(src), IsTable: info.IsTable,
+	}
+	call, err := rt.Compile(def)
+	if err != nil {
+		return nil, err
+	}
+	v, err := pickle.LoadFile(c.Project.FS(), c.Project.InputPath(info.Name))
+	if err != nil {
+		return nil, core.Errorf(core.KindConstraint,
+			"no extracted inputs for %s (run extract first): %v", info.Name, err)
+	}
+	inputs, ok := v.(*script.DictVal)
+	if !ok {
+		return nil, core.Errorf(core.KindProtocol, "input file for %s is not a parameter dict", info.Name)
+	}
+	cols := make([]*storage.Column, len(def.Params))
+	isCol := make([]bool, len(def.Params))
+	for i, p := range def.Params {
+		pv, ok := inputs.GetStr(p.Name)
+		if !ok {
+			return nil, core.Errorf(core.KindConstraint, "extracted inputs are missing parameter %q", p.Name)
+		}
+		col, err := pyrt.ValueToColumn(pv, p.Name, p.Type)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = col
+		switch pv.(type) {
+		case *script.ListVal, *script.TupleVal:
+			isCol[i] = true
+		}
+	}
+	env := &udfrt.Env{FS: c.Project.FS()}
+	out, err := call.Call(env, udfrt.NewBatch(cols, isCol))
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Value: batchToValue(info, out)}, nil
+}
+
+// batchToValue shapes a native result batch the way the interpreter-based
+// flow would see it: a dict of columns for table functions, a bare list (or
+// scalar, for one-row results) for scalar functions.
+func batchToValue(info UDFInfo, out *udfrt.Batch) script.Value {
+	if len(out.Cols) == 1 && !info.IsTable {
+		col := out.Cols[0]
+		return pyrt.ColumnToValue(col, col.Len() != 1)
+	}
+	d := script.NewDict()
+	for _, col := range out.Cols {
+		d.SetStr(col.Name, pyrt.ColumnToValue(col, col.Len() != 1))
+	}
+	return d
+}
+
 // NewDebugSession builds an interactive debug session over an imported
 // UDF's generated script (the "Debug" command of §2.1). The session runs
-// the same prologue as RunLocal, with _conn available for loopback.
+// the same prologue as RunLocal, with _conn available for loopback. Only
+// interpreter-backed (debuggable) runtimes support it.
 func (c *Client) NewDebugSession(ctx context.Context, udfName string, stopOnEntry bool) (*DebugSession, error) {
 	info, src, err := c.Project.LoadUDF(udfName)
 	if err != nil {
 		return nil, err
+	}
+	if !udfrt.LanguageDebuggable(info.Language) {
+		return nil, core.Errorf(core.KindConstraint,
+			"UDF %s runs on the %s runtime, which is not debuggable (only interpreter-backed runtimes support breakpoints)",
+			info.Name, languageOf(info))
 	}
 	mod, err := script.Parse(info.Name+".py", src)
 	if err != nil {

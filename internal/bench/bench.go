@@ -105,6 +105,17 @@ RETURNS INTEGER LANGUAGE PYTHON {
     return out
 };`
 
+// SquareGo is the native GO runtime's formulation: the engine hands the
+// column vector to typed Go code directly (register with
+// DB.RegisterGoUDF("square_go", bench.SquareGo)).
+func SquareGo(x []int64) []int64 {
+	out := make([]int64, len(x))
+	for i, v := range x {
+		out[i] = v * v
+	}
+	return out
+}
+
 // NumbersInsert builds an INSERT statement with n pseudo-random rows drawn
 // from a small linear congruential sequence (deterministic, compressible
 // the way real measurement columns are).

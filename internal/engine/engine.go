@@ -1,9 +1,12 @@
 // Package engine implements the query executor of the embedded MonetDB-like
 // database: DDL/DML, SELECT evaluation, and — centrally for the paper —
-// Python UDF execution in the operator-at-a-time model (whole columns per
-// call), loopback queries via the _conn object, the tuple-at-a-time mode of
-// §2.4 for comparison, and the server-side sys_extract function that devUDF
-// substitutes for a UDF call to pull its input data out for local debugging.
+// UDF execution in the operator-at-a-time model (whole columns per call)
+// dispatched through the udfrt runtime registry keyed by the LANGUAGE
+// clause (the embedded PYTHON interpreter and the native GO runtime ship
+// built in), loopback queries via the _conn object, the tuple-at-a-time
+// mode of §2.4 for comparison, and the server-side sys_extract function
+// that devUDF substitutes for a UDF call to pull its input data out for
+// local debugging.
 package engine
 
 import (
@@ -13,13 +16,16 @@ import (
 	"sync"
 
 	"repro/internal/core"
-	"repro/internal/script"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/udfrt"
 
 	// Register the sklearn/mllib module shims with the script runtime so
 	// UDFs can import them, matching the paper's Listing 1.
 	_ "repro/internal/mllib"
+	// Register the native GO runtime (the PYTHON runtime registers through
+	// udf.go's direct pyrt import).
+	_ "repro/internal/udfrt/gort"
 )
 
 // Mode selects the UDF processing model (paper §2.4).
@@ -85,14 +91,14 @@ type Conn struct {
 	DB       *DB
 	User     string
 	Password string
-	// UDFInvoke, when set, intercepts every UDF invocation on this session:
-	// it receives the UDF's name, the interpreter about to run it, the
-	// source lines of the compiled wrapper module, and the call thunk, and
-	// must return the thunk's result (calling it exactly once, on any
-	// goroutine). The wire server's remote debugger uses it to run the
-	// invocation under the trace hook.
-	UDFInvoke func(name string, in *script.Interp, lines []string,
-		call func() (script.Value, error)) (script.Value, error)
+	// UDFInvoke, when set, intercepts every interpreter-backed UDF
+	// invocation on this session: it receives the UDF's name, the
+	// interpreter about to run it, the source lines of the compiled wrapper
+	// module, and the call thunk, and must return the thunk's result
+	// (calling it exactly once, on any goroutine). The wire server's remote
+	// debugger uses it to run the invocation under the trace hook. Only
+	// debuggable runtimes (udfrt.IsDebuggable) route calls through it.
+	UDFInvoke udfrt.InvokeHook
 }
 
 // Result is the outcome of one statement.
@@ -188,6 +194,11 @@ func (c *Conn) createFunction(st *sqlparse.CreateFunction) (*Result, error) {
 		Body:     st.Body,
 		Returns:  st.Returns,
 		IsTable:  st.IsTable,
+	}
+	// The parser accepts any LANGUAGE; creation requires a registered
+	// runtime so a typo'd language fails here rather than at first call.
+	if _, err := udfrt.Lookup(def.Language); err != nil {
+		return nil, err
 	}
 	if err := c.DB.cat.CreateFunction(def, st.OrReplace); err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/transfer"
+	"repro/internal/udfrt/pyrt"
 )
 
 // extractFuncName is the reserved table function devUDF's query rewriting
@@ -74,7 +75,7 @@ func (c *Conn) evalExtract(call *sqlparse.FuncCall) (*storage.Table, error) {
 	// loads: {param_name: column values} plus self-describing metadata.
 	params := script.NewDict()
 	for i, p := range def.Params {
-		params.SetStr(p.Name, columnToValue(argCols[i], isColumn[i]))
+		params.SetStr(p.Name, pyrt.ColumnToValue(argCols[i], isColumn[i]))
 	}
 	envelope := script.NewDict()
 	envelope.SetStr("udf", script.StrVal(def.Name))

@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/udfrt/gort"
+)
+
+// RegisterGoUDF registers a typed Go function as a native UDF in one step:
+// the implementation goes into the process-wide GO runtime table and the
+// matching catalog entry (parameter/result types inferred by reflection) is
+// created — CREATE OR REPLACE semantics. SQL can then call it like any
+// other UDF:
+//
+//	db.RegisterGoUDF("haversine", func(lat1, lon1, lat2, lon2 []float64) []float64 { ... })
+//	conn.Exec(`SELECT haversine(a, b, c, d) FROM coords`)
+//
+// For custom parameter names or a hand-written declaration, register the
+// implementation with gort.Register and issue CREATE FUNCTION ... LANGUAGE
+// GO yourself.
+//
+// Argument slices are read-only: the zero-copy fast path may pass the
+// stored table's backing vectors. Allocate fresh slices for results.
+func (db *DB) RegisterGoUDF(name string, fn any) error {
+	if err := gort.Register(name, fn); err != nil {
+		return err
+	}
+	def, err := gort.InferDef(name, fn)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	delete(db.compiled, strings.ToLower(name))
+	return db.cat.CreateFunction(def, true)
+}

@@ -4,100 +4,79 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"io"
+
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/script"
 	"repro/internal/storage"
-	"repro/internal/transform"
+	"repro/internal/udfrt"
+	"repro/internal/udfrt/pyrt"
 )
 
-// compiledUDF caches a parsed UDF wrapper module, keyed by a hash of the
-// synthesized source so CREATE OR REPLACE invalidates naturally.
+// compiledUDF caches a runtime-compiled callable, keyed by a hash of the
+// definition so CREATE OR REPLACE invalidates naturally.
 type compiledUDF struct {
 	hash string
-	mod  *script.Module
+	call udfrt.Callable
 }
 
-func bodyHash(src string) string {
-	sum := sha256.Sum256([]byte(src))
+// defHash fingerprints everything a runtime compiles against.
+func defHash(def *storage.FuncDef) string {
+	h := sha256.New()
+	for _, part := range []string{def.Name, def.Language, def.Body} {
+		io.WriteString(h, part)
+		h.Write([]byte{0})
+	}
+	for _, s := range []storage.Schema{def.Params, def.Returns} {
+		for _, c := range s {
+			io.WriteString(h, c.Name)
+			io.WriteString(h, c.Type.String())
+			h.Write([]byte{0})
+		}
+	}
+	if def.IsTable {
+		h.Write([]byte{1})
+	}
+	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:8])
 }
 
-// compileUDF wraps the stored body into a callable function definition
-// (MonetDB stores only the body — paper Listing 1) and parses it.
-func (c *Conn) compileUDF(def *storage.FuncDef) (*script.Module, error) {
-	src := transform.WrapFunction(def.Name, def.Params.Names(), def.Body)
-	h := bodyHash(src)
+// callableFor resolves the runtime serving a definition's LANGUAGE and
+// returns its compiled callable, from the per-DB cache when the definition
+// is unchanged.
+func (c *Conn) callableFor(def *storage.FuncDef) (udfrt.Callable, error) {
+	rt, err := udfrt.Lookup(def.Language)
+	if err != nil {
+		return nil, err
+	}
+	h := defHash(def)
 	key := strings.ToLower(def.Name)
 	if cu, ok := c.DB.compiled[key]; ok && cu.hash == h {
-		return cu.mod, nil
+		return cu.call, nil
 	}
-	mod, err := script.Parse(def.Name, src)
+	call, err := rt.Compile(def)
 	if err != nil {
-		return nil, core.Errorf(core.KindSyntax, "in UDF %s: %v", def.Name, errText(err))
+		return nil, err
 	}
-	c.DB.compiled[key] = &compiledUDF{hash: h, mod: mod}
-	return mod, nil
+	c.DB.compiled[key] = &compiledUDF{hash: h, call: call}
+	return call, nil
 }
 
-func errText(err error) string {
-	if ce, ok := err.(*core.Error); ok {
-		return ce.Msg
+// udfEnv builds the per-statement invocation environment handed to a
+// runtime: the session's file system, step budget, print channel, loopback
+// connection and (when the remote debugger is attached) the invoke hook.
+func (c *Conn) udfEnv() *udfrt.Env {
+	env := &udfrt.Env{
+		FS:       c.DB.FS,
+		MaxSteps: c.DB.MaxUDFSteps,
+		Loopback: func(in *script.Interp) script.Value { return c.loopbackConn(in) },
+		Invoke:   c.UDFInvoke,
 	}
-	return err.Error()
-}
-
-// newUDFInterp builds a fresh interpreter for one UDF invocation.
-func (c *Conn) newUDFInterp() *script.Interp {
-	in := script.NewInterp()
-	in.FS = c.DB.FS
-	in.MaxSteps = c.DB.MaxUDFSteps
 	if c.DB.UDFOutput != nil {
-		in.Stdout = c.DB.UDFOutput
-	} else {
-		in.Stdout = io.Discard
+		env.Stdout = c.DB.UDFOutput
 	}
-	return in
-}
-
-// prepareUDF compiles and instantiates a UDF, returning the interpreter,
-// the bound function value with _conn installed for loopback queries, and
-// the compiled wrapper module (whose source lines feed the debugger).
-func (c *Conn) prepareUDF(def *storage.FuncDef) (*script.Interp, script.Value, *script.Module, error) {
-	mod, err := c.compileUDF(def)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	in := c.newUDFInterp()
-	env, err := in.Run(mod)
-	if err != nil {
-		return nil, nil, nil, wrapUDFErr(def.Name, err)
-	}
-	fn, ok := env.Get(def.Name)
-	if !ok {
-		return nil, nil, nil, core.Errorf(core.KindRuntime, "UDF %s did not define itself", def.Name)
-	}
-	env.Set("_conn", c.loopbackConn(in))
-	return in, fn, mod, nil
-}
-
-// invokeUDF runs one UDF call, routing it through the session's UDFInvoke
-// hook when one is installed (the remote debugger's entry point).
-func (c *Conn) invokeUDF(def *storage.FuncDef, in *script.Interp, mod *script.Module,
-	fn script.Value, args []script.Value) (script.Value, error) {
-	call := func() (script.Value, error) { return in.Call(fn, args) }
-	if c.UDFInvoke == nil {
-		return call()
-	}
-	return c.UDFInvoke(def.Name, in, mod.Lines, call)
-}
-
-func wrapUDFErr(name string, err error) error {
-	if re, ok := err.(*script.RuntimeError); ok {
-		return core.Errorf(core.KindRuntime, "UDF %s failed: %s", name, re.Error())
-	}
-	return core.Errorf(core.KindRuntime, "UDF %s failed: %v", name, err)
+	return env
 }
 
 // callScalarUDF executes a scalar UDF over argument columns in the active
@@ -117,130 +96,126 @@ func (c *Conn) callScalarUDF(name string, argCols []*storage.Column, isColumn []
 		return nil, core.Errorf(core.KindConstraint,
 			"%s expects %d argument(s), got %d", def.Name, len(def.Params), len(argCols))
 	}
-	if c.DB.Mode == ModeTupleAtATime {
-		return c.callScalarUDFTuple(def, argCols)
+	in := udfrt.NewBatch(argCols, isColumn)
+	// The logical row count comes from the columnar arguments — a length-1
+	// constant must not mask an empty input column. An operator with no
+	// input tuples is never invoked: a scalar UDF over an empty column
+	// yields an empty column, not a broadcast 1-row result.
+	if n, ok := columnarRows(argCols, isColumn); ok {
+		if n == 0 {
+			return storage.NewColumn(def.Returns[0].Name, def.Returns[0].Type), nil
+		}
+		in.Rows = n
 	}
-	in, fn, mod, err := c.prepareUDF(def)
+	call, err := c.callableFor(def)
 	if err != nil {
 		return nil, err
 	}
-	args := make([]script.Value, len(argCols))
-	for i, col := range argCols {
-		args[i] = columnToValue(col, isColumn[i])
+	env := c.udfEnv()
+	if c.DB.Mode == ModeTupleAtATime {
+		return c.callScalarUDFTuple(def, call, env, in)
 	}
-	out, err := c.invokeUDF(def, in, mod, fn, args)
+	out, err := call.Call(env, in)
 	if err != nil {
-		return nil, wrapUDFErr(def.Name, err)
+		return nil, err
 	}
-	rows := maxColLen(argCols)
-	return valueToColumn(out, def.Returns[0].Name, def.Returns[0].Type, rows)
+	return scalarResult(def, out, in.Rows)
 }
 
-// callScalarUDFTuple is the §2.4 tuple-at-a-time model: one interpreter
-// call per input row, scalar in, scalar out.
-func (c *Conn) callScalarUDFTuple(def *storage.FuncDef, argCols []*storage.Column) (*storage.Column, error) {
-	in, fn, mod, err := c.prepareUDF(def)
-	if err != nil {
-		return nil, err
-	}
-	rows := maxColLen(argCols)
-	out := storage.NewColumn(def.Returns[0].Name, def.Returns[0].Type)
-	args := make([]script.Value, len(argCols))
-	for r := 0; r < rows; r++ {
-		for i, col := range argCols {
-			ri := r
-			if col.Len() == 1 {
-				ri = 0
+// columnarRows reports the longest columnar argument's length and whether
+// any argument is columnar at all.
+func columnarRows(argCols []*storage.Column, isColumn []bool) (int, bool) {
+	n, has := 0, false
+	for i, col := range argCols {
+		if i < len(isColumn) && isColumn[i] {
+			has = true
+			if col.Len() > n {
+				n = col.Len()
 			}
-			args[i] = cellToValue(col, ri)
 		}
-		v, err := c.invokeUDF(def, in, mod, fn, args)
+	}
+	return n, has
+}
+
+// scalarResult validates a scalar call's result batch: one column with
+// either rows values or a single (aggregate-style) value.
+func scalarResult(def *storage.FuncDef, out *udfrt.Batch, rows int) (*storage.Column, error) {
+	if out == nil || len(out.Cols) != 1 {
+		n := 0
+		if out != nil {
+			n = len(out.Cols)
+		}
+		return nil, core.Errorf(core.KindConstraint,
+			"UDF %s returned %d columns, declared 1", def.Name, n)
+	}
+	col := out.Cols[0]
+	if rows > 0 && col.Len() != rows && col.Len() != 1 {
+		return nil, core.Errorf(core.KindConstraint,
+			"UDF returned %d rows for %d input rows", col.Len(), rows)
+	}
+	col.Name = def.Returns[0].Name
+	return col, nil
+}
+
+// callScalarUDFTuple is the §2.4 tuple-at-a-time model: one runtime call
+// per input row, scalar in, scalar out. The shared Env lets
+// interpreter-based runtimes reuse one prepared instance across the loop.
+func (c *Conn) callScalarUDFTuple(def *storage.FuncDef, call udfrt.Callable,
+	env *udfrt.Env, in *udfrt.Batch) (*storage.Column, error) {
+	out := storage.NewColumn(def.Returns[0].Name, def.Returns[0].Type)
+	for r := 0; r < in.Rows; r++ {
+		ob, err := call.Call(env, in.Row(r))
 		if err != nil {
-			return nil, wrapUDFErr(def.Name, err)
+			return nil, err
 		}
-		if err := appendScriptValue(out, v); err != nil {
+		col, err := scalarResult(def, ob, 1)
+		if err != nil {
+			return nil, err
+		}
+		if col.IsNull(0) {
+			out.AppendNull()
+			continue
+		}
+		if err := out.AppendValue(col.Value(0)); err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
 }
 
-// callTableUDF executes a RETURNS TABLE(...) UDF.
+// callTableUDF executes a RETURNS TABLE(...) UDF (or a scalar UDF used in
+// FROM) through its runtime; length-1 result columns broadcast to the
+// longest one.
 func (c *Conn) callTableUDF(def *storage.FuncDef, argCols []*storage.Column, isColumn []bool) (*storage.Table, error) {
 	if len(argCols) != len(def.Params) {
 		return nil, core.Errorf(core.KindConstraint,
 			"%s expects %d argument(s), got %d", def.Name, len(def.Params), len(argCols))
 	}
-	in, fn, mod, err := c.prepareUDF(def)
+	call, err := c.callableFor(def)
 	if err != nil {
 		return nil, err
 	}
-	args := make([]script.Value, len(argCols))
-	for i, col := range argCols {
-		args[i] = columnToValue(col, isColumn[i])
+	in := udfrt.NewBatch(argCols, isColumn)
+	if n, ok := columnarRows(argCols, isColumn); ok && n > 0 {
+		in.Rows = n
 	}
-	out, err := c.invokeUDF(def, in, mod, fn, args)
+	out, err := call.Call(c.udfEnv(), in)
 	if err != nil {
-		return nil, wrapUDFErr(def.Name, err)
+		return nil, err
 	}
+	want := len(def.Returns)
 	if !def.IsTable {
-		// scalar function used in FROM: one column, broadcast as a table
-		col, err := valueToColumn(out, def.Returns[0].Name, def.Returns[0].Type, -1)
-		if err != nil {
-			return nil, err
-		}
-		return &storage.Table{Name: def.Name, Cols: []*storage.Column{col}}, nil
+		want = 1 // scalar function used in FROM: one column, as a table
 	}
-	return scriptResultToTable(def, out)
-}
-
-// scriptResultToTable converts a table UDF's return value — a dict keyed by
-// column name, a positional tuple, a bare list (single column) or a scalar
-// (single row) — into a table matching the declared schema.
-func scriptResultToTable(def *storage.FuncDef, v script.Value) (*storage.Table, error) {
-	t := &storage.Table{Name: def.Name}
-	switch v := v.(type) {
-	case *script.DictVal:
-		for _, ret := range def.Returns {
-			cell, ok := v.GetStr(ret.Name)
-			if !ok {
-				return nil, core.Errorf(core.KindConstraint,
-					"UDF %s result is missing column %q", def.Name, ret.Name)
-			}
-			col, err := valueToColumn(cell, ret.Name, ret.Type, -1)
-			if err != nil {
-				return nil, err
-			}
-			t.Cols = append(t.Cols, col)
+	if out == nil || len(out.Cols) != want {
+		n := 0
+		if out != nil {
+			n = len(out.Cols)
 		}
-	case *script.TupleVal:
-		if len(v.Items) != len(def.Returns) {
-			return nil, core.Errorf(core.KindConstraint,
-				"UDF %s returned %d columns, declared %d", def.Name, len(v.Items), len(def.Returns))
-		}
-		for i, ret := range def.Returns {
-			col, err := valueToColumn(v.Items[i], ret.Name, ret.Type, -1)
-			if err != nil {
-				return nil, err
-			}
-			t.Cols = append(t.Cols, col)
-		}
-	default:
-		if len(def.Returns) != 1 {
-			return nil, core.Errorf(core.KindConstraint,
-				"UDF %s must return a dict or tuple of %d columns", def.Name, len(def.Returns))
-		}
-		col, err := valueToColumn(v, def.Returns[0].Name, def.Returns[0].Type, -1)
-		if err != nil {
-			return nil, err
-		}
-		t.Cols = append(t.Cols, col)
+		return nil, core.Errorf(core.KindConstraint,
+			"UDF %s returned %d columns, declared %d", def.Name, n, want)
 	}
-	tt, err := broadcastColumns(t)
-	if err != nil {
-		return nil, err
-	}
-	return tt, nil
+	return broadcastColumns(&storage.Table{Name: def.Name, Cols: out.Cols})
 }
 
 func maxColLen(cols []*storage.Column) int {
@@ -251,134 +226,6 @@ func maxColLen(cols []*storage.Column) int {
 		}
 	}
 	return n
-}
-
-// ---- value conversion ----
-
-// columnToValue converts a column to the UDF-facing representation per
-// MonetDB/Python's convention: arguments deriving from table data arrive
-// as lists (isColumn true), constant expressions as bare scalars — even
-// when the column holds a single row.
-func columnToValue(col *storage.Column, isColumn bool) script.Value {
-	if !isColumn {
-		if col.Len() == 0 {
-			return script.None
-		}
-		return cellToValue(col, 0)
-	}
-	items := make([]script.Value, col.Len())
-	for i := range items {
-		items[i] = cellToValue(col, i)
-	}
-	return script.NewList(items...)
-}
-
-func cellToValue(col *storage.Column, i int) script.Value {
-	if col.IsNull(i) {
-		return script.None
-	}
-	switch col.Typ {
-	case storage.TInt:
-		return script.IntVal(col.Ints[i])
-	case storage.TFloat:
-		return script.FloatVal(col.Flts[i])
-	case storage.TStr:
-		return script.StrVal(col.Strs[i])
-	case storage.TBool:
-		return script.BoolVal(col.Bools[i])
-	case storage.TBlob:
-		return script.BytesVal(col.Blobs[i])
-	default:
-		return script.None
-	}
-}
-
-// valueToColumn converts a UDF result into a typed column. expectRows > 0
-// enforces MonetDB's rule that a scalar UDF over n-row columns returns
-// either n values or a single (aggregate-style) value; pass -1 to accept
-// any length.
-func valueToColumn(v script.Value, name string, typ storage.Type, expectRows int) (*storage.Column, error) {
-	col := storage.NewColumn(name, typ)
-	items, isSeq := sequenceItems(v)
-	if !isSeq {
-		if err := appendScriptValue(col, v); err != nil {
-			return nil, err
-		}
-		return col, nil
-	}
-	for _, it := range items {
-		if err := appendScriptValue(col, it); err != nil {
-			return nil, err
-		}
-	}
-	if expectRows > 0 && col.Len() != expectRows && col.Len() != 1 {
-		return nil, core.Errorf(core.KindConstraint,
-			"UDF returned %d rows for %d input rows", col.Len(), expectRows)
-	}
-	return col, nil
-}
-
-func sequenceItems(v script.Value) ([]script.Value, bool) {
-	switch v := v.(type) {
-	case *script.ListVal:
-		return v.Items, true
-	case *script.TupleVal:
-		return v.Items, true
-	case script.RangeVal:
-		items := make([]script.Value, 0, v.Len())
-		if v.Step != 0 {
-			for i := v.Start; int64(len(items)) < v.Len(); i += v.Step {
-				items = append(items, script.IntVal(i))
-			}
-		}
-		return items, true
-	default:
-		return nil, false
-	}
-}
-
-func appendScriptValue(col *storage.Column, v script.Value) error {
-	if _, ok := v.(script.NoneVal); ok {
-		col.AppendNull()
-		return nil
-	}
-	switch col.Typ {
-	case storage.TInt:
-		if n, ok := script.AsInt(v); ok {
-			col.AppendInt(n)
-			return nil
-		}
-		if f, ok := v.(script.FloatVal); ok {
-			col.AppendInt(int64(f))
-			return nil
-		}
-	case storage.TFloat:
-		if f, ok := script.AsFloat(v); ok {
-			col.AppendFloat(f)
-			return nil
-		}
-	case storage.TStr:
-		if s, ok := v.(script.StrVal); ok {
-			col.AppendStr(string(s))
-			return nil
-		}
-		col.AppendStr(script.Str(v))
-		return nil
-	case storage.TBool:
-		col.AppendBool(script.Truthy(v))
-		return nil
-	case storage.TBlob:
-		switch v := v.(type) {
-		case script.BytesVal:
-			col.AppendBlob([]byte(v))
-			return nil
-		case script.StrVal:
-			col.AppendBlob([]byte(v))
-			return nil
-		}
-	}
-	return core.Errorf(core.KindType,
-		"cannot convert %s value to %s column", v.TypeName(), col.Typ)
 }
 
 // ---- loopback connection (_conn) ----
@@ -415,15 +262,7 @@ func TableToScriptDict(t *storage.Table) *script.DictVal {
 	d := script.NewDict()
 	single := t.NumRows() == 1
 	for _, col := range t.Cols {
-		if single {
-			d.SetStr(col.Name, cellToValue(col, 0))
-			continue
-		}
-		items := make([]script.Value, col.Len())
-		for i := range items {
-			items[i] = cellToValue(col, i)
-		}
-		d.SetStr(col.Name, script.NewList(items...))
+		d.SetStr(col.Name, pyrt.ColumnToValue(col, !single))
 	}
 	return d
 }

@@ -223,6 +223,10 @@ func mathModule() Value {
 	m.Methods["exp"] = mathFn1("math.exp", math.Exp)
 	m.Methods["sin"] = mathFn1("math.sin", math.Sin)
 	m.Methods["cos"] = mathFn1("math.cos", math.Cos)
+	m.Methods["tan"] = mathFn1("math.tan", math.Tan)
+	m.Methods["asin"] = mathFn1("math.asin", math.Asin)
+	m.Methods["acos"] = mathFn1("math.acos", math.Acos)
+	m.Methods["atan"] = mathFn1("math.atan", math.Atan)
 	m.Methods["fabs"] = mathFn1("math.fabs", math.Abs)
 	m.Methods["pow"] = func(_ *Interp, args []Value, _ map[string]Value) (Value, error) {
 		if len(args) != 2 {

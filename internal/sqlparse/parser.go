@@ -273,10 +273,10 @@ func (p *parser) createFunction(orReplace bool) (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Any language identifier parses; the engine checks it against the
+	// registered UDF runtimes at CREATE time, so the grammar does not need
+	// to know which backends this build ships.
 	cf.Language = strings.ToUpper(lang)
-	if cf.Language != "PYTHON" {
-		return nil, p.errf("unsupported UDF language %q (only PYTHON)", lang)
-	}
 	if !p.at(tBody) {
 		return nil, p.errf("expected '{' UDF body, found %q", p.cur().lit)
 	}

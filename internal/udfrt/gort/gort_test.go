@@ -1,0 +1,230 @@
+package gort
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/udfrt"
+)
+
+func register(t *testing.T, name string, fn any) {
+	t.Helper()
+	if err := Register(name, fn); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { Unregister(name) })
+}
+
+func scalarDef(name string, params int) *storage.FuncDef {
+	def := &storage.FuncDef{
+		Name:     name,
+		Language: Name,
+		Returns:  storage.Schema{{Name: "result", Type: storage.TFloat}},
+	}
+	for i := 0; i < params; i++ {
+		def.Params = append(def.Params, storage.ColumnDef{
+			Name: string(rune('a' + i)), Type: storage.TFloat})
+	}
+	return def
+}
+
+func floatCol(name string, vals ...float64) *storage.Column {
+	c := storage.NewColumn(name, storage.TFloat)
+	for _, v := range vals {
+		c.AppendFloat(v)
+	}
+	return c
+}
+
+func TestRegisterValidatesSignature(t *testing.T) {
+	if err := Register("notafunc", 42); err == nil {
+		t.Fatal("non-function must be rejected")
+	}
+	if err := Register("badparam", func(x []int32) []int32 { return x }); err == nil {
+		t.Fatal("unsupported parameter type must be rejected")
+	}
+	if err := Register("noresult", func(x []int64) {}); err == nil {
+		t.Fatal("zero-result function must be rejected")
+	}
+	if err := Register("variadic", func(x ...[]int64) []int64 { return nil }); err == nil {
+		t.Fatal("variadic function must be rejected")
+	}
+}
+
+func TestInferDef(t *testing.T) {
+	fn := func(a []float64, n int64) ([]float64, []int64) { return a, nil }
+	def, err := InferDef("pairup", fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def.Params) != 2 || def.Params[0].Type != storage.TFloat || def.Params[1].Type != storage.TInt {
+		t.Fatalf("params: %+v", def.Params)
+	}
+	if !def.IsTable || len(def.Returns) != 2 {
+		t.Fatalf("returns: %+v table=%v", def.Returns, def.IsTable)
+	}
+	if def.Language != Name {
+		t.Fatalf("language %q", def.Language)
+	}
+}
+
+func TestCompileChecksDeclaration(t *testing.T) {
+	register(t, "halve", func(x []float64) []float64 { return x })
+	rt := New()
+	// arity mismatch
+	if _, err := rt.Compile(scalarDef("halve", 2)); err == nil {
+		t.Fatal("arity mismatch must fail compile")
+	}
+	// type mismatch
+	def := scalarDef("halve", 1)
+	def.Params[0].Type = storage.TStr
+	if _, err := rt.Compile(def); err == nil {
+		t.Fatal("type mismatch must fail compile")
+	}
+	// unregistered symbol
+	if _, err := rt.Compile(scalarDef("no_such_symbol", 1)); err == nil {
+		t.Fatal("unregistered symbol must fail compile")
+	}
+}
+
+func TestCallZeroCopyAndBroadcast(t *testing.T) {
+	var seen []float64
+	register(t, "sumpair", func(a, b []float64) []float64 {
+		seen = a
+		out := make([]float64, len(a))
+		for i := range a {
+			out[i] = a[i] + b[i]
+		}
+		return out
+	})
+	rt := New()
+	call, err := rt.Compile(scalarDef("sumpair", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := floatCol("a", 1, 2, 3)
+	b := floatCol("b", 10) // length-1: broadcasts to the batch's rows
+	out, err := call.Call(&udfrt.Env{}, udfrt.NewBatch([]*storage.Column{a, b}, []bool{true, true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Cols[0].Flts; len(got) != 3 || got[0] != 11 || got[2] != 13 {
+		t.Fatalf("sumpair = %v", got)
+	}
+	// the fast path hands the column's backing vector to the function
+	if len(seen) != 3 || &seen[0] != &a.Flts[0] {
+		t.Fatal("columnar argument was copied; want the column's own vector")
+	}
+}
+
+func TestCallScalarParam(t *testing.T) {
+	register(t, "scale", func(x []float64, f float64) []float64 {
+		out := make([]float64, len(x))
+		for i := range x {
+			out[i] = x[i] * f
+		}
+		return out
+	})
+	rt := New()
+	def := scalarDef("scale", 2)
+	call, err := rt.Compile(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := call.Call(&udfrt.Env{}, udfrt.NewBatch(
+		[]*storage.Column{floatCol("x", 1, 2), floatCol("f", 2.5)}, []bool{true, false}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Cols[0].Flts; got[0] != 2.5 || got[1] != 5 {
+		t.Fatalf("scale = %v", got)
+	}
+}
+
+func TestCallPanicBecomesError(t *testing.T) {
+	register(t, "boomer", func(x []float64) []float64 {
+		panic("kaboom")
+	})
+	rt := New()
+	call, err := rt.Compile(scalarDef("boomer", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = call.Call(&udfrt.Env{}, udfrt.NewBatch([]*storage.Column{floatCol("x", 1)}, []bool{true}))
+	if err == nil || !strings.Contains(err.Error(), "boomer") || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("panic must surface as a named error, got %v", err)
+	}
+}
+
+func TestColumnarArgRefusesScalarParam(t *testing.T) {
+	// a multi-row column must not silently truncate to its first value
+	register(t, "sq1", func(x float64) float64 { return x * x })
+	rt := New()
+	call, err := rt.Compile(scalarDef("sq1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = call.Call(&udfrt.Env{}, udfrt.NewBatch(
+		[]*storage.Column{floatCol("x", 1, 2, 3)}, []bool{true}))
+	if err == nil || !strings.Contains(err.Error(), "slice parameter") {
+		t.Fatalf("multi-row column into scalar param must fail, got %v", err)
+	}
+	// a single-row columnar argument still binds (exact semantics)
+	out, err := call.Call(&udfrt.Env{}, udfrt.NewBatch(
+		[]*storage.Column{floatCol("x", 3)}, []bool{true}))
+	if err != nil || out.Cols[0].Flts[0] != 9 {
+		t.Fatalf("%v %v", out, err)
+	}
+}
+
+func TestReRegisterSwapsImplementation(t *testing.T) {
+	register(t, "swapme", func(x []float64) []float64 { return x })
+	rt := New()
+	call, err := rt.Compile(scalarDef("swapme", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// same signature, new behavior: the compiled callable must pick it up
+	if err := Register("swapme", func(x []float64) []float64 {
+		out := make([]float64, len(x))
+		for i, v := range x {
+			out[i] = v + 100
+		}
+		return out
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := call.Call(&udfrt.Env{}, udfrt.NewBatch([]*storage.Column{floatCol("x", 1)}, []bool{true}))
+	if err != nil || out.Cols[0].Flts[0] != 101 {
+		t.Fatalf("re-registered implementation not used: %v %v", out, err)
+	}
+	// a signature change is refused with a pointed error
+	if err := Register("swapme", func(x []float64, y []float64) []float64 { return x }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := call.Call(&udfrt.Env{}, udfrt.NewBatch([]*storage.Column{floatCol("x", 1)}, []bool{true})); err == nil ||
+		!strings.Contains(err.Error(), "different signature") {
+		t.Fatalf("signature change must fail the call, got %v", err)
+	}
+	// unregistering makes calls fail cleanly
+	Unregister("swapme")
+	if _, err := call.Call(&udfrt.Env{}, udfrt.NewBatch([]*storage.Column{floatCol("x", 1)}, []bool{true})); err == nil ||
+		!strings.Contains(err.Error(), "no longer registered") {
+		t.Fatalf("unregistered call must fail, got %v", err)
+	}
+}
+
+func TestCallArgLengthMismatch(t *testing.T) {
+	register(t, "sum2", func(a, b []float64) []float64 { return a })
+	rt := New()
+	call, err := rt.Compile(scalarDef("sum2", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = call.Call(&udfrt.Env{}, udfrt.NewBatch(
+		[]*storage.Column{floatCol("a", 1, 2, 3), floatCol("b", 1, 2)}, []bool{true, true}))
+	if err == nil {
+		t.Fatal("ragged argument lengths must fail")
+	}
+}

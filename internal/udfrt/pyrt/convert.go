@@ -1,0 +1,133 @@
+package pyrt
+
+import (
+	"repro/internal/core"
+	"repro/internal/script"
+	"repro/internal/storage"
+)
+
+// ColumnToValue converts a column to the UDF-facing representation per
+// MonetDB/Python's convention: arguments deriving from table data arrive
+// as lists (isColumn true), constant expressions as bare scalars — even
+// when the column holds a single row.
+func ColumnToValue(col *storage.Column, isColumn bool) script.Value {
+	if !isColumn {
+		if col.Len() == 0 {
+			return script.None
+		}
+		return CellToValue(col, 0)
+	}
+	items := make([]script.Value, col.Len())
+	for i := range items {
+		items[i] = CellToValue(col, i)
+	}
+	return script.NewList(items...)
+}
+
+// CellToValue converts row i of a column to a script value (NULL → None).
+func CellToValue(col *storage.Column, i int) script.Value {
+	if col.IsNull(i) {
+		return script.None
+	}
+	switch col.Typ {
+	case storage.TInt:
+		return script.IntVal(col.Ints[i])
+	case storage.TFloat:
+		return script.FloatVal(col.Flts[i])
+	case storage.TStr:
+		return script.StrVal(col.Strs[i])
+	case storage.TBool:
+		return script.BoolVal(col.Bools[i])
+	case storage.TBlob:
+		return script.BytesVal(col.Blobs[i])
+	default:
+		return script.None
+	}
+}
+
+// ValueToColumn converts a UDF result into a typed column: a sequence
+// becomes the column's rows, anything else a single row. Cardinality
+// validation (a scalar UDF over n rows must return n or 1 values) is the
+// engine's job, not the conversion's.
+func ValueToColumn(v script.Value, name string, typ storage.Type) (*storage.Column, error) {
+	col := storage.NewColumn(name, typ)
+	items, isSeq := sequenceItems(v)
+	if !isSeq {
+		if err := AppendScriptValue(col, v); err != nil {
+			return nil, err
+		}
+		return col, nil
+	}
+	for _, it := range items {
+		if err := AppendScriptValue(col, it); err != nil {
+			return nil, err
+		}
+	}
+	return col, nil
+}
+
+func sequenceItems(v script.Value) ([]script.Value, bool) {
+	switch v := v.(type) {
+	case *script.ListVal:
+		return v.Items, true
+	case *script.TupleVal:
+		return v.Items, true
+	case script.RangeVal:
+		items := make([]script.Value, 0, v.Len())
+		if v.Step != 0 {
+			for i := v.Start; int64(len(items)) < v.Len(); i += v.Step {
+				items = append(items, script.IntVal(i))
+			}
+		}
+		return items, true
+	default:
+		return nil, false
+	}
+}
+
+// AppendScriptValue appends one script value to a column with the
+// interpreter's coercion rules (None → NULL, float → int truncation,
+// anything → str).
+func AppendScriptValue(col *storage.Column, v script.Value) error {
+	if _, ok := v.(script.NoneVal); ok {
+		col.AppendNull()
+		return nil
+	}
+	switch col.Typ {
+	case storage.TInt:
+		if n, ok := script.AsInt(v); ok {
+			col.AppendInt(n)
+			return nil
+		}
+		if f, ok := v.(script.FloatVal); ok {
+			col.AppendInt(int64(f))
+			return nil
+		}
+	case storage.TFloat:
+		if f, ok := script.AsFloat(v); ok {
+			col.AppendFloat(f)
+			return nil
+		}
+	case storage.TStr:
+		if s, ok := v.(script.StrVal); ok {
+			col.AppendStr(string(s))
+			return nil
+		}
+		col.AppendStr(script.Str(v))
+		return nil
+	case storage.TBool:
+		col.AppendBool(script.Truthy(v))
+		return nil
+	case storage.TBlob:
+		switch v := v.(type) {
+		case script.BytesVal:
+			col.AppendBlob([]byte(v))
+			return nil
+		case script.StrVal:
+			col.AppendBlob([]byte(v))
+			return nil
+		}
+	}
+	return core.Errorf(core.KindType,
+		"cannot convert %s value to %s column", v.TypeName(), col.Typ)
+}

@@ -1,0 +1,117 @@
+package pyrt
+
+import (
+	"testing"
+
+	"repro/internal/script"
+	"repro/internal/storage"
+)
+
+// typedColumn builds a three-row column of each type with a NULL in the
+// middle.
+func typedColumn(t *testing.T, typ storage.Type) *storage.Column {
+	t.Helper()
+	col := storage.NewColumn("c", typ)
+	appendSample := func(i int) {
+		switch typ {
+		case storage.TInt:
+			col.AppendInt(int64(10 + i))
+		case storage.TFloat:
+			col.AppendFloat(1.5 * float64(i+1))
+		case storage.TStr:
+			col.AppendStr(string(rune('a' + i)))
+		case storage.TBool:
+			col.AppendBool(i%2 == 0)
+		case storage.TBlob:
+			col.AppendBlob([]byte{byte(i), byte(i + 1)})
+		}
+	}
+	appendSample(0)
+	col.AppendNull()
+	appendSample(2)
+	return col
+}
+
+// TestColumnValueRoundTrip drives every storage type through
+// ColumnToValue → ValueToColumn and compares cell by cell, NULLs included.
+func TestColumnValueRoundTrip(t *testing.T) {
+	for _, typ := range []storage.Type{
+		storage.TInt, storage.TFloat, storage.TStr, storage.TBool, storage.TBlob,
+	} {
+		t.Run(typ.String(), func(t *testing.T) {
+			col := typedColumn(t, typ)
+			v := ColumnToValue(col, true)
+			if _, ok := v.(*script.ListVal); !ok {
+				t.Fatalf("columnar conversion gave %T, want list", v)
+			}
+			back, err := ValueToColumn(v, "c", typ)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Len() != col.Len() {
+				t.Fatalf("round trip length %d, want %d", back.Len(), col.Len())
+			}
+			for i := 0; i < col.Len(); i++ {
+				if col.IsNull(i) != back.IsNull(i) {
+					t.Fatalf("row %d null mismatch", i)
+				}
+				if col.IsNull(i) {
+					continue
+				}
+				if col.FormatValue(i) != back.FormatValue(i) {
+					t.Fatalf("row %d: %q != %q", i, col.FormatValue(i), back.FormatValue(i))
+				}
+				if typ == storage.TBlob && string(col.Blobs[i]) != string(back.Blobs[i]) {
+					t.Fatalf("row %d blob mismatch", i)
+				}
+			}
+		})
+	}
+}
+
+// TestScalarConvention: non-columnar arguments become bare scalars, and an
+// empty column becomes None rather than an empty list.
+func TestScalarConvention(t *testing.T) {
+	col := storage.NewColumn("c", storage.TInt)
+	col.AppendInt(7)
+	if v := ColumnToValue(col, false); v != script.IntVal(7) {
+		t.Fatalf("scalar conversion gave %v", v)
+	}
+	empty := storage.NewColumn("c", storage.TInt)
+	if v := ColumnToValue(empty, false); v != script.None {
+		t.Fatalf("empty scalar conversion gave %v", v)
+	}
+}
+
+// TestValueToColumnScalarAndRange: scalars become one-row columns; ranges
+// expand like lists.
+func TestValueToColumnScalarAndRange(t *testing.T) {
+	col, err := ValueToColumn(script.IntVal(5), "r", storage.TInt)
+	if err != nil || col.Len() != 1 || col.Ints[0] != 5 {
+		t.Fatalf("%v %v", col, err)
+	}
+	col, err = ValueToColumn(script.RangeVal{Start: 0, Stop: 3, Step: 1}, "r", storage.TInt)
+	if err != nil || col.Len() != 3 || col.Ints[2] != 2 {
+		t.Fatalf("%v %v", col, err)
+	}
+}
+
+// TestValueToColumnCoercions mirrors the interpreter's coercion rules:
+// float → int truncation, anything → str, truthiness → bool.
+func TestValueToColumnCoercions(t *testing.T) {
+	col, err := ValueToColumn(script.FloatVal(2.9), "c", storage.TInt)
+	if err != nil || col.Ints[0] != 2 {
+		t.Fatalf("%v %v", col, err)
+	}
+	col, err = ValueToColumn(script.IntVal(3), "c", storage.TStr)
+	if err != nil || col.Strs[0] != "3" {
+		t.Fatalf("%v %v", col, err)
+	}
+	col, err = ValueToColumn(script.IntVal(0), "c", storage.TBool)
+	if err != nil || col.Bools[0] != false {
+		t.Fatalf("%v %v", col, err)
+	}
+	if _, err := ValueToColumn(script.NewDict(), "c", storage.TInt); err == nil {
+		t.Fatal("dict → INTEGER must fail")
+	}
+}

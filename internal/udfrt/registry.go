@@ -1,0 +1,73 @@
+package udfrt
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultLanguage is assumed when a stored definition carries no LANGUAGE
+// (historic catalogs predating the registry).
+const DefaultLanguage = "PYTHON"
+
+// Canonical normalizes a LANGUAGE clause for display and comparison: upper
+// case, "" mapping to the default. Every layer that prints or compares
+// languages goes through this one rule.
+func Canonical(language string) string {
+	if language == "" {
+		return DefaultLanguage
+	}
+	return strings.ToUpper(language)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Runtime{}
+)
+
+// Register installs a runtime under its Name. Later registrations replace
+// earlier ones, so tests can shadow a runtime.
+func Register(rt Runtime) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[strings.ToUpper(rt.Name())] = rt
+}
+
+// Lookup resolves the runtime serving a LANGUAGE clause ("" defaults to
+// PYTHON). The error names the registered alternatives so a typo'd CREATE
+// FUNCTION is self-explaining.
+func Lookup(language string) (Runtime, error) {
+	if language == "" {
+		language = DefaultLanguage
+	}
+	regMu.RLock()
+	rt, ok := registry[strings.ToUpper(language)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, core.Errorf(core.KindConstraint,
+			"no runtime registered for language %q (have %s)",
+			language, strings.Join(Languages(), ", "))
+	}
+	return rt, nil
+}
+
+// Languages lists the registered LANGUAGE names, sorted.
+func Languages() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LanguageDebuggable reports whether the runtime registered for a language
+// supports interpreter-level debugging (false for unknown languages).
+func LanguageDebuggable(language string) bool {
+	rt, err := Lookup(language)
+	return err == nil && IsDebuggable(rt)
+}

@@ -1,0 +1,171 @@
+// Package udfrt defines the engine↔UDF runtime contract: a columnar Batch
+// as the unit of exchange, a Runtime that compiles stored function
+// definitions into Callables, and a registry keyed by the CREATE FUNCTION
+// LANGUAGE clause. The engine, devudf's local runner and the debugger all
+// dispatch through this one seam, so adding a UDF language is a matter of
+// registering a Runtime — the extension-point design the paper's IDE
+// integration presumes the engine exposes.
+package udfrt
+
+import (
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/script"
+	"repro/internal/storage"
+)
+
+// Batch is a columnar slice of rows crossing the engine↔runtime boundary.
+// Each argument (or result) is one whole column; Rows is the logical row
+// count — an input column either has Rows rows or one row (a constant to
+// broadcast). IsColumn records, per argument, MonetDB/Python's calling
+// convention: arguments deriving from table data arrive in the UDF as
+// arrays, constant expressions as bare scalars, regardless of how many rows
+// the column happens to hold. Result batches leave IsColumn nil.
+type Batch struct {
+	Cols     []*storage.Column
+	Rows     int
+	IsColumn []bool
+}
+
+// NewBatch builds an input batch over argument columns; Rows is the longest
+// column length.
+func NewBatch(cols []*storage.Column, isColumn []bool) *Batch {
+	rows := 0
+	for _, c := range cols {
+		if c.Len() > rows {
+			rows = c.Len()
+		}
+	}
+	return &Batch{Cols: cols, Rows: rows, IsColumn: isColumn}
+}
+
+// Columnar reports the calling convention of argument i (false when the
+// batch carries no flags).
+func (b *Batch) Columnar(i int) bool {
+	return i < len(b.IsColumn) && b.IsColumn[i]
+}
+
+// Row extracts a one-row input batch for row r, with every argument demoted
+// to the scalar calling convention — the tuple-at-a-time shape. Length-1
+// columns broadcast.
+func (b *Batch) Row(r int) *Batch {
+	cols := make([]*storage.Column, len(b.Cols))
+	for i, c := range b.Cols {
+		ri := r
+		if c.Len() == 1 {
+			ri = 0
+		}
+		cols[i] = c.Gather([]int{ri})
+	}
+	return &Batch{Cols: cols, Rows: 1, IsColumn: make([]bool, len(cols))}
+}
+
+// Runtime is one UDF execution backend, registered under the LANGUAGE name
+// it serves.
+type Runtime interface {
+	// Name is the canonical (upper-case) LANGUAGE keyword.
+	Name() string
+	// Compile turns a stored definition into an executable. Compilation
+	// errors carry the UDF name.
+	Compile(def *storage.FuncDef) (Callable, error)
+}
+
+// Callable is one compiled UDF. Call executes it over an input batch and
+// returns the result batch: one column for scalar functions, the declared
+// columns for table functions. Runtime errors carry the UDF name; the
+// engine validates result cardinality.
+type Callable interface {
+	Call(env *Env, in *Batch) (*Batch, error)
+}
+
+// Debuggable marks runtimes whose callables execute in the embedded script
+// interpreter and therefore honor the Env.Invoke trace hook — the seam both
+// the in-server remote debugger and devudf's local debug sessions attach
+// to. Runtimes that run native code (GO) do not implement it.
+type Debuggable interface {
+	Runtime
+	// Debuggable reports whether compiled callables can run under an
+	// interpreter trace hook.
+	Debuggable() bool
+}
+
+// IsDebuggable reports whether a runtime supports interpreter-level
+// debugging.
+func IsDebuggable(rt Runtime) bool {
+	d, ok := rt.(Debuggable)
+	return ok && d.Debuggable()
+}
+
+// InvokeHook intercepts one interpreter-backed UDF invocation: it receives
+// the UDF's name, the interpreter about to run it, the source lines of the
+// compiled wrapper module, and the call thunk, and must return the thunk's
+// result (calling it exactly once, on any goroutine). The wire server's
+// remote debugger installs one to run the invocation under its trace hook.
+type InvokeHook func(name string, in *script.Interp, lines []string,
+	call func() (script.Value, error)) (script.Value, error)
+
+// Env is the per-statement invocation environment the engine (or a local
+// runner) hands to Callable.Call. One Env spans all row calls of a
+// tuple-at-a-time loop, so callables may memoize prepared state in it.
+type Env struct {
+	// FS backs UDF file access (os.listdir / open); nil means no file
+	// system.
+	FS core.FS
+	// MaxSteps bounds interpreter steps per invocation (0 = unlimited).
+	MaxSteps int64
+	// Stdout receives print() output; nil discards it.
+	Stdout io.Writer
+	// Loopback, when set, builds the _conn object bound to the invoking
+	// interpreter (paper §2.3). Interpreter-less runtimes ignore it.
+	Loopback func(in *script.Interp) script.Value
+	// Invoke, when set, intercepts interpreter-backed invocations (the
+	// remote debugger's entry point). Native runtimes ignore it.
+	Invoke InvokeHook
+
+	memo map[any]any
+}
+
+// Memo returns the value built for key on this Env, constructing it once —
+// how the PYTHON runtime reuses one prepared interpreter across a
+// tuple-at-a-time row loop while batch calls (one Env each) stay isolated.
+func (e *Env) Memo(key any, build func() (any, error)) (any, error) {
+	if v, ok := e.memo[key]; ok {
+		return v, nil
+	}
+	v, err := build()
+	if err != nil {
+		return nil, err
+	}
+	if e.memo == nil {
+		e.memo = map[any]any{}
+	}
+	e.memo[key] = v
+	return v, nil
+}
+
+// Out returns the Env's stdout, defaulting to io.Discard.
+func (e *Env) Out() io.Writer {
+	if e.Stdout != nil {
+		return e.Stdout
+	}
+	return io.Discard
+}
+
+// WrapErr gives a runtime failure its UDF name context; errors already
+// wrapped for this same UDF pass through unchanged (nested UDF failures
+// keep their own name and gain the caller's).
+func WrapErr(name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	msg := err.Error()
+	if ce, ok := err.(*core.Error); ok {
+		msg = ce.Msg
+	}
+	if strings.HasPrefix(msg, "UDF "+name+" ") {
+		return err
+	}
+	return core.Errorf(core.KindRuntime, "UDF %s failed: %s", name, msg)
+}

@@ -9,6 +9,8 @@ import (
 	"repro/internal/debug"
 	"repro/internal/engine"
 	"repro/internal/script"
+	"repro/internal/storage"
+	"repro/internal/udfrt"
 )
 
 // connWriter serializes frame writes to one connection so the main request
@@ -80,8 +82,21 @@ func newDebugRun(srv *Server, w *connWriter, req DebugRequest, connDone <-chan s
 
 // launch runs the debug query on a fresh engine session whose UDFInvoke
 // hook attaches the debugger, then pushes the terminated event. It is the
-// goroutine the wire loop spawns per launch request.
+// goroutine the wire loop spawns per launch request. The debuggability
+// check runs here — not on the frame loop — because it takes the database
+// lock, which a paused debuggee of another session may hold indefinitely.
 func (dr *debugRun) launch(econn *engine.Conn, query string) {
+	if err := dr.srv.checkDebuggable(dr.udf); err != nil {
+		dr.mu.Lock()
+		dr.finished = true
+		dr.mu.Unlock()
+		_ = dr.w.writeFrame(MsgDebugEvent, EncodeDebugEvent(DebugEventMsg{
+			Kind:   DebugEventTerminated,
+			Reason: string(debug.ReasonException),
+			Err:    errString(err),
+		}))
+		return
+	}
 	dconn := &engine.Conn{
 		DB:        econn.DB,
 		User:      econn.User,
@@ -326,6 +341,25 @@ func (sc *serverConn) handleDebug(payload []byte) bool {
 		fail(core.Errorf(core.KindProtocol, "unknown debug command %q", req.Command))
 	}
 	return sc.w.writeFrame(MsgDebugReply, EncodeDebugReply(rep)) == nil
+}
+
+// checkDebuggable rejects debug launches against UDFs whose runtime cannot
+// run under the interpreter trace hook (the native GO runtime): without the
+// check the query would simply run to completion with nothing to attach to,
+// which reads like a hung debugger. Unknown UDFs pass through — the query
+// itself reports the missing function.
+func (s *Server) checkDebuggable(udf string) error {
+	var def *storage.FuncDef
+	_ = s.DB.Lock(func(cat *storage.Catalog) error {
+		def, _ = cat.Function(udf)
+		return nil
+	})
+	if def == nil || udfrt.LanguageDebuggable(def.Language) {
+		return nil
+	}
+	return core.Errorf(core.KindConstraint,
+		"UDF %s runs on the %s runtime, which is not debuggable",
+		def.Name, udfrt.Canonical(def.Language))
 }
 
 // setBreakpoints replaces the full breakpoint set, live when attached.

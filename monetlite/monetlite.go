@@ -87,7 +87,9 @@ var (
 	WithProtoVersion = wire.WithProtoVersion
 )
 
-// NewDB creates an empty embedded database.
+// NewDB creates an empty embedded database. Native Go UDFs register with
+// DB.RegisterGoUDF; stored PYTHON UDFs arrive via CREATE FUNCTION ...
+// LANGUAGE PYTHON. Both execute through the udfrt runtime registry.
 func NewDB() *DB { return engine.NewDB() }
 
 // Connect opens an embedded session with credentials (the password keys
