@@ -62,6 +62,18 @@ type DB struct {
 	// UDFOutput receives print() output of server-side UDFs — the paper's
 	// "print debugging" channel. Defaults to io.Discard.
 	UDFOutput *bytes.Buffer
+	// Workers caps morsel-parallel kernel execution: 0 selects
+	// GOMAXPROCS, 1 pins execution to the query goroutine.
+	Workers int
+	// MorselSize overrides the rows-per-morsel split
+	// (0 = vec.DefaultMorselSize). Inputs smaller than one morsel always
+	// run inline.
+	MorselSize int
+	// ScalarRef routes expression evaluation, filtering, grouping,
+	// aggregation and DISTINCT through the retained row-at-a-time
+	// reference implementation instead of the vectorized kernels — the
+	// semantic baseline for differential tests and benchmarks.
+	ScalarRef bool
 
 	compiled map[string]*compiledUDF
 }

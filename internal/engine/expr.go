@@ -5,20 +5,64 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine/vec"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 )
 
 // evalCtx is the row context an expression evaluates against: a source
-// table (nil for FROM-less selects) and its row count.
+// table (nil for FROM-less selects) and an optional selection vector
+// over its rows (the WHERE filter, consumed lazily — referenced columns
+// are materialized once, on first use).
 type evalCtx struct {
 	conn *Conn
 	src  *storage.Table
-	n    int
+	sel  []int32 // non-nil: the logical rows are src's rows at sel
+	// gathered memoizes per-column filtered views so an expression
+	// referencing a column twice materializes it once.
+	gathered map[*storage.Column]*storage.Column
 }
 
-// evalExpr evaluates an expression vectorized over the context, returning a
-// column of length ctx.n or of length 1 (a constant, broadcast by callers).
+// newCtx builds an evaluation context over a table view.
+func (c *Conn) newCtx(src *storage.Table, sel []int32) *evalCtx {
+	return &evalCtx{conn: c, src: src, sel: sel}
+}
+
+// pol is the morsel-execution policy for kernels running under this
+// context.
+func (c *Conn) pol() vec.Pol {
+	return vec.Pol{Workers: c.DB.Workers, MorselSize: c.DB.MorselSize}
+}
+
+// view returns the column restricted to the context's selection,
+// memoized per base column.
+func (ctx *evalCtx) view(col *storage.Column) *storage.Column {
+	if ctx.sel == nil {
+		return col
+	}
+	if g, ok := ctx.gathered[col]; ok {
+		return g
+	}
+	g := col.GatherSel(ctx.sel)
+	if ctx.gathered == nil {
+		ctx.gathered = map[*storage.Column]*storage.Column{}
+	}
+	ctx.gathered[col] = g
+	return g
+}
+
+// column resolves a column reference against the context's logical view.
+func (ctx *evalCtx) column(name string) (*storage.Column, error) {
+	col, err := ctx.src.Column(name)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.view(col), nil
+}
+
+// evalExpr evaluates an expression vectorized over the context, returning
+// a column of the context's logical row count or of length 1 (a constant,
+// broadcast by callers).
 func (c *Conn) evalExpr(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) {
 	switch e := e.(type) {
 	case *sqlparse.IntLit:
@@ -45,17 +89,13 @@ func (c *Conn) evalExpr(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) 
 		if ctx.src == nil {
 			return nil, core.Errorf(core.KindName, "no FROM clause to resolve column %q", e.Name)
 		}
-		col, err := ctx.src.Column(e.Name)
-		if err != nil {
-			return nil, err
-		}
-		return col, nil
+		return ctx.column(e.Name)
 	case *sqlparse.UnaryExpr:
 		x, err := c.evalExpr(ctx, e.X)
 		if err != nil {
 			return nil, err
 		}
-		return evalUnary(e.Op, x)
+		return c.evalUnary(e.Op, x)
 	case *sqlparse.BinaryExpr:
 		l, err := c.evalExpr(ctx, e.L)
 		if err != nil {
@@ -65,21 +105,24 @@ func (c *Conn) evalExpr(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) 
 		if err != nil {
 			return nil, err
 		}
-		return evalBinary(e.Op, l, r)
+		return c.evalBinary(e.Op, l, r)
 	case *sqlparse.IsNullExpr:
 		x, err := c.evalExpr(ctx, e.X)
 		if err != nil {
 			return nil, err
 		}
-		out := storage.NewColumn("", storage.TBool)
-		for i := 0; i < x.Len(); i++ {
-			v := x.IsNull(i)
-			if e.Neg {
-				v = !v
+		if c.DB.ScalarRef {
+			out := storage.NewColumn("", storage.TBool)
+			for i := 0; i < x.Len(); i++ {
+				v := x.IsNull(i)
+				if e.Neg {
+					v = !v
+				}
+				out.AppendBool(v)
 			}
-			out.AppendBool(v)
+			return out, nil
 		}
-		return out, nil
+		return vec.IsNull(c.pol(), x, e.Neg), nil
 	case *sqlparse.CastExpr:
 		x, err := c.evalExpr(ctx, e.X)
 		if err != nil {
@@ -105,8 +148,77 @@ func (c *Conn) evalExpr(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) 
 	}
 }
 
+// evalUnary dispatches a unary operator to the vectorized kernels (or
+// the scalar reference under DB.ScalarRef).
+func (c *Conn) evalUnary(op string, x *storage.Column) (*storage.Column, error) {
+	if c.DB.ScalarRef {
+		return scalarEvalUnary(op, x)
+	}
+	switch op {
+	case "-":
+		return vec.Neg(c.pol(), x)
+	case "NOT":
+		return vec.Not(c.pol(), x), nil
+	default:
+		return nil, core.Errorf(core.KindSyntax, "unsupported unary operator %q", op)
+	}
+}
+
+// evalBinary dispatches a binary operator: op and operand types resolve
+// to one typed kernel outside the loop.
+func (c *Conn) evalBinary(op string, l, r *storage.Column) (*storage.Column, error) {
+	if c.DB.ScalarRef {
+		return scalarEvalBinary(op, l, r)
+	}
+	n, err := vec.Align(l, r)
+	if err != nil {
+		return nil, err
+	}
+	p := c.pol()
+	switch op {
+	case "+":
+		return vec.Arith(p, vec.OpAdd, l, r, n)
+	case "-":
+		return vec.Arith(p, vec.OpSub, l, r, n)
+	case "*":
+		return vec.Arith(p, vec.OpMul, l, r, n)
+	case "/":
+		return vec.Arith(p, vec.OpDiv, l, r, n)
+	case "%":
+		return vec.Arith(p, vec.OpMod, l, r, n)
+	case "=", "<>", "<", "<=", ">", ">=":
+		return vec.Compare(p, cmpOpOf(op), l, r, n)
+	case "AND":
+		return vec.Logic(p, true, l, r, n), nil
+	case "OR":
+		return vec.Logic(p, false, l, r, n), nil
+	case "||":
+		// string concat is not vectorized; share the reference loop
+		return scalarEvalBinary(op, l, r)
+	default:
+		return nil, core.Errorf(core.KindSyntax, "unsupported operator %q", op)
+	}
+}
+
+func cmpOpOf(op string) vec.CmpOp {
+	switch op {
+	case "=":
+		return vec.CmpEq
+	case "<>":
+		return vec.CmpNe
+	case "<":
+		return vec.CmpLt
+	case "<=":
+		return vec.CmpLe
+	case ">":
+		return vec.CmpGt
+	default:
+		return vec.CmpGe
+	}
+}
+
 // evalCall dispatches a function expression: scalar builtin, aggregate
-// (over the whole context, for non-grouped use), or Python UDF.
+// (over the whole context, for non-grouped use), or a runtime UDF.
 func (c *Conn) evalCall(ctx *evalCtx, call *sqlparse.FuncCall) (*storage.Column, error) {
 	name := strings.ToLower(call.Name)
 	if isAggregateName(name) {
@@ -215,23 +327,7 @@ func exprIsColumnar(e sqlparse.Expr) bool {
 	return false
 }
 
-// ---- vectorized operators ----
-
-// aligned iterates two columns with length-1 broadcast.
-func aligned(l, r *storage.Column) (int, func(i int) (int, int), error) {
-	ln, rn := l.Len(), r.Len()
-	switch {
-	case ln == rn:
-		return ln, func(i int) (int, int) { return i, i }, nil
-	case ln == 1:
-		return rn, func(i int) (int, int) { return 0, i }, nil
-	case rn == 1:
-		return ln, func(i int) (int, int) { return i, 0 }, nil
-	default:
-		return 0, nil, core.Errorf(core.KindConstraint,
-			"column length mismatch: %d vs %d", ln, rn)
-	}
-}
+// ---- shared row accessors (scalar reference, ORDER BY, builtins) ----
 
 func numericAt(c *storage.Column, i int) (float64, bool) {
 	switch c.Typ {
@@ -246,40 +342,6 @@ func numericAt(c *storage.Column, i int) (float64, bool) {
 		return 0, true
 	default:
 		return 0, false
-	}
-}
-
-func evalUnary(op string, x *storage.Column) (*storage.Column, error) {
-	switch op {
-	case "-":
-		out := storage.NewColumn("", x.Typ)
-		for i := 0; i < x.Len(); i++ {
-			if x.IsNull(i) {
-				out.AppendNull()
-				continue
-			}
-			switch x.Typ {
-			case storage.TInt:
-				out.AppendInt(-x.Ints[i])
-			case storage.TFloat:
-				out.AppendFloat(-x.Flts[i])
-			default:
-				return nil, core.Errorf(core.KindType, "cannot negate %s", x.Typ)
-			}
-		}
-		return out, nil
-	case "NOT":
-		out := storage.NewColumn("", storage.TBool)
-		for i := 0; i < x.Len(); i++ {
-			if x.IsNull(i) {
-				out.AppendNull()
-				continue
-			}
-			out.AppendBool(!truthyAt(x, i))
-		}
-		return out, nil
-	default:
-		return nil, core.Errorf(core.KindSyntax, "unsupported unary operator %q", op)
 	}
 }
 
@@ -301,144 +363,20 @@ func truthyAt(c *storage.Column, i int) bool {
 	}
 }
 
-func evalBinary(op string, l, r *storage.Column) (*storage.Column, error) {
-	n, at, err := aligned(l, r)
-	if err != nil {
-		return nil, err
-	}
-	switch op {
-	case "+", "-", "*", "/", "%":
-		return evalArith(op, l, r, n, at)
-	case "=", "<>", "<", "<=", ">", ">=":
-		return evalCompare(op, l, r, n, at)
-	case "AND", "OR":
-		out := storage.NewColumn("", storage.TBool)
-		for i := 0; i < n; i++ {
-			li, ri := at(i)
-			lv, rv := truthyAt(l, li), truthyAt(r, ri)
-			if op == "AND" {
-				out.AppendBool(lv && rv)
-			} else {
-				out.AppendBool(lv || rv)
-			}
-		}
-		return out, nil
-	case "||":
-		out := storage.NewColumn("", storage.TStr)
-		for i := 0; i < n; i++ {
-			li, ri := at(i)
-			if l.IsNull(li) || r.IsNull(ri) {
-				out.AppendNull()
-				continue
-			}
-			out.AppendStr(l.FormatValue(li) + r.FormatValue(ri))
-		}
-		return out, nil
-	default:
-		return nil, core.Errorf(core.KindSyntax, "unsupported operator %q", op)
-	}
-}
-
-func evalArith(op string, l, r *storage.Column, n int, at func(int) (int, int)) (*storage.Column, error) {
-	bothInt := l.Typ == storage.TInt && r.Typ == storage.TInt
-	if bothInt {
-		out := storage.NewColumn("", storage.TInt)
-		for i := 0; i < n; i++ {
-			li, ri := at(i)
-			if l.IsNull(li) || r.IsNull(ri) {
-				out.AppendNull()
-				continue
-			}
-			a, b := l.Ints[li], r.Ints[ri]
-			switch op {
-			case "+":
-				out.AppendInt(a + b)
-			case "-":
-				out.AppendInt(a - b)
-			case "*":
-				out.AppendInt(a * b)
-			case "/":
-				if b == 0 {
-					return nil, core.Errorf(core.KindRuntime, "division by zero")
-				}
-				out.AppendInt(a / b)
-			case "%":
-				if b == 0 {
-					return nil, core.Errorf(core.KindRuntime, "division by zero")
-				}
-				out.AppendInt(a % b)
-			}
-		}
-		return out, nil
-	}
-	out := storage.NewColumn("", storage.TFloat)
-	for i := 0; i < n; i++ {
-		li, ri := at(i)
-		if l.IsNull(li) || r.IsNull(ri) {
-			out.AppendNull()
-			continue
-		}
-		a, aok := numericAt(l, li)
-		b, bok := numericAt(r, ri)
-		if !aok || !bok {
-			return nil, core.Errorf(core.KindType,
-				"cannot apply %q to %s and %s", op, l.Typ, r.Typ)
-		}
-		switch op {
-		case "+":
-			out.AppendFloat(a + b)
-		case "-":
-			out.AppendFloat(a - b)
-		case "*":
-			out.AppendFloat(a * b)
-		case "/":
-			if b == 0 {
-				return nil, core.Errorf(core.KindRuntime, "division by zero")
-			}
-			out.AppendFloat(a / b)
-		case "%":
-			if b == 0 {
-				return nil, core.Errorf(core.KindRuntime, "division by zero")
-			}
-			out.AppendFloat(math.Mod(a, b))
-		}
-	}
-	return out, nil
-}
-
-func evalCompare(op string, l, r *storage.Column, n int, at func(int) (int, int)) (*storage.Column, error) {
-	out := storage.NewColumn("", storage.TBool)
-	for i := 0; i < n; i++ {
-		li, ri := at(i)
-		if l.IsNull(li) || r.IsNull(ri) {
-			out.AppendNull() // SQL three-valued: comparisons with NULL are NULL
-			continue
-		}
-		cmp, err := compareAt(l, li, r, ri)
-		if err != nil {
-			return nil, err
-		}
-		var v bool
-		switch op {
-		case "=":
-			v = cmp == 0
-		case "<>":
-			v = cmp != 0
-		case "<":
-			v = cmp < 0
-		case "<=":
-			v = cmp <= 0
-		case ">":
-			v = cmp > 0
-		case ">=":
-			v = cmp >= 0
-		}
-		out.AppendBool(v)
-	}
-	return out, nil
-}
-
+// compareAt orders two cells: exact for int pairs, via float64 for other
+// numeric pairs, lexicographic for strings.
 func compareAt(l *storage.Column, li int, r *storage.Column, ri int) (int, error) {
+	if l.Typ == storage.TInt && r.Typ == storage.TInt {
+		a, b := l.Ints[li], r.Ints[ri]
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
 	a, aok := numericAt(l, li)
 	b, bok := numericAt(r, ri)
 	if aok && bok {
@@ -459,6 +397,7 @@ func compareAt(l *storage.Column, li int, r *storage.Column, ri int) (int, error
 
 func castColumn(x *storage.Column, to storage.Type) (*storage.Column, error) {
 	out := storage.NewColumn("", to)
+	out.Reserve(x.Len())
 	for i := 0; i < x.Len(); i++ {
 		if x.IsNull(i) {
 			out.AppendNull()
@@ -501,31 +440,55 @@ func arity(name string, args []*storage.Column, want int) error {
 	return nil
 }
 
+// allNullOrErr resolves a builtin applied to a column of the wrong type:
+// an error if any row is non-NULL (the historical per-row check would
+// have reached it), else an all-NULL column of the given type.
+func allNullOrErr(x *storage.Column, outTyp storage.Type, err error) (*storage.Column, error) {
+	for i := 0; i < x.Len(); i++ {
+		if !x.IsNull(i) {
+			return nil, err
+		}
+	}
+	return vec.AllNull(outTyp, x.Len()), nil
+}
+
 func fnAbs(args []*storage.Column) (*storage.Column, error) {
 	if err := arity("ABS", args, 1); err != nil {
 		return nil, err
 	}
 	x := args[0]
-	out := storage.NewColumn("", x.Typ)
-	for i := 0; i < x.Len(); i++ {
-		if x.IsNull(i) {
-			out.AppendNull()
-			continue
-		}
-		switch x.Typ {
-		case storage.TInt:
+	n := x.Len()
+	switch x.Typ {
+	case storage.TInt:
+		out := storage.NewColumn("", storage.TInt)
+		out.Reserve(n)
+		for i := 0; i < n; i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
 			v := x.Ints[i]
 			if v < 0 {
 				v = -v
 			}
 			out.AppendInt(v)
-		case storage.TFloat:
-			out.AppendFloat(math.Abs(x.Flts[i]))
-		default:
-			return nil, core.Errorf(core.KindType, "ABS needs a numeric argument")
 		}
+		return out, nil
+	case storage.TFloat:
+		out := storage.NewColumn("", storage.TFloat)
+		out.Reserve(n)
+		for i := 0; i < n; i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			out.AppendFloat(math.Abs(x.Flts[i]))
+		}
+		return out, nil
+	default:
+		return allNullOrErr(x, x.Typ,
+			core.Errorf(core.KindType, "ABS needs a numeric argument"))
 	}
-	return out, nil
 }
 
 func fnLength(args []*storage.Column) (*storage.Column, error) {
@@ -534,21 +497,31 @@ func fnLength(args []*storage.Column) (*storage.Column, error) {
 	}
 	x := args[0]
 	out := storage.NewColumn("", storage.TInt)
-	for i := 0; i < x.Len(); i++ {
-		if x.IsNull(i) {
-			out.AppendNull()
-			continue
-		}
-		switch x.Typ {
-		case storage.TStr:
+	switch x.Typ {
+	case storage.TStr:
+		out.Reserve(x.Len())
+		for i := 0; i < x.Len(); i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
 			out.AppendInt(int64(len(x.Strs[i])))
-		case storage.TBlob:
-			out.AppendInt(int64(len(x.Blobs[i])))
-		default:
-			return nil, core.Errorf(core.KindType, "LENGTH needs a string or blob argument")
 		}
+		return out, nil
+	case storage.TBlob:
+		out.Reserve(x.Len())
+		for i := 0; i < x.Len(); i++ {
+			if x.IsNull(i) {
+				out.AppendNull()
+				continue
+			}
+			out.AppendInt(int64(len(x.Blobs[i])))
+		}
+		return out, nil
+	default:
+		return allNullOrErr(x, storage.TInt,
+			core.Errorf(core.KindType, "LENGTH needs a string or blob argument"))
 	}
-	return out, nil
 }
 
 func fnStrMap(fn func(string) string) scalarFn {
@@ -561,6 +534,7 @@ func fnStrMap(fn func(string) string) scalarFn {
 			return nil, core.Errorf(core.KindType, "expected a string argument")
 		}
 		out := storage.NewColumn("", storage.TStr)
+		out.Reserve(x.Len())
 		for i := 0; i < x.Len(); i++ {
 			if x.IsNull(i) {
 				out.AppendNull()
@@ -578,17 +552,43 @@ func fnFloatMap(name string, fn func(float64) float64) scalarFn {
 			return nil, err
 		}
 		x := args[0]
+		n := x.Len()
 		out := storage.NewColumn("", storage.TFloat)
-		for i := 0; i < x.Len(); i++ {
-			if x.IsNull(i) {
-				out.AppendNull()
-				continue
+		switch x.Typ {
+		case storage.TFloat:
+			out.Reserve(n)
+			for i := 0; i < n; i++ {
+				if x.IsNull(i) {
+					out.AppendNull()
+					continue
+				}
+				out.AppendFloat(fn(x.Flts[i]))
 			}
-			v, ok := numericAt(x, i)
-			if !ok {
-				return nil, core.Errorf(core.KindType, "%s needs a numeric argument", name)
+		case storage.TInt:
+			out.Reserve(n)
+			for i := 0; i < n; i++ {
+				if x.IsNull(i) {
+					out.AppendNull()
+					continue
+				}
+				out.AppendFloat(fn(float64(x.Ints[i])))
 			}
-			out.AppendFloat(fn(v))
+		case storage.TBool:
+			out.Reserve(n)
+			for i := 0; i < n; i++ {
+				if x.IsNull(i) {
+					out.AppendNull()
+					continue
+				}
+				v := 0.0
+				if x.Bools[i] {
+					v = 1
+				}
+				out.AppendFloat(fn(v))
+			}
+		default:
+			return allNullOrErr(x, storage.TFloat,
+				core.Errorf(core.KindType, "%s needs a numeric argument", name))
 		}
 		return out, nil
 	}
@@ -606,18 +606,12 @@ func fnRound(args []*storage.Column) (*storage.Column, error) {
 		digits = args[1].Ints[0]
 	}
 	scale := math.Pow(10, float64(digits))
-	x := args[0]
-	out := storage.NewColumn("", storage.TFloat)
-	for i := 0; i < x.Len(); i++ {
-		if x.IsNull(i) {
-			out.AppendNull()
-			continue
-		}
-		v, ok := numericAt(x, i)
-		if !ok {
-			return nil, core.Errorf(core.KindType, "ROUND needs a numeric argument")
-		}
-		out.AppendFloat(math.Round(v*scale) / scale)
+	round := fnFloatMap("ROUND", func(v float64) float64 {
+		return math.Round(v*scale) / scale
+	})
+	out, err := round(args[:1])
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

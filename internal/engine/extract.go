@@ -47,7 +47,7 @@ func (c *Conn) evalExtract(call *sqlparse.FuncCall) (*storage.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &evalCtx{conn: c, src: nil, n: 1}
+	ctx := c.newCtx(nil, nil)
 	argCols, isColumn, err := c.udfArgColumns(ctx, call.Args[2:])
 	if err != nil {
 		return nil, err

@@ -22,7 +22,28 @@ import (
 // Argument slices are read-only: the zero-copy fast path may pass the
 // stored table's backing vectors. Allocate fresh slices for results.
 func (db *DB) RegisterGoUDF(name string, fn any) error {
-	if err := gort.Register(name, fn); err != nil {
+	return db.registerGoUDF(name, fn, false)
+}
+
+// RegisterGoUDFElementwise is RegisterGoUDF for functions that are
+// element-wise (row i of the result depends only on row i of the
+// arguments) and safe to call from multiple goroutines: the engine may
+// split their batches into morsels executed across workers, so calls
+// scale with cores. Batch-dependent implementations (prefix sums,
+// stateful closures) must use RegisterGoUDF, which keeps whole-batch
+// semantics.
+func (db *DB) RegisterGoUDFElementwise(name string, fn any) error {
+	return db.registerGoUDF(name, fn, true)
+}
+
+func (db *DB) registerGoUDF(name string, fn any, elementwise bool) error {
+	var err error
+	if elementwise {
+		err = gort.RegisterElementwise(name, fn)
+	} else {
+		err = gort.Register(name, fn)
+	}
+	if err != nil {
 		return err
 	}
 	def, err := gort.InferDef(name, fn)

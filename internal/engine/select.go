@@ -6,11 +6,20 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine/vec"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 )
 
 // evalSelect executes a SELECT and materializes its result table.
+//
+// The vectorized pipeline: WHERE produces a selection vector over the
+// source (fused compare-select kernels when the predicate is
+// column-vs-constant conjuncts), which projection and aggregation consume
+// lazily — filtered rows materialize once per referenced column at result
+// build, never as an intermediate table. LIMIT slices the result columns
+// in place. DB.ScalarRef routes everything through the retained
+// row-at-a-time reference instead.
 func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 	src, err := c.evalFrom(sel.From)
 	if err != nil {
@@ -18,62 +27,241 @@ func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 	}
 
 	// WHERE
+	var selv []int32
 	if sel.Where != nil && src != nil {
-		ctx := &evalCtx{conn: c, src: src, n: src.NumRows()}
-		pred, err := c.evalExpr(ctx, sel.Where)
+		if c.DB.ScalarRef {
+			src, err = c.scalarFilter(src, sel.Where)
+		} else {
+			src, selv, err = c.filter(src, sel.Where)
+		}
 		if err != nil {
 			return nil, err
-		}
-		if pred.Len() == 1 && src.NumRows() != 1 {
-			// constant predicate broadcast
-			keep := truthyAt(pred, 0)
-			if !keep {
-				src = emptyLike(src)
-			}
-		} else {
-			var idx []int
-			for i := 0; i < pred.Len(); i++ {
-				if truthyAt(pred, i) {
-					idx = append(idx, i)
-				}
-			}
-			src = gatherTable(src, idx)
 		}
 	}
 
 	var result *storage.Table
 	if len(sel.GroupBy) > 0 || hasAggregate(sel.Items) {
-		result, err = c.evalAggregateSelect(sel, src)
+		result, err = c.evalAggregateSelect(sel, src, selv)
 	} else {
 		if sel.Having != nil {
 			return nil, core.Errorf(core.KindSyntax, "HAVING requires GROUP BY or aggregates")
 		}
-		result, err = c.project(sel, src)
+		result, err = c.project(sel, src, selv)
 	}
 	if err != nil {
 		return nil, err
 	}
 
 	if sel.Distinct {
-		result = distinctRows(result)
+		result = c.distinctRows(result)
 	}
 
 	// ORDER BY
 	if len(sel.OrderBy) > 0 {
-		if err := c.orderResult(sel, result, src); err != nil {
+		if err := c.orderResult(sel, result, src, selv); err != nil {
 			return nil, err
 		}
 	}
 
 	// LIMIT
 	if sel.Limit >= 0 && int64(result.NumRows()) > sel.Limit {
-		idx := make([]int, sel.Limit)
-		for i := range idx {
-			idx[i] = i
+		if c.DB.ScalarRef {
+			// historical LIMIT: build an identity index, copy every column
+			idx := make([]int32, sel.Limit)
+			for i := range idx {
+				idx[i] = int32(i)
+			}
+			result = scalarGatherTable(result, idx)
+		} else {
+			// slice the result columns directly; no gather copy — but when
+			// the limit keeps only a small prefix, copy it so the result
+			// does not pin the full backing arrays for its lifetime
+			limit := int(sel.Limit)
+			if limit*2 < result.NumRows() {
+				result = result.SliceRows(0, limit).Clone()
+			} else {
+				result = result.SliceRows(0, limit)
+			}
 		}
-		result = gatherTable(result, idx)
 	}
 	return result, nil
+}
+
+// filter evaluates the WHERE clause into a selection vector (or an empty
+// source table for a false constant predicate).
+func (c *Conn) filter(src *storage.Table, where sqlparse.Expr) (*storage.Table, []int32, error) {
+	if selv, ok, err := c.tryFilterFast(src, where); err != nil {
+		return nil, nil, err
+	} else if ok {
+		return src, selv, nil
+	}
+	ctx := c.newCtx(src, nil)
+	pred, err := c.evalExpr(ctx, where)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pred.Len() == 1 && src.NumRows() != 1 {
+		// constant predicate broadcast
+		if !truthyAt(pred, 0) {
+			return emptyLike(src), nil, nil
+		}
+		return src, nil, nil
+	}
+	return src, vec.SelectTruthy(c.pol(), pred), nil
+}
+
+// scalarFilter is the retained reference WHERE: evaluate the predicate
+// row-at-a-time, append-grow the index list (no capacity hint — the
+// historical behavior the selection vectors subsume), materialize the
+// filtered table immediately through the append-based gather.
+func (c *Conn) scalarFilter(src *storage.Table, where sqlparse.Expr) (*storage.Table, error) {
+	ctx := c.newCtx(src, nil)
+	pred, err := c.evalExpr(ctx, where)
+	if err != nil {
+		return nil, err
+	}
+	if pred.Len() == 1 && src.NumRows() != 1 {
+		if !truthyAt(pred, 0) {
+			return emptyLike(src), nil
+		}
+		return src, nil
+	}
+	var idx []int32
+	for i := 0; i < pred.Len(); i++ {
+		if truthyAt(pred, i) {
+			idx = append(idx, int32(i))
+		}
+	}
+	return scalarGatherTable(src, idx), nil
+}
+
+// fastConjunct is one WHERE conjunct of the fused filter shape:
+// column <cmp> literal.
+type fastConjunct struct {
+	op  vec.CmpOp
+	col *storage.Column
+	lit *storage.Column
+}
+
+// tryFilterFast recognizes WHERE clauses that are AND-conjunctions of
+// column-vs-literal comparisons and evaluates them as fused
+// compare-select kernels — no intermediate boolean column — intersecting
+// the conjunct selections. ok=false falls back to the generic predicate
+// path without having run any kernel.
+func (c *Conn) tryFilterFast(src *storage.Table, where sqlparse.Expr) ([]int32, bool, error) {
+	var conjs []sqlparse.Expr
+	var flatten func(e sqlparse.Expr)
+	flatten = func(e sqlparse.Expr) {
+		if b, ok := e.(*sqlparse.BinaryExpr); ok && b.Op == "AND" {
+			flatten(b.L)
+			flatten(b.R)
+			return
+		}
+		conjs = append(conjs, e)
+	}
+	flatten(where)
+	// validate every conjunct's shape before running any kernel
+	plan := make([]fastConjunct, 0, len(conjs))
+	for _, e := range conjs {
+		b, ok := e.(*sqlparse.BinaryExpr)
+		if !ok || !isCmpOp(b.Op) {
+			return nil, false, nil
+		}
+		op := cmpOpOf(b.Op)
+		refE, litE := b.L, b.R
+		ref, isRef := refE.(*sqlparse.ColRef)
+		if !isRef {
+			refE, litE = b.R, b.L
+			ref, isRef = refE.(*sqlparse.ColRef)
+			if !isRef {
+				return nil, false, nil
+			}
+			op = op.Mirror()
+		}
+		lit, ok := literalColumn(litE)
+		if !ok {
+			return nil, false, nil
+		}
+		col, err := src.Column(ref.Name)
+		if err != nil {
+			return nil, false, nil // generic path surfaces the name error
+		}
+		if !vec.Fusable(col, lit) {
+			return nil, false, nil
+		}
+		plan = append(plan, fastConjunct{op: op, col: col, lit: lit})
+	}
+	if len(plan) == 0 {
+		return nil, false, nil
+	}
+	p := c.pol()
+	var selv []int32
+	for _, fc := range plan {
+		if selv != nil && len(selv) == 0 {
+			break // an empty intersection stays empty; skip the dead scans
+		}
+		s, handled := vec.SelectCompareConst(p, fc.op, fc.col, fc.lit)
+		if !handled {
+			return nil, false, nil
+		}
+		if selv == nil {
+			selv = s
+		} else {
+			selv = vec.Intersect(selv, s)
+		}
+	}
+	return selv, true, nil
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+// literalColumn builds a length-1 column from a literal expression
+// (optionally sign-negated), or reports that the expression is not a
+// plain literal.
+func literalColumn(e sqlparse.Expr) (*storage.Column, bool) {
+	switch e := e.(type) {
+	case *sqlparse.IntLit:
+		col := storage.NewColumn("", storage.TInt)
+		col.AppendInt(e.Value)
+		return col, true
+	case *sqlparse.FloatLit:
+		col := storage.NewColumn("", storage.TFloat)
+		col.AppendFloat(e.Value)
+		return col, true
+	case *sqlparse.StrLit:
+		col := storage.NewColumn("", storage.TStr)
+		col.AppendStr(e.Value)
+		return col, true
+	case *sqlparse.BoolLit:
+		col := storage.NewColumn("", storage.TBool)
+		col.AppendBool(e.Value)
+		return col, true
+	case *sqlparse.NullLit:
+		col := storage.NewColumn("", storage.TStr)
+		col.AppendNull()
+		return col, true
+	case *sqlparse.UnaryExpr:
+		if e.Op != "-" {
+			return nil, false
+		}
+		switch x := e.X.(type) {
+		case *sqlparse.IntLit:
+			col := storage.NewColumn("", storage.TInt)
+			col.AppendInt(-x.Value)
+			return col, true
+		case *sqlparse.FloatLit:
+			col := storage.NewColumn("", storage.TFloat)
+			col.AppendFloat(-x.Value)
+			return col, true
+		}
+	}
+	return nil, false
 }
 
 // evalFrom materializes the FROM source, or nil for FROM-less selects.
@@ -106,7 +294,7 @@ func (c *Conn) evalTableFunc(call *sqlparse.FuncCall) (*storage.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctx := &evalCtx{conn: c, src: nil, n: 1}
+	ctx := c.newCtx(nil, nil)
 	argCols, isColumn, err := c.udfArgColumns(ctx, call.Args)
 	if err != nil {
 		return nil, err
@@ -114,30 +302,63 @@ func (c *Conn) evalTableFunc(call *sqlparse.FuncCall) (*storage.Table, error) {
 	return c.callTableUDF(def, argCols, isColumn)
 }
 
-// project evaluates the projection list of a non-aggregate select.
-func (c *Conn) project(sel *sqlparse.Select, src *storage.Table) (*storage.Table, error) {
-	n := 1
-	if src != nil {
-		n = src.NumRows()
-	}
-	ctx := &evalCtx{conn: c, src: src, n: n}
+// project evaluates the projection list of a non-aggregate select. Bare
+// column references materialize straight off the selection vector; other
+// expressions evaluate over the lazily-gathered view.
+func (c *Conn) project(sel *sqlparse.Select, src *storage.Table, selv []int32) (*storage.Table, error) {
+	ctx := c.newCtx(src, selv)
 	out := &storage.Table{Name: "result"}
+	usedViews := map[*storage.Column]bool{}
 	for i, item := range sel.Items {
 		if item.Star {
 			if src == nil {
 				return nil, core.Errorf(core.KindSyntax, "SELECT * requires a FROM clause")
 			}
 			for _, col := range src.Cols {
-				cc := col.Clone()
-				out.Cols = append(out.Cols, cc)
+				if selv != nil {
+					v := ctx.view(col)
+					if usedViews[v] {
+						v = v.Clone()
+					}
+					usedViews[v] = true
+					out.Cols = append(out.Cols, v)
+				} else {
+					out.Cols = append(out.Cols, col.Clone())
+				}
 			}
 			continue
 		}
-		col, err := c.evalExpr(ctx, item.Expr)
-		if err != nil {
-			return nil, err
+		var named *storage.Column
+		if ref, ok := item.Expr.(*sqlparse.ColRef); ok && src != nil {
+			base, err := src.Column(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			if selv != nil {
+				// reuse the context's memoized gather (an expression item
+				// referencing the same column shares it); clone when the
+				// same view already sits in the result or an alias would
+				// rename the shared object
+				v := ctx.view(base)
+				if usedViews[v] || itemName(item, i) != v.Name {
+					v = v.Clone()
+				}
+				usedViews[v] = true
+				named = v
+			} else {
+				named = base.Clone()
+			}
+		} else {
+			col, err := c.evalExpr(ctx, item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if _, isSub := item.Expr.(*sqlparse.Subquery); isSub {
+				// subquery results alias the subselect's table; copy
+				col = col.Clone()
+			}
+			named = col
 		}
-		named := col.Clone()
 		named.Name = itemName(item, i)
 		out.Cols = append(out.Cols, named)
 	}
@@ -158,10 +379,7 @@ func broadcastColumns(t *storage.Table) (*storage.Table, error) {
 		switch {
 		case c.Len() == maxLen:
 		case c.Len() == 1:
-			idx := make([]int, maxLen)
-			g := c.Gather(idx)
-			g.Name = c.Name
-			t.Cols[i] = g
+			t.Cols[i] = c.BroadcastTo(maxLen)
 		default:
 			return nil, core.Errorf(core.KindConstraint,
 				"projection columns have mismatched lengths (%d vs %d)", c.Len(), maxLen)
@@ -225,18 +443,27 @@ func exprHasAggregate(e sqlparse.Expr) bool {
 }
 
 // evalAggregate computes a whole-context aggregate used directly inside an
-// expression (non-grouped query), returning a length-1 column.
+// expression (non-grouped query), returning a length-1 column. It consumes
+// the context's selection vector directly — the filtered rows are never
+// materialized.
 func (c *Conn) evalAggregate(ctx *evalCtx, call *sqlparse.FuncCall) (*storage.Column, error) {
 	if ctx.src == nil {
 		return nil, core.Errorf(core.KindSyntax, "aggregate %s requires a FROM clause", call.Name)
 	}
-	return c.aggregateOver(ctx.src, call)
+	return c.aggregateOver(ctx, call)
 }
 
-// aggregateOver computes one aggregate call over all rows of t.
-func (c *Conn) aggregateOver(t *storage.Table, call *sqlparse.FuncCall) (*storage.Column, error) {
+// aggregateOver computes one aggregate call over the context's logical
+// view. A bare column-reference argument feeds the typed aggregation
+// kernels unmaterialized (base column plus selection vector); expression
+// arguments evaluate through the shared context, so several aggregates
+// over the same filtered column materialize it once.
+func (c *Conn) aggregateOver(ctx *evalCtx, call *sqlparse.FuncCall) (*storage.Column, error) {
 	name := strings.ToLower(call.Name)
-	n := t.NumRows()
+	n := ctx.src.NumRows()
+	if ctx.sel != nil {
+		n = len(ctx.sel)
+	}
 	if name == "count" && call.Star {
 		out := storage.NewColumn("", storage.TInt)
 		out.AppendInt(int64(n))
@@ -245,51 +472,50 @@ func (c *Conn) aggregateOver(t *storage.Table, call *sqlparse.FuncCall) (*storag
 	if len(call.Args) != 1 {
 		return nil, core.Errorf(core.KindType, "%s expects exactly one argument", strings.ToUpper(name))
 	}
-	ctx := &evalCtx{conn: c, src: t, n: n}
-	col, err := c.evalExpr(ctx, call.Args[0])
-	if err != nil {
-		return nil, err
+	var col *storage.Column
+	var effSel []int32
+	if ref, ok := call.Args[0].(*sqlparse.ColRef); ok && !c.DB.ScalarRef {
+		base, err := ctx.src.Column(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		col, effSel = base, ctx.sel
+	} else {
+		var err error
+		col, err = c.evalExpr(ctx, call.Args[0])
+		if err != nil {
+			return nil, err
+		}
 	}
+	if c.DB.ScalarRef {
+		return scalarAggregateOver(name, col, false, n)
+	}
+	p := c.pol()
 	switch name {
 	case "count":
-		cnt := int64(0)
-		for i := 0; i < col.Len(); i++ {
-			if !col.IsNull(i) {
-				cnt++
-			}
-		}
 		out := storage.NewColumn("", storage.TInt)
-		out.AppendInt(cnt)
+		out.AppendInt(vec.CountNotNull(p, col, effSel))
 		return out, nil
 	case "sum", "avg":
-		sum := 0.0
-		cnt := 0
-		allInt := col.Typ == storage.TInt
-		var isum int64
-		for i := 0; i < col.Len(); i++ {
-			if col.IsNull(i) {
-				continue
-			}
-			v, ok := numericAt(col, i)
-			if !ok {
+		isum, fsum, cnt, ok := vec.SumCount(p, col, effSel)
+		if !ok {
+			// non-numeric input errors only if a row would actually
+			// evaluate (NULL rows are skipped before the type check)
+			if vec.CountNotNull(p, col, effSel) > 0 {
 				return nil, core.Errorf(core.KindType, "%s needs numeric input", strings.ToUpper(name))
 			}
-			sum += v
-			if allInt {
-				isum += col.Ints[i]
-			}
-			cnt++
+			cnt = 0
 		}
 		if name == "avg" {
 			out := storage.NewColumn("", storage.TFloat)
 			if cnt == 0 {
 				out.AppendNull()
 			} else {
-				out.AppendFloat(sum / float64(cnt))
+				out.AppendFloat(fsum / float64(cnt))
 			}
 			return out, nil
 		}
-		if allInt {
+		if col.Typ == storage.TInt {
 			out := storage.NewColumn("", storage.TInt)
 			if cnt == 0 {
 				out.AppendNull()
@@ -302,34 +528,19 @@ func (c *Conn) aggregateOver(t *storage.Table, call *sqlparse.FuncCall) (*storag
 		if cnt == 0 {
 			out.AppendNull()
 		} else {
-			out.AppendFloat(sum)
+			out.AppendFloat(fsum)
 		}
 		return out, nil
 	case "min", "max":
-		out := storage.NewColumn("", col.Typ)
-		best := -1
-		for i := 0; i < col.Len(); i++ {
-			if col.IsNull(i) {
-				continue
-			}
-			if best < 0 {
-				best = i
-				continue
-			}
-			cmp, err := compareAt(col, i, col, best)
-			if err != nil {
-				return nil, err
-			}
-			if (name == "min" && cmp < 0) || (name == "max" && cmp > 0) {
-				best = i
-			}
+		best, err := vec.MinMaxIdx(p, col, effSel, name == "min")
+		if err != nil {
+			return nil, err
 		}
+		out := storage.NewColumn("", col.Typ)
 		if best < 0 {
 			out.AppendNull()
-		} else {
-			if err := out.AppendValue(col.Value(best)); err != nil {
-				return nil, err
-			}
+		} else if err := out.AppendValue(col.Value(best)); err != nil {
+			return nil, err
 		}
 		return out, nil
 	default:
@@ -338,19 +549,67 @@ func (c *Conn) aggregateOver(t *storage.Table, call *sqlparse.FuncCall) (*storag
 }
 
 // evalAggregateSelect handles grouped queries (and ungrouped aggregates).
-func (c *Conn) evalAggregateSelect(sel *sqlparse.Select, src *storage.Table) (*storage.Table, error) {
+func (c *Conn) evalAggregateSelect(sel *sqlparse.Select, src *storage.Table, selv []int32) (*storage.Table, error) {
 	if src == nil {
 		return nil, core.Errorf(core.KindSyntax, "aggregates require a FROM clause")
 	}
-	groups, err := c.groupRows(sel.GroupBy, src)
+	nLogical := src.NumRows()
+	if selv != nil {
+		nLogical = len(selv)
+	}
+
+	if len(sel.GroupBy) == 0 {
+		// One logical group: the whole filtered view, consumed by the
+		// aggregation kernels without materializing an intermediate table.
+		useEmpty := nLogical == 0
+		gctx := c.newCtx(src, selv)
+		if !useEmpty && sel.Having != nil {
+			hv, err := c.evalGroupItem(gctx, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !(hv.Len() == 1 && truthyAt(hv, 0)) {
+				// Ungrouped aggregates still yield one row, computed over
+				// an empty view (the historical zero-group behavior).
+				useEmpty = true
+			}
+		}
+		if useEmpty {
+			gctx = c.newCtx(emptyLike(src), nil)
+		}
+		var outCols []*storage.Column
+		for ii, item := range sel.Items {
+			if item.Star {
+				return nil, core.Errorf(core.KindSyntax, "SELECT * is not valid in an aggregate query")
+			}
+			val, err := c.evalGroupItem(gctx, item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			if val.Len() != 1 {
+				return nil, core.Errorf(core.KindConstraint,
+					"aggregate query item must produce one value per group")
+			}
+			col := storage.NewColumn(itemName(item, ii), val.Typ)
+			if val.IsNull(0) {
+				col.AppendNull()
+			} else if err := col.AppendValue(val.Value(0)); err != nil {
+				return nil, err
+			}
+			outCols = append(outCols, col)
+		}
+		return &storage.Table{Name: "result", Cols: outCols}, nil
+	}
+
+	groups, err := c.groupRows(sel.GroupBy, src, selv)
 	if err != nil {
 		return nil, err
 	}
 	if sel.Having != nil {
 		kept := groups[:0]
 		for _, g := range groups {
-			sub := gatherTable(src, g)
-			hv, err := c.evalGroupItem(sub, sel.Having)
+			sub := gatherTableSel(src, g)
+			hv, err := c.evalGroupItem(c.newCtx(sub, nil), sel.Having)
 			if err != nil {
 				return nil, err
 			}
@@ -360,15 +619,14 @@ func (c *Conn) evalAggregateSelect(sel *sqlparse.Select, src *storage.Table) (*s
 		}
 		groups = kept
 	}
-	out := &storage.Table{Name: "result"}
 	var outCols []*storage.Column
 	for gi, g := range groups {
-		sub := gatherTable(src, g)
+		sctx := c.newCtx(gatherTableSel(src, g), nil)
 		for ii, item := range sel.Items {
 			if item.Star {
 				return nil, core.Errorf(core.KindSyntax, "SELECT * is not valid in an aggregate query")
 			}
-			val, err := c.evalGroupItem(sub, item.Expr)
+			val, err := c.evalGroupItem(sctx, item.Expr)
 			if err != nil {
 				return nil, err
 			}
@@ -389,62 +647,44 @@ func (c *Conn) evalAggregateSelect(sel *sqlparse.Select, src *storage.Table) (*s
 		}
 	}
 	if len(groups) == 0 {
-		// Ungrouped aggregate over an empty table still yields one row.
-		if len(sel.GroupBy) == 0 {
-			sub := emptyLike(src)
-			for ii, item := range sel.Items {
-				val, err := c.evalGroupItem(sub, item.Expr)
-				if err != nil {
-					return nil, err
-				}
-				col := storage.NewColumn(itemName(item, ii), val.Typ)
-				if val.IsNull(0) {
-					col.AppendNull()
-				} else if err := col.AppendValue(val.Value(0)); err != nil {
-					return nil, err
-				}
-				outCols = append(outCols, col)
-			}
-		} else {
-			for ii, item := range sel.Items {
-				outCols = append(outCols, storage.NewColumn(itemName(item, ii), storage.TStr))
-			}
+		for ii, item := range sel.Items {
+			outCols = append(outCols, storage.NewColumn(itemName(item, ii), storage.TStr))
 		}
 	}
-	out.Cols = outCols
-	return out, nil
+	return &storage.Table{Name: "result", Cols: outCols}, nil
 }
 
-// evalGroupItem evaluates one projection item over a single group's rows,
-// producing a single value. Aggregates reduce the group; other expressions
-// evaluate per-row and must be constant within the group (we take row 0).
-func (c *Conn) evalGroupItem(group *storage.Table, e sqlparse.Expr) (*storage.Column, error) {
+// evalGroupItem evaluates one projection item over a group's logical
+// view (the context shared by every item of the group, so repeated
+// references materialize once), producing a single value. Aggregates
+// reduce the view; other expressions evaluate per-row and must be
+// constant within the group (we take row 0).
+func (c *Conn) evalGroupItem(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) {
 	if call, ok := e.(*sqlparse.FuncCall); ok && isAggregateName(call.Name) {
-		return c.aggregateOver(group, call)
+		return c.aggregateOver(ctx, call)
 	}
 	switch e := e.(type) {
 	case *sqlparse.BinaryExpr:
 		if exprHasAggregate(e) {
-			l, err := c.evalGroupItem(group, e.L)
+			l, err := c.evalGroupItem(ctx, e.L)
 			if err != nil {
 				return nil, err
 			}
-			r, err := c.evalGroupItem(group, e.R)
+			r, err := c.evalGroupItem(ctx, e.R)
 			if err != nil {
 				return nil, err
 			}
-			return evalBinary(e.Op, l, r)
+			return c.evalBinary(e.Op, l, r)
 		}
 	case *sqlparse.UnaryExpr:
 		if exprHasAggregate(e) {
-			x, err := c.evalGroupItem(group, e.X)
+			x, err := c.evalGroupItem(ctx, e.X)
 			if err != nil {
 				return nil, err
 			}
-			return evalUnary(e.Op, x)
+			return c.evalUnary(e.Op, x)
 		}
 	}
-	ctx := &evalCtx{conn: c, src: group, n: group.NumRows()}
 	col, err := c.evalExpr(ctx, e)
 	if err != nil {
 		return nil, err
@@ -457,21 +697,16 @@ func (c *Conn) evalGroupItem(group *storage.Table, e sqlparse.Expr) (*storage.Co
 	return col.Gather([]int{0}), nil
 }
 
-// groupRows partitions row indexes by the GROUP BY key (one group of all
-// rows when there is no GROUP BY). Group order follows first appearance.
-func (c *Conn) groupRows(exprs []sqlparse.Expr, src *storage.Table) ([][]int, error) {
+// groupRows partitions the logical rows by the GROUP BY key, returning
+// per-group physical row indexes into src in first-appearance order. The
+// vectorized path hashes typed key vectors; DB.ScalarRef retains the
+// formatted-string keying.
+func (c *Conn) groupRows(exprs []sqlparse.Expr, src *storage.Table, selv []int32) ([][]int32, error) {
 	n := src.NumRows()
-	if len(exprs) == 0 {
-		if n == 0 {
-			return nil, nil
-		}
-		all := make([]int, n)
-		for i := range all {
-			all[i] = i
-		}
-		return [][]int{all}, nil
+	if selv != nil {
+		n = len(selv)
 	}
-	ctx := &evalCtx{conn: c, src: src, n: n}
+	ctx := c.newCtx(src, selv)
 	keyCols := make([]*storage.Column, len(exprs))
 	for i, e := range exprs {
 		col, err := c.evalExpr(ctx, e)
@@ -479,37 +714,33 @@ func (c *Conn) groupRows(exprs []sqlparse.Expr, src *storage.Table) ([][]int, er
 			return nil, err
 		}
 		if col.Len() == 1 && n > 1 {
-			col = col.Gather(make([]int, n))
+			col = col.BroadcastTo(n)
 		}
 		keyCols[i] = col
 	}
-	index := map[string]int{}
-	var groups [][]int
-	for i := 0; i < n; i++ {
-		var sb strings.Builder
-		for _, kc := range keyCols {
-			if kc.IsNull(i) {
-				sb.WriteString("\x00N")
-			} else {
-				sb.WriteString(kc.FormatValue(i))
+	if n == 0 {
+		return nil, nil
+	}
+	var groups [][]int32
+	if c.DB.ScalarRef {
+		groups = c.scalarGroupRows(keyCols, n)
+	} else {
+		groups = vec.Groups(c.pol(), keyCols, n)
+	}
+	// map logical group members to physical source rows
+	if selv != nil {
+		for _, g := range groups {
+			for j, li := range g {
+				g[j] = selv[li]
 			}
-			sb.WriteByte('\x01')
 		}
-		k := sb.String()
-		gi, ok := index[k]
-		if !ok {
-			gi = len(groups)
-			index[k] = gi
-			groups = append(groups, nil)
-		}
-		groups[gi] = append(groups[gi], i)
 	}
 	return groups, nil
 }
 
 // orderResult sorts the result table in place per ORDER BY. Keys resolve
 // against result columns first (aliases), then source columns.
-func (c *Conn) orderResult(sel *sqlparse.Select, result, src *storage.Table) error {
+func (c *Conn) orderResult(sel *sqlparse.Select, result, src *storage.Table, selv []int32) error {
 	n := result.NumRows()
 	keys := make([]*storage.Column, len(sel.OrderBy))
 	for ki, item := range sel.OrderBy {
@@ -527,17 +758,24 @@ func (c *Conn) orderResult(sel *sqlparse.Select, result, src *storage.Table) err
 				continue
 			}
 		}
-		if src == nil || src.NumRows() != n {
+		srcRows := -1
+		if src != nil {
+			srcRows = src.NumRows()
+			if selv != nil {
+				srcRows = len(selv)
+			}
+		}
+		if srcRows != n {
 			return core.Errorf(core.KindConstraint,
 				"ORDER BY expression must reference an output column")
 		}
-		ctx := &evalCtx{conn: c, src: src, n: n}
+		ctx := c.newCtx(src, selv)
 		col, err := c.evalExpr(ctx, item.Expr)
 		if err != nil {
 			return err
 		}
 		if col.Len() == 1 && n > 1 {
-			col = col.Gather(make([]int, n))
+			col = col.BroadcastTo(n)
 		}
 		keys[ki] = col
 	}
@@ -590,37 +828,25 @@ func (c *Conn) orderResult(sel *sqlparse.Select, result, src *storage.Table) err
 }
 
 // distinctRows drops duplicate result rows, keeping first occurrences.
-func distinctRows(t *storage.Table) *storage.Table {
-	seen := map[string]bool{}
-	var idx []int
-	for r := 0; r < t.NumRows(); r++ {
-		var sb strings.Builder
-		for _, col := range t.Cols {
-			if col.IsNull(r) {
-				sb.WriteString("\x00N")
-			} else {
-				sb.WriteString(col.FormatValue(r))
-			}
-			sb.WriteByte('\x01')
-		}
-		k := sb.String()
-		if !seen[k] {
-			seen[k] = true
-			idx = append(idx, r)
-		}
+// The vectorized path reuses the typed group hasher over the result
+// columns.
+func (c *Conn) distinctRows(t *storage.Table) *storage.Table {
+	var idx []int32
+	if c.DB.ScalarRef {
+		idx = scalarDistinctIdx(t)
+	} else {
+		idx = vec.DistinctReps(c.pol(), t.Cols, t.NumRows())
 	}
 	if len(idx) == t.NumRows() {
 		return t
 	}
-	return gatherTable(t, idx)
+	return gatherTableSel(t, idx)
 }
 
-func gatherTable(t *storage.Table, idx []int) *storage.Table {
+func gatherTableSel(t *storage.Table, sel []int32) *storage.Table {
 	out := &storage.Table{Name: t.Name}
 	for _, col := range t.Cols {
-		g := col.Gather(idx)
-		g.Name = col.Name
-		out.Cols = append(out.Cols, g)
+		out.Cols = append(out.Cols, col.GatherSel(sel))
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"io"
+	"sync/atomic"
 
 	"strings"
 
@@ -115,11 +116,90 @@ func (c *Conn) callScalarUDF(name string, argCols []*storage.Column, isColumn []
 	if c.DB.Mode == ModeTupleAtATime {
 		return c.callScalarUDFTuple(def, call, env, in)
 	}
+	if col, ok, err := c.callScalarUDFMorsels(def, call, env, in); err != nil {
+		return nil, err
+	} else if ok {
+		return col, nil
+	}
 	out, err := call.Call(env, in)
 	if err != nil {
 		return nil, err
 	}
 	return scalarResult(def, out, in.Rows)
+}
+
+// callScalarUDFMorsels runs a parallel-safe scalar UDF batch split into
+// morsels across workers — native GO UDF calls ride the same
+// morsel-driven pipeline as the built-in kernels. ok=false falls back to
+// the single whole-batch call: the runtime is not parallel-safe, the
+// batch is too small to win, or a morsel returned a broadcast
+// (aggregate-style) result that must be computed over the whole batch.
+func (c *Conn) callScalarUDFMorsels(def *storage.FuncDef, call udfrt.Callable,
+	env *udfrt.Env, in *udfrt.Batch) (*storage.Column, bool, error) {
+	ps, ok := call.(udfrt.ParallelSafe)
+	if !ok || !ps.ParallelSafe() {
+		return nil, false, nil
+	}
+	p := c.pol()
+	// Morsel size 1 would make an aggregate-style UDF's per-morsel scalar
+	// result (length 1) indistinguishable from an elementwise one-row
+	// result, defeating the broadcast detection below — never split then.
+	if p.NumWorkers() == 1 || p.Morsel() < 2 || in.Rows < 2*p.Morsel() {
+		return nil, false, nil
+	}
+	// Every column must be batch-aligned or a length-1 constant: a
+	// mis-sized columnar argument passes through Batch.Slice whole and
+	// would look aligned to each morsel, silently re-broadcasting where
+	// the whole-batch call correctly errors.
+	for _, col := range in.Cols {
+		if col.Len() != in.Rows && col.Len() != 1 {
+			return nil, false, nil
+		}
+	}
+	nm := p.NumMorsels(in.Rows)
+	outs := make([]*storage.Column, nm)
+	errs := make([]error, nm)
+	var broadcast atomic.Bool
+	p.RunIdx(in.Rows, func(m, lo, hi int) {
+		if broadcast.Load() {
+			return
+		}
+		b := in.Slice(lo, hi)
+		ob, err := call.Call(env, b)
+		if err != nil {
+			errs[m] = err
+			return
+		}
+		col, err := scalarResult(def, ob, b.Rows)
+		if err != nil {
+			errs[m] = err
+			return
+		}
+		if col.Len() != b.Rows {
+			broadcast.Store(true)
+			return
+		}
+		outs[m] = col
+	})
+	// UDF errors are user-authored and row-dependent, so unlike the
+	// engine kernels every morsel runs to completion and the earliest
+	// morsel's error wins — the reported message is deterministic.
+	for _, err := range errs {
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	if broadcast.Load() {
+		return nil, false, nil
+	}
+	out := storage.NewColumn(def.Returns[0].Name, def.Returns[0].Type)
+	out.Reserve(in.Rows)
+	for _, mc := range outs {
+		if err := out.AppendAll(mc); err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
 }
 
 // columnarRows reports the longest columnar argument's length and whether

@@ -1,0 +1,285 @@
+package vec
+
+import (
+	"cmp"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Typed aggregation kernels. Each consumes a base column plus an
+// optional selection vector — the filtered-aggregate hot path never
+// materializes the filtered rows at all. Morsel-parallel runs accumulate
+// per-morsel partials and merge them in morsel order, so results are
+// deterministic for a given policy.
+
+// rows returns the logical domain size: the selection length, or the
+// column length when sel is nil.
+func rows(c *storage.Column, sel []int32) int {
+	if sel != nil {
+		return len(sel)
+	}
+	return c.Len()
+}
+
+// CountNotNull counts non-NULL rows in the logical view.
+func CountNotNull(p Pol, c *storage.Column, sel []int32) int64 {
+	n := rows(c, sel)
+	if c.Nulls == nil {
+		return int64(n)
+	}
+	nm := p.NumMorsels(n)
+	parts := make([]int64, nm)
+	p.RunIdx(n, func(m, lo, hi int) {
+		k := int64(0)
+		if sel != nil {
+			for _, si := range sel[lo:hi] {
+				if !c.Nulls[si] {
+					k++
+				}
+			}
+		} else {
+			for _, v := range c.Nulls[lo:hi] {
+				if !v {
+					k++
+				}
+			}
+		}
+		parts[m] = k
+	})
+	total := int64(0)
+	for _, k := range parts {
+		total += k
+	}
+	return total
+}
+
+type numPart struct {
+	isum  int64
+	fsum  float64
+	count int64
+}
+
+// SumCount accumulates SUM/AVG state over the logical view exactly like
+// the scalar reference: fsum adds float64(v) per row (a single-morsel
+// run is bit-identical to the per-row loop; once the view spans several
+// morsels, float addition reassociates at the morsel merges and may
+// differ in the last ulp), isum carries the exact integer sum for int
+// columns, count is the non-NULL row count.
+// ok=false flags a non-numeric column; the caller errors only when rows
+// exist (an empty column aggregates to NULL without a type error).
+func SumCount(p Pol, c *storage.Column, sel []int32) (isum int64, fsum float64, count int64, ok bool) {
+	if !Numeric(c.Typ) {
+		return 0, 0, 0, false
+	}
+	n := rows(c, sel)
+	nm := p.NumMorsels(n)
+	parts := make([]numPart, nm)
+	p.RunIdx(n, func(m, lo, hi int) {
+		parts[m] = sumPart(c, sel, lo, hi)
+	})
+	for _, pt := range parts {
+		isum += pt.isum
+		fsum += pt.fsum
+		count += pt.count
+	}
+	return isum, fsum, count, true
+}
+
+func sumPart(c *storage.Column, sel []int32, lo, hi int) numPart {
+	var pt numPart
+	nulls := c.Nulls
+	switch c.Typ {
+	case storage.TInt:
+		if sel != nil {
+			for _, si := range sel[lo:hi] {
+				if nulls != nil && nulls[si] {
+					continue
+				}
+				v := c.Ints[si]
+				pt.isum += v
+				pt.fsum += float64(v)
+				pt.count++
+			}
+		} else if nulls != nil {
+			for i := lo; i < hi; i++ {
+				if nulls[i] {
+					continue
+				}
+				v := c.Ints[i]
+				pt.isum += v
+				pt.fsum += float64(v)
+				pt.count++
+			}
+		} else {
+			for _, v := range c.Ints[lo:hi] {
+				pt.isum += v
+				pt.fsum += float64(v)
+			}
+			pt.count = int64(hi - lo)
+		}
+	case storage.TFloat:
+		if sel != nil {
+			for _, si := range sel[lo:hi] {
+				if nulls != nil && nulls[si] {
+					continue
+				}
+				pt.fsum += c.Flts[si]
+				pt.count++
+			}
+		} else if nulls != nil {
+			for i := lo; i < hi; i++ {
+				if nulls[i] {
+					continue
+				}
+				pt.fsum += c.Flts[i]
+				pt.count++
+			}
+		} else {
+			for _, v := range c.Flts[lo:hi] {
+				pt.fsum += v
+			}
+			pt.count = int64(hi - lo)
+		}
+	case storage.TBool:
+		if sel != nil {
+			for _, si := range sel[lo:hi] {
+				if nulls != nil && nulls[si] {
+					continue
+				}
+				if c.Bools[si] {
+					pt.fsum++
+				}
+				pt.count++
+			}
+		} else {
+			for i := lo; i < hi; i++ {
+				if nulls != nil && nulls[i] {
+					continue
+				}
+				if c.Bools[i] {
+					pt.fsum++
+				}
+				pt.count++
+			}
+		}
+	}
+	return pt
+}
+
+// MinMaxIdx returns the index (into the base column) of the MIN or MAX
+// row of the logical view, -1 when every row is NULL. Equal values keep
+// the earliest row (strict comparison), and float NaNs never replace a
+// best — both matching the scalar reference's compareAt loop.
+func MinMaxIdx(p Pol, c *storage.Column, sel []int32, wantMin bool) (int, error) {
+	n := rows(c, sel)
+	switch c.Typ {
+	case storage.TInt:
+		return minMaxOrdered(p, c.Ints, c.Nulls, sel, n, wantMin), nil
+	case storage.TFloat:
+		return minMaxOrdered(p, c.Flts, c.Nulls, sel, n, wantMin), nil
+	case storage.TStr:
+		return minMaxOrdered(p, c.Strs, c.Nulls, sel, n, wantMin), nil
+	case storage.TBool:
+		return minMaxBool(c, sel, n, wantMin), nil
+	default:
+		// The scalar reference only errors once it compares two non-NULL
+		// rows; 0 or 1 non-NULL blob rows aggregate fine.
+		best := -1
+		for i := 0; i < n; i++ {
+			pi := phys(sel, i)
+			if c.IsNull(pi) {
+				continue
+			}
+			if best >= 0 {
+				return 0, core.Errorf(core.KindType, "cannot compare %s with %s", c.Typ, c.Typ)
+			}
+			best = pi
+		}
+		return best, nil
+	}
+}
+
+func phys(sel []int32, i int) int {
+	if sel != nil {
+		return int(sel[i])
+	}
+	return i
+}
+
+func minMaxOrdered[T cmp.Ordered](p Pol, vals []T, nulls []bool, sel []int32, n int, wantMin bool) int {
+	nm := p.NumMorsels(n)
+	parts := make([]int, nm)
+	p.RunIdx(n, func(m, lo, hi int) {
+		best := -1
+		for i := lo; i < hi; i++ {
+			pi := i
+			if sel != nil {
+				pi = int(sel[i])
+			}
+			if nulls != nil && nulls[pi] {
+				continue
+			}
+			if best < 0 {
+				best = pi
+				continue
+			}
+			if wantMin {
+				if vals[pi] < vals[best] {
+					best = pi
+				}
+			} else {
+				if vals[pi] > vals[best] {
+					best = pi
+				}
+			}
+		}
+		parts[m] = best
+	})
+	best := -1
+	for _, pb := range parts {
+		if pb < 0 {
+			continue
+		}
+		if best < 0 {
+			best = pb
+			continue
+		}
+		if wantMin {
+			if vals[pb] < vals[best] {
+				best = pb
+			}
+		} else {
+			if vals[pb] > vals[best] {
+				best = pb
+			}
+		}
+	}
+	return best
+}
+
+// minMaxBool follows the numeric coercion of the scalar reference
+// (false=0, true=1), keeping the earliest extremum.
+func minMaxBool(c *storage.Column, sel []int32, n int, wantMin bool) int {
+	best := -1
+	for i := 0; i < n; i++ {
+		pi := phys(sel, i)
+		if c.Nulls != nil && c.Nulls[pi] {
+			continue
+		}
+		if best < 0 {
+			best = pi
+			continue
+		}
+		if wantMin {
+			if !c.Bools[pi] && c.Bools[best] {
+				best = pi
+			}
+		} else {
+			if c.Bools[pi] && !c.Bools[best] {
+				best = pi
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,203 @@
+package vec
+
+import (
+	"bytes"
+	"math"
+
+	"repro/internal/storage"
+)
+
+// Typed group-key hashing: GROUP BY and DISTINCT hash key-column vectors
+// directly instead of formatting every row through a strings.Builder.
+// Hashes are computed morsel-parallel; group insertion is a single
+// ordered pass so group order follows first appearance exactly.
+
+const (
+	nullHash   = 0x9e3779b97f4a7c15 // distinct marker for NULL cells
+	fnvOffset  = 0xcbf29ce484222325
+	fnvPrime   = 0x100000001b3
+	canonicNaN = 0x7ff8000000000001 // all NaN payloads group together
+)
+
+// splitmix64 is the finalizer that mixes one cell hash into a row hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashStr(s string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+func hashBytes(b []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// floatBits normalizes NaNs to one payload so every NaN lands in one
+// group; +0 and -0 keep distinct bits, matching the historical
+// format-based keys ("0" vs "-0").
+func floatBits(v float64) uint64 {
+	if v != v {
+		return canonicNaN
+	}
+	return math.Float64bits(v)
+}
+
+// hashRowsInto combines one column's cell hashes into the row hashes,
+// type dispatch outside the loop.
+func hashRowsInto(p Pol, h []uint64, c *storage.Column) {
+	nulls := c.Nulls
+	switch c.Typ {
+	case storage.TInt:
+		p.Run(len(h), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := uint64(c.Ints[i])
+				if nulls != nil && nulls[i] {
+					k = nullHash
+				}
+				h[i] = splitmix64(h[i] ^ k)
+			}
+		})
+	case storage.TFloat:
+		p.Run(len(h), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := floatBits(c.Flts[i])
+				if nulls != nil && nulls[i] {
+					k = nullHash
+				}
+				h[i] = splitmix64(h[i] ^ k)
+			}
+		})
+	case storage.TStr:
+		p.Run(len(h), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := hashStr(c.Strs[i])
+				if nulls != nil && nulls[i] {
+					k = nullHash
+				}
+				h[i] = splitmix64(h[i] ^ k)
+			}
+		})
+	case storage.TBool:
+		p.Run(len(h), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := uint64(0)
+				if c.Bools[i] {
+					k = 1
+				}
+				if nulls != nil && nulls[i] {
+					k = nullHash
+				}
+				h[i] = splitmix64(h[i] ^ k)
+			}
+		})
+	case storage.TBlob:
+		p.Run(len(h), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				k := hashBytes(c.Blobs[i])
+				if nulls != nil && nulls[i] {
+					k = nullHash
+				}
+				h[i] = splitmix64(h[i] ^ k)
+			}
+		})
+	}
+}
+
+// cellEqual compares one cell across two rows with grouping semantics:
+// NULLs equal each other, NaNs equal each other, +0 ≠ -0.
+func cellEqual(c *storage.Column, a, b int) bool {
+	an, bn := c.IsNull(a), c.IsNull(b)
+	if an || bn {
+		return an && bn
+	}
+	switch c.Typ {
+	case storage.TInt:
+		return c.Ints[a] == c.Ints[b]
+	case storage.TFloat:
+		return floatBits(c.Flts[a]) == floatBits(c.Flts[b])
+	case storage.TStr:
+		return c.Strs[a] == c.Strs[b]
+	case storage.TBool:
+		return c.Bools[a] == c.Bools[b]
+	case storage.TBlob:
+		return bytes.Equal(c.Blobs[a], c.Blobs[b])
+	default:
+		return false
+	}
+}
+
+func rowsEqual(cols []*storage.Column, a, b int) bool {
+	for _, c := range cols {
+		if !cellEqual(c, a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// Groups partitions n rows by the key columns (all dense, length n),
+// returning per-group row-index lists in first-appearance order.
+func Groups(p Pol, cols []*storage.Column, n int) [][]int32 {
+	hs := make([]uint64, n)
+	for _, c := range cols {
+		hashRowsInto(p, hs, c)
+	}
+	index := make(map[uint64][]int32, n/4+1)
+	var groups [][]int32
+	var reps []int32
+	for i := 0; i < n; i++ {
+		gi := int32(-1)
+		for _, cand := range index[hs[i]] {
+			if rowsEqual(cols, int(reps[cand]), i) {
+				gi = cand
+				break
+			}
+		}
+		if gi < 0 {
+			gi = int32(len(groups))
+			groups = append(groups, nil)
+			reps = append(reps, int32(i))
+			index[hs[i]] = append(index[hs[i]], gi)
+		}
+		groups[gi] = append(groups[gi], int32(i))
+	}
+	return groups
+}
+
+// DistinctReps returns the first-occurrence row index of each distinct
+// row — the DISTINCT kernel, which needs no member lists.
+func DistinctReps(p Pol, cols []*storage.Column, n int) []int32 {
+	hs := make([]uint64, n)
+	for _, c := range cols {
+		hashRowsInto(p, hs, c)
+	}
+	index := make(map[uint64][]int32, n/4+1)
+	var reps []int32
+	for i := 0; i < n; i++ {
+		dup := false
+		for _, cand := range index[hs[i]] {
+			if rowsEqual(cols, int(cand), i) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			index[hs[i]] = append(index[hs[i]], int32(i))
+			reps = append(reps, int32(i))
+		}
+	}
+	return reps
+}

@@ -1,0 +1,269 @@
+package vec
+
+import (
+	"cmp"
+
+	"repro/internal/storage"
+)
+
+// A selection vector is a []int32 of qualifying row indexes, ascending.
+// WHERE produces one; projection, aggregation and LIMIT consume it
+// lazily, deferring row materialization to result build. nil means "all
+// rows".
+//
+// Builders run one branchless pass per morsel: every row writes its
+// index into the morsel's output region and the cursor advances by the
+// predicate bit (no unpredictable branch at ~50% selectivity), then the
+// regions compact with memmoves. Morsels fill disjoint regions, so the
+// output stays in ascending row order regardless of scheduling.
+
+// b2i converts a predicate bit without a branch (the compiler emits
+// SETcc for this shape).
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fillCompact runs the region-fill/compact pattern shared by all
+// selection builders. fill writes qualifying indexes of [lo,hi) into dst
+// (one region per morsel, len hi-lo) and returns how many it wrote.
+func fillCompact(p Pol, n int, fill func(dst []int32, lo, hi int) int) []int32 {
+	if n == 0 {
+		return []int32{}
+	}
+	nm := p.NumMorsels(n)
+	sel := make([]int32, n)
+	counts := make([]int, nm)
+	p.RunIdx(n, func(m, lo, hi int) { counts[m] = fill(sel[lo:hi], lo, hi) })
+	ms := p.Morsel()
+	pos := counts[0]
+	for m := 1; m < nm; m++ {
+		lo := m * ms
+		copy(sel[pos:pos+counts[m]], sel[lo:lo+counts[m]])
+		pos += counts[m]
+	}
+	if pos < n/2 {
+		// low selectivity: don't pin the full-size backing array
+		out := make([]int32, pos)
+		copy(out, sel[:pos])
+		return out
+	}
+	return sel[:pos:pos]
+}
+
+// SelectTruthy builds the selection of rows where the predicate column
+// is truthy (NULL is false).
+func SelectTruthy(p Pol, pred *storage.Column) []int32 {
+	return fillCompact(p, pred.Len(), func(dst []int32, lo, hi int) int {
+		return fillTruthy(dst, pred, lo, hi)
+	})
+}
+
+func fillTruthy(dst []int32, c *storage.Column, lo, hi int) int {
+	switch c.Typ {
+	case storage.TBool:
+		return fillTrue(dst, c.Bools, c.Nulls, lo, hi)
+	case storage.TInt:
+		return fillNZ(dst, c.Ints, 0, c.Nulls, lo, hi)
+	case storage.TFloat:
+		return fillNZ(dst, c.Flts, 0, c.Nulls, lo, hi)
+	case storage.TStr:
+		return fillNZ(dst, c.Strs, "", c.Nulls, lo, hi)
+	default:
+		return 0
+	}
+}
+
+func fillTrue(dst []int32, vals []bool, nulls []bool, lo, hi int) int {
+	k := 0
+	if nulls == nil {
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i(vals[i])
+		}
+		return k
+	}
+	for i := lo; i < hi; i++ {
+		dst[k] = int32(i)
+		k += b2i(vals[i] && !nulls[i])
+	}
+	return k
+}
+
+func fillNZ[T comparable](dst []int32, vals []T, zero T, nulls []bool, lo, hi int) int {
+	k := 0
+	if nulls == nil {
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i(vals[i] != zero)
+		}
+		return k
+	}
+	for i := lo; i < hi; i++ {
+		dst[k] = int32(i)
+		k += b2i(vals[i] != zero && !nulls[i])
+	}
+	return k
+}
+
+// Fusable reports whether SelectCompareConst supports a column/literal
+// pairing — the single source of truth planners must consult before
+// relying on the fused path (e.g. to short-circuit an AND chain safely).
+func Fusable(col, lit *storage.Column) bool {
+	if lit.Len() != 1 {
+		return false
+	}
+	if lit.IsNull(0) {
+		return true
+	}
+	switch {
+	case col.Typ == storage.TInt && lit.Typ == storage.TInt:
+		return true
+	case col.Typ == storage.TFloat && Numeric(lit.Typ):
+		return true
+	case col.Typ == storage.TStr && lit.Typ == storage.TStr:
+		return true
+	default:
+		return false
+	}
+}
+
+// SelectCompareConst is the fused filter fast path: column-vs-constant
+// comparison emitting the selection directly, with no intermediate bool
+// column. handled=false falls back to the generic predicate path
+// (unsupported type pairing, per Fusable). NULL rows never qualify; a
+// NULL constant selects nothing.
+func SelectCompareConst(p Pol, op CmpOp, col, lit *storage.Column) (sel []int32, handled bool) {
+	if !Fusable(col, lit) {
+		return nil, false
+	}
+	if lit.IsNull(0) {
+		return []int32{}, true
+	}
+	switch {
+	case col.Typ == storage.TInt && lit.Typ == storage.TInt:
+		return selCmp(p, op, col.Ints, lit.Ints[0], col.Nulls), true
+	case col.Typ == storage.TFloat && Numeric(lit.Typ):
+		return selCmp(p, op, col.Flts, litFloat(lit), col.Nulls), true
+	default:
+		return selCmp(p, op, col.Strs, lit.Strs[0], col.Nulls), true
+	}
+}
+
+func litFloat(lit *storage.Column) float64 {
+	switch lit.Typ {
+	case storage.TFloat:
+		return lit.Flts[0]
+	case storage.TInt:
+		return float64(lit.Ints[0])
+	default:
+		if lit.Bools[0] {
+			return 1
+		}
+		return 0
+	}
+}
+
+func selCmp[T cmp.Ordered](p Pol, op CmpOp, vals []T, c T, nulls []bool) []int32 {
+	return fillCompact(p, len(vals), func(dst []int32, lo, hi int) int {
+		return fillCmp(op, dst, vals, c, nulls, lo, hi)
+	})
+}
+
+// fillCmp dispatches the operator (and NULL-freeness) once, then runs a
+// branchless write-all/advance-by-bit loop. Like cmpVV/cmpVS, the
+// predicates are built from < and > only so float NaN semantics match
+// the scalar reference's three-way compareAt (NaN lands on cmp==0).
+func fillCmp[T cmp.Ordered](op CmpOp, dst []int32, vals []T, c T, nulls []bool, lo, hi int) int {
+	k := 0
+	if nulls == nil {
+		switch op {
+		case CmpEq:
+			for i := lo; i < hi; i++ {
+				dst[k] = int32(i)
+				k += b2i(!(vals[i] < c || vals[i] > c))
+			}
+		case CmpNe:
+			for i := lo; i < hi; i++ {
+				dst[k] = int32(i)
+				k += b2i(vals[i] < c || vals[i] > c)
+			}
+		case CmpLt:
+			for i := lo; i < hi; i++ {
+				dst[k] = int32(i)
+				k += b2i(vals[i] < c)
+			}
+		case CmpLe:
+			for i := lo; i < hi; i++ {
+				dst[k] = int32(i)
+				k += b2i(!(vals[i] > c))
+			}
+		case CmpGt:
+			for i := lo; i < hi; i++ {
+				dst[k] = int32(i)
+				k += b2i(vals[i] > c)
+			}
+		case CmpGe:
+			for i := lo; i < hi; i++ {
+				dst[k] = int32(i)
+				k += b2i(!(vals[i] < c))
+			}
+		}
+		return k
+	}
+	switch op {
+	case CmpEq:
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i(!(vals[i] < c || vals[i] > c) && !nulls[i])
+		}
+	case CmpNe:
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i((vals[i] < c || vals[i] > c) && !nulls[i])
+		}
+	case CmpLt:
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i(vals[i] < c && !nulls[i])
+		}
+	case CmpLe:
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i(!(vals[i] > c) && !nulls[i])
+		}
+	case CmpGt:
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i(vals[i] > c && !nulls[i])
+		}
+	case CmpGe:
+		for i := lo; i < hi; i++ {
+			dst[k] = int32(i)
+			k += b2i(!(vals[i] < c) && !nulls[i])
+		}
+	}
+	return k
+}
+
+// Intersect merges two ascending selections — how an AND of fused
+// filter conjuncts combines without re-scanning.
+func Intersect(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package vec
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+func intCol(vals []int64, nulls []bool) *storage.Column {
+	return &storage.Column{Typ: storage.TInt, Ints: vals, Nulls: nulls}
+}
+
+func fltCol(vals []float64) *storage.Column {
+	return &storage.Column{Typ: storage.TFloat, Flts: vals}
+}
+
+// TestRunPartitionsExactly verifies every row is visited exactly once
+// regardless of worker count and morsel size.
+func TestRunPartitionsExactly(t *testing.T) {
+	for _, tc := range []struct{ n, workers, morsel int }{
+		{0, 4, 8}, {1, 4, 8}, {7, 1, 2}, {100, 4, 8}, {1000, 16, 7}, {1000, 2, 1000}, {999, 3, 100},
+	} {
+		p := Pol{Workers: tc.workers, MorselSize: tc.morsel}
+		seen := make([]int32, tc.n)
+		p.Run(tc.n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, v := range seen {
+			if v != 1 {
+				t.Fatalf("n=%d w=%d m=%d: row %d visited %d times", tc.n, tc.workers, tc.morsel, i, v)
+			}
+		}
+	}
+}
+
+// TestRunErrPropagates: a failing morsel's error surfaces; when every
+// failing morsel raises the same error (the engine's case), the result
+// is deterministic.
+func TestRunErrPropagates(t *testing.T) {
+	p := Pol{Workers: 8, MorselSize: 10}
+	err := p.RunErr(100, func(lo, hi int) error {
+		if lo >= 30 {
+			return core.Errorf(core.KindRuntime, "division by zero")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.RunErr(100, func(lo, hi int) error { return nil }); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+}
+
+func TestSelectTruthyAndCompareConst(t *testing.T) {
+	vals := []int64{5, -1, 0, 9, 3, 0, 7}
+	nulls := []bool{false, false, false, true, false, false, false}
+	col := intCol(vals, nulls)
+	for _, p := range []Pol{Serial, {Workers: 4, MorselSize: 2}} {
+		sel, handled := SelectCompareConst(p, CmpGt, col, intCol([]int64{2}, nil))
+		if !handled {
+			t.Fatal("int/int compare should be fused")
+		}
+		// rows with v>2 and not null: 0 (5), 4 (3), 6 (7); row 3 is NULL
+		if len(sel) != 3 || sel[0] != 0 || sel[1] != 4 || sel[2] != 6 {
+			t.Fatalf("sel = %v", sel)
+		}
+		truthy := SelectTruthy(p, col)
+		// non-zero non-null: 0, 1, 4, 6
+		if len(truthy) != 4 || truthy[0] != 0 || truthy[1] != 1 || truthy[2] != 4 || truthy[3] != 6 {
+			t.Fatalf("truthy = %v", truthy)
+		}
+	}
+	// NULL literal selects nothing
+	sel, handled := SelectCompareConst(Serial, CmpEq, col, AllNull(storage.TInt, 1))
+	if !handled || len(sel) != 0 {
+		t.Fatalf("null literal: handled=%v sel=%v", handled, sel)
+	}
+	// unsupported pairing falls back
+	if _, handled := SelectCompareConst(Serial, CmpEq, col, fltCol([]float64{1})); handled {
+		t.Fatal("int col vs float lit should fall back to the generic path")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got := Intersect([]int32{1, 3, 5, 7}, []int32{0, 3, 4, 7, 9})
+	if len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Fatalf("intersect = %v", got)
+	}
+	if got := Intersect(nil, []int32{1}); len(got) != 0 {
+		t.Fatalf("empty intersect = %v", got)
+	}
+}
+
+func TestSumCountWithSelection(t *testing.T) {
+	col := intCol([]int64{10, 20, 30, 40, 0}, []bool{false, false, false, false, true})
+	sel := []int32{1, 2, 4} // 20, 30, NULL
+	isum, fsum, cnt, ok := SumCount(Serial, col, sel)
+	if !ok || isum != 50 || fsum != 50 || cnt != 2 {
+		t.Fatalf("got isum=%d fsum=%v cnt=%d ok=%v", isum, fsum, cnt, ok)
+	}
+	if _, _, _, ok := SumCount(Serial, &storage.Column{Typ: storage.TStr, Strs: []string{"x"}}, nil); ok {
+		t.Fatal("string column must not be summable")
+	}
+	// parallel morsels merge deterministically
+	big := make([]int64, 10_000)
+	var want int64
+	for i := range big {
+		big[i] = int64(i)
+		want += int64(i)
+	}
+	isum, _, cnt, _ = SumCount(Pol{Workers: 4, MorselSize: 128}, intCol(big, nil), nil)
+	if isum != want || cnt != int64(len(big)) {
+		t.Fatalf("parallel sum = %d (count %d), want %d", isum, cnt, want)
+	}
+}
+
+func TestMinMaxIdxSemantics(t *testing.T) {
+	col := fltCol([]float64{3, 1, 4, 1, 5})
+	if best, _ := MinMaxIdx(Serial, col, nil, true); best != 1 {
+		t.Fatalf("min idx = %d (equal values must keep the earliest)", best)
+	}
+	if best, _ := MinMaxIdx(Serial, col, nil, false); best != 4 {
+		t.Fatalf("max idx = %d", best)
+	}
+	// all-NULL view
+	nn := intCol([]int64{1, 2}, []bool{true, true})
+	if best, _ := MinMaxIdx(Serial, nn, nil, true); best != -1 {
+		t.Fatalf("all-null min idx = %d", best)
+	}
+	// blob: one non-NULL row aggregates, two error (reference semantics)
+	blob := &storage.Column{Typ: storage.TBlob, Blobs: [][]byte{{1}, nil}, Nulls: []bool{false, true}}
+	if best, err := MinMaxIdx(Serial, blob, nil, true); err != nil || best != 0 {
+		t.Fatalf("single blob: best=%d err=%v", best, err)
+	}
+	blob2 := &storage.Column{Typ: storage.TBlob, Blobs: [][]byte{{1}, {2}}}
+	if _, err := MinMaxIdx(Serial, blob2, nil, true); err == nil {
+		t.Fatal("two blobs must refuse to compare")
+	}
+}
+
+func TestGroupsFirstAppearanceOrder(t *testing.T) {
+	keys := &storage.Column{Typ: storage.TStr, Strs: []string{"b", "a", "b", "c", "a", "b"}}
+	groups := Groups(Serial, []*storage.Column{keys}, 6)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	// first appearance: b, a, c
+	if keys.Strs[groups[0][0]] != "b" || keys.Strs[groups[1][0]] != "a" || keys.Strs[groups[2][0]] != "c" {
+		t.Fatalf("group order broken: %v", groups)
+	}
+	if len(groups[0]) != 3 || len(groups[1]) != 2 || len(groups[2]) != 1 {
+		t.Fatalf("group sizes: %v", groups)
+	}
+}
+
+func TestGroupsNullAndFloatSemantics(t *testing.T) {
+	// NULLs form one group; NaNs form one group; +0 and -0 stay separate
+	// (matching the historical formatted keys "0" vs "-0")
+	f := &storage.Column{
+		Typ:   storage.TFloat,
+		Flts:  []float64{math.NaN(), 0, math.Copysign(0, -1), math.NaN(), 0, 1},
+		Nulls: []bool{false, false, false, false, true, false},
+	}
+	groups := Groups(Serial, []*storage.Column{f}, 6)
+	// groups: NaN{0,3}, +0{1}, -0{2}, NULL{4}, 1{5}
+	if len(groups) != 5 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 2 {
+		t.Fatalf("NaNs must group together: %v", groups)
+	}
+}
+
+func TestDistinctReps(t *testing.T) {
+	c1 := intCol([]int64{1, 2, 1, 3, 2}, nil)
+	c2 := &storage.Column{Typ: storage.TBool, Bools: []bool{true, true, true, false, true}}
+	reps := DistinctReps(Serial, []*storage.Column{c1, c2}, 5)
+	if len(reps) != 3 || reps[0] != 0 || reps[1] != 1 || reps[2] != 3 {
+		t.Fatalf("reps = %v", reps)
+	}
+}
+
+// TestArithDivZeroNullRows: division by zero on a NULL row must not
+// error, on a live row it must.
+func TestArithDivZeroNullRows(t *testing.T) {
+	l := intCol([]int64{10, 20}, nil)
+	rNull := intCol([]int64{2, 0}, []bool{false, true})
+	out, err := Arith(Serial, OpDiv, l, rNull, 2)
+	if err != nil {
+		t.Fatalf("null divisor row must not error: %v", err)
+	}
+	if out.Ints[0] != 5 || !out.IsNull(1) {
+		t.Fatalf("out = %v nulls=%v", out.Ints, out.Nulls)
+	}
+	rZero := intCol([]int64{2, 0}, nil)
+	if _, err := Arith(Serial, OpDiv, l, rZero, 2); err == nil {
+		t.Fatal("live zero divisor must error")
+	}
+}
+
+// TestPoolReuse exercises the scratch pool across concurrent borrowers.
+func TestPoolReuse(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				f := GetFloats(1000)
+				for i := range f {
+					f[i] = float64(i)
+				}
+				PutFloats(f)
+				b := GetBools(1000)
+				b[0] = true
+				PutBools(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAlign(t *testing.T) {
+	if _, err := Align(intCol(make([]int64, 3), nil), intCol(make([]int64, 4), nil)); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	n, err := Align(intCol(make([]int64, 1), nil), intCol(make([]int64, 9), nil))
+	if err != nil || n != 9 {
+		t.Fatalf("broadcast align: n=%d err=%v", n, err)
+	}
+}

@@ -197,6 +197,37 @@ func coerceErr(v any, t Type) error {
 	return core.Errorf(core.KindType, "cannot store %T in %s column", v, t)
 }
 
+// Reserve grows the column's capacity so that n more rows can be appended
+// without reallocation. Call it wherever the result length is known before
+// an append loop.
+func (c *Column) Reserve(n int) {
+	switch c.Typ {
+	case TInt:
+		if cap(c.Ints)-len(c.Ints) < n {
+			c.Ints = append(make([]int64, 0, len(c.Ints)+n), c.Ints...)
+		}
+	case TFloat:
+		if cap(c.Flts)-len(c.Flts) < n {
+			c.Flts = append(make([]float64, 0, len(c.Flts)+n), c.Flts...)
+		}
+	case TStr:
+		if cap(c.Strs)-len(c.Strs) < n {
+			c.Strs = append(make([]string, 0, len(c.Strs)+n), c.Strs...)
+		}
+	case TBool:
+		if cap(c.Bools)-len(c.Bools) < n {
+			c.Bools = append(make([]bool, 0, len(c.Bools)+n), c.Bools...)
+		}
+	case TBlob:
+		if cap(c.Blobs)-len(c.Blobs) < n {
+			c.Blobs = append(make([][]byte, 0, len(c.Blobs)+n), c.Blobs...)
+		}
+	}
+	if c.Nulls != nil && cap(c.Nulls)-len(c.Nulls) < n {
+		c.Nulls = append(make([]bool, 0, len(c.Nulls)+n), c.Nulls...)
+	}
+}
+
 // Clone deep-copies the column.
 func (c *Column) Clone() *Column {
 	out := &Column{Name: c.Name, Typ: c.Typ}
@@ -214,29 +245,154 @@ func (c *Column) Clone() *Column {
 	return out
 }
 
-// Gather returns a new column holding the rows at the given indexes, in
-// order. Used by filters, sampling and ORDER BY.
-func (c *Column) Gather(idx []int) *Column {
-	out := NewColumn(c.Name, c.Typ)
-	for _, i := range idx {
-		if c.IsNull(i) {
-			out.AppendNull()
-			continue
+// gatherIdx is the shared typed gather: output buffers sized up front,
+// branch-free value loops, and a validity bitmap only when a gathered
+// row is actually NULL.
+func gatherIdx[I int | int32](c *Column, idx []I) *Column {
+	out := &Column{Name: c.Name, Typ: c.Typ}
+	n := len(idx)
+	switch c.Typ {
+	case TInt:
+		out.Ints = make([]int64, n)
+		for o, i := range idx {
+			out.Ints[o] = c.Ints[i]
 		}
-		switch c.Typ {
-		case TInt:
-			out.AppendInt(c.Ints[i])
-		case TFloat:
-			out.AppendFloat(c.Flts[i])
-		case TStr:
-			out.AppendStr(c.Strs[i])
-		case TBool:
-			out.AppendBool(c.Bools[i])
-		case TBlob:
-			out.AppendBlob(c.Blobs[i])
+	case TFloat:
+		out.Flts = make([]float64, n)
+		for o, i := range idx {
+			out.Flts[o] = c.Flts[i]
+		}
+	case TStr:
+		out.Strs = make([]string, n)
+		for o, i := range idx {
+			out.Strs[o] = c.Strs[i]
+		}
+	case TBool:
+		out.Bools = make([]bool, n)
+		for o, i := range idx {
+			out.Bools[o] = c.Bools[i]
+		}
+	case TBlob:
+		out.Blobs = make([][]byte, n)
+		for o, i := range idx {
+			out.Blobs[o] = c.Blobs[i]
+		}
+	}
+	if c.Nulls != nil {
+		nulls := make([]bool, n)
+		any := false
+		for o, i := range idx {
+			nulls[o] = c.Nulls[i]
+			any = any || c.Nulls[i]
+		}
+		if any {
+			out.Nulls = nulls
 		}
 	}
 	return out
+}
+
+// Gather returns a new column holding the rows at the given indexes, in
+// order. Used by filters, sampling and ORDER BY.
+func (c *Column) Gather(idx []int) *Column { return gatherIdx(c, idx) }
+
+// GatherSel is Gather over an int32 selection vector — the filter path's
+// materialization step, deferred until a result column is actually built.
+func (c *Column) GatherSel(sel []int32) *Column { return gatherIdx(c, sel) }
+
+// BroadcastTo replicates a length-1 column to n rows with pre-sized
+// buffers — the projection/grouping broadcast that previously gathered
+// through an n-long zero index slice.
+func (c *Column) BroadcastTo(n int) *Column {
+	out := &Column{Name: c.Name, Typ: c.Typ}
+	switch c.Typ {
+	case TInt:
+		out.Ints = make([]int64, n)
+		for i := range out.Ints {
+			out.Ints[i] = c.Ints[0]
+		}
+	case TFloat:
+		out.Flts = make([]float64, n)
+		for i := range out.Flts {
+			out.Flts[i] = c.Flts[0]
+		}
+	case TStr:
+		out.Strs = make([]string, n)
+		for i := range out.Strs {
+			out.Strs[i] = c.Strs[0]
+		}
+	case TBool:
+		out.Bools = make([]bool, n)
+		for i := range out.Bools {
+			out.Bools[i] = c.Bools[0]
+		}
+	case TBlob:
+		out.Blobs = make([][]byte, n)
+		for i := range out.Blobs {
+			out.Blobs[i] = c.Blobs[0]
+		}
+	}
+	if c.Nulls != nil && c.Nulls[0] {
+		out.Nulls = make([]bool, n)
+		for i := range out.Nulls {
+			out.Nulls[i] = true
+		}
+	}
+	return out
+}
+
+// AppendAll bulk-appends every row of o (same type) to c — the morsel
+// result stitcher. Nulls are reconciled like Table.AppendTable.
+func (c *Column) AppendAll(o *Column) error {
+	if o.Typ != c.Typ {
+		return core.Errorf(core.KindConstraint,
+			"column %s: type mismatch appending %s to %s", c.Name, o.Typ, c.Typ)
+	}
+	if o.Nulls != nil && c.Nulls == nil {
+		c.Nulls = make([]bool, c.Len())
+	}
+	switch c.Typ {
+	case TInt:
+		c.Ints = append(c.Ints, o.Ints...)
+	case TFloat:
+		c.Flts = append(c.Flts, o.Flts...)
+	case TStr:
+		c.Strs = append(c.Strs, o.Strs...)
+	case TBool:
+		c.Bools = append(c.Bools, o.Bools...)
+	case TBlob:
+		c.Blobs = append(c.Blobs, o.Blobs...)
+	}
+	if c.Nulls != nil {
+		if o.Nulls != nil {
+			c.Nulls = append(c.Nulls, o.Nulls...)
+		} else {
+			c.Nulls = append(c.Nulls, make([]bool, o.Len())...)
+		}
+	}
+	return nil
+}
+
+// Slice returns a view of rows [lo, hi) aliasing c's backing arrays —
+// the view must not be appended to or mutated.
+func (c *Column) Slice(lo, hi int) *Column {
+	sc := &Column{Name: c.Name, Typ: c.Typ}
+	switch c.Typ {
+	case TInt:
+		sc.Ints = c.Ints[lo:hi]
+	case TFloat:
+		sc.Flts = c.Flts[lo:hi]
+	case TStr:
+		sc.Strs = c.Strs[lo:hi]
+	case TBool:
+		sc.Bools = c.Bools[lo:hi]
+	case TBlob:
+		sc.Blobs = c.Blobs[lo:hi]
+	}
+	if c.Nulls != nil {
+		sc.Nulls = c.Nulls[lo:hi]
+	}
+	return sc
 }
 
 // FormatValue renders row i the way the SQL shell prints it.

@@ -42,27 +42,12 @@ func (t *Table) NumRows() int {
 
 // SliceRows returns a view table holding rows [lo, hi) of t. Column slices
 // alias t's backing arrays — the view must not be appended to or mutated.
-// The wire protocol uses it to batch large result sets into chunks.
+// The wire protocol uses it to batch large result sets into chunks; LIMIT
+// uses it to truncate results without a gather copy.
 func (t *Table) SliceRows(lo, hi int) *Table {
 	out := &Table{Name: t.Name, Cols: make([]*Column, len(t.Cols))}
 	for i, c := range t.Cols {
-		sc := &Column{Name: c.Name, Typ: c.Typ}
-		switch c.Typ {
-		case TInt:
-			sc.Ints = c.Ints[lo:hi]
-		case TFloat:
-			sc.Flts = c.Flts[lo:hi]
-		case TStr:
-			sc.Strs = c.Strs[lo:hi]
-		case TBool:
-			sc.Bools = c.Bools[lo:hi]
-		case TBlob:
-			sc.Blobs = c.Blobs[lo:hi]
-		}
-		if c.Nulls != nil {
-			sc.Nulls = c.Nulls[lo:hi]
-		}
-		out.Cols[i] = sc
+		out.Cols[i] = c.Slice(lo, hi)
 	}
 	return out
 }

@@ -55,14 +55,43 @@ func (*Runtime) Name() string { return Name }
 
 // ---- the process-wide function table ----
 
+// regEntry is one registered function plus its declared execution
+// contract.
+type regEntry struct {
+	fn reflect.Value
+	// elementwise declares that row i of the result depends only on row
+	// i of the arguments and that the function is safe to call from
+	// multiple goroutines — the engine may then split a batch into
+	// morsels and run them concurrently.
+	elementwise bool
+}
+
 var (
 	mu    sync.RWMutex
-	funcs = map[string]reflect.Value{}
+	funcs = map[string]regEntry{}
 )
 
 // Register installs fn under name (case-insensitive), validating its
-// signature. Re-registering a name replaces the previous function.
+// signature. Re-registering a name replaces the previous function. The
+// function keeps whole-batch semantics: every call receives the full
+// column, so batch-dependent implementations (prefix sums, stateful
+// closures) stay correct. Declare element-wise purity with
+// RegisterElementwise to let the engine morsel-parallelize calls.
 func Register(name string, fn any) error {
+	return registerFn(name, fn, false)
+}
+
+// RegisterElementwise installs fn like Register and additionally
+// declares it element-wise and concurrency-safe: row i of the result
+// depends only on row i of the arguments, and the function may be
+// invoked from several goroutines at once over disjoint morsels of one
+// batch. Aggregate-style results (one value for the whole batch) are
+// still detected at call time and re-run as a single whole-batch call.
+func RegisterElementwise(name string, fn any) error {
+	return registerFn(name, fn, true)
+}
+
+func registerFn(name string, fn any, elementwise bool) error {
 	v := reflect.ValueOf(fn)
 	if !v.IsValid() || v.Kind() != reflect.Func {
 		return core.Errorf(core.KindType, "Go UDF %s: not a function (%T)", name, fn)
@@ -71,7 +100,7 @@ func Register(name string, fn any) error {
 		return core.Errorf(core.KindType, "Go UDF %s: %v", name, err)
 	}
 	mu.Lock()
-	funcs[strings.ToLower(name)] = v
+	funcs[strings.ToLower(name)] = regEntry{fn: v, elementwise: elementwise}
 	mu.Unlock()
 	return nil
 }
@@ -92,10 +121,15 @@ func Registered(name string) bool {
 }
 
 func lookup(name string) (reflect.Value, bool) {
+	e, ok := lookupEntry(name)
+	return e.fn, ok
+}
+
+func lookupEntry(name string) (regEntry, bool) {
 	mu.RLock()
-	v, ok := funcs[strings.ToLower(name)]
+	e, ok := funcs[strings.ToLower(name)]
 	mu.RUnlock()
-	return v, ok
+	return e, ok
 }
 
 // InferDef builds the catalog definition a registered function implements:
@@ -237,6 +271,19 @@ func (*Runtime) Compile(def *storage.FuncDef) (udfrt.Callable, error) {
 		c.sliceOut = append(c.sliceOut, isSlice)
 	}
 	return c, nil
+}
+
+// ParallelSafe implements udfrt.ParallelSafe: only functions installed
+// with RegisterElementwise opt in — they have declared row-i-depends-
+// only-on-row-i purity and goroutine safety, so the engine may invoke
+// the callable concurrently over disjoint morsels of a batch. Plain
+// Register keeps whole-batch semantics (batch-dependent implementations
+// like prefix sums stay correct, and no concurrency is imposed). The
+// flag is read from the live table, so re-registering under a different
+// contract takes effect immediately.
+func (c *callable) ParallelSafe() bool {
+	e, ok := lookupEntry(c.symbol)
+	return ok && e.elementwise
 }
 
 // callable is one compiled GO UDF: the validated signature plus the symbol

@@ -47,6 +47,22 @@ func (b *Batch) Columnar(i int) bool {
 	return i < len(b.IsColumn) && b.IsColumn[i]
 }
 
+// Slice returns a view batch of rows [lo, hi): full-length columnar
+// arguments are sliced (aliasing the originals — read-only), length-1
+// constants pass through whole. The engine's morsel-parallel scalar-UDF
+// dispatch splits batches with it.
+func (b *Batch) Slice(lo, hi int) *Batch {
+	cols := make([]*storage.Column, len(b.Cols))
+	for i, c := range b.Cols {
+		if c.Len() == b.Rows {
+			cols[i] = c.Slice(lo, hi)
+		} else {
+			cols[i] = c
+		}
+	}
+	return &Batch{Cols: cols, Rows: hi - lo, IsColumn: b.IsColumn}
+}
+
 // Row extracts a one-row input batch for row r, with every argument demoted
 // to the scalar calling convention — the tuple-at-a-time shape. Length-1
 // columns broadcast.
@@ -96,6 +112,17 @@ type Debuggable interface {
 func IsDebuggable(rt Runtime) bool {
 	d, ok := rt.(Debuggable)
 	return ok && d.Debuggable()
+}
+
+// ParallelSafe marks callables the engine may invoke concurrently over
+// disjoint morsels of one batch, sharing a single Env: the callable must
+// not mutate the Env or any argument column, and its function must be
+// pure enough that splitting a batch preserves its result (true for the
+// native GO runtime's registered functions, false for interpreter-backed
+// runtimes, whose interpreter state is single-threaded).
+type ParallelSafe interface {
+	// ParallelSafe reports whether concurrent morsel invocation is safe.
+	ParallelSafe() bool
 }
 
 // InvokeHook intercepts one interpreter-backed UDF invocation: it receives
