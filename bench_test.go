@@ -352,6 +352,134 @@ func BenchmarkFilterProject(b *testing.B) {
 	}
 }
 
+// ---- prepared statements: parse/plan amortization ----
+
+// BenchmarkPrepareExec measures the point of the Prepare/Bind/Exec API: a
+// parameterized filter+UDF query executed thousands of times with distinct
+// binds. The unprepared leg does what ad-hoc clients do — format the
+// literals into the SQL text and Exec it, re-lexing/re-parsing every call
+// (distinct text defeats the plan cache by construction, the
+// million-distinct-binds workload). The prepared leg parses once and binds
+// per execution. The CI gate requires prepared ≥2x unprepared in the same
+// run. The plan-cache leg shows the third shape: identical unprepared text
+// served out of the DB plan cache.
+func BenchmarkPrepareExec(b *testing.B) {
+	const rows = 32
+	build := func(b *testing.B) *monetlite.Conn {
+		b.Helper()
+		iCol := &storage.Column{Name: "i", Typ: storage.TInt, Ints: make([]int64, rows)}
+		fCol := &storage.Column{Name: "f", Typ: storage.TFloat, Flts: make([]float64, rows)}
+		for r := 0; r < rows; r++ {
+			iCol.Ints[r] = int64(r % 16)
+			fCol.Flts[r] = float64(r) / rows
+		}
+		db := monetlite.NewDB()
+		if err := db.RegisterTable(&storage.Table{Name: "params", Cols: []*storage.Column{iCol, fCol}}); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.RegisterGoUDFElementwise("square_go", bench.SquareGo); err != nil {
+			b.Fatal(err)
+		}
+		return monetlite.Connect(db, "monetdb", "monetdb")
+	}
+	const paramSQL = `SELECT square_go(i) AS squared_value, f AS fraction FROM params ` +
+		`WHERE i >= ? AND i < ? AND f <> ? AND i <> 31 AND i <> 30 AND i <> 29`
+	const substSQL = `SELECT square_go(i) AS squared_value, f AS fraction FROM params ` +
+		`WHERE i >= %d AND i < %d AND f <> %g AND i <> 31 AND i <> 30 AND i <> 29`
+
+	b.Run("unprepared", func(b *testing.B) {
+		conn := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := int64(i % 8)
+			sql := fmt.Sprintf(substSQL, lo, lo+6, float64(i%97)+1.5)
+			if _, err := conn.Exec(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		conn := build(b)
+		stmt, err := conn.Prepare(paramSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := int64(i % 8)
+			if _, err := stmt.Query(lo, lo+6, float64(i%97)+1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("plan-cache", func(b *testing.B) {
+		conn := build(b)
+		sql := fmt.Sprintf(substSQL, 2, 8, 1.5)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := conn.Exec(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPrepareExecWire is the same comparison over the wire v2
+// transport: MsgExecStmt (stmt id + typed binds) vs per-call MsgQuery with
+// formatted literals, same connection, same result decoding.
+func BenchmarkPrepareExecWire(b *testing.B) {
+	fx, err := bench.StartServer(`CREATE TABLE params (i INTEGER, f DOUBLE)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fx.Close()
+	boot := monetlite.Connect(fx.DB, "monetdb", "monetdb")
+	for r := 0; r < 64; r++ {
+		if _, err := boot.Exec(fmt.Sprintf(`INSERT INTO params VALUES (%d, %g)`, r%16, float64(r)/64)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fx.DB.RegisterGoUDFElementwise("square_go", bench.SquareGo); err != nil {
+		b.Fatal(err)
+	}
+	const paramSQL = `SELECT square_go(i) AS sq FROM params WHERE i >= ? AND i < ? AND f <> ?`
+	const substSQL = `SELECT square_go(i) AS sq FROM params WHERE i >= %d AND i < %d AND f <> %g`
+
+	b.Run("unprepared", func(b *testing.B) {
+		cli, err := monetlite.DialContext(ctx, fx.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := i % 8
+			sql := fmt.Sprintf(substSQL, lo, lo+6, float64(i%97)+1.5)
+			if _, _, err := cli.Query(ctx, sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		cli, err := monetlite.DialContext(ctx, fx.Params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		stmt, err := cli.Prepare(ctx, paramSQL)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := int64(i % 8)
+			if _, _, err := stmt.Query(ctx, lo, lo+6, float64(i%97)+1.5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- E6: nested UDFs ----
 
 func nestedFixture(b *testing.B) *bench.Fixture {

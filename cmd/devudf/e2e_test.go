@@ -105,6 +105,15 @@ func TestE2EWorkflowGolden(t *testing.T) {
 
 	step("export", "", func() error { return cmdExport(ctx, fs, []string{"mean_deviation"}) })
 
+	// Parameterized run: one -param literal bound (twice) through the
+	// prepared-statement path over wire v2.
+	step("query -param", "", func() error {
+		return cmdQuery(ctx, fs, []string{
+			"-param", "2",
+			"SELECT i, i * $1 AS scaled FROM numbers WHERE i < $1 + 3",
+		})
+	})
+
 	got := strings.ReplaceAll(transcript.String(), port, "PORT")
 	got = strings.ReplaceAll(got, "b "+strconv.Itoa(bpLine), "b LINE")
 	got = strings.ReplaceAll(got, "line "+strconv.Itoa(bpLine), "line LINE")

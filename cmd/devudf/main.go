@@ -8,6 +8,7 @@
 //	devudf export  [-all | names...]     export project UDFs back (Fig. 3b)
 //	devudf extract -udf NAME             ship the UDF's input data locally
 //	devudf run     -udf NAME             run the imported UDF locally
+//	devudf query   [-param V ...] SQL    run SQL (placeholders bound to -param)
 //	devudf debug   -udf NAME             interactive local debugger
 //	devudf vcs     init|commit|log|diff  project version control
 //
@@ -30,6 +31,8 @@ import (
 	"repro/devudf"
 	"repro/internal/core"
 	"repro/internal/debug"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
 	"repro/internal/udfrt"
 )
 
@@ -68,6 +71,8 @@ func main() {
 		err = cmdExtract(ctx, fs, args)
 	case "run":
 		err = cmdRun(ctx, fs, args)
+	case "query":
+		err = cmdQuery(ctx, fs, args)
 	case "debug":
 		err = cmdDebug(ctx, fs, args)
 	case "vcs":
@@ -96,6 +101,7 @@ commands:
   export     export project UDFs back to the server
   extract    extract a UDF's input data for local runs
   run        run an imported UDF locally
+  query      run SQL on the server ([-param V ...] binds placeholders)
   debug      debug an imported UDF interactively
   vcs        version-control the project (init|commit|log|diff)
 `)
@@ -412,6 +418,58 @@ func cmdRun(ctx context.Context, fs core.FS, args []string) error {
 	}
 	fmt.Printf("result: %s (%d interpreter steps)\n", res.Value.Repr(), res.Steps)
 	return nil
+}
+
+// cmdQuery runs one SQL statement on the server. -param values are SQL
+// literals bound (typed, in order) to the statement's `?`/`$n`
+// placeholders through the prepared-statement path; without params the
+// text runs directly.
+func cmdQuery(ctx context.Context, fs core.FS, args []string) error {
+	flags := flag.NewFlagSet("query", flag.ExitOnError)
+	var params multiFlag
+	flags.Var(&params, "param", "bind argument as a SQL literal (42, 4.2, 'text', true, null); repeatable")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	if flags.NArg() != 1 {
+		return fmt.Errorf("usage: devudf query [-param V ...] 'SQL'")
+	}
+	binds, err := sqlparse.ParseLiterals(params)
+	if err != nil {
+		return err
+	}
+	c, _, err := connect(ctx, fs)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	res, err := c.Query(ctx, flags.Arg(0), binds...)
+	if err != nil {
+		return err
+	}
+	if res.Table != nil {
+		printResult(os.Stdout, res.Table)
+	}
+	fmt.Println(res.Tag)
+	return nil
+}
+
+// printResult renders a result set as an aligned table.
+func printResult(w io.Writer, t *storage.Table) {
+	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
+	header := make([]string, len(t.Cols))
+	for i, col := range t.Cols {
+		header[i] = col.Name
+	}
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]string, len(t.Cols))
+		for i, col := range t.Cols {
+			row[i] = col.FormatValue(r)
+		}
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
 }
 
 func cmdDebug(ctx context.Context, fs core.FS, args []string) error {

@@ -6,6 +6,11 @@
 //
 //	mclient -host 127.0.0.1 -port 50000 -db demo -user monetdb -password monetdb
 //	mclient ... -e "SELECT * FROM sys.functions"
+//	mclient ... -param 3 -param "'a'" -e "SELECT i FROM t WHERE i > ? AND s = ?"
+//
+// Each -param is a SQL literal (42, 4.2, 'text', true, null) bound to the
+// statement's placeholders in order; the statement is prepared server-side
+// and executed with the typed arguments.
 package main
 
 import (
@@ -17,9 +22,16 @@ import (
 	"os/signal"
 	"strings"
 
+	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/monetlite"
 )
+
+// paramFlag collects repeatable -param values.
+type paramFlag []string
+
+func (p *paramFlag) String() string     { return strings.Join(*p, ",") }
+func (p *paramFlag) Set(v string) error { *p = append(*p, v); return nil }
 
 func main() {
 	host := flag.String("host", "127.0.0.1", "server host")
@@ -28,7 +40,19 @@ func main() {
 	user := flag.String("user", "monetdb", "user")
 	password := flag.String("password", "monetdb", "password")
 	execute := flag.String("e", "", "execute this SQL and exit")
+	var params paramFlag
+	flag.Var(&params, "param", "bind argument as a SQL literal; repeatable, used with -e")
 	flag.Parse()
+
+	binds, err := sqlparse.ParseLiterals(params)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mclient:", err)
+		os.Exit(2)
+	}
+	if len(binds) > 0 && *execute == "" {
+		fmt.Fprintln(os.Stderr, "mclient: -param requires -e")
+		os.Exit(2)
+	}
 
 	sess := &session{params: monetlite.ConnParams{
 		Host: *host, Port: *port, Database: *db,
@@ -41,7 +65,7 @@ func main() {
 	}
 
 	if *execute != "" {
-		if ok := sess.run(*execute); !ok {
+		if ok := sess.run(*execute, binds...); !ok {
 			os.Exit(1)
 		}
 		return
@@ -95,8 +119,10 @@ func (s *session) close() {
 // run executes one statement under a signal-scoped context: ^C cancels
 // just this statement, and keeps its default exit behavior while the shell
 // sits at the prompt. A cancelled statement leaves the connection
-// mid-protocol, so the next statement reconnects transparently.
-func (s *session) run(sql string) bool {
+// mid-protocol, so the next statement reconnects transparently. Bind
+// arguments route through the prepared-statement path (Prepare, Exec with
+// typed args, Close).
+func (s *session) run(sql string, binds ...any) bool {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	sig := make(chan os.Signal, 1)
@@ -123,7 +149,21 @@ func (s *session) run(sql string) bool {
 			return false
 		}
 	}
-	msg, tbl, err := s.cli.Query(ctx, sql)
+	var (
+		msg string
+		tbl *storage.Table
+		err error
+	)
+	if len(binds) > 0 {
+		var stmt *monetlite.ClientStmt
+		stmt, err = s.cli.Prepare(ctx, sql)
+		if err == nil {
+			msg, tbl, err = stmt.Query(ctx, binds...)
+			_ = stmt.Close(ctx)
+		}
+	} else {
+		msg, tbl, err = s.cli.Query(ctx, sql)
+	}
 	if err != nil {
 		fmt.Println("error:", err)
 		return false

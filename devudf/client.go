@@ -2,9 +2,11 @@ package devudf
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/sqlparse"
@@ -25,7 +27,16 @@ type Client struct {
 	Project  *Project
 
 	pool *wire.Pool
+
+	// stmts caches pool-aware prepared statements behind the variadic
+	// Query convenience path, bounded so an app cycling through distinct
+	// SQL texts cannot grow it without limit.
+	stmtMu sync.Mutex
+	stmts  map[string]*wire.PoolStmt
 }
+
+// maxCachedStmts bounds the client's convenience-path statement cache.
+const maxCachedStmts = 32
 
 // Open dials the database from the settings and opens the project
 // workspace. The returned client is backed by a bounded connection pool;
@@ -62,16 +73,137 @@ func Connect(settings Settings, fs core.FS) (*Client, error) {
 	return Open(context.Background(), settings, WithFS(fs))
 }
 
-// Close closes the connection pool.
-func (c *Client) Close() error { return c.pool.Close() }
+// Close closes the cached prepared statements and the connection pool.
+func (c *Client) Close() error {
+	c.stmtMu.Lock()
+	for _, ps := range c.stmts {
+		_ = ps.Close()
+	}
+	c.stmts = nil
+	c.stmtMu.Unlock()
+	return c.pool.Close()
+}
 
 // Pool exposes the underlying connection pool (stats for the benches,
 // direct checkouts for streaming consumers).
 func (c *Client) Pool() *wire.Pool { return c.pool }
 
-// Query runs raw SQL on the server (the mclient path).
-func (c *Client) Query(ctx context.Context, sql string) (string, *storage.Table, error) {
-	return c.pool.Query(ctx, sql)
+// QueryResult is the outcome of one statement: the server's status tag
+// plus the result table (nil for statements without one).
+type QueryResult struct {
+	Tag   string
+	Table *storage.Table
+}
+
+// Query runs SQL on the server. Bind arguments route through the
+// prepared-statement path: the statement is prepared once per SQL text
+// (cached on the client, re-prepared transparently across pool churn), so
+// a workload repeating the same parameterized query skips re-lex/re-parse/
+// re-plan on every call — the devUDF import/run/debug loop in one method.
+func (c *Client) Query(ctx context.Context, sql string, args ...any) (QueryResult, error) {
+	if len(args) == 0 {
+		tag, tbl, err := c.pool.Query(ctx, sql)
+		return QueryResult{Tag: tag, Table: tbl}, err
+	}
+	for attempt := 0; ; attempt++ {
+		ps, err := c.cachedStmt(ctx, sql)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		tag, tbl, err := ps.Query(ctx, args...)
+		if errors.Is(err, wire.ErrStmtClosed) && attempt < 2 {
+			// cache eviction closed the statement between lookup and
+			// execution; drop the stale mapping and re-prepare
+			c.forgetStmt(sql, ps)
+			continue
+		}
+		return QueryResult{Tag: tag, Table: tbl}, err
+	}
+}
+
+// forgetStmt removes a cache mapping if it still points at the given
+// statement (a concurrent re-prepare may already have replaced it).
+func (c *Client) forgetStmt(sql string, ps *wire.PoolStmt) {
+	c.stmtMu.Lock()
+	if c.stmts[sql] == ps {
+		delete(c.stmts, sql)
+	}
+	c.stmtMu.Unlock()
+}
+
+// QueryTable runs raw SQL and returns the pre-prepared-statements shape.
+//
+// Deprecated: use Query, which accepts bind arguments and returns a
+// QueryResult.
+func (c *Client) QueryTable(ctx context.Context, sql string) (string, *storage.Table, error) {
+	res, err := c.Query(ctx, sql)
+	return res.Tag, res.Table, err
+}
+
+// Prepare compiles sql once for repeated execution with bind arguments.
+// The statement is pool-aware: it transparently re-prepares on whichever
+// healthy connection the pool hands back.
+func (c *Client) Prepare(ctx context.Context, sql string) (*Stmt, error) {
+	ps, err := c.pool.Prepare(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{ps: ps}, nil
+}
+
+// Stmt is a prepared statement over the client's connection pool.
+type Stmt struct{ ps *wire.PoolStmt }
+
+// NumParams reports how many bind arguments each execution needs.
+func (s *Stmt) NumParams() int { return s.ps.NumParams() }
+
+// Query executes the statement with one set of bind arguments.
+func (s *Stmt) Query(ctx context.Context, args ...any) (QueryResult, error) {
+	tag, tbl, err := s.ps.Query(ctx, args...)
+	return QueryResult{Tag: tag, Table: tbl}, err
+}
+
+// Exec executes the statement for its side effects, returning the tag.
+func (s *Stmt) Exec(ctx context.Context, args ...any) (string, error) {
+	return s.ps.Exec(ctx, args...)
+}
+
+// Close releases the statement.
+func (s *Stmt) Close() error { return s.ps.Close() }
+
+// cachedStmt returns (preparing on first use) the pool statement behind
+// the variadic Query path, evicting an arbitrary entry once the bounded
+// cache is full.
+func (c *Client) cachedStmt(ctx context.Context, sql string) (*wire.PoolStmt, error) {
+	c.stmtMu.Lock()
+	ps := c.stmts[sql]
+	c.stmtMu.Unlock()
+	if ps != nil {
+		return ps, nil
+	}
+	ps, err := c.pool.Prepare(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	c.stmtMu.Lock()
+	defer c.stmtMu.Unlock()
+	if prev, ok := c.stmts[sql]; ok {
+		// another goroutine won the race; keep its statement
+		_ = ps.Close()
+		return prev, nil
+	}
+	if c.stmts == nil {
+		c.stmts = map[string]*wire.PoolStmt{}
+	}
+	for len(c.stmts) >= maxCachedStmts {
+		for k, victim := range c.stmts {
+			_ = victim.Close()
+			delete(c.stmts, k)
+			break
+		}
+	}
+	c.stmts[sql] = ps
+	return ps, nil
 }
 
 // serverCatalog is one consistent snapshot of the server's UDF meta

@@ -236,12 +236,12 @@ func TestFullScenarioA(t *testing.T) {
 	if err := c.ExportUDFs(ctx, "mean_deviation"); err != nil {
 		t.Fatal(err)
 	}
-	_, tbl, err := c.Query(ctx, `SELECT mean_deviation(i) AS md FROM numbers`)
+	qres, err := c.Query(ctx, `SELECT mean_deviation(i) AS md FROM numbers`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Cols[0].Flts[0] != 31.2 {
-		t.Fatalf("server after export: %v", tbl.Cols[0].Flts)
+	if qres.Table.Cols[0].Flts[0] != 31.2 {
+		t.Fatalf("server after export: %v", qres.Table.Cols[0].Flts)
 	}
 }
 

@@ -118,13 +118,13 @@ func TestNativeUDFWorkflow(t *testing.T) {
 	if err := c.ExportUDFs(ctx, "double_all"); err != nil {
 		t.Fatal(err)
 	}
-	_, tbl, err := c.Query(ctx, `SELECT double_all(i) AS d FROM nums`)
+	qres, err := c.Query(ctx, `SELECT double_all(i) AS d FROM nums`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	col, err := tbl.Column("d")
+	col, err := qres.Table.Column("d")
 	if err != nil || col.Ints[0] != 2 {
-		t.Fatalf("after export: %v %v", tbl, err)
+		t.Fatalf("after export: %v %v", qres.Table, err)
 	}
 }
 

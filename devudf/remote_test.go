@@ -127,7 +127,7 @@ func TestRemoteDebugAcceptance(t *testing.T) {
 	}
 
 	// Non-debug v2 traffic through the client's pool is unaffected.
-	if _, tbl, err := client.Query(ctx, "SELECT mean_deviation(i) FROM numbers"); err != nil || tbl.NumRows() != 1 {
+	if res, err := client.Query(ctx, "SELECT mean_deviation(i) FROM numbers"); err != nil || res.Table.NumRows() != 1 {
 		t.Fatalf("pool query after debug: %v", err)
 	}
 	// And the v1 session still works.

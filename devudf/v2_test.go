@@ -74,11 +74,11 @@ func TestQueryCancellationThroughClient(t *testing.T) {
 	defer c.Close()
 	cctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, _, err := c.Query(cctx, `SELECT i FROM t`); !errors.Is(err, context.Canceled) {
+	if _, err := c.Query(cctx, `SELECT i FROM t`); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled query must wrap context.Canceled: %v", err)
 	}
 	// the pool replaces the poisoned connection transparently
-	if _, _, err := c.Query(ctx, `SELECT i FROM t`); err != nil {
+	if _, err := c.Query(ctx, `SELECT i FROM t`); err != nil {
 		t.Fatalf("pool must recover after a cancelled query: %v", err)
 	}
 }
@@ -92,7 +92,7 @@ func TestPoolStatsThroughClient(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, _, err := c.Query(ctx, `SELECT i FROM t`); err != nil {
+	if _, err := c.Query(ctx, `SELECT i FROM t`); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Pool().Stats()

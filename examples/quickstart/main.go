@@ -108,6 +108,23 @@ return vals[n - 2] - vals[1]`)
 		log.Fatal(err)
 	}
 	fmt.Println("server result after export:", serverRes.Table.Cols[0].FormatValue(0))
+
+	// 7. The iteration loop itself is prepared-statement shaped: the same
+	//    UDF-bearing query runs over and over with different thresholds, so
+	//    prepare it once and bind per run — parse and plan amortize away
+	//    (pool-aware: the statement survives connection churn).
+	stmt, err := client.Prepare(ctx, `SELECT spread(v) AS s FROM measurements WHERE v < ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	for _, limit := range []int64{100, 50, 16} {
+		out, err := stmt.Query(ctx, limit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("spread over v < %-3d → %s\n", limit, out.Table.Cols[0].FormatValue(0))
+	}
 }
 
 func splitAddr(addr string) (string, int) {

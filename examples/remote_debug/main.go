@@ -139,11 +139,11 @@ func main() {
 
 	// The pool keeps serving ordinary traffic after the debug run: rerun
 	// the query plain and show the (buggy — Listing 4) result.
-	_, t, err := client.Query(ctx, settings.DebugQuery)
+	res, err := client.Query(ctx, settings.DebugQuery)
 	if err != nil {
 		log.Fatal(err)
 	}
-	col, err := t.Column("mean_deviation")
+	col, err := res.Table.Column("mean_deviation")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@ package engine
 
 import (
 	"bytes"
+	"container/list"
 	"fmt"
 	"strings"
 	"sync"
@@ -74,8 +75,18 @@ type DB struct {
 	// reference implementation instead of the vectorized kernels — the
 	// semantic baseline for differential tests and benchmarks.
 	ScalarRef bool
+	// PlanCacheSize bounds the parsed-plan cache keyed by normalized SQL
+	// (0 applies the 256 default; negative disables caching). Identical
+	// statement text — prepared or not — skips the lexer and parser; the
+	// cache is flushed on every catalog change.
+	PlanCacheSize int
 
 	compiled map[string]*compiledUDF
+
+	// plan cache state, guarded by mu (see prepare.go)
+	plans                map[string]*planEntry
+	planLRU              *list.List
+	planHits, planMisses uint64
 }
 
 // NewDB creates an empty database.
@@ -93,6 +104,7 @@ func NewDB() *DB {
 func (db *DB) RegisterTable(t *storage.Table) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.invalidatePlans()
 	return db.cat.CreateTable(t)
 }
 
@@ -111,6 +123,13 @@ type Conn struct {
 	// debugger uses it to run the invocation under the trace hook. Only
 	// debuggable runtimes (udfrt.IsDebuggable) route calls through it.
 	UDFInvoke udfrt.InvokeHook
+
+	// binds holds the current execution's bind arguments (length-1 columns,
+	// one per placeholder slot). It is set by Stmt.exec under the database
+	// lock and read by placeholder evaluation; plain Query/Exec rejects
+	// parameterized statements before execution, so stale binds can never
+	// be observed.
+	binds []*storage.Column
 }
 
 // Result is the outcome of one statement.
@@ -149,11 +168,17 @@ func (c *Conn) ExecAll(sql string) ([]*Result, error) {
 }
 
 // exec runs one statement without taking the lock (loopback queries from
-// inside UDFs re-enter here).
+// inside UDFs re-enter here). Parsing goes through the DB plan cache, so a
+// statement executed repeatedly with identical text is lexed and parsed
+// once.
 func (c *Conn) exec(sql string) (*Result, error) {
-	st, err := sqlparse.Parse(sql)
+	st, nparams, err := c.DB.cachedParse(sql)
 	if err != nil {
 		return nil, err
+	}
+	if nparams > 0 {
+		return nil, core.Errorf(core.KindConstraint,
+			"statement expects %d bind parameter(s); use Prepare and pass arguments", nparams)
 	}
 	return c.execStmt(st)
 }
@@ -165,11 +190,13 @@ func (c *Conn) execStmt(st sqlparse.Statement) (*Result, error) {
 		if err := c.DB.cat.CreateTable(t); err != nil {
 			return nil, err
 		}
+		c.DB.invalidatePlans()
 		return &Result{Msg: "CREATE TABLE"}, nil
 	case *sqlparse.DropTable:
 		if err := c.DB.cat.DropTable(st.Name); err != nil {
 			return nil, err
 		}
+		c.DB.invalidatePlans()
 		return &Result{Msg: "DROP TABLE"}, nil
 	case *sqlparse.CreateFunction:
 		return c.createFunction(st)
@@ -178,6 +205,7 @@ func (c *Conn) execStmt(st sqlparse.Statement) (*Result, error) {
 			return nil, err
 		}
 		delete(c.DB.compiled, strings.ToLower(st.Name))
+		c.DB.invalidatePlans()
 		return &Result{Msg: "DROP FUNCTION"}, nil
 	case *sqlparse.Insert:
 		return c.insert(st)
@@ -216,6 +244,7 @@ func (c *Conn) createFunction(st *sqlparse.CreateFunction) (*Result, error) {
 		return nil, err
 	}
 	delete(c.DB.compiled, strings.ToLower(st.Name))
+	c.DB.invalidatePlans()
 	return &Result{Msg: "CREATE FUNCTION"}, nil
 }
 
@@ -227,7 +256,7 @@ func (c *Conn) insert(st *sqlparse.Insert) (*Result, error) {
 	for _, row := range st.Rows {
 		vals := make([]any, len(row))
 		for i, e := range row {
-			v, err := constEval(e)
+			v, err := c.constEval(e)
 			if err != nil {
 				return nil, err
 			}
@@ -240,8 +269,9 @@ func (c *Conn) insert(st *sqlparse.Insert) (*Result, error) {
 	return &Result{Msg: fmt.Sprintf("INSERT %d", len(st.Rows))}, nil
 }
 
-// constEval evaluates a literal (possibly negated) INSERT value.
-func constEval(e sqlparse.Expr) (any, error) {
+// constEval evaluates a literal (possibly negated) INSERT value, or a bind
+// parameter of a prepared INSERT.
+func (c *Conn) constEval(e sqlparse.Expr) (any, error) {
 	switch e := e.(type) {
 	case *sqlparse.IntLit:
 		return e.Value, nil
@@ -253,9 +283,15 @@ func constEval(e sqlparse.Expr) (any, error) {
 		return e.Value, nil
 	case *sqlparse.NullLit:
 		return nil, nil
+	case *sqlparse.Placeholder:
+		col, err := c.bindColumn(e)
+		if err != nil {
+			return nil, err
+		}
+		return col.Value(0), nil
 	case *sqlparse.UnaryExpr:
 		if e.Op == "-" {
-			v, err := constEval(e.X)
+			v, err := c.constEval(e.X)
 			if err != nil {
 				return nil, err
 			}
@@ -268,11 +304,11 @@ func constEval(e sqlparse.Expr) (any, error) {
 		}
 		return nil, core.Errorf(core.KindSyntax, "INSERT values must be literals")
 	case *sqlparse.BinaryExpr:
-		l, err := constEval(e.L)
+		l, err := c.constEval(e.L)
 		if err != nil {
 			return nil, err
 		}
-		r, err := constEval(e.R)
+		r, err := c.constEval(e.R)
 		if err != nil {
 			return nil, err
 		}

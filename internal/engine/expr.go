@@ -85,6 +85,14 @@ func (c *Conn) evalExpr(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) 
 		col := storage.NewColumn("", storage.TStr)
 		col.AppendNull()
 		return col, nil
+	case *sqlparse.Placeholder:
+		col, err := c.bindColumn(e)
+		if err != nil {
+			return nil, err
+		}
+		// clone so a bind referenced twice in one projection never shares a
+		// column object (result assembly renames columns in place)
+		return col.Clone(), nil
 	case *sqlparse.ColRef:
 		if ctx.src == nil {
 			return nil, core.Errorf(core.KindName, "no FROM clause to resolve column %q", e.Name)
@@ -146,6 +154,17 @@ func (c *Conn) evalExpr(ctx *evalCtx, e sqlparse.Expr) (*storage.Column, error) 
 	default:
 		return nil, core.Errorf(core.KindSyntax, "unsupported expression %T", e)
 	}
+}
+
+// bindColumn resolves a placeholder to its bound length-1 column. Binds
+// are installed by Stmt.exec for the duration of one execution; reaching
+// an unbound slot means the statement ran outside the prepared path.
+func (c *Conn) bindColumn(e *sqlparse.Placeholder) (*storage.Column, error) {
+	if e.Index < 0 || e.Index >= len(c.binds) || c.binds[e.Index] == nil {
+		return nil, core.Errorf(core.KindConstraint,
+			"no value bound for parameter %d; use Prepare and pass arguments", e.Index+1)
+	}
+	return c.binds[e.Index], nil
 }
 
 // evalUnary dispatches a unary operator to the vectorized kernels (or

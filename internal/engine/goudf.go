@@ -53,5 +53,6 @@ func (db *DB) registerGoUDF(name string, fn any, elementwise bool) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	delete(db.compiled, strings.ToLower(name))
+	db.invalidatePlans()
 	return db.cat.CreateFunction(def, true)
 }

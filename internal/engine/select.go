@@ -178,7 +178,7 @@ func (c *Conn) tryFilterFast(src *storage.Table, where sqlparse.Expr) ([]int32, 
 			}
 			op = op.Mirror()
 		}
-		lit, ok := literalColumn(litE)
+		lit, ok := c.literalColumn(litE)
 		if !ok {
 			return nil, false, nil
 		}
@@ -222,10 +222,18 @@ func isCmpOp(op string) bool {
 }
 
 // literalColumn builds a length-1 column from a literal expression
-// (optionally sign-negated), or reports that the expression is not a
-// plain literal.
-func literalColumn(e sqlparse.Expr) (*storage.Column, bool) {
+// (optionally sign-negated) or a bound placeholder, or reports that the
+// expression is not a plain literal. Bound placeholders qualify so a
+// prepared filter takes the same fused compare-select kernels as its
+// literal-substituted equivalent.
+func (c *Conn) literalColumn(e sqlparse.Expr) (*storage.Column, bool) {
 	switch e := e.(type) {
+	case *sqlparse.Placeholder:
+		col, err := c.bindColumn(e)
+		if err != nil {
+			return nil, false
+		}
+		return col, true
 	case *sqlparse.IntLit:
 		col := storage.NewColumn("", storage.TInt)
 		col.AppendInt(e.Value)

@@ -129,6 +129,15 @@ type BoolLit struct{ Value bool }
 // NullLit is NULL.
 type NullLit struct{}
 
+// Placeholder is a bind parameter awaiting a value at execution time:
+// positional `?` or numbered `$n` (1-based in the SQL text). Index is the
+// 0-based bind slot — assigned in appearance order for `?`, n-1 for `$n`.
+// A statement uses one style only; the parser rejects mixing them.
+type Placeholder struct {
+	Index    int
+	Numbered bool
+}
+
 // BinaryExpr applies an operator: arithmetic, comparison, AND, OR, ||.
 type BinaryExpr struct {
 	Op   string
@@ -168,15 +177,16 @@ type CastExpr struct {
 	To storage.Type
 }
 
-func (*ColRef) exprNode()     {}
-func (*IntLit) exprNode()     {}
-func (*FloatLit) exprNode()   {}
-func (*StrLit) exprNode()     {}
-func (*BoolLit) exprNode()    {}
-func (*NullLit) exprNode()    {}
-func (*BinaryExpr) exprNode() {}
-func (*UnaryExpr) exprNode()  {}
-func (*IsNullExpr) exprNode() {}
-func (*FuncCall) exprNode()   {}
-func (*Subquery) exprNode()   {}
-func (*CastExpr) exprNode()   {}
+func (*ColRef) exprNode()      {}
+func (*Placeholder) exprNode() {}
+func (*IntLit) exprNode()      {}
+func (*FloatLit) exprNode()    {}
+func (*StrLit) exprNode()      {}
+func (*BoolLit) exprNode()     {}
+func (*NullLit) exprNode()     {}
+func (*BinaryExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()   {}
+func (*IsNullExpr) exprNode()  {}
+func (*FuncCall) exprNode()    {}
+func (*Subquery) exprNode()    {}
+func (*CastExpr) exprNode()    {}

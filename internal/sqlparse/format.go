@@ -218,6 +218,11 @@ func FormatExpr(e Expr) string {
 		return "FALSE"
 	case *NullLit:
 		return "NULL"
+	case *Placeholder:
+		if e.Numbered {
+			return "$" + strconv.Itoa(e.Index+1)
+		}
+		return "?"
 	case *BinaryExpr:
 		return "(" + FormatExpr(e.L) + " " + e.Op + " " + FormatExpr(e.R) + ")"
 	case *UnaryExpr:

@@ -23,6 +23,16 @@ var sqlFuzzSeeds = []string{
 	"select distinct i from t;",
 	"SELECT\n\ti\nFROM t -- comment",
 	"SELECT \x00",
+	// placeholders: positional and numbered, in expressions, WHERE
+	// conjuncts, and UDF call arguments
+	"SELECT ?",
+	"SELECT i FROM t WHERE i > ? AND s = ?",
+	"SELECT mean_deviation(?, i) FROM numbers WHERE i < $0",
+	"SELECT $1 + $2 FROM t WHERE i = $1",
+	"SELECT $12, $3 FROM t",
+	"INSERT INTO t VALUES (?, ?)",
+	"SELECT ? + $1",
+	"SELECT f($2) FROM g($1) WHERE i IS NOT NULL",
 }
 
 // FuzzParseFormat asserts the SQL lexer/parser never panic and that the
@@ -80,6 +90,16 @@ func TestQuotedIdentRoundTrip(t *testing.T) {
 	}
 	if _, err := Parse(`SELECT select FROM t`); err == nil {
 		t.Fatal("bare reserved word should be rejected")
+	}
+	// a quoted identifier containing a dot is ONE column reference, never
+	// a table qualification (fuzz-found: `SELECT".."` split on the dot)
+	st, err := Parse(`SELECT "a.b" FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, ok := st.(*Select).Items[0].Expr.(*ColRef)
+	if !ok || ref.Table != "" || ref.Name != "a.b" {
+		t.Fatalf("quoted dotted name mis-split: %+v", ref)
 	}
 }
 

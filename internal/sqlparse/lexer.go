@@ -186,9 +186,23 @@ func (lx *lexer) lexOp() (string, error) {
 	}
 	c := lx.src[lx.pos]
 	switch c {
-	case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ',', '.', ';', ':':
+	case '+', '-', '*', '/', '%', '<', '>', '=', '(', ')', ',', '.', ';', ':', '?':
 		lx.pos++
 		return string(c), nil
+	case '$':
+		// numbered placeholder: '$' immediately followed by digits; the
+		// whole spelling travels as one op token ("$3") so the parser can
+		// validate the number with its position.
+		j := lx.pos + 1
+		for j < len(lx.src) && isSQLDigit(lx.src[j]) {
+			j++
+		}
+		if j == lx.pos+1 {
+			return "", lx.errf("expected digits after '$' at byte %d (numbered placeholder is $1, $2, ...)", lx.pos)
+		}
+		op := lx.src[lx.pos:j]
+		lx.pos = j
+		return op, nil
 	}
 	return "", lx.errf("unexpected character %q", string(c))
 }

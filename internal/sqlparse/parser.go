@@ -12,7 +12,16 @@ import (
 type parser struct {
 	toks []token
 	pos  int
+	// placeholder bookkeeping, reset per top-level statement: positional
+	// '?' count, and the byte position of each distinct $n seen (the
+	// density check reports gaps with the position of the highest $n).
+	qmarks      int
+	numberedPos map[int]int
 }
+
+// maxPlaceholder bounds $n at parse time; anything larger is a typo or an
+// attack, not a bind list.
+const maxPlaceholder = 1 << 16
 
 // Parse parses a single SQL statement (a trailing semicolon is allowed).
 func Parse(sql string) (Statement, error) {
@@ -44,6 +53,9 @@ func ParseAll(sql string) ([]Statement, error) {
 		}
 		st, err := p.statement()
 		if err != nil {
+			return nil, err
+		}
+		if err := p.finishPlaceholders(); err != nil {
 			return nil, err
 		}
 		stmts = append(stmts, st)
@@ -143,6 +155,64 @@ func (p *parser) qualifiedName() (string, error) {
 		return first + "." + second, nil
 	}
 	return first, nil
+}
+
+// placeholder consumes one '?' or '$n' op token into a Placeholder node,
+// enforcing single-style use and the $n range at parse time.
+func (p *parser) placeholder() (Expr, error) {
+	t := p.next()
+	if t.lit == "?" {
+		if len(p.numberedPos) > 0 {
+			return nil, p.errf("cannot mix '?' and '$n' placeholders in one statement (byte %d)", t.pos)
+		}
+		ph := &Placeholder{Index: p.qmarks}
+		p.qmarks++
+		return ph, nil
+	}
+	n, err := strconv.Atoi(t.lit[1:])
+	if err != nil || n < 1 {
+		return nil, p.errf("invalid placeholder %q at byte %d: numbered placeholders start at $1", t.lit, t.pos)
+	}
+	if n > maxPlaceholder {
+		return nil, p.errf("placeholder %q at byte %d is out of range (max $%d)", t.lit, t.pos, maxPlaceholder)
+	}
+	if p.qmarks > 0 {
+		return nil, p.errf("cannot mix '?' and '$n' placeholders in one statement (byte %d)", t.pos)
+	}
+	if p.numberedPos == nil {
+		p.numberedPos = map[int]int{}
+	}
+	if _, seen := p.numberedPos[n]; !seen {
+		p.numberedPos[n] = t.pos
+	}
+	return &Placeholder{Index: n - 1, Numbered: true}, nil
+}
+
+// finishPlaceholders validates a completed statement's placeholder set:
+// numbered placeholders must be dense from $1 (a $5 without $1..$4 names a
+// bind slot no argument can fill), reported with the position of the
+// highest one. It also resets the per-statement bookkeeping.
+func (p *parser) finishPlaceholders() error {
+	defer func() {
+		p.qmarks = 0
+		p.numberedPos = nil
+	}()
+	if len(p.numberedPos) == 0 {
+		return nil
+	}
+	max := 0
+	for n := range p.numberedPos {
+		if n > max {
+			max = n
+		}
+	}
+	for n := 1; n <= max; n++ {
+		if _, ok := p.numberedPos[n]; !ok {
+			return p.errf("placeholder $%d at byte %d is out of range: statement never binds $%d",
+				max, p.numberedPos[max], n)
+		}
+	}
+	return nil
 }
 
 func (p *parser) statement() (Statement, error) {
@@ -744,19 +814,31 @@ func (p *parser) primary() (Expr, error) {
 			}
 			return &CastExpr{X: x, To: typ}, nil
 		}
-		name, err := p.qualifiedName()
+		// Parse the (possibly qualified) name part by part rather than
+		// re-splitting the joined string: a "quoted" identifier may contain
+		// a dot without naming a table qualifier.
+		first, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
+		if p.acceptOp(".") {
+			second, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if p.atOp("(") {
+				return p.finishCall(first + "." + second)
+			}
+			return &ColRef{Table: first, Name: second}, nil
+		}
 		if p.atOp("(") {
-			return p.finishCall(name)
+			return p.finishCall(first)
 		}
-		// table-qualified column?
-		if i := strings.IndexByte(name, '.'); i >= 0 {
-			return &ColRef{Table: name[:i], Name: name[i+1:]}, nil
-		}
-		return &ColRef{Name: name}, nil
+		return &ColRef{Name: first}, nil
 	case tOp:
+		if t.lit == "?" || strings.HasPrefix(t.lit, "$") {
+			return p.placeholder()
+		}
 		if t.lit == "(" {
 			p.next()
 			if p.atKw("select") {

@@ -197,6 +197,56 @@ func coerceErr(v any, t Type) error {
 	return core.Errorf(core.KindType, "cannot store %T in %s column", v, t)
 }
 
+// BindValue builds a length-1 column from a Go bind argument, inferring
+// the SQL type from the Go type: int/int32/int64 → INTEGER, float32/
+// float64 → DOUBLE, string → STRING, bool → BOOLEAN, []byte → BLOB. nil
+// binds NULL. It is the shared typing rule of the prepared-statement
+// surfaces (engine Stmt binding and the wire MsgExecStmt arg encoding).
+func BindValue(v any) (*Column, error) {
+	switch v := v.(type) {
+	case nil:
+		col := NewColumn("", TStr)
+		col.AppendNull()
+		return col, nil
+	case int64:
+		col := NewColumn("", TInt)
+		col.AppendInt(v)
+		return col, nil
+	case int:
+		col := NewColumn("", TInt)
+		col.AppendInt(int64(v))
+		return col, nil
+	case int32:
+		col := NewColumn("", TInt)
+		col.AppendInt(int64(v))
+		return col, nil
+	case float64:
+		col := NewColumn("", TFloat)
+		col.AppendFloat(v)
+		return col, nil
+	case float32:
+		col := NewColumn("", TFloat)
+		col.AppendFloat(float64(v))
+		return col, nil
+	case string:
+		col := NewColumn("", TStr)
+		col.AppendStr(v)
+		return col, nil
+	case bool:
+		col := NewColumn("", TBool)
+		col.AppendBool(v)
+		return col, nil
+	case []byte:
+		col := NewColumn("", TBlob)
+		// copy: the caller may reuse its buffer between executions, and a
+		// prepared INSERT stores the bound value (database/sql semantics)
+		col.AppendBlob(append([]byte(nil), v...))
+		return col, nil
+	default:
+		return nil, core.Errorf(core.KindType, "cannot bind a %T parameter", v)
+	}
+}
+
 // Reserve grows the column's capacity so that n more rows can be appended
 // without reallocation. Call it wherever the result length is known before
 // an append loop.

@@ -3,6 +3,7 @@ package wire
 import (
 	"context"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +60,11 @@ type Client struct {
 	cfg     dialConfig
 	version byte        // negotiated protocol version
 	broken  atomic.Bool // protocol desync (cancellation, IO error): do not reuse
+	// stmtCloses queues deferred server-side statement closes (see
+	// deferCloseStmt); guarded by stmtCloseMu because PoolStmt.Close may
+	// append while another goroutine holds the connection.
+	stmtCloseMu sync.Mutex
+	stmtCloses  []uint32
 	// BytesRead counts payload bytes received, for the transfer benches.
 	BytesRead int64
 	// BytesWritten counts payload bytes sent.
@@ -258,9 +264,19 @@ func (c *Client) QueryStream(ctx context.Context, sql string) (*Rows, error) {
 // queryStreamLocked sends the query and consumes the first response frame,
 // classifying the reply into a one-shot result or a chunk stream.
 func (c *Client) queryStreamLocked(ctx context.Context, sql string) (*Rows, error) {
+	if _, err := c.flushStmtCloses(0); err != nil {
+		return nil, err
+	}
 	if err := c.send(MsgQuery, []byte(sql)); err != nil {
 		return nil, err
 	}
+	return c.readQueryResponse()
+}
+
+// readQueryResponse consumes the first response frame of a query-shaped
+// request (MsgQuery or MsgExecStmt), classifying the reply into a one-shot
+// result or a chunk stream.
+func (c *Client) readQueryResponse() (*Rows, error) {
 	typ, payload, err := c.recv()
 	if err != nil {
 		return nil, err
@@ -314,6 +330,9 @@ func (c *Client) Ping(ctx context.Context) error {
 }
 
 func (c *Client) pingLocked() error {
+	if _, err := c.flushStmtCloses(0); err != nil {
+		return err
+	}
 	if err := c.send(MsgPing, nil); err != nil {
 		return err
 	}

@@ -27,6 +27,14 @@ const (
 	MsgResultChunk byte = 20 // server → client: one column batch
 	MsgResultEnd   byte = 21 // server → client: stream terminator + status
 	MsgPong        byte = 22 // server → client: ping ack
+	// (5 and 23–24 are the debug sub-protocol; see debugproto.go)
+	// v2 prepared statements: SQL is parsed and planned once server-side,
+	// then executed any number of times with typed bind arguments.
+	MsgPrepare     byte = 6  // client → server: SQL text to prepare
+	MsgExecStmt    byte = 7  // client → server: stmt id + bind arguments
+	MsgCloseStmt   byte = 8  // client → server: stmt id to discard
+	MsgPrepareOK   byte = 25 // server → client: stmt id + parameter count
+	MsgCloseStmtOK byte = 26 // server → client: close-stmt ack
 )
 
 // Protocol versions negotiated during the auth handshake. A v1 client omits
@@ -168,6 +176,82 @@ func DecodeError(payload []byte) error {
 		return err
 	}
 	return &core.Error{Kind: core.ErrorKind(k), Msg: msg}
+}
+
+// ---- prepared statement payloads ----
+
+// EncodePrepareOK encodes the MsgPrepareOK payload: the server-assigned
+// statement id plus the number of bind parameters the statement expects.
+func EncodePrepareOK(id uint32, nparams int) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, id)
+	return binary.BigEndian.AppendUint32(buf, uint32(nparams))
+}
+
+// DecodePrepareOK decodes a MsgPrepareOK payload.
+func DecodePrepareOK(payload []byte) (id uint32, nparams int, err error) {
+	r := storage.NewByteReader(payload)
+	if id, err = r.U32(); err != nil {
+		return
+	}
+	n, err := r.U32()
+	if err != nil {
+		return 0, 0, err
+	}
+	if r.Remaining() != 0 {
+		return 0, 0, core.Errorf(core.KindProtocol, "trailing bytes in prepare-ok payload")
+	}
+	return id, int(n), nil
+}
+
+// EncodeExecStmt encodes the MsgExecStmt payload: the statement id followed
+// by the bind arguments as a one-row table in the shared storage codec —
+// the same typed column encoding result sets travel in, so every argument
+// carries its SQL type and nullability.
+func EncodeExecStmt(id uint32, args []*storage.Column) []byte {
+	buf := binary.BigEndian.AppendUint32(nil, id)
+	t := &storage.Table{Name: "args", Cols: args}
+	return storage.EncodeTable(buf, t)
+}
+
+// DecodeExecStmt decodes a MsgExecStmt payload into the statement id and
+// one length-1 column per bind argument.
+func DecodeExecStmt(payload []byte) (id uint32, args []*storage.Column, err error) {
+	r := storage.NewByteReader(payload)
+	if id, err = r.U32(); err != nil {
+		return
+	}
+	t, err := storage.DecodeTable(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if r.Remaining() != 0 {
+		return 0, nil, core.Errorf(core.KindProtocol, "trailing bytes in exec-stmt payload")
+	}
+	for _, col := range t.Cols {
+		if col.Len() != 1 {
+			return 0, nil, core.Errorf(core.KindProtocol,
+				"exec-stmt argument %q carries %d rows, want 1", col.Name, col.Len())
+		}
+	}
+	return id, t.Cols, nil
+}
+
+// EncodeCloseStmt encodes the MsgCloseStmt payload.
+func EncodeCloseStmt(id uint32) []byte {
+	return binary.BigEndian.AppendUint32(nil, id)
+}
+
+// DecodeCloseStmt decodes a MsgCloseStmt payload.
+func DecodeCloseStmt(payload []byte) (uint32, error) {
+	r := storage.NewByteReader(payload)
+	id, err := r.U32()
+	if err != nil {
+		return 0, err
+	}
+	if r.Remaining() != 0 {
+		return 0, core.Errorf(core.KindProtocol, "trailing bytes in close-stmt payload")
+	}
+	return id, nil
 }
 
 // ---- result set encoding ----

@@ -6,10 +6,15 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 )
+
+// defaultMaxStmtsPerConn bounds a connection's prepared-statement table
+// when Server.MaxStmtsPerConn is zero.
+const defaultMaxStmtsPerConn = 64
 
 // pipelineDepth bounds how many requests a connection may have in flight
 // while earlier ones execute: the reader keeps pulling frames so a v2
@@ -35,13 +40,26 @@ type Server struct {
 	// ChunkBytes is the target encoded size of one streamed chunk; zero
 	// applies DefaultChunkBytes.
 	ChunkBytes int
+	// MaxStmtsPerConn bounds the per-connection prepared-statement table
+	// (MsgPrepare beyond the bound is rejected until the client closes
+	// statements). Zero applies the 64 default.
+	MaxStmtsPerConn int
 
 	ln     net.Listener
 	mu     sync.Mutex
 	closed bool
 	drain  chan struct{}
 	wg     sync.WaitGroup
+
+	// stmtCount tracks live server-side prepared statements across all
+	// connections — the observable the leak tests (and operators) watch.
+	stmtCount atomic.Int64
 }
+
+// OpenStatements reports how many prepared statements are currently live
+// across all connections. After every client has disconnected it must be
+// zero: each connection's statement table is torn down with the session.
+func (s *Server) OpenStatements() int64 { return s.stmtCount.Load() }
 
 // NewServer creates a server for db with a single user account.
 func NewServer(database, user, password string, db *engine.DB) *Server {
@@ -131,7 +149,7 @@ type frame struct {
 
 // serverConn is the per-connection serving state: the authenticated engine
 // session, the negotiated protocol version, the serialized frame writer,
-// and the active remote debug run (if any).
+// the prepared-statement table, and the active remote debug run (if any).
 type serverConn struct {
 	srv        *Server
 	w          *connWriter
@@ -142,15 +160,23 @@ type serverConn struct {
 	dr         *debugRun
 	queries    *queryQueue
 	workerDone chan struct{}
+
+	// stmts is the per-connection prepared-statement table. It is touched
+	// only by the query worker goroutine (prepare/exec/close ride the same
+	// FIFO as queries, so responses stay ordered) and by shutdown, which
+	// runs strictly after the worker exits.
+	stmts    map[uint32]*engine.Stmt
+	stmtNext uint32
 }
 
-// queryQueue is an unbounded FIFO of pending MsgQuery payloads feeding the
+// queryQueue is an unbounded FIFO of pending statement-executing requests
+// (MsgQuery, MsgPrepare, MsgExecStmt, MsgCloseStmt) feeding the
 // connection's query worker. Unbounded matters: the frame loop must never
-// block queueing a query (a paused debuggee holds the engine lock, and the
-// resume command that releases it arrives on the same frame loop).
+// block queueing a request (a paused debuggee holds the engine lock, and
+// the resume command that releases it arrives on the same frame loop).
 type queryQueue struct {
 	mu     sync.Mutex
-	items  [][]byte
+	items  []frame
 	closed bool
 	wake   chan struct{}
 }
@@ -159,9 +185,9 @@ func newQueryQueue() *queryQueue {
 	return &queryQueue{wake: make(chan struct{}, 1)}
 }
 
-func (q *queryQueue) push(payload []byte) {
+func (q *queryQueue) push(fr frame) {
 	q.mu.Lock()
-	q.items = append(q.items, payload)
+	q.items = append(q.items, fr)
 	q.mu.Unlock()
 	select {
 	case q.wake <- struct{}{}:
@@ -169,20 +195,20 @@ func (q *queryQueue) push(payload []byte) {
 	}
 }
 
-// pop blocks for the next payload; ok is false once the queue is closed and
+// pop blocks for the next request; ok is false once the queue is closed and
 // drained.
-func (q *queryQueue) pop() (payload []byte, ok bool) {
+func (q *queryQueue) pop() (fr frame, ok bool) {
 	for {
 		q.mu.Lock()
 		if len(q.items) > 0 {
-			payload, q.items = q.items[0], q.items[1:]
+			fr, q.items = q.items[0], q.items[1:]
 			q.mu.Unlock()
-			return payload, true
+			return fr, true
 		}
 		closed := q.closed
 		q.mu.Unlock()
 		if closed {
-			return nil, false
+			return frame{}, false
 		}
 		<-q.wake
 	}
@@ -204,33 +230,119 @@ func (q *queryQueue) close() {
 
 // shutdown kills any active debuggee (closing connDone) and flushes the
 // query worker so every accepted query gets its response before the
-// connection says goodbye. Safe to call more than once.
+// connection says goodbye, then tears down the prepared-statement table.
+// Safe to call more than once (always from the serving goroutine).
 func (sc *serverConn) shutdown() {
 	sc.closeOnce.Do(func() { close(sc.connDone) })
 	sc.queries.close()
 	<-sc.workerDone
+	if sc.stmts != nil {
+		sc.srv.stmtCount.Add(-int64(len(sc.stmts)))
+		sc.stmts = nil
+	}
 }
 
-// queryWorker executes queued queries in FIFO order, writing each response
-// through the shared connWriter. Running them off the frame loop keeps
-// debug control (and ping/close) responsive while a statement — including
-// a debug query paused at a breakpoint — holds the engine lock.
+// queryWorker executes queued requests — queries and the prepared-statement
+// verbs — in FIFO order, writing each response through the shared
+// connWriter. Running them off the frame loop keeps debug control (and
+// ping/close) responsive while a statement — including a debug query paused
+// at a breakpoint — holds the engine lock.
 func (sc *serverConn) queryWorker() {
 	defer close(sc.workerDone)
 	for {
-		payload, ok := sc.queries.pop()
+		fr, ok := sc.queries.pop()
 		if !ok {
 			return
 		}
-		res, err := sc.sess.Exec(string(payload))
-		if err != nil {
-			// A failed write means the client is gone; keep draining so
-			// shutdown never blocks (subsequent writes fail fast).
-			_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
-			continue
+		switch fr.typ {
+		case MsgQuery:
+			res, err := sc.sess.Exec(string(fr.payload))
+			if err != nil {
+				// A failed write means the client is gone; keep draining so
+				// shutdown never blocks (subsequent writes fail fast).
+				_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
+				continue
+			}
+			_ = sc.writeResult(res)
+		case MsgPrepare:
+			sc.handlePrepare(fr.payload)
+		case MsgExecStmt:
+			sc.handleExecStmt(fr.payload)
+		case MsgCloseStmt:
+			sc.handleCloseStmt(fr.payload)
 		}
-		_ = sc.writeResult(res)
 	}
+}
+
+// handlePrepare compiles the SQL into the connection's statement table and
+// answers with the assigned id plus the bind-parameter count.
+func (sc *serverConn) handlePrepare(payload []byte) {
+	limit := sc.srv.MaxStmtsPerConn
+	if limit <= 0 {
+		limit = defaultMaxStmtsPerConn
+	}
+	if len(sc.stmts) >= limit {
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindConstraint,
+			"prepared-statement table is full; close statements first"))
+		return
+	}
+	stmt, err := sc.sess.Prepare(string(payload))
+	if err != nil {
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
+		return
+	}
+	if sc.stmts == nil {
+		sc.stmts = map[uint32]*engine.Stmt{}
+	}
+	sc.stmtNext++
+	id := sc.stmtNext
+	sc.stmts[id] = stmt
+	sc.srv.stmtCount.Add(1)
+	_ = sc.w.writeFrame(MsgPrepareOK, EncodePrepareOK(id, stmt.NumParams()))
+}
+
+// handleExecStmt executes a prepared statement with one set of bind
+// arguments, responding exactly like a query (one-shot result or chunked
+// stream).
+func (sc *serverConn) handleExecStmt(payload []byte) {
+	id, cols, err := DecodeExecStmt(payload)
+	if err != nil {
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
+		return
+	}
+	stmt, ok := sc.stmts[id]
+	if !ok {
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindName,
+			"unknown prepared-statement id"))
+		return
+	}
+	args := make([]any, len(cols))
+	for i, col := range cols {
+		args[i] = col.Value(0)
+	}
+	res, err := stmt.Exec(args...)
+	if err != nil {
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
+		return
+	}
+	_ = sc.writeResult(res)
+}
+
+// handleCloseStmt discards a prepared statement and acks.
+func (sc *serverConn) handleCloseStmt(payload []byte) {
+	id, err := DecodeCloseStmt(payload)
+	if err != nil {
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
+		return
+	}
+	if _, ok := sc.stmts[id]; !ok {
+		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindName,
+			"unknown prepared-statement id"))
+		return
+	}
+	delete(sc.stmts, id)
+	sc.srv.stmtCount.Add(-1)
+	_ = sc.w.writeFrame(MsgCloseStmtOK, nil)
 }
 
 // serveConn speaks the protocol with one client: auth handshake, then a
@@ -325,7 +437,16 @@ func (s *Server) serveConn(nc net.Conn) {
 func (sc *serverConn) handleFrame(fr frame) bool {
 	switch fr.typ {
 	case MsgQuery:
-		sc.queries.push(fr.payload)
+		sc.queries.push(fr)
+		return true
+	case MsgPrepare, MsgExecStmt, MsgCloseStmt:
+		if sc.version < ProtoV2 {
+			sc.shutdown()
+			_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindProtocol,
+				"prepared statements require protocol v2"))
+			return false
+		}
+		sc.queries.push(fr)
 		return true
 	case MsgDebug:
 		return sc.handleDebug(fr.payload)

@@ -1,0 +1,419 @@
+package wire
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// ErrStmtClosed reports execution of a prepared statement that has been
+// closed. Compare with errors.Is; the pool-aware layers use it to retry
+// when a cached statement is evicted mid-flight.
+var ErrStmtClosed = core.Errorf(core.KindConstraint, "statement is closed")
+
+// Stmt is a statement prepared on one connection (v2 sessions only): the
+// server parsed and planned the SQL once, and each Query/Exec ships only a
+// statement id plus typed bind arguments. Like Client, a Stmt is not safe
+// for concurrent use; PoolStmt layers pooling on top.
+type Stmt struct {
+	c       *Client
+	id      uint32
+	nparams int
+	sql     string
+	closed  bool
+}
+
+// deferCloseStmt queues a server-side statement close to be flushed by the
+// next operation that exclusively holds this connection. PoolStmt.Close
+// uses it: the connection may be checked out by another goroutine at close
+// time, so the close round trip cannot happen immediately — but leaving
+// the slot occupied would exhaust the server's bounded per-connection
+// statement table.
+func (c *Client) deferCloseStmt(id uint32) {
+	c.stmtCloseMu.Lock()
+	c.stmtCloses = append(c.stmtCloses, id)
+	c.stmtCloseMu.Unlock()
+}
+
+// stmtClosePending reports whether id is queued for a deferred close.
+func (c *Client) stmtClosePending(id uint32) bool {
+	c.stmtCloseMu.Lock()
+	defer c.stmtCloseMu.Unlock()
+	for _, pending := range c.stmtCloses {
+		if pending == id {
+			return true
+		}
+	}
+	return false
+}
+
+// flushStmtCloses performs the deferred statement closes. Called at the
+// start of every protocol operation, while the caller exclusively holds
+// the connection. A non-zero keep id is left queued instead of closed —
+// the caller is about to execute that statement and must learn (via
+// keptPending) that it was closed under it. A server-side MsgErr (e.g.
+// the id raced a disconnect) is non-fatal; IO errors surface and poison
+// the connection as usual.
+func (c *Client) flushStmtCloses(keep uint32) (keptPending bool, err error) {
+	c.stmtCloseMu.Lock()
+	ids := c.stmtCloses
+	c.stmtCloses = nil
+	for _, id := range ids {
+		if keep != 0 && id == keep {
+			c.stmtCloses = append(c.stmtCloses, id)
+			keptPending = true
+		}
+	}
+	c.stmtCloseMu.Unlock()
+	for _, id := range ids {
+		if keep != 0 && id == keep {
+			continue
+		}
+		if err := c.send(MsgCloseStmt, EncodeCloseStmt(id)); err != nil {
+			return keptPending, err
+		}
+		typ, _, err := c.recv()
+		if err != nil {
+			return keptPending, err
+		}
+		switch typ {
+		case MsgCloseStmtOK, MsgErr:
+		default:
+			c.broken.Store(true)
+			return keptPending, core.Errorf(core.KindProtocol, "unexpected close-stmt reply %d", typ)
+		}
+	}
+	return keptPending, nil
+}
+
+// Prepare compiles sql server-side and returns the statement handle.
+// Requires a v2 session.
+func (c *Client) Prepare(ctx context.Context, sql string) (*Stmt, error) {
+	if c.broken.Load() {
+		return nil, core.Errorf(core.KindIO, "connection is broken")
+	}
+	if c.version < ProtoV2 {
+		return nil, core.Errorf(core.KindProtocol,
+			"prepared statements require protocol v2 (negotiated v%d)", c.version)
+	}
+	stop := c.watch(ctx)
+	st, err := c.prepareLocked(sql)
+	if werr := stop(); werr != nil {
+		return nil, werr
+	}
+	return st, err
+}
+
+func (c *Client) prepareLocked(sql string) (*Stmt, error) {
+	if _, err := c.flushStmtCloses(0); err != nil {
+		return nil, err
+	}
+	if err := c.send(MsgPrepare, []byte(sql)); err != nil {
+		return nil, err
+	}
+	typ, payload, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case MsgPrepareOK:
+		id, nparams, err := DecodePrepareOK(payload)
+		if err != nil {
+			c.broken.Store(true)
+			return nil, err
+		}
+		return &Stmt{c: c, id: id, nparams: nparams, sql: sql}, nil
+	case MsgErr:
+		return nil, DecodeError(payload)
+	default:
+		c.broken.Store(true)
+		return nil, core.Errorf(core.KindProtocol, "unexpected prepare reply %d", typ)
+	}
+}
+
+// SQL returns the statement's original text.
+func (s *Stmt) SQL() string { return s.sql }
+
+// NumParams reports how many bind arguments each execution needs.
+func (s *Stmt) NumParams() int { return s.nparams }
+
+// bindArgCols converts Go bind arguments into the typed length-1 columns
+// the MsgExecStmt encoding carries.
+func bindArgCols(args []any) ([]*storage.Column, error) {
+	cols := make([]*storage.Column, len(args))
+	for i, v := range args {
+		col, err := storage.BindValue(v)
+		if err != nil {
+			return nil, core.Errorf(core.KindType, "parameter %d: %v", i+1, err)
+		}
+		cols[i] = col
+	}
+	return cols, nil
+}
+
+// QueryStream executes the statement with one set of bind arguments and
+// returns a Rows iterator over the result batches — the prepared analogue
+// of Client.QueryStream, sharing its response protocol.
+func (s *Stmt) QueryStream(ctx context.Context, args ...any) (*Rows, error) {
+	if s.closed || s.c.stmtClosePending(s.id) {
+		// a pending deferred close means the owning PoolStmt was closed
+		// while another goroutine held this connection
+		return nil, ErrStmtClosed
+	}
+	if s.c.broken.Load() {
+		return nil, core.Errorf(core.KindIO, "connection is broken")
+	}
+	if len(args) != s.nparams {
+		return nil, core.Errorf(core.KindConstraint,
+			"statement expects %d bind parameter(s), got %d", s.nparams, len(args))
+	}
+	cols, err := bindArgCols(args)
+	if err != nil {
+		return nil, err
+	}
+	stop := s.c.watch(ctx)
+	rows, err := s.execLocked(cols)
+	if err != nil {
+		if werr := stop(); werr != nil {
+			return nil, werr
+		}
+		return nil, err
+	}
+	rows.stop = stop
+	return rows, nil
+}
+
+func (s *Stmt) execLocked(cols []*storage.Column) (*Rows, error) {
+	keptPending, err := s.c.flushStmtCloses(s.id)
+	if err != nil {
+		return nil, err
+	}
+	if keptPending {
+		// this statement was closed (deferred) while we held the
+		// connection; never execute a slot queued for release
+		return nil, ErrStmtClosed
+	}
+	if err := s.c.send(MsgExecStmt, EncodeExecStmt(s.id, cols)); err != nil {
+		return nil, err
+	}
+	return s.c.readQueryResponse()
+}
+
+// Query executes the statement and returns the status message and the
+// fully materialized result table.
+func (s *Stmt) Query(ctx context.Context, args ...any) (string, *storage.Table, error) {
+	rows, err := s.QueryStream(ctx, args...)
+	if err != nil {
+		return "", nil, err
+	}
+	return rows.ReadAll()
+}
+
+// Exec executes the statement for its side effects, returning the status
+// message.
+func (s *Stmt) Exec(ctx context.Context, args ...any) (string, error) {
+	rows, err := s.QueryStream(ctx, args...)
+	if err != nil {
+		return "", err
+	}
+	for rows.Next() {
+	}
+	if err := rows.Close(); err != nil {
+		return "", err
+	}
+	return rows.Msg(), nil
+}
+
+// Close discards the server-side statement, freeing its slot in the
+// connection's bounded statement table. Safe to call more than once.
+func (s *Stmt) Close(ctx context.Context) error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.c.broken.Load() {
+		// The connection is going away; the server frees the statement with
+		// the session.
+		return nil
+	}
+	stop := s.c.watch(ctx)
+	err := s.closeLocked()
+	if werr := stop(); werr != nil {
+		return werr
+	}
+	return err
+}
+
+func (s *Stmt) closeLocked() error {
+	if _, err := s.c.flushStmtCloses(0); err != nil {
+		return err
+	}
+	if err := s.c.send(MsgCloseStmt, EncodeCloseStmt(s.id)); err != nil {
+		return err
+	}
+	typ, payload, err := s.c.recv()
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case MsgCloseStmtOK:
+		return nil
+	case MsgErr:
+		return DecodeError(payload)
+	default:
+		s.c.broken.Store(true)
+		return core.Errorf(core.KindProtocol, "unexpected close-stmt reply %d", typ)
+	}
+}
+
+// PoolStmt is a pool-aware prepared statement: one logical statement that
+// transparently re-prepares itself on whichever healthy connection the
+// pool hands back. The per-connection statement handles are cached, so a
+// stable pool settles into zero re-prepares; when the pool retires a
+// connection (health check, churn), the next execution on its replacement
+// prepares once and proceeds. Safe for concurrent use.
+type PoolStmt struct {
+	pool    *Pool
+	sql     string
+	nparams int
+
+	mu       sync.Mutex
+	prepared map[*Client]*Stmt
+	closed   bool
+}
+
+// Prepare builds a pool-aware prepared statement, eagerly preparing on one
+// connection so bad SQL fails here rather than at first execution.
+func (p *Pool) Prepare(ctx context.Context, sql string) (*PoolStmt, error) {
+	ps := &PoolStmt{pool: p, sql: sql, prepared: map[*Client]*Stmt{}}
+	c, err := p.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	st, err := c.Prepare(ctx, sql)
+	if err != nil {
+		p.Put(c)
+		return nil, err
+	}
+	ps.nparams = st.nparams
+	ps.prepared[c] = st
+	p.Put(c)
+	return ps, nil
+}
+
+// SQL returns the statement's original text.
+func (ps *PoolStmt) SQL() string { return ps.sql }
+
+// NumParams reports how many bind arguments each execution needs.
+func (ps *PoolStmt) NumParams() int { return ps.nparams }
+
+// stmtFor returns the statement handle prepared on c, preparing it now if
+// this connection has not seen the statement yet (pool churn). Dead
+// connections' handles are pruned as a side effect.
+func (ps *PoolStmt) stmtFor(ctx context.Context, c *Client) (*Stmt, error) {
+	ps.mu.Lock()
+	if ps.closed {
+		ps.mu.Unlock()
+		return nil, ErrStmtClosed
+	}
+	for pc := range ps.prepared {
+		if pc.Broken() {
+			delete(ps.prepared, pc)
+		}
+	}
+	st := ps.prepared[c]
+	ps.mu.Unlock()
+	if st != nil {
+		return st, nil
+	}
+	st, err := c.Prepare(ctx, ps.sql)
+	if err != nil {
+		return nil, err
+	}
+	ps.mu.Lock()
+	if ps.closed {
+		// Close raced the prepare; free the fresh server-side slot with the
+		// next operation on this connection.
+		ps.mu.Unlock()
+		c.deferCloseStmt(st.id)
+		return nil, ErrStmtClosed
+	}
+	ps.prepared[c] = st
+	ps.mu.Unlock()
+	return st, nil
+}
+
+// Query checks out a connection (re-preparing there if needed), executes
+// with the given binds, and checks it back in.
+func (ps *PoolStmt) Query(ctx context.Context, args ...any) (string, *storage.Table, error) {
+	c, err := ps.pool.Get(ctx)
+	if err != nil {
+		return "", nil, err
+	}
+	defer ps.pool.Put(c)
+	st, err := ps.stmtFor(ctx, c)
+	if err != nil {
+		return "", nil, err
+	}
+	return st.Query(ctx, args...)
+}
+
+// Exec is Query for executions whose rows the caller does not need.
+func (ps *PoolStmt) Exec(ctx context.Context, args ...any) (string, error) {
+	c, err := ps.pool.Get(ctx)
+	if err != nil {
+		return "", err
+	}
+	defer ps.pool.Put(c)
+	st, err := ps.stmtFor(ctx, c)
+	if err != nil {
+		return "", err
+	}
+	return st.Exec(ctx, args...)
+}
+
+// QueryStream checks out a connection and starts a streaming execution on
+// it; the connection is checked back in when the Rows is fully consumed or
+// Closed.
+func (ps *PoolStmt) QueryStream(ctx context.Context, args ...any) (*Rows, error) {
+	c, err := ps.pool.Get(ctx)
+	if err != nil {
+		return nil, err
+	}
+	st, err := ps.stmtFor(ctx, c)
+	if err != nil {
+		ps.pool.Put(c)
+		return nil, err
+	}
+	rows, err := st.QueryStream(ctx, args...)
+	if err != nil {
+		ps.pool.Put(c)
+		return nil, err
+	}
+	rows.release = func() { ps.pool.Put(c) }
+	return rows, nil
+}
+
+// Close drops the per-connection handles and queues their server-side
+// slots for release: the connections may be checked out by other
+// goroutines right now, so each close is deferred onto its connection and
+// flushed by the next operation that exclusively holds it. Slots on
+// retired connections are already gone (the server tears the statement
+// table down with the session).
+func (ps *PoolStmt) Close() error {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if ps.closed {
+		return nil
+	}
+	ps.closed = true
+	for c, st := range ps.prepared {
+		if !c.Broken() {
+			c.deferCloseStmt(st.id)
+		}
+	}
+	ps.prepared = nil
+	return nil
+}

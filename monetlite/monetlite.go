@@ -63,6 +63,20 @@ type Pool = wire.Pool
 // Rows streams a wire result set batch-at-a-time.
 type Rows = wire.Rows
 
+// Stmt is an embedded prepared statement: SQL compiled once by
+// Conn.Prepare, executed many times with bind arguments (`?` positional or
+// `$n` numbered placeholders).
+type Stmt = engine.Stmt
+
+// ClientStmt is a prepared statement on one wire connection
+// (Client.Prepare; protocol v2).
+type ClientStmt = wire.Stmt
+
+// PoolStmt is a pool-aware prepared statement (Pool.Prepare): it
+// transparently re-prepares on whichever healthy connection the pool hands
+// back.
+type PoolStmt = wire.PoolStmt
+
 // DialOption customizes DialContext (timeouts, keepalive, logger,
 // protocol version).
 type DialOption = wire.DialOption

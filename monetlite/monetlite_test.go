@@ -93,6 +93,52 @@ func TestPooledAndStreamingUse(t *testing.T) {
 	}
 }
 
+// TestPreparedUse exercises the prepared-statement surfaces through the
+// public aliases: the embedded Stmt and the pool-aware PoolStmt.
+func TestPreparedUse(t *testing.T) {
+	db := monetlite.NewDB()
+	db.FS = core.NewMemFS(nil)
+	conn := monetlite.Connect(db, "monetdb", "monetdb")
+	if _, err := conn.ExecAll(`
+CREATE TABLE t (i INTEGER, s STRING);
+INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three');
+`); err != nil {
+		t.Fatal(err)
+	}
+	var stmt *monetlite.Stmt
+	stmt, err := conn.Prepare(`SELECT s FROM t WHERE i = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		res, err := stmt.Query(int64(i + 1))
+		if err != nil || res.Table.Cols[0].Strs[0] != want {
+			t.Fatalf("bind %d: %v %v", i+1, res, err)
+		}
+	}
+
+	srv := monetlite.NewServer("demo", "monetdb", "monetdb", db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	host, port := split(addr)
+	pool := monetlite.NewPool(monetlite.ConnParams{
+		Host: host, Port: port, Database: "demo", User: "monetdb", Password: "monetdb",
+	}, 2)
+	defer pool.Close()
+	var ps *monetlite.PoolStmt
+	ps, err = pool.Prepare(context.Background(), `SELECT i FROM t WHERE s = $1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if _, tbl, err := ps.Query(context.Background(), "two"); err != nil || tbl.Cols[0].Ints[0] != 2 {
+		t.Fatalf("%v %v", tbl, err)
+	}
+}
+
 func TestModeString(t *testing.T) {
 	if monetlite.ModeOperatorAtATime.String() != "operator-at-a-time" ||
 		monetlite.ModeTupleAtATime.String() != "tuple-at-a-time" {
