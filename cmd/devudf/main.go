@@ -44,7 +44,7 @@ func main() {
 	fs := core.OSFS{}
 	// The first ^C cancels in-flight wire operations; a second one falls
 	// back to the default handler and exits the process.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //ctxflow:edge process entry point
 	defer cancel()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

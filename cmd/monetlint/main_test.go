@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindModule(t *testing.T) {
+	dir, path, err := findModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "repro" {
+		t.Errorf("module path = %q, want repro", path)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "go.mod")); err != nil {
+		t.Errorf("module dir %s has no go.mod: %v", dir, err)
+	}
+}
+
+func TestFindModuleMissing(t *testing.T) {
+	t.Chdir(t.TempDir())
+	if _, _, err := findModule(); err == nil {
+		t.Fatal("expected an error outside any module")
+	}
+}
+
+func TestLanguageVersion(t *testing.T) {
+	cases := map[string]string{
+		"go1.24.0":       "go1.24",
+		"go1.24":         "go1.24",
+		"go1.22.11":      "go1.22",
+		"":               "",
+		"devel +abcdef":  "",
+		"weird-go1.24.0": "",
+	}
+	for in, want := range cases {
+		if got := languageVersion(in); got != want {
+			t.Errorf("languageVersion(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCompilerFor(t *testing.T) {
+	if got := compilerFor(""); got != "gc" {
+		t.Errorf("compilerFor(\"\") = %q", got)
+	}
+	if got := compilerFor("gccgo"); got != "gccgo" {
+		t.Errorf("compilerFor(gccgo) = %q", got)
+	}
+}
+
+func TestStablePath(t *testing.T) {
+	p1, err := stablePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode()&0o100 == 0 {
+		t.Errorf("%s is not executable: %v", p1, info.Mode())
+	}
+	// Content-addressed: a second call returns the same path.
+	p2, err := stablePath()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Errorf("stablePath not stable: %s vs %s", p1, p2)
+	}
+}
+
+func TestPrintDiagsText(t *testing.T) {
+	var buf bytes.Buffer
+	printDiags(&buf, false, "repro/internal/wire", map[string][]diagJSON{
+		"errwrap": {{Posn: "wire.go:10:2", Message: "broken chain"}},
+	})
+	got := buf.String()
+	if !strings.Contains(got, "wire.go:10:2: broken chain [errwrap]") {
+		t.Errorf("text output = %q", got)
+	}
+}
+
+func TestPrintDiagsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	printDiags(&buf, true, "repro/internal/wire", map[string][]diagJSON{
+		"errwrap": {{Posn: "wire.go:10:2", Message: "broken chain"}},
+	})
+	var out map[string]map[string][]diagJSON
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	ds := out["repro/internal/wire"]["errwrap"]
+	if len(ds) != 1 || ds[0].Message != "broken chain" {
+		t.Errorf("JSON round trip = %+v", out)
+	}
+}
+
+func TestVersionFlagInterface(t *testing.T) {
+	var v versionFlag
+	if !v.IsBoolFlag() || v.String() != "" || v.Get() != nil {
+		t.Error("versionFlag does not satisfy the cmd/go flag contract")
+	}
+	if err := v.Set("short"); err == nil {
+		t.Error("Set(short) should be rejected")
+	}
+}
+
+// TestRunUnitClean drives the unitchecker path end to end on a synthetic
+// dependency-free unit: parse, typecheck, facts file, no findings.
+func TestRunUnitClean(t *testing.T) {
+	dir := t.TempDir()
+	src := filepath.Join(dir, "u.go")
+	if err := os.WriteFile(src, []byte("package u\n\nfunc F() int { return 1 }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "u.vetx")
+	cfg := unitConfig{
+		ID:         "u",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "example/u",
+		GoVersion:  "go1.24.0",
+		GoFiles:    []string{src},
+		VetxOutput: vetx,
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "u.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	runUnit(cfgPath, nil, false)
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file was not written: %v", err)
+	}
+}
+
+func TestRunUnitVetxOnly(t *testing.T) {
+	dir := t.TempDir()
+	vetx := filepath.Join(dir, "v.vetx")
+	cfg := unitConfig{ID: "v", VetxOnly: true, VetxOutput: vetx}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "v.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	runUnit(cfgPath, nil, false)
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("facts file was not written in VetxOnly mode: %v", err)
+	}
+}

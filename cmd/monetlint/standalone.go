@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// runStandalone loads packages from source and applies the analyzers.
+// Exits 2 if any diagnostics were reported, 1 on operational errors.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	modDir, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
+		os.Exit(1)
+	}
+	loader := load.New(load.Config{ModulePath: modPath, ModuleDir: modDir})
+
+	var paths []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.ModulePackages()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
+				os.Exit(1)
+			}
+			paths = append(paths, all...)
+		case strings.HasPrefix(pat, "./"):
+			abs, err := filepath.Abs(pat)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
+				os.Exit(1)
+			}
+			rel, err := filepath.Rel(modDir, abs)
+			if err != nil || strings.HasPrefix(rel, "..") {
+				fmt.Fprintf(os.Stderr, "monetlint: %s is outside module %s\n", pat, modPath)
+				os.Exit(1)
+			}
+			ip := modPath
+			if rel != "." {
+				ip += "/" + filepath.ToSlash(rel)
+			}
+			paths = append(paths, ip)
+		default:
+			paths = append(paths, pat)
+		}
+	}
+
+	exit := 0
+	for _, path := range paths {
+		pkg, err := loader.LoadPath(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
+			os.Exit(1)
+		}
+		if n := runAnalyzers(loader.Fset(), pkg, analyzers, jsonOut); n > 0 {
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+// runAnalyzers applies the suite to one loaded package and prints its
+// diagnostics in position order. Returns the diagnostic count.
+func runAnalyzers(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.Analyzer, jsonOut bool) int {
+	type record struct {
+		analyzer string
+		pos      token.Position
+		msg      string
+	}
+	var recs []record
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			recs = append(recs, record{a.Name, fset.Position(d.Pos), d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "monetlint: %s: %s: %v\n", pkg.Path, a.Name, err)
+			os.Exit(1)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i].pos, recs[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	if jsonOut {
+		byAnalyzer := map[string][]diagJSON{}
+		for _, r := range recs {
+			byAnalyzer[r.analyzer] = append(byAnalyzer[r.analyzer], diagJSON{Posn: r.pos.String(), Message: r.msg})
+		}
+		if len(byAnalyzer) > 0 {
+			printDiags(os.Stdout, true, pkg.Path, byAnalyzer)
+		}
+		return len(recs)
+	}
+	for _, r := range recs {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", r.pos, r.msg, r.analyzer)
+	}
+	return len(recs)
+}
+
+// findModule walks up from the working directory to go.mod and reads the
+// module path.
+func findModule() (dir, path string, err error) {
+	dir, err = os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gm := filepath.Join(dir, "go.mod")
+		if _, statErr := os.Stat(gm); statErr == nil {
+			f, err := os.Open(gm)
+			if err != nil {
+				return "", "", err
+			}
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			for sc.Scan() {
+				line := strings.TrimSpace(sc.Text())
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module directive", gm)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

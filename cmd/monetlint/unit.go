@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"regexp"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// unitConfig is the JSON the go command writes for each vet unit — the
+// contract of golang.org/x/tools/go/analysis/unitchecker, which this file
+// reimplements over the stdlib gc-export-data importer.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runUnit analyzes one vet unit described by cfgPath. Exit codes follow
+// unitchecker: 0 clean, 1 operational failure, 2 diagnostics reported.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalUnit("%v", err)
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalUnit("parsing %s: %v", cfgPath, err)
+	}
+	// monetlint carries no cross-package facts, but the go command expects
+	// every unit to produce its facts file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalUnit("%v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalUnit("%v", err)
+		}
+		files = append(files, f)
+	}
+
+	imp := &unitImporter{fset: fset, cfg: &cfg}
+	imp.gc = importer.ForCompiler(fset, compilerFor(cfg.Compiler), imp.lookup)
+	info := load.NewInfo()
+	tconf := types.Config{
+		Importer:  imp,
+		GoVersion: languageVersion(cfg.GoVersion),
+		Error:     func(error) {}, // collect silently; first error returned by Check
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatalUnit("typecheck %s: %v", cfg.ImportPath, err)
+	}
+
+	lp := &load.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: pkg, Info: info}
+	if n := runAnalyzers(fset, lp, analyzers, jsonOut); n > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatalUnit(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "monetlint: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// compilerFor maps the unit's compiler to one the stdlib importer knows.
+func compilerFor(c string) string {
+	if c == "" {
+		return "gc"
+	}
+	return c
+}
+
+var goMinor = regexp.MustCompile(`^go\d+\.\d+`)
+
+// languageVersion trims a toolchain version ("go1.24.0") to the language
+// version go/types accepts ("go1.24").
+func languageVersion(v string) string {
+	if m := goMinor.FindString(v); m != "" {
+		return m
+	}
+	return ""
+}
+
+// unitImporter resolves imports through the export data files the go
+// command listed in the unit config.
+type unitImporter struct {
+	fset *token.FileSet
+	cfg  *unitConfig
+	gc   types.Importer
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.gc.Import(path)
+}
+
+func (u *unitImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	return u.Import(path)
+}
+
+// lookup feeds the gc importer the export data file for an import path,
+// mapping through the unit's ImportMap (vendoring, test variants).
+func (u *unitImporter) lookup(path string) (io.ReadCloser, error) {
+	if canon, ok := u.cfg.ImportMap[path]; ok {
+		path = canon
+	}
+	file, ok := u.cfg.PackageFile[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q in vet unit %s", path, u.cfg.ID)
+	}
+	return os.Open(file)
+}

@@ -43,7 +43,7 @@ const maxCachedStmts = 32
 // connectivity and credentials are verified eagerly with one checkout.
 func Open(ctx context.Context, settings Settings, opts ...Option) (*Client, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported client API
 	}
 	cfg := clientConfig{fs: core.OSFS{}, poolSize: 4}
 	for _, o := range opts {
@@ -70,7 +70,7 @@ func Open(ctx context.Context, settings Settings, opts ...Option) (*Client, erro
 //
 // Deprecated: use Open, which accepts a context and options.
 func Connect(settings Settings, fs core.FS) (*Client, error) {
-	return Open(context.Background(), settings, WithFS(fs))
+	return Open(context.Background(), settings, WithFS(fs)) //ctxflow:edge deprecated ctx-less entry point
 }
 
 // Close closes the cached prepared statements and the connection pool.
@@ -430,7 +430,7 @@ func (c *Client) ExportUDFs(ctx context.Context, names ...string) error {
 			return err
 		}
 		if _, _, err := c.pool.Query(ctx, sql); err != nil {
-			return core.Errorf(core.KindRuntime, "export %s: %v", info.Name, err)
+			return core.Wrapf(core.KindRuntime, err, "export %s: %v", info.Name, err)
 		}
 	}
 	return nil

@@ -126,7 +126,7 @@ func WithDialOptions(opts ...wire.DialOption) Option {
 func SaveSettings(fs core.FS, s Settings) error {
 	data, err := json.MarshalIndent(s, "", "  ")
 	if err != nil {
-		return core.Errorf(core.KindIO, "encode settings: %v", err)
+		return core.Wrapf(core.KindIO, err, "encode settings: %v", err)
 	}
 	return fs.WriteFile(settingsFile, data)
 }
@@ -144,7 +144,7 @@ func LoadSettings(fs core.FS) (Settings, error) {
 	}
 	var s Settings
 	if err := json.Unmarshal(data, &s); err != nil {
-		return Settings{}, core.Errorf(core.KindIO, "parse settings: %v", err)
+		return Settings{}, core.Wrapf(core.KindIO, err, "parse settings: %v", err)
 	}
 	if s.ProjectDir == "" {
 		s.ProjectDir = "udfproject"

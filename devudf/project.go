@@ -100,7 +100,7 @@ func (p *Project) readMeta() (map[string]UDFInfo, error) {
 	}
 	var m map[string]UDFInfo
 	if err := json.Unmarshal(data, &m); err != nil {
-		return nil, core.Errorf(core.KindIO, "parse project metadata: %v", err)
+		return nil, core.Wrapf(core.KindIO, err, "parse project metadata: %v", err)
 	}
 	return m, nil
 }
@@ -108,7 +108,7 @@ func (p *Project) readMeta() (map[string]UDFInfo, error) {
 func (p *Project) writeMeta(m map[string]UDFInfo) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
-		return core.Errorf(core.KindIO, "encode project metadata: %v", err)
+		return core.Wrapf(core.KindIO, err, "encode project metadata: %v", err)
 	}
 	return p.fs.WriteFile(p.path(metaFile), data)
 }

@@ -45,7 +45,7 @@ type RemoteDebugSession struct {
 // need to be imported locally — it is debugged where it lives.
 func (c *Client) NewRemoteDebugSession(ctx context.Context, udfName string, stopOnEntry bool) (*RemoteDebugSession, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported debug API
 	}
 	if c.Settings.DebugQuery == "" {
 		return nil, core.Errorf(core.KindConstraint,

@@ -156,7 +156,7 @@ func (c *Client) runLocalNative(info UDFInfo, src string) (*RunResult, error) {
 	}
 	v, err := pickle.LoadFile(c.Project.FS(), c.Project.InputPath(info.Name))
 	if err != nil {
-		return nil, core.Errorf(core.KindConstraint,
+		return nil, core.Wrapf(core.KindConstraint, err,
 			"no extracted inputs for %s (run extract first): %v", info.Name, err)
 	}
 	inputs, ok := v.(*script.DictVal)

@@ -1,0 +1,11 @@
+// Package t1 is the smoke fixture for the analysistest harness itself.
+package t1
+
+func boom() {}
+
+func use() {
+	boom() // want "boom call"
+	ok()
+}
+
+func ok() {}

@@ -1,0 +1,12 @@
+package colinvariant_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/colinvariant"
+)
+
+func TestColinvariant(t *testing.T) {
+	analysistest.Run(t, "testdata", colinvariant.Analyzer, "b", "k/internal/engine/vec")
+}

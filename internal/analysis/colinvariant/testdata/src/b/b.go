@@ -1,0 +1,27 @@
+// Package b sits outside the allowed literal zones: storage.Column must be
+// built through constructors here.
+package b
+
+import "repro/internal/storage"
+
+func badValue() storage.Column {
+	return storage.Column{Name: "x"} // want `storage.Column composite literal outside internal/storage and the vec kernels`
+}
+
+func badPointer() *storage.Column {
+	return &storage.Column{Name: "y"} // want `storage.Column composite literal outside internal/storage and the vec kernels`
+}
+
+func goodConstructor() *storage.Column {
+	return storage.NewColumn("z", 0, 16)
+}
+
+func deliberate() *storage.Column {
+	c := storage.Column{Name: "seed"} //colinvariant:ok hand-built column for the dump golden files
+	return &c
+}
+
+func otherLiteral() storage.Type {
+	var t storage.Type
+	return t
+}

@@ -1,0 +1,41 @@
+// Package vec exercises the kernel-zone rule: a function storing a non-nil
+// Nulls bitmap must zero the value slots under the set bits.
+package vec
+
+import "repro/internal/storage"
+
+func zeroUnderNulls(vals []int64, nulls []uint64) {
+	for i := range vals {
+		if nulls[i/64]>>(uint(i)%64)&1 == 1 {
+			vals[i] = 0
+		}
+	}
+}
+
+func badAssign(out *storage.Column, nulls []uint64) {
+	out.Nulls = nulls // want `badAssign sets a Nulls bitmap without zeroing value slots`
+}
+
+func badLiteral(nulls []uint64) storage.Column {
+	return storage.Column{Nulls: nulls} // want `badLiteral sets a Nulls bitmap without zeroing value slots`
+}
+
+func goodZeroed(out *storage.Column, nulls []uint64) {
+	out.Nulls = nulls
+	zeroUnderNulls(out.Ints, nulls)
+}
+
+//colinvariant:zeroed the caller hands over pre-zeroed buffers
+func annotated(out *storage.Column, nulls []uint64) {
+	out.Nulls = nulls
+}
+
+func nilStore(out *storage.Column) {
+	out.Nulls = nil
+}
+
+// Composite literals are allowed inside the kernel zone; without a Nulls
+// store there is nothing to check.
+func literalAllowedHere() storage.Column {
+	return storage.Column{Name: "tmp"}
+}

@@ -1,0 +1,21 @@
+// Package storage stubs repro/internal/storage for the colinvariant
+// fixtures: the analyzer matches Column by name and path suffix.
+package storage
+
+// Type is a stub column type tag.
+type Type int
+
+// Column mirrors the real layout closely enough for the fixtures.
+type Column struct {
+	Name  string
+	Typ   Type
+	Ints  []int64
+	Flts  []float64
+	Strs  []string
+	Nulls []uint64
+}
+
+// NewColumn is the constructor the analyzer steers callers toward.
+func NewColumn(name string, t Type, n int) *Column {
+	return &Column{Name: name, Typ: t}
+}

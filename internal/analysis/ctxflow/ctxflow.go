@@ -1,0 +1,59 @@
+// Package ctxflow defines an analyzer that keeps context threading honest
+// in server-side request paths: inside internal/wire, internal/engine, and
+// devudf, calls to context.Background()/context.TODO() are banned except
+// at API-edge nil-ctx fallbacks annotated //ctxflow:edge. A Background()
+// deep in a handler detaches the request from cancellation — the class of
+// bug that turns a cancelled query into a leaked worker.
+package ctxflow
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// scopes are the package path segments the check applies to.
+var scopes = []string{"internal/wire", "internal/engine", "devudf"}
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: `forbid context.Background/TODO in server-side request paths
+
+In internal/wire, internal/engine, and devudf, contexts must flow in from
+the caller. The only legitimate fresh contexts are nil-ctx fallbacks at
+exported API edges; annotate those with //ctxflow:edge.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scopes {
+		if analysis.PathHasSegments(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.InTestFile(n.Pos()) {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+			return true
+		}
+		if fn.Name() != "Background" && fn.Name() != "TODO" {
+			return true
+		}
+		if pass.HasDirective(call, "ctxflow", "edge") {
+			return true
+		}
+		pass.Reportf(call.Pos(), "context.%s() in a request path detaches it from caller cancellation; thread the caller's ctx through (or annotate an API-edge fallback with //ctxflow:edge)", fn.Name())
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package wire exercises the ctxflow analyzer inside a scoped path.
+package wire
+
+import "context"
+
+func handleQuery(q string) {
+	ctx := context.Background() // want `context.Background\(\) in a request path detaches it from caller cancellation`
+	runQuery(ctx, q)
+}
+
+func handleLazy(q string) {
+	runQuery(context.TODO(), q) // want `context.TODO\(\) in a request path detaches it from caller cancellation`
+}
+
+func handleThreaded(ctx context.Context, q string) {
+	runQuery(ctx, q)
+}
+
+// Open is the package's API edge: a nil ctx from callers of the exported
+// surface falls back to Background, which is the one legitimate use.
+func Open(ctx context.Context, q string) {
+	if ctx == nil {
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported API
+	}
+	runQuery(ctx, q)
+}
+
+func runQuery(ctx context.Context, q string) {
+	_ = ctx
+	_ = q
+}

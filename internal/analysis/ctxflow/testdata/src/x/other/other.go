@@ -1,0 +1,9 @@
+// Package other sits outside the ctxflow scopes; fresh contexts here are
+// not the analyzer's business.
+package other
+
+import "context"
+
+func Fresh() context.Context {
+	return context.Background()
+}

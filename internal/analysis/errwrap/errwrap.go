@@ -1,0 +1,134 @@
+// Package errwrap defines an analyzer enforcing that error causes survive
+// wrapping: fmt.Errorf must format error operands with %w, and core.Errorf
+// (which cannot carry a cause) must not be fed an error at all — those
+// sites want core.Wrapf, whose Err field keeps errors.Is/As working across
+// the wire/engine boundary.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errwrap check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: `report error operands that lose their cause when wrapped
+
+fmt.Errorf("...: %v", err) renders the error into the message and severs
+the chain; use %w. core.Errorf(kind, "...: %v", err) has no way to retain
+the cause; use core.Wrapf(kind, err, ...). Suppress a deliberate
+chain-break with //errwrap:ok.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || pass.InTestFile(n.Pos()) {
+			return true
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil || fn.Pkg() == nil || fn.Name() != "Errorf" {
+			return true
+		}
+		switch {
+		case fn.Pkg().Path() == "fmt":
+			checkFmtErrorf(pass, call)
+		case analysis.PathHasSegments(fn.Pkg().Path(), "internal/core"):
+			checkCoreErrorf(pass, call)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkFmtErrorf matches format verbs to operands and reports error-typed
+// operands formatted with anything but %w.
+func checkFmtErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	format, ok := constString(pass, call.Args[0])
+	if !ok || strings.Contains(format, "%[") {
+		return // dynamic or indexed format: out of scope
+	}
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) || verbs[i] == 'w' {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !analysis.IsErrorType(tv.Type) {
+			continue
+		}
+		if pass.HasDirective(call, "errwrap", "ok") {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "fmt.Errorf formats an error with %%%c, breaking the error chain; use %%w (or annotate //errwrap:ok)", verbs[i])
+	}
+}
+
+// checkCoreErrorf reports error-typed operands of core.Errorf, which drops
+// the cause regardless of verb.
+func checkCoreErrorf(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 3 {
+		return
+	}
+	for _, arg := range call.Args[2:] {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !analysis.IsErrorType(tv.Type) {
+			continue
+		}
+		if pass.HasDirective(call, "errwrap", "ok") {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "core.Errorf drops the error cause; use core.Wrapf(kind, err, ...) so errors.Is/As keep working (or annotate //errwrap:ok)")
+	}
+}
+
+// constString evaluates e as a constant string.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb letter consumed by each successive operand
+// of a printf-style format string. Width/precision stars are counted as
+// operands with verb '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags, width, precision
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if c == '+' || c == '-' || c == '#' || c == ' ' || c == '0' || c == '.' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,59 @@
+// Package a exercises the errwrap analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+var errBoom = errors.New("boom")
+
+func badVerbV() error {
+	return fmt.Errorf("open config: %v", errBoom) // want `fmt.Errorf formats an error with %v, breaking the error chain`
+}
+
+func badVerbS(name string) error {
+	return fmt.Errorf("load %s: %s", name, errBoom) // want `fmt.Errorf formats an error with %s, breaking the error chain`
+}
+
+func goodWrap() error {
+	return fmt.Errorf("open config: %w", errBoom)
+}
+
+func goodNoError(n int) error {
+	return fmt.Errorf("bad row count: %d", n)
+}
+
+// Percent escapes must not shift verb/operand matching: the first operand
+// is the int, the second is the error.
+func badAfterEscape(n int) error {
+	return fmt.Errorf("100%% failure after %d rows: %v", n, errBoom) // want `fmt.Errorf formats an error with %v`
+}
+
+// A non-constant format string is out of scope.
+func dynamicFormat(format string) error {
+	return fmt.Errorf(format, errBoom)
+}
+
+// A deliberate chain-break carries the escape directive.
+func deliberate() error {
+	return fmt.Errorf("redacted: %v", errBoom) //errwrap:ok message is user-facing; the cause must not leak
+}
+
+func badCoreErrorf(addr string) error {
+	return core.Errorf(core.KindIO, "connect %s: %v", addr, errBoom) // want `core.Errorf drops the error cause; use core.Wrapf`
+}
+
+func goodCoreWrapf(addr string) error {
+	return core.Wrapf(core.KindIO, errBoom, "connect %s: %v", addr, errBoom)
+}
+
+func goodCoreNoError(addr string) error {
+	return core.Errorf(core.KindIO, "connect %s: refused", addr)
+}
+
+func deliberateCore() error {
+	return core.Errorf(core.KindIO, "summary only: %v", errBoom) //errwrap:ok kind-only error is intentional here
+}

@@ -1,0 +1,21 @@
+// Package core stubs repro/internal/core for the errwrap fixtures: the
+// analyzer matches it by path suffix, so only the signatures matter.
+package core
+
+import "fmt"
+
+// ErrorKind mirrors the real kind enum.
+type ErrorKind int
+
+// KindIO is an arbitrary kind for the fixtures.
+const KindIO ErrorKind = 1
+
+// Errorf formats a kinded error; it cannot carry a cause.
+func Errorf(kind ErrorKind, format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+// Wrapf formats a kinded error around a cause.
+func Wrapf(kind ErrorKind, cause error, format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,224 @@
+// Package hotalloc defines an analyzer that flags per-row allocations
+// inside the loops of functions annotated //vec:hot — the vectorized
+// kernels whose whole point (PR 4, the paper's vectorized-execution
+// argument) is amortizing per-value overhead across a batch. A string
+// conversion, interface boxing, or fmt call inside such a loop reintroduces
+// the per-row cost the kernel exists to remove.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: `flag per-row allocations in loops of //vec:hot functions
+
+Inside for/range loops of functions marked //vec:hot: string<->[]byte
+conversions, interface boxing at call sites, fmt.* / strconv formatting
+calls, make/new, and allocating composite literals are reported. Suppress
+a deliberate allocation with //hotalloc:ok.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
+				continue
+			}
+			if !isHot(pass, fd) {
+				continue
+			}
+			checkHot(pass, fd)
+		}
+	}
+	return nil
+}
+
+func isHot(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, d := range pass.FuncDirectives(fd.Body.Pos(), "vec") {
+		if d.Verb == "hot" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHot walks fd's body tracking loop depth. Function literals are
+// walked too (kernels often run as closures under Pol.Run); the loop depth
+// carries across, since the closure runs on the same hot path.
+func checkHot(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, inLoop)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, inLoop)
+				}
+				if n.Post != nil {
+					walk(n.Post, inLoop)
+				}
+				walk(n.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, inLoop)
+				walk(n.Body, true)
+				return false
+			case *ast.CallExpr:
+				if inLoop {
+					checkCall(pass, n)
+				}
+				return true
+			case *ast.CompositeLit:
+				if inLoop && allocatingLit(pass, n) {
+					report(pass, n, "composite literal allocates per iteration")
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+func report(pass *analysis.Pass, n ast.Node, what string) {
+	if pass.HasDirective(n, "hotalloc", "ok") {
+		return
+	}
+	pass.Reportf(n.Pos(), "%s inside a loop of a //vec:hot function; hoist it out of the per-row path (or annotate //hotalloc:ok)", what)
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Conversions: T(x) where the callee is a type.
+	if tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]; ok && tv.IsType() {
+		if len(call.Args) == 1 && allocatingConversion(pass, tv.Type, call.Args[0]) {
+			report(pass, call, "string conversion allocates per iteration")
+		}
+		return
+	}
+	// Built-ins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				report(pass, call, b.Name()+" allocates per iteration")
+			}
+			return
+		}
+	}
+	fn := pass.CalleeFunc(call)
+	if fn != nil && fn.Pkg() != nil {
+		switch fn.Pkg().Path() {
+		case "fmt":
+			report(pass, call, "fmt."+fn.Name()+" allocates and reflects per iteration")
+			return
+		case "strconv":
+			if isFormatting(fn.Name()) {
+				report(pass, call, "strconv."+fn.Name()+" allocates a string per iteration")
+				return
+			}
+		}
+	}
+	checkBoxing(pass, call)
+}
+
+func isFormatting(name string) bool {
+	switch name {
+	case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "FormatBool", "FormatComplex", "Quote", "QuoteRune":
+		return true
+	}
+	return false
+}
+
+// checkBoxing reports concrete values passed to interface-typed
+// parameters — each such call boxes the value onto the heap.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(call.Fun)]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.Type == nil || types.IsInterface(at.Type) || at.IsNil() {
+			continue
+		}
+		report(pass, arg, "passing a concrete value to an interface parameter boxes it per iteration")
+	}
+}
+
+// allocatingConversion reports conversions that copy memory: between
+// string and byte/rune slices, or from byte/rune/integers to string.
+func allocatingConversion(pass *analysis.Pass, dst types.Type, arg ast.Expr) bool {
+	at, ok := pass.TypesInfo.Types[arg]
+	if !ok || at.Type == nil {
+		return false
+	}
+	src := at.Type.Underlying()
+	d := dst.Underlying()
+	if isString(d) {
+		if at.Value != nil {
+			return false // constant-folded
+		}
+		return !isString(src) // []byte/[]rune/rune/int → string copies
+	}
+	if isByteOrRuneSlice(d) && isString(src) {
+		return true // string → []byte/[]rune copies
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// allocatingLit reports composite literals that always allocate: slice and
+// map literals, and address-taken struct literals. Plain value struct
+// literals usually stay on the stack and are not reported.
+func allocatingLit(pass *analysis.Pass, lit *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}

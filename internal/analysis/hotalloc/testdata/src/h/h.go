@@ -1,0 +1,111 @@
+// Package h exercises the hotalloc analyzer: per-row allocations inside
+// the loops of //vec:hot functions.
+package h
+
+import (
+	"fmt"
+	"strconv"
+)
+
+func sink(v any) {}
+
+func sinkBytes(b []byte) {}
+
+//vec:hot
+func badStrconv(xs []int64, out []string) {
+	for i, x := range xs {
+		out[i] = strconv.FormatInt(x, 10) // want `strconv.FormatInt allocates a string per iteration`
+	}
+}
+
+//vec:hot
+func badFmt(xs []int64, out []string) {
+	for i, x := range xs {
+		out[i] = fmt.Sprint(x) // want `fmt.Sprint allocates and reflects per iteration`
+	}
+}
+
+//vec:hot
+func badMake(xs []int64) {
+	for range xs {
+		_ = make([]byte, 8) // want `make allocates per iteration`
+	}
+}
+
+//vec:hot
+func badConvert(strs []string, out [][]byte) {
+	for i, s := range strs {
+		out[i] = []byte(s) // want `string conversion allocates per iteration`
+	}
+}
+
+//vec:hot
+func badBackConvert(bufs [][]byte, out []string) {
+	for i, b := range bufs {
+		out[i] = string(b) // want `string conversion allocates per iteration`
+	}
+}
+
+//vec:hot
+func badLiterals(xs []int64) {
+	for _, x := range xs {
+		_ = []int64{x}              // want `composite literal allocates per iteration`
+		_ = map[int64]bool{x: true} // want `composite literal allocates per iteration`
+	}
+}
+
+//vec:hot
+func badBoxing(xs []int64) {
+	for _, x := range xs {
+		sink(x) // want `passing a concrete value to an interface parameter boxes it per iteration`
+	}
+}
+
+// Kernels often run as closures under the morsel driver; the loop inside
+// the literal is still the hot path.
+//
+//vec:hot
+func badClosure(run func(func(lo, hi int)), xs []int64) {
+	run(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			_ = make([]byte, 8) // want `make allocates per iteration`
+		}
+	})
+}
+
+//vec:hot
+func goodHoisted(xs []int64) {
+	buf := make([]byte, 8)
+	for range xs {
+		sinkBytes(buf)
+	}
+}
+
+//vec:hot
+func goodValueStruct(xs []int64) {
+	type pair struct{ a, b int64 }
+	for _, x := range xs {
+		_ = pair{a: x, b: x}
+	}
+}
+
+//vec:hot
+func goodNilInterface(xs []int64) {
+	for range xs {
+		sink(nil)
+	}
+}
+
+//vec:hot
+func deliberate(xs []int64) {
+	for range xs {
+		_ = make([]byte, 8) //hotalloc:ok scratch buffer, reset and reused via a pool
+	}
+}
+
+// Not annotated: the same allocations are fine in a cold function.
+func coldFunction(xs []int64, out []string) {
+	for i, x := range xs {
+		out[i] = strconv.FormatInt(x, 10)
+	}
+}

@@ -1,0 +1,2 @@
+// Package onlytest has no non-test files and is not a buildable package.
+package onlytest

@@ -1,0 +1,2 @@
+// Package mod is the synthetic module root for ModulePackages tests.
+package mod

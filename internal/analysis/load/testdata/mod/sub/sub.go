@@ -1,0 +1,2 @@
+// Package sub is a nested package of the synthetic module.
+package sub

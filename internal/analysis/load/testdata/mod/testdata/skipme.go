@@ -1,0 +1,2 @@
+// Package skipme must be skipped by the testdata rule.
+package skipme

@@ -1,0 +1,5 @@
+// Package badtype fails to typecheck.
+package badtype
+
+// Broken assigns a string to an int.
+var Broken int = "not an int"

@@ -1,0 +1,7 @@
+// Package c1 imports c2, which imports c1 back: an import cycle.
+package c1
+
+import "c2"
+
+// V re-exports the cycle partner's value.
+var V = c2.V

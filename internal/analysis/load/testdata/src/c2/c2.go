@@ -1,0 +1,7 @@
+// Package c2 completes the import cycle with c1.
+package c2
+
+import "c1"
+
+// V re-exports the cycle partner's value.
+var V = c1.V

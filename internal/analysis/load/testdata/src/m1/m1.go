@@ -1,0 +1,13 @@
+// Package m1 exercises fixture-to-fixture and stdlib imports.
+package m1
+
+import (
+	"strings"
+
+	"m2"
+)
+
+// Upper combines a fixture dependency with a stdlib call.
+func Upper() string {
+	return strings.ToUpper(m2.Greeting())
+}

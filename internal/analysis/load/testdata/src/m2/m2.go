@@ -1,0 +1,5 @@
+// Package m2 is the dependency of m1.
+package m2
+
+// Greeting returns a constant.
+func Greeting() string { return "hi" }

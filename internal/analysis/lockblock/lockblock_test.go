@@ -1,0 +1,12 @@
+package lockblock_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockblock"
+)
+
+func TestLockblock(t *testing.T) {
+	analysistest.Run(t, "testdata", lockblock.Analyzer, "q/internal/wire", "q/other")
+}

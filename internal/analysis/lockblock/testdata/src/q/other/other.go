@@ -1,0 +1,16 @@
+// Package other sits outside the lockblock scopes; holding a lock across a
+// channel send here is not the analyzer's business.
+package other
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) send(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- v
+}

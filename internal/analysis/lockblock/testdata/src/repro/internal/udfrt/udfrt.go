@@ -1,0 +1,8 @@
+// Package udfrt stubs repro/internal/udfrt for the lockblock fixtures: the
+// analyzer matches Callable by name and path suffix.
+package udfrt
+
+// Callable runs one user-defined function invocation.
+type Callable interface {
+	Call(args []any) ([]any, error)
+}

@@ -1,0 +1,95 @@
+// Package proto exercises the wireswitch analyzer with a miniature wire
+// protocol: direction-commented Msg constants plus dispatch and matcher
+// switches over them.
+package proto
+
+const (
+	MsgAuth  byte = 1 // client → server: handshake
+	MsgQuery byte = 2 // client → server: run SQL
+	MsgPing  byte = 3 // client -> server: keepalive (ASCII arrow also accepted)
+	MsgClose byte = 4 // client → server: hang up
+
+	MsgResult byte = 16 // server → client: result header
+	MsgErr    byte = 17 // server → client: error reply
+	MsgBye    byte = 18 // server → client: goodbye
+
+	//wireswitch:ignore
+	MsgLegacy byte = 100 // client → server: superseded frame, never dispatched
+
+	MsgOdd byte = 99 // want `MsgOdd has no direction comment`
+)
+
+// dispatchExhaustive handles every client→server message (MsgLegacy is
+// excluded everywhere by its const-level ignore).
+func dispatchExhaustive(t byte) {
+	//wireswitch:dispatch client-to-server
+	switch t {
+	case MsgAuth:
+	case MsgQuery:
+	case MsgPing:
+	case MsgClose:
+	}
+}
+
+// dispatchMissing forgets MsgClose.
+func dispatchMissing(t byte) {
+	//wireswitch:dispatch client-to-server
+	switch t { // want `dispatch switch does not handle MsgClose`
+	case MsgAuth:
+	case MsgQuery:
+	case MsgPing:
+	}
+}
+
+// dispatchWithIgnore excludes MsgClose with a named, reasoned ignore.
+func dispatchWithIgnore(t byte) {
+	//wireswitch:dispatch client-to-server
+	//wireswitch:ignore MsgClose -- handled on the frame loop before dispatch
+	switch t {
+	case MsgAuth:
+	case MsgQuery:
+	case MsgPing:
+	}
+}
+
+// dispatchWrongDirection is a server→client dispatcher with a stray
+// client→server case.
+func dispatchWrongDirection(t byte) {
+	//wireswitch:dispatch server-to-client
+	switch t { // want `dispatch switch for server → client messages has a case for MsgQuery, which flows the other way`
+	case MsgResult:
+	case MsgErr:
+	case MsgBye:
+	case MsgQuery:
+	}
+}
+
+// undirected names three message types but declares nothing.
+func undirected(t byte) {
+	switch t { // want `switch over 3 message types needs a wireswitch directive`
+	case MsgAuth:
+	case MsgQuery:
+	case MsgPing:
+	}
+}
+
+// matcher is exempted wholesale: it matches one reply, it does not dispatch.
+func matcher(t byte) bool {
+	//wireswitch:ignore reply matcher for a single round trip, not a dispatch point
+	switch t {
+	case MsgResult, MsgErr, MsgBye:
+		return true
+	}
+	return false
+}
+
+// smallSwitch names fewer than three message types and is out of scope.
+func smallSwitch(t byte) bool {
+	switch t {
+	case MsgResult:
+		return true
+	case MsgErr:
+		return false
+	}
+	return false
+}

@@ -1,0 +1,259 @@
+// Package wireswitch defines an analyzer that keeps the wire protocol's
+// message-type switches exhaustive. The Msg* constants in
+// internal/wire/proto.go and debugproto.go carry direction comments
+// ("client → server" / "server → client"); every dispatch switch over a
+// message type must handle all constants of its direction or say why not.
+// Adding a new message without teaching every dispatch point about it then
+// fails vet instead of failing at runtime.
+//
+// Contract, enforced per tagged switch whose cases name 3 or more Msg*
+// constants:
+//
+//   - //wireswitch:dispatch client-to-server (or server-to-client) declares
+//     the switch a dispatch point: every constant of that direction must
+//     appear as a case, minus those listed in a
+//     //wireswitch:ignore MsgA MsgB -- reason
+//     directive inside or above the switch. A case naming a constant of the
+//     opposite direction is reported too.
+//   - //wireswitch:ignore reason (no Msg names) exempts a non-dispatch
+//     matcher switch (e.g. a reply matcher expecting one of two frames).
+//   - a bare //wireswitch:ignore on a Msg constant's declaration excludes
+//     it from exhaustiveness everywhere.
+//
+// A qualifying switch with no directive at all is reported: dispatch
+// switches must self-declare so the analyzer cannot silently miss one.
+package wireswitch
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the wireswitch check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireswitch",
+	Doc: `require message-type switches to handle every Msg* constant of their direction
+
+Switches naming 3+ Msg* constants must carry //wireswitch:dispatch
+<direction> (checked exhaustive against the direction comments on the
+constants) or //wireswitch:ignore <reason>.`,
+	Run: run,
+}
+
+const (
+	dirUnknown = iota
+	dirC2S
+	dirS2C
+)
+
+type msgConst struct {
+	obj     *types.Const
+	dir     int
+	ignored bool // const-level //wireswitch:ignore
+}
+
+func run(pass *analysis.Pass) error {
+	consts := collectMsgConsts(pass)
+	if len(consts) == 0 {
+		return nil // not a wire protocol package
+	}
+	byDir := map[int][]string{}
+	for name, mc := range consts {
+		if !mc.ignored && mc.dir != dirUnknown {
+			byDir[mc.dir] = append(byDir[mc.dir], name)
+		}
+	}
+	pass.Preorder(func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil || pass.InTestFile(n.Pos()) {
+			return true
+		}
+		checkSwitch(pass, sw, consts, byDir)
+		return true
+	})
+	return nil
+}
+
+// collectMsgConsts finds the package's Msg* constants and classifies their
+// direction from the declaration comments.
+func collectMsgConsts(pass *analysis.Pass) map[string]msgConst {
+	out := map[string]msgConst{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "Msg") || len(name.Name) <= 3 {
+						continue
+					}
+					c, ok := pass.TypesInfo.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					mc := msgConst{obj: c, dir: direction(vs)}
+					for _, d := range pass.Attached(vs, "wireswitch") {
+						if d.Verb == "ignore" {
+							mc.ignored = true
+						}
+					}
+					out[name.Name] = mc
+					if mc.dir == dirUnknown && !mc.ignored {
+						pass.Reportf(name.Pos(), "%s has no direction comment (\"client → server\" or \"server → client\"); wireswitch cannot check exhaustiveness for it", name.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// direction reads the doc or line comment of a const spec.
+func direction(vs *ast.ValueSpec) int {
+	text := ""
+	if vs.Doc != nil {
+		text += vs.Doc.Text()
+	}
+	if vs.Comment != nil {
+		text += vs.Comment.Text()
+	}
+	switch {
+	case strings.Contains(text, "client → server"), strings.Contains(text, "client -> server"):
+		return dirC2S
+	case strings.Contains(text, "server → client"), strings.Contains(text, "server -> client"):
+		return dirS2C
+	}
+	return dirUnknown
+}
+
+// checkSwitch applies the exhaustiveness contract to one tagged switch.
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt, consts map[string]msgConst, byDir map[int][]string) {
+	cases := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if name, ok := msgRef(pass, e, consts); ok {
+				cases[name] = true
+			}
+		}
+	}
+	if len(cases) < 3 {
+		return
+	}
+
+	var dispatch, blanket bool
+	wantDir := dirUnknown
+	ignored := map[string]bool{}
+	ds := append(pass.Attached(sw, "wireswitch"), pass.Within(sw, "wireswitch")...)
+	for _, d := range ds {
+		switch d.Verb {
+		case "dispatch":
+			dispatch = true
+			dir, _, _ := strings.Cut(d.Args, " ")
+			switch dir {
+			case "client-to-server":
+				wantDir = dirC2S
+			case "server-to-client":
+				wantDir = dirS2C
+			default:
+				pass.Reportf(d.Pos, "wireswitch:dispatch needs a direction: client-to-server or server-to-client")
+				return
+			}
+		case "ignore":
+			names, ok := ignoreNames(d.Args)
+			if !ok {
+				blanket = true // reason-only ignore: exempt the whole switch
+				continue
+			}
+			for _, nm := range names {
+				if _, known := consts[nm]; !known {
+					pass.Reportf(d.Pos, "wireswitch:ignore names unknown constant %s", nm)
+				}
+				ignored[nm] = true
+			}
+		}
+	}
+	if blanket && !dispatch {
+		return
+	}
+	if !dispatch {
+		pass.Reportf(sw.Pos(), "switch over %d message types needs a wireswitch directive: //wireswitch:dispatch <direction> if it is a dispatch point, or //wireswitch:ignore <reason> if not", len(cases))
+		return
+	}
+
+	var missing []string
+	for _, name := range byDir[wantDir] {
+		if !cases[name] && !ignored[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(sw.Pos(), "dispatch switch does not handle %s; add a case or list it in //wireswitch:ignore with a reason", name)
+	}
+	for name := range cases {
+		if mc := consts[name]; mc.dir != dirUnknown && mc.dir != wantDir {
+			pass.Reportf(sw.Pos(), "dispatch switch for %s messages has a case for %s, which flows the other way", dirString(wantDir), name)
+		}
+	}
+}
+
+// ignoreNames parses the Msg names of an ignore directive. Args of the
+// form "MsgA MsgB -- reason" yield the names; args that are only prose
+// (no leading Msg token) mean a blanket ignore and return ok=false.
+func ignoreNames(args string) ([]string, bool) {
+	fields := strings.Fields(args)
+	var names []string
+	for _, f := range fields {
+		if f == "--" {
+			break
+		}
+		if !strings.HasPrefix(f, "Msg") {
+			break
+		}
+		names = append(names, f)
+	}
+	return names, len(names) > 0
+}
+
+// msgRef resolves a case expression to a known Msg constant name.
+func msgRef(pass *analysis.Pass, e ast.Expr, consts map[string]msgConst) (string, bool) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Const)
+	if !ok {
+		return "", false
+	}
+	mc, known := consts[id.Name]
+	if !known || mc.obj != obj {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func dirString(dir int) string {
+	if dir == dirC2S {
+		return "client → server"
+	}
+	return "server → client"
+}

@@ -1,0 +1,12 @@
+package wireswitch_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireswitch"
+)
+
+func TestWireswitch(t *testing.T) {
+	analysistest.Run(t, "testdata", wireswitch.Analyzer, "proto")
+}

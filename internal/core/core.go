@@ -167,10 +167,10 @@ func (o OSFS) ListDir(dir string) ([]string, error) {
 func (o OSFS) WriteFile(name string, data []byte) error {
 	p := o.path(name)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return Errorf(KindIO, "%v", err)
+		return Wrapf(KindIO, err, "%v", err)
 	}
 	if err := os.WriteFile(p, data, 0o644); err != nil {
-		return Errorf(KindIO, "%v", err)
+		return Wrapf(KindIO, err, "%v", err)
 	}
 	return nil
 }

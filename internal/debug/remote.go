@@ -93,11 +93,11 @@ func (rs *RemoteServer) ServeConn(conn net.Conn) error {
 		}
 		resp := rs.handle(req)
 		if err := enc.Encode(resp); err != nil {
-			return core.Errorf(core.KindIO, "write response: %v", err)
+			return core.Wrapf(core.KindIO, err, "write response: %v", err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return core.Errorf(core.KindIO, "read request: %v", err)
+		return core.Wrapf(core.KindIO, err, "read request: %v", err)
 	}
 	return nil
 }
@@ -190,7 +190,7 @@ type RemoteClient struct {
 func DialRemote(addr string) (*RemoteClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, core.Errorf(core.KindIO, "connect debugger %s: %v", addr, err)
+		return nil, core.Wrapf(core.KindIO, err, "connect debugger %s: %v", addr, err)
 	}
 	return NewRemoteClient(conn), nil
 }
@@ -209,17 +209,17 @@ func (rc *RemoteClient) roundTrip(req Request) (Response, error) {
 	rc.seq++
 	req.Seq = rc.seq
 	if err := rc.enc.Encode(req); err != nil {
-		return Response{}, core.Errorf(core.KindIO, "send: %v", err)
+		return Response{}, core.Wrapf(core.KindIO, err, "send: %v", err)
 	}
 	if !rc.sc.Scan() {
 		if err := rc.sc.Err(); err != nil {
-			return Response{}, core.Errorf(core.KindIO, "recv: %v", err)
+			return Response{}, core.Wrapf(core.KindIO, err, "recv: %v", err)
 		}
 		return Response{}, core.Errorf(core.KindIO, "debug server closed the connection")
 	}
 	var resp Response
 	if err := json.Unmarshal(rc.sc.Bytes(), &resp); err != nil {
-		return Response{}, core.Errorf(core.KindProtocol, "bad response: %v", err)
+		return Response{}, core.Wrapf(core.KindProtocol, err, "bad response: %v", err)
 	}
 	if !resp.Success {
 		return resp, core.Errorf(core.KindRuntime, "%s", resp.Error)

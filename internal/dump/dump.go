@@ -40,7 +40,7 @@ func Dump(db *engine.DB, w io.Writer) error {
 		return err
 	}
 	if _, err := w.Write(buf); err != nil {
-		return core.Errorf(core.KindIO, "write dump: %v", err)
+		return core.Wrapf(core.KindIO, err, "write dump: %v", err)
 	}
 	return nil
 }
@@ -74,7 +74,7 @@ func encodeSchema(buf []byte, s storage.Schema) []byte {
 func Restore(db *engine.DB, r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return core.Errorf(core.KindIO, "read dump: %v", err)
+		return core.Wrapf(core.KindIO, err, "read dump: %v", err)
 	}
 	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
 		return core.Errorf(core.KindProtocol, "not a monetlite dump")

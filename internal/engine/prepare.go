@@ -174,7 +174,7 @@ func (s *Stmt) bindArgs(args []any) ([]*storage.Column, error) {
 	for i, v := range args {
 		col, err := storage.BindValue(v)
 		if err != nil {
-			return nil, core.Errorf(core.KindType, "parameter %d: %v", i+1, err)
+			return nil, core.Wrapf(core.KindType, err, "parameter %d: %v", i+1, err)
 		}
 		if v == nil {
 			// NULL binds into any slot; take the slot's type once known so

@@ -105,6 +105,8 @@ func Numeric(t storage.Type) bool {
 }
 
 // AllNull returns an n-row column of the given type with every row NULL.
+//
+//colinvariant:zeroed emptyTyped pre-sizes zeroed value buffers, so every slot under the bitmap is already zero
 func AllNull(typ storage.Type, n int) *storage.Column {
 	out := emptyTyped(typ, n)
 	if n > 0 {
@@ -294,6 +296,8 @@ func Arith(p Pol, op ArithOp, l, r *storage.Column, n int) (*storage.Column, err
 // GO-UDF boundary where NULLs are contractually Go zero values, and the
 // scalar reference's AppendNull stores zeros — this keeps outputs
 // bit-identical.
+//
+//vec:hot
 func zeroUnderNulls[T comparable](p Pol, dst []T, nulls []bool) {
 	if nulls == nil {
 		return
@@ -312,6 +316,8 @@ func zeroUnderNulls[T comparable](p Pol, dst []T, nulls []bool) {
 // arithVec dispatches op (Add/Sub/Mul/Div — Mod is per-type) and the
 // operand shape once, then runs tight generic loops morsel-parallel
 // (disjoint output ranges, no locking).
+//
+//vec:hot
 func arithVec[T number](p Pol, op ArithOp, dst, a, b []T, nulls []bool, n int) error {
 	av, bv := len(a) == n, len(b) == n
 	switch op {
@@ -369,42 +375,49 @@ func subNulls(nulls []bool, lo, hi int) []bool {
 // Branch-free kernels for the ops that cannot fail. NULL rows compute
 // harmless garbage over zero values; the validity bitmap masks them.
 
+//vec:hot
 func addVV[T number](dst, a, b []T) {
 	for i := range dst {
 		dst[i] = a[i] + b[i]
 	}
 }
 
+//vec:hot
 func addVS[T number](dst, a []T, b T) {
 	for i := range dst {
 		dst[i] = a[i] + b
 	}
 }
 
+//vec:hot
 func subVV[T number](dst, a, b []T) {
 	for i := range dst {
 		dst[i] = a[i] - b[i]
 	}
 }
 
+//vec:hot
 func subVS[T number](dst, a []T, b T) {
 	for i := range dst {
 		dst[i] = a[i] - b
 	}
 }
 
+//vec:hot
 func subSV[T number](dst []T, a T, b []T) {
 	for i := range dst {
 		dst[i] = a - b[i]
 	}
 }
 
+//vec:hot
 func mulVV[T number](dst, a, b []T) {
 	for i := range dst {
 		dst[i] = a[i] * b[i]
 	}
 }
 
+//vec:hot
 func mulVS[T number](dst, a []T, b T) {
 	for i := range dst {
 		dst[i] = a[i] * b
@@ -415,6 +428,7 @@ func mulVS[T number](dst, a []T, b T) {
 // unless the row is NULL (the scalar reference never reaches the check
 // on NULL rows).
 
+//vec:hot
 func divVV[T number](dst, a, b []T, nulls []bool) error {
 	for i := range dst {
 		if b[i] == 0 {
@@ -428,6 +442,7 @@ func divVV[T number](dst, a, b []T, nulls []bool) error {
 	return nil
 }
 
+//vec:hot
 func divSV[T number](dst []T, a T, b []T, nulls []bool) error {
 	for i := range dst {
 		if b[i] == 0 {
@@ -443,6 +458,8 @@ func divSV[T number](dst []T, a T, b []T, nulls []bool) error {
 
 // divVS handles a constant divisor: the zero check hoists out of the
 // loop entirely (a zero divisor errors iff any row is non-NULL).
+//
+//vec:hot
 func divVS[T number](p Pol, dst, a []T, b T, nulls []bool, n int) error {
 	if b == 0 {
 		return scalarZeroDivisor(nulls, n)
@@ -457,6 +474,8 @@ func divVS[T number](p Pol, dst, a []T, b T, nulls []bool, n int) error {
 }
 
 // modInt is integer modulo over the three operand shapes.
+//
+//vec:hot
 func modInt(p Pol, dst, a, b []int64, nulls []bool, n int) error {
 	av, bv := len(a) == n, len(b) == n
 	switch {
@@ -495,6 +514,7 @@ func modInt(p Pol, dst, a, b []int64, nulls []bool, n int) error {
 	}
 }
 
+//vec:hot
 func modIntVV(dst, a, b []int64, nulls []bool) error {
 	for i := range dst {
 		if b[i] == 0 {
@@ -509,6 +529,8 @@ func modIntVV(dst, a, b []int64, nulls []bool) error {
 }
 
 // modFlt is float modulo (math.Mod) over the three operand shapes.
+//
+//vec:hot
 func modFlt(p Pol, dst, a, b []float64, nulls []bool, n int) error {
 	av, bv := len(a) == n, len(b) == n
 	switch {
@@ -547,6 +569,7 @@ func modFlt(p Pol, dst, a, b []float64, nulls []bool, n int) error {
 	}
 }
 
+//vec:hot
 func modFltVV(dst, a, b []float64, nulls []bool) error {
 	for i := range dst {
 		if b[i] == 0 {
@@ -626,6 +649,8 @@ func Compare(p Pol, op CmpOp, l, r *storage.Column, n int) (*storage.Column, err
 }
 
 // cmpVec dispatches op and shape once, then runs per-op tight loops.
+//
+//vec:hot
 func cmpVec[T cmp.Ordered](p Pol, op CmpOp, dst []bool, a, b []T, n int) {
 	switch {
 	case len(a) == n && len(b) == n:
@@ -644,6 +669,7 @@ func cmpVec[T cmp.Ordered](p Pol, op CmpOp, dst []bool, a, b []T, n int) {
 // anything, <= and >= hold, < and > do not. For ints and strings these
 // formulations reduce to the direct operators.
 
+//vec:hot
 func cmpVV[T cmp.Ordered](op CmpOp, dst []bool, a, b []T) {
 	switch op {
 	case CmpEq:
@@ -673,6 +699,7 @@ func cmpVV[T cmp.Ordered](op CmpOp, dst []bool, a, b []T) {
 	}
 }
 
+//vec:hot
 func cmpVS[T cmp.Ordered](op CmpOp, dst []bool, a []T, b T) {
 	switch op {
 	case CmpEq:
@@ -708,6 +735,8 @@ func cmpVS[T cmp.Ordered](op CmpOp, dst []bool, a []T, b T) {
 // broadcast-aligned rows into dst: NULL is false, numbers are non-zero,
 // strings non-empty (the WHERE/AND/OR semantics of the scalar
 // reference).
+//
+//vec:hot
 func TruthyInto(p Pol, dst []bool, c *storage.Column, n int) {
 	if c.Len() == 1 && n != 1 {
 		v := truthyScalar(c)
@@ -754,6 +783,7 @@ func TruthyInto(p Pol, dst []bool, c *storage.Column, n int) {
 	}
 }
 
+//vec:hot
 func maskNulls(d []bool, nulls []bool, lo, hi int) {
 	if nulls == nil {
 		return
@@ -829,13 +859,7 @@ func Not(p Pol, x *storage.Column) *storage.Column {
 	})
 	if x.Nulls != nil {
 		out.Nulls = append([]bool(nil), x.Nulls...)
-		// zero the value under NULL rows so the column is bit-identical
-		// to the scalar reference's AppendNull
-		for i, v := range out.Nulls {
-			if v {
-				out.Bools[i] = false
-			}
-		}
+		zeroUnderNulls(p, out.Bools, out.Nulls)
 	}
 	return out
 }
@@ -854,7 +878,7 @@ func Neg(p Pol, x *storage.Column) (*storage.Column, error) {
 				d[i] = -s[i]
 			}
 		})
-		copyNegNulls(out, x)
+		copyNegNulls(p, out, x)
 		return out, nil
 	case storage.TFloat:
 		out := &storage.Column{Typ: storage.TFloat, Flts: make([]float64, n)}
@@ -864,7 +888,7 @@ func Neg(p Pol, x *storage.Column) (*storage.Column, error) {
 				d[i] = -s[i]
 			}
 		})
-		copyNegNulls(out, x)
+		copyNegNulls(p, out, x)
 		return out, nil
 	default:
 		for i := 0; i < n; i++ {
@@ -878,20 +902,16 @@ func Neg(p Pol, x *storage.Column) (*storage.Column, error) {
 
 // copyNegNulls copies the validity bitmap and zeroes values under NULLs
 // (the scalar reference appends zero values for NULL rows).
-func copyNegNulls(out, x *storage.Column) {
+func copyNegNulls(p Pol, out, x *storage.Column) {
 	if x.Nulls == nil {
 		return
 	}
 	out.Nulls = append([]bool(nil), x.Nulls...)
-	for i, v := range out.Nulls {
-		if v {
-			switch out.Typ {
-			case storage.TInt:
-				out.Ints[i] = 0
-			case storage.TFloat:
-				out.Flts[i] = 0
-			}
-		}
+	switch out.Typ {
+	case storage.TInt:
+		zeroUnderNulls(p, out.Ints, out.Nulls)
+	case storage.TFloat:
+		zeroUnderNulls(p, out.Flts, out.Nulls)
 	}
 }
 

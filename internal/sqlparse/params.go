@@ -34,7 +34,7 @@ func ParseLiterals(params []string) ([]any, error) {
 	for i, p := range params {
 		v, err := ParseLiteral(p)
 		if err != nil {
-			return nil, core.Errorf(core.KindSyntax, "-param %q: %v", p, err)
+			return nil, core.Wrapf(core.KindSyntax, err, "-param %q: %v", p, err)
 		}
 		binds[i] = v
 	}

@@ -139,7 +139,7 @@ func (t *Table) LoadCSV(r io.Reader, header bool) (int, error) {
 			return n, nil
 		}
 		if err != nil {
-			return n, core.Errorf(core.KindIO, "csv: %v", err)
+			return n, core.Wrapf(core.KindIO, err, "csv: %v", err)
 		}
 		if first && header {
 			first = false

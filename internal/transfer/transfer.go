@@ -154,13 +154,13 @@ func Compress(data []byte) ([]byte, error) {
 	var buf bytes.Buffer
 	w, err := flate.NewWriter(&buf, flate.DefaultCompression)
 	if err != nil {
-		return nil, core.Errorf(core.KindIO, "flate: %v", err)
+		return nil, core.Wrapf(core.KindIO, err, "flate: %v", err)
 	}
 	if _, err := w.Write(data); err != nil {
-		return nil, core.Errorf(core.KindIO, "flate: %v", err)
+		return nil, core.Wrapf(core.KindIO, err, "flate: %v", err)
 	}
 	if err := w.Close(); err != nil {
-		return nil, core.Errorf(core.KindIO, "flate: %v", err)
+		return nil, core.Wrapf(core.KindIO, err, "flate: %v", err)
 	}
 	return buf.Bytes(), nil
 }
@@ -171,7 +171,7 @@ func Decompress(data []byte) ([]byte, error) {
 	defer r.Close()
 	out, err := io.ReadAll(r)
 	if err != nil {
-		return nil, core.Errorf(core.KindProtocol, "corrupt compressed payload: %v", err)
+		return nil, core.Wrapf(core.KindProtocol, err, "corrupt compressed payload: %v", err)
 	}
 	return out, nil
 }
@@ -189,7 +189,7 @@ func DeriveKey(password string) []byte {
 func Encrypt(password string, seed int64, plaintext []byte) ([]byte, error) {
 	block, err := aes.NewCipher(DeriveKey(password))
 	if err != nil {
-		return nil, core.Errorf(core.KindIO, "aes: %v", err)
+		return nil, core.Wrapf(core.KindIO, err, "aes: %v", err)
 	}
 	iv := make([]byte, aes.BlockSize)
 	rng := rand.New(rand.NewSource(seed ^ int64(len(plaintext))*0x9E3779B9))
@@ -209,7 +209,7 @@ func Decrypt(password string, ciphertext []byte) ([]byte, error) {
 	}
 	block, err := aes.NewCipher(DeriveKey(password))
 	if err != nil {
-		return nil, core.Errorf(core.KindIO, "aes: %v", err)
+		return nil, core.Wrapf(core.KindIO, err, "aes: %v", err)
 	}
 	out := make([]byte, len(ciphertext)-aes.BlockSize)
 	cipher.NewCTR(block, ciphertext[:aes.BlockSize]).XORKeyStream(out, ciphertext[aes.BlockSize:])

@@ -97,7 +97,7 @@ func registerFn(name string, fn any, elementwise bool) error {
 		return core.Errorf(core.KindType, "Go UDF %s: not a function (%T)", name, fn)
 	}
 	if _, _, err := signatureSchemas(v.Type()); err != nil {
-		return core.Errorf(core.KindType, "Go UDF %s: %v", name, err)
+		return core.Wrapf(core.KindType, err, "Go UDF %s: %v", name, err)
 	}
 	mu.Lock()
 	funcs[strings.ToLower(name)] = regEntry{fn: v, elementwise: elementwise}
@@ -144,7 +144,7 @@ func InferDef(name string, fn any) (*storage.FuncDef, error) {
 	}
 	params, returns, err := signatureSchemas(v.Type())
 	if err != nil {
-		return nil, core.Errorf(core.KindType, "Go UDF %s: %v", name, err)
+		return nil, core.Wrapf(core.KindType, err, "Go UDF %s: %v", name, err)
 	}
 	return &storage.FuncDef{
 		Name:     name,
@@ -164,7 +164,7 @@ func signatureSchemas(t reflect.Type) (params, returns storage.Schema, err error
 	for i := 0; i < t.NumIn(); i++ {
 		st, _, err := sqlType(t.In(i))
 		if err != nil {
-			return nil, nil, fmt.Errorf("parameter %d: %v", i+1, err)
+			return nil, nil, fmt.Errorf("parameter %d: %w", i+1, err)
 		}
 		params = append(params, storage.ColumnDef{Name: fmt.Sprintf("arg%d", i+1), Type: st})
 	}
@@ -178,7 +178,7 @@ func signatureSchemas(t reflect.Type) (params, returns storage.Schema, err error
 	for i := 0; i < nOut; i++ {
 		st, _, err := sqlType(t.Out(i))
 		if err != nil {
-			return nil, nil, fmt.Errorf("result %d: %v", i+1, err)
+			return nil, nil, fmt.Errorf("result %d: %w", i+1, err)
 		}
 		name := fmt.Sprintf("col%d", i+1)
 		if nOut == 1 {

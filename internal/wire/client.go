@@ -79,7 +79,7 @@ type Client struct {
 // afterwards has no effect on the connection.
 func DialContext(ctx context.Context, p ConnParams, opts ...DialOption) (*Client, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported dial API
 	}
 	cfg := defaultDialConfig()
 	for _, o := range opts {
@@ -103,7 +103,7 @@ func DialContext(ctx context.Context, p ConnParams, opts ...DialOption) (*Client
 //
 // Deprecated: use DialContext, which supports cancellation and options.
 func Dial(p ConnParams) (*Client, error) {
-	return DialContext(context.Background(), p)
+	return DialContext(context.Background(), p) //ctxflow:edge deprecated ctx-less entry point
 }
 
 func (c *Client) handshake(ctx context.Context) error {
@@ -281,6 +281,7 @@ func (c *Client) readQueryResponse() (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	//wireswitch:ignore first-frame matcher for one query response, not a dispatch point; unexpected frames poison the connection below
 	switch typ {
 	case MsgResult:
 		msg, t, err := DecodeResult(payload)

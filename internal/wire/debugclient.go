@@ -86,6 +86,8 @@ func (dc *DebugConn) readLoop() {
 			return
 		}
 		dc.c.BytesRead += int64(len(payload)) + 5
+		//wireswitch:dispatch server-to-client
+		//wireswitch:ignore MsgAuthOK MsgPrepareOK MsgCloseStmtOK -- handshake and prepared statements cannot run on a debug-mode connection
 		switch typ {
 		case MsgDebugEvent:
 			ev, err := DecodeDebugEvent(payload)
@@ -201,6 +203,7 @@ func (dc *DebugConn) failed() error {
 func (dc *DebugConn) send(typ byte, payload []byte) error {
 	dc.wmu.Lock()
 	defer dc.wmu.Unlock()
+	//lockblock:ok the write mutex exists to serialize frame writes with seq allocation
 	return dc.c.send(typ, payload)
 }
 
@@ -208,7 +211,7 @@ func (dc *DebugConn) send(typ byte, payload []byte) error {
 // the reply's in-band error when the server rejects the command.
 func (dc *DebugConn) RoundTrip(ctx context.Context, req DebugRequest) (DebugReply, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported debug API
 	}
 	ch := make(chan DebugReply, 1)
 	dc.wmu.Lock()
@@ -217,7 +220,7 @@ func (dc *DebugConn) RoundTrip(ctx context.Context, req DebugRequest) (DebugRepl
 	dc.pmu.Lock()
 	dc.pending[req.Seq] = ch
 	dc.pmu.Unlock()
-	err := dc.c.send(MsgDebug, EncodeDebugRequest(req))
+	err := dc.c.send(MsgDebug, EncodeDebugRequest(req)) //lockblock:ok the write mutex pairs the send with its seq allocation
 	dc.wmu.Unlock()
 	if err != nil {
 		dc.pmu.Lock()
@@ -249,7 +252,7 @@ func (dc *DebugConn) Events() <-chan DebugEventMsg { return dc.events }
 // WaitEvent blocks for the next debug event.
 func (dc *DebugConn) WaitEvent(ctx context.Context) (DebugEventMsg, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported debug API
 	}
 	select {
 	case ev, ok := <-dc.events:
@@ -267,7 +270,7 @@ func (dc *DebugConn) WaitEvent(ctx context.Context) (DebugEventMsg, error) {
 // result is fully materialized.
 func (dc *DebugConn) Query(ctx context.Context, sql string) (string, *storage.Table, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported debug API
 	}
 	w := &queryWaiter{ch: make(chan queryOutcome, 1)}
 	dc.qmu.Lock()

@@ -122,7 +122,7 @@ func EncodeDebugRequest(req DebugRequest) []byte { return mustJSON(req) }
 func DecodeDebugRequest(payload []byte) (DebugRequest, error) {
 	var req DebugRequest
 	if err := json.Unmarshal(payload, &req); err != nil {
-		return req, core.Errorf(core.KindProtocol, "bad debug request: %v", err)
+		return req, core.Wrapf(core.KindProtocol, err, "bad debug request: %v", err)
 	}
 	return req, nil
 }
@@ -132,7 +132,7 @@ func EncodeDebugReply(rep DebugReply) []byte { return mustJSON(rep) }
 func DecodeDebugReply(payload []byte) (DebugReply, error) {
 	var rep DebugReply
 	if err := json.Unmarshal(payload, &rep); err != nil {
-		return rep, core.Errorf(core.KindProtocol, "bad debug reply: %v", err)
+		return rep, core.Wrapf(core.KindProtocol, err, "bad debug reply: %v", err)
 	}
 	return rep, nil
 }
@@ -142,7 +142,7 @@ func EncodeDebugEvent(ev DebugEventMsg) []byte { return mustJSON(ev) }
 func DecodeDebugEvent(payload []byte) (DebugEventMsg, error) {
 	var ev DebugEventMsg
 	if err := json.Unmarshal(payload, &ev); err != nil {
-		return ev, core.Errorf(core.KindProtocol, "bad debug event: %v", err)
+		return ev, core.Wrapf(core.KindProtocol, err, "bad debug event: %v", err)
 	}
 	return ev, nil
 }

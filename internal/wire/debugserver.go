@@ -24,6 +24,7 @@ type connWriter struct {
 func (w *connWriter) writeFrame(typ byte, payload []byte) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	//lockblock:ok this mutex exists to serialize frame writes from the event and reply paths
 	return WriteFrame(w.nc, typ, payload)
 }
 

@@ -77,7 +77,7 @@ func NewPool(params ConnParams, size int, opts ...DialOption) *Pool {
 // is checked in or ctx is cancelled. Every Get must be paired with a Put.
 func (p *Pool) Get(ctx context.Context) (*Client, error) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported pool API
 	}
 	if p.isClosed() {
 		return nil, core.Errorf(core.KindIO, "pool is closed")

@@ -61,11 +61,11 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
 	hdr[4] = typ
 	if _, err := w.Write(hdr[:]); err != nil {
-		return core.Errorf(core.KindIO, "write frame: %v", err)
+		return core.Wrapf(core.KindIO, err, "write frame: %v", err)
 	}
 	if len(payload) > 0 {
 		if _, err := w.Write(payload); err != nil {
-			return core.Errorf(core.KindIO, "write frame: %v", err)
+			return core.Wrapf(core.KindIO, err, "write frame: %v", err)
 		}
 	}
 	return nil
@@ -78,7 +78,7 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 		if err == io.EOF {
 			return 0, nil, io.EOF
 		}
-		return 0, nil, core.Errorf(core.KindIO, "read frame header: %v", err)
+		return 0, nil, core.Wrapf(core.KindIO, err, "read frame header: %v", err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 || n > maxFrame {
@@ -86,7 +86,7 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, core.Errorf(core.KindIO, "read frame body: %v", err)
+		return 0, nil, core.Wrapf(core.KindIO, err, "read frame body: %v", err)
 	}
 	return buf[0], buf[1:], nil
 }

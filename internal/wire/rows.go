@@ -54,6 +54,7 @@ func (r *Rows) Next() bool {
 		r.finish()
 		return false
 	}
+	//wireswitch:ignore continuation matcher for an in-flight v2 stream; only chunk, end, and error frames are legal here
 	switch typ {
 	case MsgResultChunk:
 		t, err := DecodeResultChunk(payload)

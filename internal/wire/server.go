@@ -76,7 +76,7 @@ func NewServer(database, user, password string, db *engine.DB) *Server {
 func (s *Server) Listen(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", core.Errorf(core.KindIO, "listen %s: %v", addr, err)
+		return "", core.Wrapf(core.KindIO, err, "listen %s: %v", addr, err)
 	}
 	s.ln = ln
 	s.wg.Add(1)
@@ -254,6 +254,8 @@ func (sc *serverConn) queryWorker() {
 		if !ok {
 			return
 		}
+		//wireswitch:dispatch client-to-server
+		//wireswitch:ignore MsgAuth MsgDebug MsgPing MsgClose -- handled on the frame loop or during the handshake; never queued
 		switch fr.typ {
 		case MsgQuery:
 			res, err := sc.sess.Exec(string(fr.payload))
@@ -435,6 +437,8 @@ func (s *Server) serveConn(nc net.Conn) {
 // statement — e.g. a debug query paused at a breakpoint — holds the engine
 // lock.
 func (sc *serverConn) handleFrame(fr frame) bool {
+	//wireswitch:dispatch client-to-server
+	//wireswitch:ignore MsgAuth -- only legal during the handshake, before the frame loop starts
 	switch fr.typ {
 	case MsgQuery:
 		sc.queries.push(fr)
@@ -485,6 +489,7 @@ func (sc *serverConn) writeResult(res *engine.Result) error {
 			threshold = maxFrame / 2
 		}
 		if threshold < 0 || EncodedTableSize(res.Table) > threshold {
+			//lockblock:ok the writer mutex exists to serialize result frames against debug-event frames
 			return WriteResultStream(nc, res.Msg, res.Table, s.ChunkBytes)
 		}
 	}
@@ -492,9 +497,11 @@ func (sc *serverConn) writeResult(res *engine.Result) error {
 	if len(payload)+1 > maxFrame {
 		// A v1 session asked for more than one frame can carry: report it
 		// instead of killing the connection with an unframeable write.
+		//lockblock:ok the writer mutex exists to serialize result frames against debug-event frames
 		return WriteFrame(nc, MsgErr, EncodeError(core.KindProtocol,
 			"result set exceeds the 64 MiB frame cap; reconnect with protocol v2 streaming"))
 	}
+	//lockblock:ok the writer mutex exists to serialize result frames against debug-event frames
 	return WriteFrame(nc, MsgResult, payload)
 }
 

@@ -146,7 +146,7 @@ func bindArgCols(args []any) ([]*storage.Column, error) {
 	for i, v := range args {
 		col, err := storage.BindValue(v)
 		if err != nil {
-			return nil, core.Errorf(core.KindType, "parameter %d: %v", i+1, err)
+			return nil, core.Wrapf(core.KindType, err, "parameter %d: %v", i+1, err)
 		}
 		cols[i] = col
 	}

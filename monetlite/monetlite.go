@@ -134,4 +134,7 @@ func NewPool(p ConnParams, size int, opts ...DialOption) *Pool {
 // Dial connects and authenticates to a served database.
 //
 // Deprecated: use DialContext, which supports cancellation and options.
-func Dial(p ConnParams) (*Client, error) { return wire.Dial(p) }
+func Dial(p ConnParams) (*Client, error) {
+	//lint:ignore SA1019 the deprecated shim delegates to its deprecated wire counterpart
+	return wire.Dial(p)
+}
