@@ -19,6 +19,7 @@ import (
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/transfer"
+	"repro/internal/wal"
 	"repro/monetlite"
 )
 
@@ -764,4 +765,39 @@ func BenchmarkTransferPack(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---- durability: WAL append overhead on the INSERT path ----
+
+// BenchmarkWALInsert compares a plain in-memory INSERT with the same
+// INSERT committed through the write-ahead log (group-commit mode, the
+// monetlited -data default). The acceptance bar for durable storage is
+// staying under 2x the in-memory cost per statement.
+func BenchmarkWALInsert(b *testing.B) {
+	run := func(b *testing.B, durable bool) {
+		db := monetlite.NewDB()
+		db.FS = core.NewMemFS(nil)
+		if durable {
+			// Auto-checkpoints off: this measures the per-statement append
+			// overhead, not snapshot cadence (checkpoint cost is bounded and
+			// amortized over SnapshotBytes of log in production).
+			m, err := wal.Open(b.TempDir(), db, wal.Options{SnapshotBytes: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+		}
+		conn := monetlite.Connect(db, "monetdb", "monetdb")
+		if _, err := conn.Exec(`CREATE TABLE bench_wal (i INTEGER, s STRING)`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := conn.Exec(`INSERT INTO bench_wal VALUES (1, 'x'), (2, 'y'), (3, 'z')`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("in-memory", func(b *testing.B) { run(b, false) })
+	b.Run("wal", func(b *testing.B) { run(b, true) })
 }

@@ -2,6 +2,12 @@
 // substrate the devUDF plugin connects to. It serves one named database
 // over the wire protocol with a single user account.
 //
+// With -data DIR the database is durable: every committed statement is
+// appended to a write-ahead log under DIR, compacted into compressed
+// columnar snapshots, and recovered on the next start — surviving kill -9.
+// DIR also remains the directory COPY INTO and UDF file access resolve
+// against.
+//
 // Usage:
 //
 //	monetlited -addr :50000 -db demo -user monetdb -password monetdb \
@@ -9,8 +15,12 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"log"
 	"os"
 	"os/signal"
@@ -18,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dump"
+	"repro/internal/wal"
 	"repro/monetlite"
 )
 
@@ -26,9 +37,10 @@ func main() {
 	dbName := flag.String("db", "demo", "database name clients must present")
 	user := flag.String("user", "monetdb", "user account")
 	password := flag.String("password", "monetdb", "user password")
-	dataDir := flag.String("data", "", "directory COPY INTO and UDF file access resolve against (default: process cwd)")
+	dataDir := flag.String("data", "", "data directory: WAL + snapshots live here (durable across kill -9), and COPY INTO / UDF file access resolve against it (empty: in-memory database, process cwd for files)")
+	walSync := flag.String("wal-sync", "interval", "WAL fsync policy: interval (group commit), always (fsync per commit), never")
 	initFile := flag.String("init", "", "SQL script to execute at startup")
-	persist := flag.String("persist", "", "snapshot file: restored at startup if present, written at shutdown")
+	persist := flag.String("persist", "", "deprecated: snapshot file restored at startup and written at shutdown only; use -data, which also survives crashes")
 	tupleMode := flag.Bool("tuple-at-a-time", false, "use the tuple-at-a-time UDF processing model (paper §2.4)")
 	maxSteps := flag.Int64("max-udf-steps", 50_000_000, "interpreter step budget per UDF call (0 = unlimited)")
 	streamThreshold := flag.Int("stream-threshold", 1<<20, "encoded result size (bytes) above which v2 sessions get chunked streaming (negative streams everything)")
@@ -41,12 +53,37 @@ func main() {
 		db.Mode = monetlite.ModeTupleAtATime
 	}
 
+	if *persist != "" && *dataDir != "" {
+		log.Fatalf("-persist and -data are mutually exclusive; -data subsumes -persist (WAL + snapshots under the data directory)")
+	}
+
+	var mgr *wal.Manager
+	if *dataDir != "" {
+		opts := wal.Options{Logf: log.Printf}
+		switch *walSync {
+		case "interval":
+			opts.Sync = wal.SyncInterval
+		case "always":
+			opts.Sync = wal.SyncAlways
+		case "never":
+			opts.Sync = wal.SyncNever
+		default:
+			log.Fatalf("unknown -wal-sync mode %q (want interval, always, or never)", *walSync)
+		}
+		var err error
+		if mgr, err = wal.Open(*dataDir, db, opts); err != nil {
+			log.Fatalf("open data dir %s: %v", *dataDir, err)
+		}
+		log.Printf("durable storage at %s (wal segment %s)", *dataDir, *walSync)
+	}
+
 	if *persist != "" {
-		if f, err := os.Open(*persist); err == nil {
-			if err := dump.Restore(db, f); err != nil {
-				log.Fatalf("restore %s: %v", *persist, err)
-			}
-			f.Close()
+		log.Printf("warning: -persist is deprecated (snapshot only at clean shutdown); use -data for crash-safe storage")
+		restored, err := restoreSnapshot(db, *persist)
+		if err != nil {
+			log.Fatalf("restore %s: %v", *persist, err)
+		}
+		if restored {
 			log.Printf("restored database from %s", *persist)
 		}
 	}
@@ -79,17 +116,53 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Fatalf("close: %v", err)
 	}
+	if mgr != nil {
+		// A clean shutdown checkpoints so the next start recovers from the
+		// snapshot alone, with no log to replay.
+		if err := db.Checkpoint(); err != nil {
+			log.Printf("final checkpoint: %v", err)
+		}
+		if err := mgr.Close(); err != nil {
+			log.Printf("close wal: %v", err)
+		}
+		log.Printf("database persisted to %s", *dataDir)
+	}
 	if *persist != "" {
-		f, err := os.Create(*persist)
-		if err != nil {
-			log.Fatalf("create %s: %v", *persist, err)
-		}
-		if err := dump.Dump(db, f); err != nil {
-			log.Fatalf("dump: %v", err)
-		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("close %s: %v", *persist, err)
+		if err := persistSnapshot(*persist, func(w io.Writer) error { return dump.Dump(db, w) }); err != nil {
+			log.Fatalf("persist %s: %v", *persist, err)
 		}
 		log.Printf("database persisted to %s", *persist)
 	}
+}
+
+// restoreSnapshot loads a -persist snapshot if one exists. Only a missing
+// file means "start with an empty database"; any other failure (a
+// permission error, a truncated or corrupt snapshot) is returned so the
+// caller can abort — booting empty would overwrite the snapshot with an
+// empty database at the next shutdown.
+func restoreSnapshot(db *monetlite.DB, path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return false, nil
+		}
+		return false, err
+	}
+	defer f.Close()
+	if err := dump.Restore(db, f); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// persistSnapshot writes a -persist snapshot without ever endangering the
+// previous one: the dump is produced in memory and lands on disk via an
+// atomic temp-file-then-rename. The old code os.Create'd (truncated) the
+// only copy before dumping, so a failed dump destroyed the snapshot.
+func persistSnapshot(path string, dumpTo func(io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := dumpTo(&buf); err != nil {
+		return err
+	}
+	return wal.WriteFileAtomic(path, buf.Bytes())
 }

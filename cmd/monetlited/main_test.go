@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dump"
+	"repro/monetlite"
+)
+
+// Regression: the old shutdown path os.Create'd the snapshot — truncating
+// the only copy — before running the dump, so a dump error (or a crash
+// mid-write) destroyed the previous snapshot. persistSnapshot must leave
+// the old file byte-identical when the dump fails.
+func TestPersistKeepsOldSnapshotOnDumpError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.dump")
+	prior := []byte("precious bytes of the previous snapshot")
+	if err := os.WriteFile(path, prior, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err := persistSnapshot(path, func(w io.Writer) error {
+		w.Write([]byte("partial garbage")) // some output, then failure
+		return io.ErrUnexpectedEOF
+	})
+	if err == nil {
+		t.Fatal("dump error must propagate")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, prior) {
+		t.Fatalf("failed persist clobbered the previous snapshot: %q", got)
+	}
+}
+
+func TestPersistWritesNewSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.dump")
+	db := monetlite.NewDB()
+	db.FS = core.NewMemFS(nil)
+	conn := monetlite.Connect(db, "u", "p")
+	if _, err := conn.Exec(`CREATE TABLE t (i INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec(`INSERT INTO t VALUES (11)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := persistSnapshot(path, func(w io.Writer) error { return dump.Dump(db, w) }); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := monetlite.NewDB()
+	db2.FS = core.NewMemFS(nil)
+	restored, err := restoreSnapshot(db2, path)
+	if err != nil || !restored {
+		t.Fatalf("restore: restored=%v err=%v", restored, err)
+	}
+	conn2 := monetlite.Connect(db2, "u", "p")
+	r, err := conn2.Exec(`SELECT i FROM t`)
+	if err != nil || r.Table.NumRows() != 1 || r.Table.Cols[0].Ints[0] != 11 {
+		t.Fatalf("round trip: %v %v", r, err)
+	}
+}
+
+// Regression: startup used to treat EVERY open error as "no snapshot yet"
+// and boot an empty database — which the next clean shutdown would then
+// persist, silently wiping the real data. Only fs.ErrNotExist may start
+// fresh; corruption and IO errors must surface.
+func TestRestoreStrictAboutErrors(t *testing.T) {
+	dir := t.TempDir()
+
+	// missing file: fresh start, no error
+	db := monetlite.NewDB()
+	restored, err := restoreSnapshot(db, filepath.Join(dir, "absent.dump"))
+	if err != nil || restored {
+		t.Fatalf("missing snapshot: restored=%v err=%v", restored, err)
+	}
+
+	// corrupt file: hard error, never a silent empty boot
+	bad := filepath.Join(dir, "corrupt.dump")
+	if err := os.WriteFile(bad, []byte("MLDUMP2\nnot really"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restoreSnapshot(monetlite.NewDB(), bad); err == nil {
+		t.Fatal("corrupt snapshot must fail startup, not boot empty")
+	}
+
+	// a directory at the snapshot path: also a hard error
+	if _, err := restoreSnapshot(monetlite.NewDB(), dir); err == nil {
+		t.Fatal("unreadable snapshot path must fail startup")
+	}
+}

@@ -1,0 +1,496 @@
+package dump
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Compressed column codec for V2 dumps and WAL snapshots. Each column
+// carries one encoding byte after the shared framing (name, type, row
+// count, null bitmap):
+//
+//	encPlain — the typed payload of the storage codec, verbatim
+//	encRLE   — run-length encoding: u32 run count, then (u32 length, value)
+//	           per run; chosen for any type with long runs of equal values
+//	encDict  — dictionary encoding (strings only): u32 dictionary size, the
+//	           distinct strings, then one u32 code per row
+//
+// The encoder sizes all three candidates exactly and writes the smallest,
+// so a snapshot is never larger than the plain form by more than the one
+// encoding byte. Values under NULL bits are encoded as stored (the engine
+// keeps them zeroed), which makes decode a bit-exact inverse.
+const (
+	encPlain byte = 0
+	encRLE   byte = 1
+	encDict  byte = 2
+)
+
+// maxDumpRows caps the decoded row count of one column: RLE makes the
+// "bytes remaining" bound of the storage codec too weak (a few bytes can
+// legally describe millions of rows), so an absolute cap backstops
+// adversarial inputs instead. 16M rows keeps the worst-case single-column
+// allocation at 128MB while leaving plenty of headroom over any snapshot
+// this engine realistically writes.
+const maxDumpRows = 1 << 24
+
+// maxDumpCells bounds the total decoded values across an entire restore
+// (all tables, all columns) — see readColumnV2.
+const maxDumpCells = 1 << 26
+
+func appendColumnV2(buf []byte, col *storage.Column) []byte {
+	buf = storage.AppendString(buf, col.Name)
+	buf = append(buf, byte(col.Typ))
+	n := col.Len()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
+	if col.Nulls == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		bitmap := make([]byte, (n+7)/8)
+		for i := 0; i < n; i++ {
+			if col.Nulls[i] {
+				bitmap[i/8] |= 1 << (i % 8)
+			}
+		}
+		buf = append(buf, bitmap...)
+	}
+	switch enc := chooseEncoding(col); enc {
+	case encRLE:
+		buf = append(buf, encRLE)
+		buf = appendRLE(buf, col)
+	case encDict:
+		buf = append(buf, encDict)
+		buf = appendDict(buf, col)
+	default:
+		buf = append(buf, encPlain)
+		buf = appendPlain(buf, col)
+	}
+	return buf
+}
+
+// chooseEncoding picks the smallest exact encoding for col.
+func chooseEncoding(col *storage.Column) byte {
+	n := col.Len()
+	if n == 0 {
+		return encPlain
+	}
+	switch col.Typ {
+	case storage.TInt, storage.TFloat:
+		plain := 8 * n
+		rle := 4 + 12*countRuns(col)
+		if rle < plain {
+			return encRLE
+		}
+	case storage.TBool:
+		plain := n
+		rle := 4 + 5*countRuns(col)
+		if rle < plain {
+			return encRLE
+		}
+	case storage.TStr:
+		plain := 0
+		for _, s := range col.Strs {
+			plain += 4 + len(s)
+		}
+		rle := 4
+		prev := ""
+		for i, s := range col.Strs {
+			if i == 0 || s != prev {
+				rle += 4 + 4 + len(s)
+				prev = s
+			}
+		}
+		dict := 4 + 4*n
+		seen := make(map[string]struct{}, 64)
+		for _, s := range col.Strs {
+			if _, ok := seen[s]; !ok {
+				seen[s] = struct{}{}
+				dict += 4 + len(s)
+			}
+		}
+		switch {
+		case dict < plain && dict <= rle:
+			return encDict
+		case rle < plain:
+			return encRLE
+		}
+	}
+	return encPlain
+}
+
+// countRuns returns the number of maximal runs of equal values. Floats
+// compare by bit pattern so NaNs form runs too.
+func countRuns(col *storage.Column) int {
+	runs := 0
+	switch col.Typ {
+	case storage.TInt:
+		for i, v := range col.Ints {
+			if i == 0 || v != col.Ints[i-1] {
+				runs++
+			}
+		}
+	case storage.TFloat:
+		for i, v := range col.Flts {
+			if i == 0 || math.Float64bits(v) != math.Float64bits(col.Flts[i-1]) {
+				runs++
+			}
+		}
+	case storage.TBool:
+		for i, v := range col.Bools {
+			if i == 0 || v != col.Bools[i-1] {
+				runs++
+			}
+		}
+	}
+	return runs
+}
+
+func appendPlain(buf []byte, col *storage.Column) []byte {
+	switch col.Typ {
+	case storage.TInt:
+		for _, v := range col.Ints {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+		}
+	case storage.TFloat:
+		for _, v := range col.Flts {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	case storage.TStr:
+		for _, v := range col.Strs {
+			buf = storage.AppendString(buf, v)
+		}
+	case storage.TBool:
+		for _, v := range col.Bools {
+			if v {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	case storage.TBlob:
+		for _, v := range col.Blobs {
+			buf = storage.AppendBytes(buf, v)
+		}
+	}
+	return buf
+}
+
+// appendRLE writes (run length, value) pairs behind a run count.
+func appendRLE(buf []byte, col *storage.Column) []byte {
+	countAt := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, 0)
+	runs := 0
+	emit := func(length int, appendVal func([]byte) []byte) []byte {
+		runs++
+		buf = binary.BigEndian.AppendUint32(buf, uint32(length))
+		return appendVal(buf)
+	}
+	switch col.Typ {
+	case storage.TInt:
+		for i := 0; i < len(col.Ints); {
+			j := i
+			for j < len(col.Ints) && col.Ints[j] == col.Ints[i] {
+				j++
+			}
+			v := col.Ints[i]
+			buf = emit(j-i, func(b []byte) []byte { return binary.BigEndian.AppendUint64(b, uint64(v)) })
+			i = j
+		}
+	case storage.TFloat:
+		for i := 0; i < len(col.Flts); {
+			bits := math.Float64bits(col.Flts[i])
+			j := i
+			for j < len(col.Flts) && math.Float64bits(col.Flts[j]) == bits {
+				j++
+			}
+			buf = emit(j-i, func(b []byte) []byte { return binary.BigEndian.AppendUint64(b, bits) })
+			i = j
+		}
+	case storage.TBool:
+		for i := 0; i < len(col.Bools); {
+			j := i
+			for j < len(col.Bools) && col.Bools[j] == col.Bools[i] {
+				j++
+			}
+			v := byte(0)
+			if col.Bools[i] {
+				v = 1
+			}
+			buf = emit(j-i, func(b []byte) []byte { return append(b, v) })
+			i = j
+		}
+	case storage.TStr:
+		for i := 0; i < len(col.Strs); {
+			j := i
+			for j < len(col.Strs) && col.Strs[j] == col.Strs[i] {
+				j++
+			}
+			v := col.Strs[i]
+			buf = emit(j-i, func(b []byte) []byte { return storage.AppendString(b, v) })
+			i = j
+		}
+	}
+	binary.BigEndian.PutUint32(buf[countAt:], uint32(runs))
+	return buf
+}
+
+// appendDict writes the distinct strings in first-appearance order, then
+// one u32 code per row.
+func appendDict(buf []byte, col *storage.Column) []byte {
+	codes := make(map[string]uint32, 64)
+	var dict []string
+	for _, s := range col.Strs {
+		if _, ok := codes[s]; !ok {
+			codes[s] = uint32(len(dict))
+			dict = append(dict, s)
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(dict)))
+	for _, s := range dict {
+		buf = storage.AppendString(buf, s)
+	}
+	for _, s := range col.Strs {
+		buf = binary.BigEndian.AppendUint32(buf, codes[s])
+	}
+	return buf
+}
+
+// readColumnV2 decodes one compressed column, drawing decoded rows from
+// budget. The per-column row cap alone is not enough: RLE expansion lets
+// each few-byte column spec demand maxDumpRows of allocation, so a dump
+// repeating such specs could soak up CPU and memory out of all proportion
+// to its size. The budget bounds the whole restore.
+func readColumnV2(br *storage.ByteReader, budget *int) (*storage.Column, error) {
+	name, err := br.Str()
+	if err != nil {
+		return nil, err
+	}
+	tb, err := br.U8()
+	if err != nil {
+		return nil, err
+	}
+	typ := storage.Type(tb)
+	switch typ {
+	case storage.TInt, storage.TFloat, storage.TStr, storage.TBool, storage.TBlob:
+	default:
+		return nil, core.Errorf(core.KindProtocol, "unknown column type %d", tb)
+	}
+	n32, err := br.U32()
+	if err != nil {
+		return nil, err
+	}
+	n := int(n32)
+	if n > maxDumpRows {
+		return nil, core.Errorf(core.KindProtocol, "implausible row count %d", n)
+	}
+	if *budget -= n; *budget < 0 {
+		return nil, core.Errorf(core.KindProtocol, "dump exceeds decode budget")
+	}
+	hasNulls, err := br.U8()
+	if err != nil {
+		return nil, err
+	}
+	if hasNulls > 1 {
+		return nil, core.Errorf(core.KindProtocol, "invalid null-bitmap flag %d", hasNulls)
+	}
+	var bitmap []byte
+	if hasNulls == 1 {
+		if bitmap, err = br.Raw((n + 7) / 8); err != nil {
+			return nil, err
+		}
+	}
+	enc, err := br.U8()
+	if err != nil {
+		return nil, err
+	}
+	col := storage.NewColumn(name, typ)
+	switch enc {
+	case encPlain:
+		if err := readPlain(br, col, n); err != nil {
+			return nil, err
+		}
+	case encRLE:
+		if err := readRLE(br, col, n); err != nil {
+			return nil, err
+		}
+	case encDict:
+		if typ != storage.TStr {
+			return nil, core.Errorf(core.KindProtocol, "dictionary encoding on non-string column %q", name)
+		}
+		if err := readDict(br, col, n); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, core.Errorf(core.KindProtocol, "unknown column encoding %d", enc)
+	}
+	if bitmap != nil {
+		col.Nulls = make([]bool, n)
+		for i := 0; i < n; i++ {
+			if bitmap[i/8]&(1<<(i%8)) != 0 {
+				col.Nulls[i] = true
+			}
+		}
+	}
+	return col, nil
+}
+
+func readPlain(br *storage.ByteReader, col *storage.Column, n int) error {
+	// The remaining payload must plausibly back n rows before any append
+	// loop runs — same bound as storage.DecodeColumn.
+	need := n * 4
+	switch col.Typ {
+	case storage.TInt, storage.TFloat:
+		need = n * 8
+	case storage.TBool:
+		need = n
+	}
+	if need > br.Remaining() {
+		return core.Errorf(core.KindProtocol,
+			"implausible row count %d: needs >= %d bytes, %d remain", n, need, br.Remaining())
+	}
+	col.Reserve(n)
+	for i := 0; i < n; i++ {
+		switch col.Typ {
+		case storage.TInt:
+			v, err := br.U64()
+			if err != nil {
+				return err
+			}
+			col.AppendInt(int64(v))
+		case storage.TFloat:
+			v, err := br.U64()
+			if err != nil {
+				return err
+			}
+			col.AppendFloat(math.Float64frombits(v))
+		case storage.TStr:
+			s, err := br.Str()
+			if err != nil {
+				return err
+			}
+			col.AppendStr(s)
+		case storage.TBool:
+			b, err := br.U8()
+			if err != nil {
+				return err
+			}
+			if b > 1 {
+				return core.Errorf(core.KindProtocol, "invalid boolean byte %d", b)
+			}
+			col.AppendBool(b == 1)
+		case storage.TBlob:
+			b, err := br.Bytes()
+			if err != nil {
+				return err
+			}
+			col.AppendBlob(b)
+		}
+	}
+	return nil
+}
+
+func readRLE(br *storage.ByteReader, col *storage.Column, n int) error {
+	nruns32, err := br.U32()
+	if err != nil {
+		return err
+	}
+	nruns := int(nruns32)
+	// each run costs at least 5 bytes (u32 length + 1-byte value)
+	if nruns*5 > br.Remaining() {
+		return core.Errorf(core.KindProtocol, "implausible run count %d", nruns)
+	}
+	col.Reserve(n)
+	total := 0
+	for r := 0; r < nruns; r++ {
+		length32, err := br.U32()
+		if err != nil {
+			return err
+		}
+		length := int(length32)
+		if length == 0 || total+length > n {
+			return core.Errorf(core.KindProtocol, "RLE runs overflow row count %d", n)
+		}
+		total += length
+		switch col.Typ {
+		case storage.TInt:
+			v, err := br.U64()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < length; i++ {
+				col.AppendInt(int64(v))
+			}
+		case storage.TFloat:
+			v, err := br.U64()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < length; i++ {
+				col.AppendFloat(math.Float64frombits(v))
+			}
+		case storage.TBool:
+			b, err := br.U8()
+			if err != nil {
+				return err
+			}
+			if b > 1 {
+				return core.Errorf(core.KindProtocol, "invalid boolean byte %d", b)
+			}
+			for i := 0; i < length; i++ {
+				col.AppendBool(b == 1)
+			}
+		case storage.TStr:
+			s, err := br.Str()
+			if err != nil {
+				return err
+			}
+			for i := 0; i < length; i++ {
+				col.AppendStr(s)
+			}
+		default:
+			return core.Errorf(core.KindProtocol, "RLE encoding on blob column %q", col.Name)
+		}
+	}
+	if total != n {
+		return core.Errorf(core.KindProtocol, "RLE runs cover %d of %d rows", total, n)
+	}
+	return nil
+}
+
+func readDict(br *storage.ByteReader, col *storage.Column, n int) error {
+	dictLen32, err := br.U32()
+	if err != nil {
+		return err
+	}
+	dictLen := int(dictLen32)
+	// each entry costs at least its 4-byte length prefix, and a dictionary
+	// larger than the row count cannot have come from the encoder
+	if dictLen*4 > br.Remaining() || dictLen > n {
+		return core.Errorf(core.KindProtocol, "implausible dictionary size %d", dictLen)
+	}
+	dict := make([]string, dictLen)
+	for i := range dict {
+		if dict[i], err = br.Str(); err != nil {
+			return err
+		}
+	}
+	if n*4 > br.Remaining() {
+		return core.Errorf(core.KindProtocol,
+			"implausible row count %d: needs >= %d bytes, %d remain", n, n*4, br.Remaining())
+	}
+	col.Reserve(n)
+	for i := 0; i < n; i++ {
+		code, err := br.U32()
+		if err != nil {
+			return err
+		}
+		if int(code) >= dictLen {
+			return core.Errorf(core.KindProtocol, "dictionary code %d out of range (size %d)", code, dictLen)
+		}
+		col.AppendStr(dict[code])
+	}
+	return nil
+}

@@ -1,7 +1,15 @@
-// Package dump implements database persistence for the embedded engine:
-// a binary snapshot of every user table and UDF definition. monetlited
-// uses it to survive restarts (-persist flag); it is also how a developer
-// ships a reproducible demo database.
+// Package dump implements database persistence for the embedded engine: a
+// binary snapshot of every user table and UDF definition. It is the
+// snapshot half of durable storage (internal/wal layers a write-ahead log
+// on top), the monetlited -persist file, and how a developer ships a
+// reproducible demo database.
+//
+// Two format versions exist. V1 ("MLDUMP1\n") stored plain columns and
+// dropped function IDs, so sys.functions IDs drifted across a
+// dump/restore cycle. V2 ("MLDUMP2\n") persists each FuncDef.ID and the
+// catalog's next-ID counter, and compresses columns (dictionary-encoded
+// strings, run-length-encoded runs — see compress.go). Dump always writes
+// V2; Restore reads both.
 package dump
 
 import (
@@ -13,28 +21,18 @@ import (
 	"repro/internal/storage"
 )
 
-const magic = "MLDUMP1\n"
+const (
+	magicV1 = "MLDUMP1\n"
+	magicV2 = "MLDUMP2\n"
+)
 
 // Dump writes a snapshot of db (tables + functions) to w.
 func Dump(db *engine.DB, w io.Writer) error {
 	var buf []byte
 	err := db.Lock(func(cat *storage.Catalog) error {
-		buf = append(buf, magic...)
-		names := cat.TableNames()
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
-		for _, name := range names {
-			t, err := cat.Table(name)
-			if err != nil {
-				return err
-			}
-			buf = storage.EncodeTable(buf, t)
-		}
-		funcs := cat.Functions()
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(funcs)))
-		for _, f := range funcs {
-			buf = encodeFunc(buf, f)
-		}
-		return nil
+		var err error
+		buf, err = EncodeCatalog(cat)
+		return err
 	})
 	if err != nil {
 		return err
@@ -45,7 +43,42 @@ func Dump(db *engine.DB, w io.Writer) error {
 	return nil
 }
 
-func encodeFunc(buf []byte, f *storage.FuncDef) []byte {
+// EncodeCatalog serializes the catalog in the current (V2) format. The
+// caller must hold the database lock; internal/wal calls it under
+// DB.Lock to write checkpoint snapshots.
+func EncodeCatalog(cat *storage.Catalog) ([]byte, error) {
+	buf := []byte(magicV2)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(cat.NextID()))
+	names := cat.TableNames()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(names)))
+	for _, name := range names {
+		t, err := cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		buf = storage.AppendString(buf, t.Name)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Cols)))
+		for _, col := range t.Cols {
+			buf = appendColumnV2(buf, col)
+		}
+	}
+	funcs := cat.Functions()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(funcs)))
+	for _, f := range funcs {
+		buf = AppendFuncDef(buf, f)
+	}
+	return buf, nil
+}
+
+// AppendFuncDef appends a function definition in the V2 form (ID
+// included). The WAL uses the same encoding for its CREATE FUNCTION and
+// Go-UDF registration records.
+func AppendFuncDef(buf []byte, f *storage.FuncDef) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.ID))
+	return appendFuncBody(buf, f)
+}
+
+func appendFuncBody(buf []byte, f *storage.FuncDef) []byte {
 	buf = storage.AppendString(buf, f.Name)
 	buf = storage.AppendString(buf, f.Language)
 	buf = storage.AppendString(buf, f.Body)
@@ -68,25 +101,52 @@ func encodeSchema(buf []byte, s storage.Schema) []byte {
 	return buf
 }
 
-// Restore loads a snapshot produced by Dump into db. The database should
-// be empty; existing tables or functions with clashing names fail the
-// restore.
+// Restore loads a snapshot produced by Dump (either format version) into
+// db, all-or-nothing: on any error the database is left exactly as it
+// was. Existing tables or functions with clashing names fail the restore.
 func Restore(db *engine.DB, r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return core.Wrapf(core.KindIO, err, "read dump: %v", err)
 	}
-	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+	return db.Lock(func(cat *storage.Catalog) error {
+		return RestoreCatalog(cat, data)
+	})
+}
+
+// RestoreCatalog decodes a dump and commits it into cat all-or-nothing.
+// The caller must hold the database lock; internal/wal calls it during
+// crash recovery to load the newest valid snapshot.
+func RestoreCatalog(cat *storage.Catalog, data []byte) error {
+	v2 := false
+	switch {
+	case len(data) >= len(magicV2) && string(data[:len(magicV2)]) == magicV2:
+		v2 = true
+	case len(data) >= len(magicV1) && string(data[:len(magicV1)]) == magicV1:
+	default:
 		return core.Errorf(core.KindProtocol, "not a monetlite dump")
 	}
-	br := storage.NewByteReader(data[len(magic):])
+	br := storage.NewByteReader(data[len(magicV2):])
+	nextID := uint32(0)
+	if v2 {
+		var err error
+		if nextID, err = br.U32(); err != nil {
+			return err
+		}
+	}
 	ntables, err := br.U32()
 	if err != nil {
 		return err
 	}
 	var tables []*storage.Table
+	budget := maxDumpCells
 	for i := uint32(0); i < ntables; i++ {
-		t, err := storage.DecodeTable(br)
+		var t *storage.Table
+		if v2 {
+			t, err = readTableV2(br, &budget)
+		} else {
+			t, err = storage.DecodeTable(br)
+		}
 		if err != nil {
 			return err
 		}
@@ -98,7 +158,12 @@ func Restore(db *engine.DB, r io.Reader) error {
 	}
 	var funcs []*storage.FuncDef
 	for i := uint32(0); i < nfuncs; i++ {
-		f, err := decodeFunc(br)
+		var f *storage.FuncDef
+		if v2 {
+			f, err = ReadFuncDef(br)
+		} else {
+			f, err = readFuncBody(br, 0)
+		}
 		if err != nil {
 			return err
 		}
@@ -107,23 +172,77 @@ func Restore(db *engine.DB, r io.Reader) error {
 	if br.Remaining() != 0 {
 		return core.Errorf(core.KindProtocol, "trailing bytes in dump")
 	}
-	return db.Lock(func(cat *storage.Catalog) error {
-		for _, t := range tables {
-			if err := cat.CreateTable(t); err != nil {
-				return err
-			}
+
+	// Stage into a scratch catalog first: duplicate names inside the dump
+	// (and any other create failure) surface here, before the live catalog
+	// is touched — a half-populated catalog was the old failure mode.
+	scratch := storage.NewCatalog()
+	for _, t := range tables {
+		if err := scratch.CreateTable(t); err != nil {
+			return err
 		}
-		for _, f := range funcs {
-			if err := cat.CreateFunction(f, false); err != nil {
-				return err
-			}
+	}
+	for _, f := range funcs {
+		if v2 {
+			err = scratch.InstallFunction(f, false)
+		} else {
+			err = scratch.CreateFunction(f, false)
 		}
-		return nil
-	})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Commit into the live catalog; a clash with pre-existing state rolls
+	// back everything staged so far.
+	var doneTables, doneFuncs []string
+	rollback := func() {
+		for _, name := range doneTables {
+			_ = cat.DropTable(name)
+		}
+		for _, name := range doneFuncs {
+			_ = cat.DropFunction(name)
+		}
+	}
+	for _, t := range tables {
+		if err := cat.CreateTable(t); err != nil {
+			rollback()
+			return err
+		}
+		doneTables = append(doneTables, t.Name)
+	}
+	for _, f := range funcs {
+		if v2 {
+			err = cat.InstallFunction(f, false)
+		} else {
+			err = cat.CreateFunction(f, false)
+		}
+		if err != nil {
+			rollback()
+			return err
+		}
+		doneFuncs = append(doneFuncs, f.Name)
+	}
+	if v2 {
+		cat.SetNextID(int(nextID))
+	}
+	return nil
 }
 
-func decodeFunc(br *storage.ByteReader) (*storage.FuncDef, error) {
-	f := &storage.FuncDef{}
+// ReadFuncDef reads one V2 function definition (the AppendFuncDef form).
+func ReadFuncDef(br *storage.ByteReader) (*storage.FuncDef, error) {
+	id, err := br.U32()
+	if err != nil {
+		return nil, err
+	}
+	if id > 1<<30 {
+		return nil, core.Errorf(core.KindProtocol, "implausible function id %d", id)
+	}
+	return readFuncBody(br, int(id))
+}
+
+func readFuncBody(br *storage.ByteReader, id int) (*storage.FuncDef, error) {
+	f := &storage.FuncDef{ID: id}
 	var err error
 	if f.Name, err = br.Str(); err != nil {
 		return nil, err
@@ -137,6 +256,9 @@ func decodeFunc(br *storage.ByteReader) (*storage.FuncDef, error) {
 	isTable, err := br.U8()
 	if err != nil {
 		return nil, err
+	}
+	if isTable > 1 {
+		return nil, core.Errorf(core.KindProtocol, "invalid is_table flag %d", isTable)
 	}
 	f.IsTable = isTable == 1
 	if f.Params, err = decodeSchema(br); err != nil {
@@ -175,4 +297,33 @@ func decodeSchema(br *storage.ByteReader) (storage.Schema, error) {
 		s = append(s, storage.ColumnDef{Name: name, Type: typ})
 	}
 	return s, nil
+}
+
+func readTableV2(br *storage.ByteReader, budget *int) (*storage.Table, error) {
+	name, err := br.Str()
+	if err != nil {
+		return nil, err
+	}
+	ncols, err := br.U32()
+	if err != nil {
+		return nil, err
+	}
+	if ncols > 1<<16 {
+		return nil, core.Errorf(core.KindProtocol, "implausible column count %d", ncols)
+	}
+	t := &storage.Table{Name: name}
+	rows := -1
+	for i := uint32(0); i < ncols; i++ {
+		col, err := readColumnV2(br, budget)
+		if err != nil {
+			return nil, err
+		}
+		if rows >= 0 && col.Len() != rows {
+			return nil, core.Errorf(core.KindProtocol,
+				"ragged table %q: column %q has %d rows, want %d", name, col.Name, col.Len(), rows)
+		}
+		rows = col.Len()
+		t.Cols = append(t.Cols, col)
+	}
+	return t, nil
 }

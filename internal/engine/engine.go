@@ -83,6 +83,12 @@ type DB struct {
 
 	compiled map[string]*compiledUDF
 
+	// Durability hooks installed by SetPersistence (see persist.go):
+	// onCommit is offered every committed Change under mu; checkpoint backs
+	// DB.Checkpoint.
+	onCommit   func(Change) error
+	checkpoint func() error
+
 	// plan cache state, guarded by mu (see prepare.go)
 	plans                map[string]*planEntry
 	planLRU              *list.List
@@ -105,7 +111,14 @@ func (db *DB) RegisterTable(t *storage.Table) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.invalidatePlans()
-	return db.cat.CreateTable(t)
+	if err := db.cat.CreateTable(t); err != nil {
+		return err
+	}
+	if err := db.commit(Change{Kind: ChangeCreateTable, Table: t}); err != nil {
+		_ = db.cat.DropTable(t.Name)
+		return err
+	}
+	return nil
 }
 
 // Conn is a session: credentials plus the database handle. The wire server
@@ -190,10 +203,22 @@ func (c *Conn) execStmt(st sqlparse.Statement) (*Result, error) {
 		if err := c.DB.cat.CreateTable(t); err != nil {
 			return nil, err
 		}
+		if err := c.DB.commit(Change{Kind: ChangeCreateTable, Table: t}); err != nil {
+			_ = c.DB.cat.DropTable(t.Name)
+			return nil, err
+		}
 		c.DB.invalidatePlans()
 		return &Result{Msg: "CREATE TABLE"}, nil
 	case *sqlparse.DropTable:
+		old, err := c.DB.cat.Table(st.Name)
+		if err != nil {
+			return nil, err
+		}
 		if err := c.DB.cat.DropTable(st.Name); err != nil {
+			return nil, err
+		}
+		if err := c.DB.commit(Change{Kind: ChangeDropTable, Name: old.Name}); err != nil {
+			_ = c.DB.cat.CreateTable(old)
 			return nil, err
 		}
 		c.DB.invalidatePlans()
@@ -201,7 +226,15 @@ func (c *Conn) execStmt(st sqlparse.Statement) (*Result, error) {
 	case *sqlparse.CreateFunction:
 		return c.createFunction(st)
 	case *sqlparse.DropFunction:
+		old, err := c.DB.cat.Function(st.Name)
+		if err != nil {
+			return nil, err
+		}
 		if err := c.DB.cat.DropFunction(st.Name); err != nil {
+			return nil, err
+		}
+		if err := c.DB.commit(Change{Kind: ChangeDropFunction, Name: old.Name}); err != nil {
+			_ = c.DB.cat.InstallFunction(old, true)
 			return nil, err
 		}
 		delete(c.DB.compiled, strings.ToLower(st.Name))
@@ -240,7 +273,16 @@ func (c *Conn) createFunction(st *sqlparse.CreateFunction) (*Result, error) {
 	if _, err := udfrt.Lookup(def.Language); err != nil {
 		return nil, err
 	}
+	prior, _ := c.DB.cat.Function(st.Name)
 	if err := c.DB.cat.CreateFunction(def, st.OrReplace); err != nil {
+		return nil, err
+	}
+	if err := c.DB.commit(Change{Kind: ChangeCreateFunction, Func: def, Replace: st.OrReplace}); err != nil {
+		if prior != nil {
+			_ = c.DB.cat.InstallFunction(prior, true)
+		} else {
+			_ = c.DB.cat.DropFunction(def.Name)
+		}
 		return nil, err
 	}
 	delete(c.DB.compiled, strings.ToLower(st.Name))
@@ -253,18 +295,25 @@ func (c *Conn) insert(st *sqlparse.Insert) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	n0 := t.NumRows()
 	for _, row := range st.Rows {
 		vals := make([]any, len(row))
 		for i, e := range row {
 			v, err := c.constEval(e)
 			if err != nil {
+				t.Truncate(n0)
 				return nil, err
 			}
 			vals[i] = v
 		}
 		if err := t.AppendRow(vals); err != nil {
+			t.Truncate(n0)
 			return nil, err
 		}
+	}
+	if err := c.DB.commit(Change{Kind: ChangeInsert, Name: t.Name, Table: t, From: n0, To: t.NumRows()}); err != nil {
+		t.Truncate(n0)
+		return nil, err
 	}
 	return &Result{Msg: fmt.Sprintf("INSERT %d", len(st.Rows))}, nil
 }
@@ -339,8 +388,16 @@ func (c *Conn) copyInto(st *sqlparse.CopyInto) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	n0 := t.NumRows()
 	n, err := t.LoadCSV(bytes.NewReader(data), st.Header)
 	if err != nil {
+		// A mid-load error used to leave the rows before the bad record
+		// applied; COPY is all-or-nothing now.
+		t.Truncate(n0)
+		return nil, err
+	}
+	if err := c.DB.commit(Change{Kind: ChangeInsert, Name: t.Name, Table: t, From: n0, To: t.NumRows()}); err != nil {
+		t.Truncate(n0)
 		return nil, err
 	}
 	return &Result{Msg: fmt.Sprintf("COPY %d", n)}, nil

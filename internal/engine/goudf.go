@@ -54,5 +54,17 @@ func (db *DB) registerGoUDF(name string, fn any, elementwise bool) error {
 	defer db.mu.Unlock()
 	delete(db.compiled, strings.ToLower(name))
 	db.invalidatePlans()
-	return db.cat.CreateFunction(def, true)
+	prior, _ := db.cat.Function(name)
+	if err := db.cat.CreateFunction(def, true); err != nil {
+		return err
+	}
+	if err := db.commit(Change{Kind: ChangeRegisterGoUDF, Func: def}); err != nil {
+		if prior != nil {
+			_ = db.cat.InstallFunction(prior, true)
+		} else {
+			_ = db.cat.DropFunction(name)
+		}
+		return err
+	}
+	return nil
 }

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// This file is the engine half of durable storage: every statement that
+// mutates the catalog or table data describes itself as a Change and offers
+// it to the installed commit hook while the database lock is still held.
+// If the hook refuses (the WAL append failed), the in-memory mutation is
+// rolled back and the statement fails — a change is either durable and
+// applied, or neither. Replay at startup feeds recovered Changes back in
+// through ApplyChange, which applies without re-logging.
+
+// ChangeKind discriminates the logical record types of the write-ahead log.
+type ChangeKind int
+
+// Change kinds, one per durable mutation the engine can perform.
+const (
+	// ChangeCreateTable creates a table; Table carries the schema and any
+	// rows present at creation (RegisterTable logs bulk-loaded tables whole).
+	ChangeCreateTable ChangeKind = iota + 1
+	// ChangeDropTable drops the table named Name.
+	ChangeDropTable
+	// ChangeInsert appends Table's rows (a batch, not a whole table) to the
+	// stored table named Name. INSERT and COPY INTO both log this.
+	ChangeInsert
+	// ChangeCreateFunction creates the UDF Func (ID already assigned);
+	// Replace carries CREATE OR REPLACE.
+	ChangeCreateFunction
+	// ChangeDropFunction drops the UDF named Name.
+	ChangeDropFunction
+	// ChangeRegisterGoUDF records a native Go UDF registration marker: the
+	// catalog entry (Func) is replayable, while the Go implementation itself
+	// must be re-registered by the embedding process at startup.
+	ChangeRegisterGoUDF
+)
+
+// Change is one committed logical mutation, handed to the persistence hook
+// at commit points. Table and Func may alias live catalog state: hooks must
+// serialize what they need before returning and not retain the pointers.
+//
+// For ChangeInsert with To > From, Table is the LIVE table and [From, To)
+// is the appended batch — the hook serializes that range directly
+// (storage.EncodeTableRange) so the hot commit path never copies rows.
+// With From == To == 0 the whole Table is the batch, which is what replay
+// produces after decoding a logged record.
+type Change struct {
+	Kind     ChangeKind
+	Name     string
+	Table    *storage.Table
+	From, To int
+	Func     *storage.FuncDef
+	Replace  bool
+}
+
+// insertBatch resolves the rows a ChangeInsert appends, materializing the
+// range form into a standalone batch. Replay-path only; commit-path hooks
+// encode the range without copying.
+func (ch Change) insertBatch() *storage.Table {
+	if ch.To > ch.From {
+		return ch.Table.SliceRows(ch.From, ch.To)
+	}
+	return ch.Table
+}
+
+// SetPersistence installs the durability hooks: onCommit receives every
+// Change under the database lock and may veto it by returning an error
+// (the engine rolls the mutation back); checkpoint is what DB.Checkpoint
+// delegates to. Either may be nil. internal/wal installs both.
+func (db *DB) SetPersistence(onCommit func(Change) error, checkpoint func() error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.onCommit = onCommit
+	db.checkpoint = checkpoint
+}
+
+// Checkpoint forces a durability checkpoint (snapshot + WAL rotation) when
+// persistence is configured, and is a no-op otherwise. It must be called
+// without the database lock held: the checkpoint function takes it.
+func (db *DB) Checkpoint() error {
+	db.mu.Lock()
+	cp := db.checkpoint
+	db.mu.Unlock()
+	if cp == nil {
+		return nil
+	}
+	return cp()
+}
+
+// commit offers a change to the persistence hook. Called with db.mu held,
+// after the in-memory mutation succeeded; a non-nil error obliges the
+// caller to roll that mutation back.
+func (db *DB) commit(ch Change) error {
+	if db.onCommit == nil {
+		return nil
+	}
+	if err := db.onCommit(ch); err != nil {
+		return core.Wrapf(core.KindIO, err, "persist commit: %v", err)
+	}
+	return nil
+}
+
+// ApplyChange applies a recovered change to the database without invoking
+// the persistence hook — the WAL replay path. Unknown kinds (a log written
+// by a newer build) are rejected rather than skipped.
+func (db *DB) ApplyChange(ch Change) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	switch ch.Kind {
+	case ChangeCreateTable:
+		if err := db.cat.CreateTable(ch.Table); err != nil {
+			return err
+		}
+	case ChangeDropTable:
+		if err := db.cat.DropTable(ch.Name); err != nil {
+			return err
+		}
+	case ChangeInsert:
+		t, err := db.cat.Table(ch.Name)
+		if err != nil {
+			return err
+		}
+		if err := t.AppendTable(ch.insertBatch()); err != nil {
+			return err
+		}
+	case ChangeCreateFunction, ChangeRegisterGoUDF:
+		replace := ch.Replace || ch.Kind == ChangeRegisterGoUDF
+		if err := db.cat.InstallFunction(ch.Func, replace); err != nil {
+			return err
+		}
+		delete(db.compiled, strings.ToLower(ch.Func.Name))
+	case ChangeDropFunction:
+		if err := db.cat.DropFunction(ch.Name); err != nil {
+			return err
+		}
+		delete(db.compiled, strings.ToLower(ch.Name))
+	default:
+		return core.Errorf(core.KindProtocol, "unknown change kind %d in log", ch.Kind)
+	}
+	db.invalidatePlans()
+	return nil
+}

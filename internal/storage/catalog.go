@@ -105,6 +105,33 @@ func (c *Catalog) CreateFunction(f *FuncDef, replace bool) error {
 	return nil
 }
 
+// InstallFunction registers a UDF preserving its pre-assigned ID — the
+// restore/replay path of durable storage, where sys.functions IDs must
+// survive a restart byte-for-byte. The ID counter advances past f.ID so
+// later CreateFunction calls never collide with a replayed definition.
+func (c *Catalog) InstallFunction(f *FuncDef, replace bool) error {
+	k := key(f.Name)
+	if _, ok := c.funcs[k]; ok && !replace {
+		return core.Errorf(core.KindConstraint, "function %q already exists", f.Name)
+	}
+	c.funcs[k] = f
+	if f.ID >= c.nextID {
+		c.nextID = f.ID + 1
+	}
+	return nil
+}
+
+// NextID returns the next function ID the catalog would assign.
+func (c *Catalog) NextID() int { return c.nextID }
+
+// SetNextID forces the function ID counter, clamped so it never moves
+// backwards past an installed definition's ID.
+func (c *Catalog) SetNextID(n int) {
+	if n > c.nextID {
+		c.nextID = n
+	}
+}
+
 // DropFunction removes a UDF.
 func (c *Catalog) DropFunction(name string) error {
 	k := key(name)

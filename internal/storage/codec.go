@@ -105,37 +105,47 @@ func AppendBytes(buf []byte, b []byte) []byte {
 // EncodeColumn appends a column's binary encoding: name, type, row count,
 // optional packed validity bitmap, then the typed payload.
 func EncodeColumn(buf []byte, col *Column) []byte {
+	return EncodeColumnRange(buf, col, 0, col.Len())
+}
+
+// EncodeColumnRange encodes rows [from, to) of col in the EncodeColumn
+// format. The write-ahead log uses it to serialize an INSERT batch straight
+// from the live table, without slicing a copy first.
+func EncodeColumnRange(buf []byte, col *Column, from, to int) []byte {
 	buf = AppendString(buf, col.Name)
 	buf = append(buf, byte(col.Typ))
-	n := col.Len()
+	n := to - from
 	buf = binary.BigEndian.AppendUint32(buf, uint32(n))
 	if col.Nulls == nil {
 		buf = append(buf, 0)
 	} else {
 		buf = append(buf, 1)
-		bitmap := make([]byte, (n+7)/8)
+		// build the bitmap in place on buf — this runs per commit
+		base := len(buf)
+		for i := 0; i < (n+7)/8; i++ {
+			buf = append(buf, 0)
+		}
 		for i := 0; i < n; i++ {
-			if col.Nulls[i] {
-				bitmap[i/8] |= 1 << (i % 8)
+			if col.Nulls[from+i] {
+				buf[base+i/8] |= 1 << (i % 8)
 			}
 		}
-		buf = append(buf, bitmap...)
 	}
 	switch col.Typ {
 	case TInt:
-		for _, v := range col.Ints {
+		for _, v := range col.Ints[from:to] {
 			buf = binary.BigEndian.AppendUint64(buf, uint64(v))
 		}
 	case TFloat:
-		for _, v := range col.Flts {
+		for _, v := range col.Flts[from:to] {
 			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
 		}
 	case TStr:
-		for _, v := range col.Strs {
+		for _, v := range col.Strs[from:to] {
 			buf = AppendString(buf, v)
 		}
 	case TBool:
-		for _, v := range col.Bools {
+		for _, v := range col.Bools[from:to] {
 			if v {
 				buf = append(buf, 1)
 			} else {
@@ -143,7 +153,7 @@ func EncodeColumn(buf []byte, col *Column) []byte {
 			}
 		}
 	case TBlob:
-		for _, v := range col.Blobs {
+		for _, v := range col.Blobs[from:to] {
 			buf = AppendBytes(buf, v)
 		}
 	}
@@ -171,10 +181,21 @@ func DecodeColumn(r *ByteReader) (*Column, error) {
 		return nil, err
 	}
 	n := int(n32)
+	// An adversarial row count would drive n append loops (and for the
+	// fixed-width types a giant Reserve) before the cursor runs dry: reject
+	// any count the remaining payload cannot possibly hold, mirroring
+	// DecodeTable's column-count cap.
+	if need := minColumnBytes(typ, n); need > r.Remaining() {
+		return nil, core.Errorf(core.KindProtocol,
+			"implausible row count %d: needs >= %d bytes, %d remain", n, need, r.Remaining())
+	}
 	col := NewColumn(name, typ)
 	hasNulls, err := r.U8()
 	if err != nil {
 		return nil, err
+	}
+	if hasNulls > 1 {
+		return nil, core.Errorf(core.KindProtocol, "invalid null-bitmap flag %d", hasNulls)
 	}
 	var bitmap []byte
 	if hasNulls == 1 {
@@ -230,12 +251,32 @@ func DecodeColumn(r *ByteReader) (*Column, error) {
 	return col, nil
 }
 
+// minColumnBytes returns the smallest possible encoded size of n rows of
+// type typ (excluding the null bitmap): the bound DecodeColumn uses to
+// reject row counts the payload cannot back.
+func minColumnBytes(typ Type, n int) int {
+	switch typ {
+	case TInt, TFloat:
+		return n * 8
+	case TBool:
+		return n
+	default: // TStr, TBlob: a 4-byte length prefix per row at minimum
+		return n * 4
+	}
+}
+
 // EncodeTable appends a table (name, column count, columns).
 func EncodeTable(buf []byte, t *Table) []byte {
+	return EncodeTableRange(buf, t, 0, t.NumRows())
+}
+
+// EncodeTableRange encodes rows [from, to) of every column of t in the
+// EncodeTable format (decodable with DecodeTable).
+func EncodeTableRange(buf []byte, t *Table, from, to int) []byte {
 	buf = AppendString(buf, t.Name)
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(t.Cols)))
 	for _, col := range t.Cols {
-		buf = EncodeColumn(buf, col)
+		buf = EncodeColumnRange(buf, col, from, to)
 	}
 	return buf
 }

@@ -278,6 +278,36 @@ func (c *Column) Reserve(n int) {
 	}
 }
 
+// Truncate drops every row past n (no-op when the column is already at or
+// below n rows). Blob and string tails are nilled out so the backing arrays
+// do not pin dropped payloads.
+func (c *Column) Truncate(n int) {
+	if n < 0 || n >= c.Len() {
+		return
+	}
+	switch c.Typ {
+	case TInt:
+		c.Ints = c.Ints[:n]
+	case TFloat:
+		c.Flts = c.Flts[:n]
+	case TStr:
+		for i := n; i < len(c.Strs); i++ {
+			c.Strs[i] = ""
+		}
+		c.Strs = c.Strs[:n]
+	case TBool:
+		c.Bools = c.Bools[:n]
+	case TBlob:
+		for i := n; i < len(c.Blobs); i++ {
+			c.Blobs[i] = nil
+		}
+		c.Blobs = c.Blobs[:n]
+	}
+	if c.Nulls != nil {
+		c.Nulls = c.Nulls[:n]
+	}
+}
+
 // Clone deep-copies the column.
 func (c *Column) Clone() *Column {
 	out := &Column{Name: c.Name, Typ: c.Typ}

@@ -115,6 +115,15 @@ func (t *Table) AppendRow(vals []any) error {
 	return nil
 }
 
+// Truncate drops every row past n, keeping the schema. The engine uses it
+// to roll a table back when a persistence hook refuses the batch that was
+// just appended.
+func (t *Table) Truncate(n int) {
+	for _, c := range t.Cols {
+		c.Truncate(n)
+	}
+}
+
 // Clone deep-copies the table.
 func (t *Table) Clone() *Table {
 	out := &Table{Name: t.Name}

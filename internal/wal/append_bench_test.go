@@ -1,0 +1,33 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/storage"
+)
+
+func BenchmarkAppendChange(b *testing.B) {
+	db := engine.NewDB()
+	m, err := Open(b.TempDir(), db, Options{SnapshotBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	t := storage.NewTable("t", storage.Schema{
+		{Name: "i", Type: storage.TInt},
+		{Name: "s", Type: storage.TStr},
+	})
+	for i := 0; i < 3; i++ {
+		if err := t.AppendRow([]any{int64(i), "xy"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ch := engine.Change{Kind: engine.ChangeInsert, Name: "t", Table: t}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.appendChange(ch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
