@@ -8,6 +8,13 @@
 // DIR also remains the directory COPY INTO and UDF file access resolve
 // against.
 //
+// With -metrics-addr the process serves Prometheus text metrics on
+// /metrics and the pprof profiling handlers on /debug/pprof/, covering
+// every layer (wire, engine, UDF runtimes, WAL). -slow-query-ms logs a
+// structured line with the per-stage span breakdown for queries past the
+// threshold, and the same spans are queryable as the sys.query_log
+// virtual table.
+//
 // Usage:
 //
 //	monetlited -addr :50000 -db demo -user monetdb -password monetdb \
@@ -44,6 +51,8 @@ func main() {
 	tupleMode := flag.Bool("tuple-at-a-time", false, "use the tuple-at-a-time UDF processing model (paper §2.4)")
 	maxSteps := flag.Int64("max-udf-steps", 50_000_000, "interpreter step budget per UDF call (0 = unlimited)")
 	streamThreshold := flag.Int("stream-threshold", 1<<20, "encoded result size (bytes) above which v2 sessions get chunked streaming (negative streams everything)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty: disabled)")
+	slowQueryMs := flag.Int("slow-query-ms", 0, "log one structured line with the per-stage span breakdown for queries slower than this many milliseconds (0: disabled)")
 	flag.Parse()
 
 	db := monetlite.NewDB()
@@ -103,9 +112,22 @@ func main() {
 	srv := monetlite.NewServer(*dbName, *user, *password, db)
 	srv.Logf = log.Printf
 	srv.StreamThreshold = *streamThreshold
+
+	var stack *obsStack
+	if *metricsAddr != "" || *slowQueryMs > 0 {
+		stack = enableObs(db, srv, mgr, *slowQueryMs)
+	}
+
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
+	}
+	if *metricsAddr != "" {
+		maddr, err := stack.serve(*metricsAddr)
+		if err != nil {
+			log.Fatalf("metrics listen: %v", err)
+		}
+		log.Printf("metrics on http://%s/metrics, pprof on http://%s/debug/pprof/", maddr, maddr)
 	}
 	fmt.Printf("monetlited: serving database %q on %s (mode: %s)\n", *dbName, bound, db.Mode)
 
@@ -113,7 +135,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nmonetlited: draining connections and shutting down")
-	if err := srv.Close(); err != nil {
+	if err := drainAndStop(srv, stack); err != nil {
 		log.Fatalf("close: %v", err)
 	}
 	if mgr != nil {

@@ -12,11 +12,14 @@ package engine
 import (
 	"bytes"
 	"container/list"
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/udfrt"
@@ -81,6 +84,11 @@ type DB struct {
 	// cache is flushed on every catalog change.
 	PlanCacheSize int
 
+	// QueryLog, when set, backs the sys.query_log virtual table with the
+	// span breakdowns of recently finished queries. The wire server (or
+	// any embedder) records entries; the engine only reads it.
+	QueryLog *obs.QueryLog
+
 	compiled map[string]*compiledUDF
 
 	// Durability hooks installed by SetPersistence (see persist.go):
@@ -89,10 +97,23 @@ type DB struct {
 	onCommit   func(Change) error
 	checkpoint func() error
 
-	// plan cache state, guarded by mu (see prepare.go)
-	plans                map[string]*planEntry
-	planLRU              *list.List
-	planHits, planMisses uint64
+	// metrics is set once by EnableObs before the DB starts serving and
+	// read without mu on hot paths; nil means observability is off.
+	metrics *dbMetrics
+	// activeTrace is the trace of the statement currently executing under
+	// mu, set by the *Context entry points so parse/UDF/WAL sub-stages can
+	// report spans without threading a context through every operator.
+	activeTrace *obs.Trace
+
+	// plan cache state: the map and LRU are guarded by mu; the counters
+	// are atomic so a metrics scrape never has to take the database lock
+	// (a paused debuggee can hold it indefinitely).
+	plans         map[string]*planEntry
+	planLRU       *list.List
+	planHits      atomic.Uint64
+	planMisses    atomic.Uint64
+	planEvictions atomic.Uint64
+	planEntries   atomic.Int64
 }
 
 // NewDB creates an empty database.
@@ -153,10 +174,46 @@ type Result struct {
 	Msg string
 }
 
-// Exec parses and executes one statement under the database lock.
+// Exec parses and executes one statement under the database lock. It
+// deliberately does not route through execTraced: the trace install
+// and its deferred restore cost tens of nanoseconds, and this is the
+// path every untraced statement takes.
 func (c *Conn) Exec(sql string) (*Result, error) {
 	c.DB.mu.Lock()
 	defer c.DB.mu.Unlock()
+	return c.exec(sql)
+}
+
+// ExecContext is Exec with a context: when the context carries an
+// obs.Trace (obs.WithTrace), the execution reports its parse, execute,
+// UDF and WAL spans into it. The context is otherwise unused — the
+// engine does not support mid-statement cancellation.
+func (c *Conn) ExecContext(ctx context.Context, sql string) (*Result, error) {
+	return c.execTraced(obs.TraceFrom(ctx), sql)
+}
+
+// ExecTraced is ExecContext without the context detour: the wire
+// server's per-query hot path, where the context allocation and value
+// lookup are measurable against sub-microsecond statements. tr may be
+// nil. Embedded callers normally use ExecContext.
+func (c *Conn) ExecTraced(tr *obs.Trace, sql string) (*Result, error) {
+	return c.execTraced(tr, sql)
+}
+
+// execTraced runs one statement under the database lock with tr
+// installed as the active trace for sub-stage spans. A nil tr takes
+// the plain Exec path so untraced contexts pay nothing.
+func (c *Conn) execTraced(tr *obs.Trace, sql string) (*Result, error) {
+	if tr == nil {
+		return c.Exec(sql)
+	}
+	c.DB.mu.Lock()
+	defer c.DB.mu.Unlock()
+	prev := c.DB.activeTrace
+	c.DB.activeTrace = tr
+	defer func() { c.DB.activeTrace = prev }()
+	et := tr.StartStage(obs.StageExec)
+	defer et.Done()
 	return c.exec(sql)
 }
 

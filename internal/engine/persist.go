@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -93,12 +94,21 @@ func (db *DB) Checkpoint() error {
 
 // commit offers a change to the persistence hook. Called with db.mu held,
 // after the in-memory mutation succeeded; a non-nil error obliges the
-// caller to roll that mutation back.
+// caller to roll that mutation back. The hook's time (WAL encode, append
+// and any synchronous fsync) is the statement's WAL span, and a refusal
+// is counted as a commit veto — previously these rollbacks were
+// indistinguishable from any other IO error.
 func (db *DB) commit(ch Change) error {
 	if db.onCommit == nil {
 		return nil
 	}
-	if err := db.onCommit(ch); err != nil {
+	wt := db.activeTrace.StartStage(obs.StageWAL)
+	err := db.onCommit(ch)
+	wt.Done()
+	if err != nil {
+		if m := db.metrics; m != nil {
+			m.commitVetoes.Inc()
+		}
 		return core.Wrapf(core.KindIO, err, "persist commit: %v", err)
 	}
 	return nil

@@ -2,10 +2,12 @@ package engine
 
 import (
 	"container/list"
+	"context"
 	"strings"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 )
@@ -24,9 +26,10 @@ type planEntry struct {
 
 // PlanCacheStats is a snapshot of the plan cache's activity.
 type PlanCacheStats struct {
-	Hits    uint64
-	Misses  uint64
-	Entries int
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
 }
 
 // normalizeSQL is the plan-cache key rule: surrounding whitespace and
@@ -50,11 +53,16 @@ func (db *DB) cachedParse(sql string) (sqlparse.Statement, int, error) {
 	key := normalizeSQL(sql)
 	if e, ok := db.plans[key]; ok {
 		db.planLRU.MoveToFront(e.elem)
-		db.planHits++
+		db.planHits.Add(1)
+		if tr := db.activeTrace; tr != nil {
+			tr.CacheHit = true
+		}
 		return e.st, e.nparams, nil
 	}
-	db.planMisses++
+	db.planMisses.Add(1)
+	pt := db.activeTrace.StartStage(obs.StageParse)
 	st, err := sqlparse.Parse(sql)
+	pt.Done()
 	if err != nil {
 		return nil, 0, err
 	}
@@ -74,9 +82,11 @@ func (db *DB) cachedParse(sql string) (sqlparse.Statement, int, error) {
 		}
 		victim := db.planLRU.Remove(oldest).(*planEntry)
 		delete(db.plans, victim.key)
+		db.planEvictions.Add(1)
 	}
 	e.elem = db.planLRU.PushFront(e)
 	db.plans[key] = e
+	db.planEntries.Store(int64(len(db.plans)))
 	return st, e.nparams, nil
 }
 
@@ -87,13 +97,19 @@ func (db *DB) cachedParse(sql string) (sqlparse.Statement, int, error) {
 func (db *DB) invalidatePlans() {
 	db.plans = nil
 	db.planLRU = nil
+	db.planEntries.Store(0)
 }
 
-// PlanCacheStatsSnapshot reports plan-cache hits, misses and live entries.
+// PlanCacheStatsSnapshot reports plan-cache hits, misses, evictions and
+// live entries. The counters are atomic, so this never blocks behind a
+// running statement.
 func (db *DB) PlanCacheStatsSnapshot() PlanCacheStats {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return PlanCacheStats{Hits: db.planHits, Misses: db.planMisses, Entries: len(db.plans)}
+	return PlanCacheStats{
+		Hits:      db.planHits.Load(),
+		Misses:    db.planMisses.Load(),
+		Evictions: db.planEvictions.Load(),
+		Entries:   int(db.planEntries.Load()),
+	}
 }
 
 // Stmt is a prepared statement: SQL parsed and planned once, executed many
@@ -142,20 +158,61 @@ func (s *Stmt) NumParams() int { return s.nparams }
 
 // Query executes the statement with one set of bind arguments and returns
 // its result.
-func (s *Stmt) Query(args ...any) (*Result, error) { return s.exec(args) }
+func (s *Stmt) Query(args ...any) (*Result, error) { return s.execTraced(nil, args) }
 
 // Exec is Query for statements executed for their side effects; the
 // returned Result carries the status tag.
-func (s *Stmt) Exec(args ...any) (*Result, error) { return s.exec(args) }
+func (s *Stmt) Exec(args ...any) (*Result, error) { return s.execTraced(nil, args) }
 
-func (s *Stmt) exec(args []any) (*Result, error) {
+// ExecContext is Exec reporting bind and execution spans into the trace
+// carried on ctx (obs.WithTrace), if any.
+func (s *Stmt) ExecContext(ctx context.Context, args ...any) (*Result, error) {
+	return s.execTraced(obs.TraceFrom(ctx), args)
+}
+
+// QueryContext is Query reporting spans into the trace carried on ctx.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Result, error) {
+	return s.execTraced(obs.TraceFrom(ctx), args)
+}
+
+// ExecTraced is ExecContext without the context detour — see
+// Conn.ExecTraced. tr may be nil.
+func (s *Stmt) ExecTraced(tr *obs.Trace, args ...any) (*Result, error) {
+	return s.execTraced(tr, args)
+}
+
+func (s *Stmt) execTraced(tr *obs.Trace, args []any) (*Result, error) {
+	if tr == nil {
+		// Untraced executions skip the trace install and its deferred
+		// restore — this is the path every plain Exec/Query takes.
+		cols, err := s.bindArgs(args)
+		if err != nil {
+			return nil, err
+		}
+		c := s.conn
+		c.DB.mu.Lock()
+		defer c.DB.mu.Unlock()
+		c.binds = cols
+		defer func() { c.binds = nil }()
+		return c.execStmt(s.st)
+	}
+	bt := tr.StartStage(obs.StageBind)
 	cols, err := s.bindArgs(args)
+	bt.Done()
 	if err != nil {
 		return nil, err
 	}
+	// The statement was parsed once at Prepare; every execution is a
+	// plan reuse regardless of what the text cache does.
+	tr.CacheHit = true
 	c := s.conn
 	c.DB.mu.Lock()
 	defer c.DB.mu.Unlock()
+	prev := c.DB.activeTrace
+	c.DB.activeTrace = tr
+	defer func() { c.DB.activeTrace = prev }()
+	et := tr.StartStage(obs.StageExec)
+	defer et.Done()
 	c.binds = cols
 	defer func() { c.binds = nil }()
 	return c.execStmt(s.st)

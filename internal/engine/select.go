@@ -25,6 +25,9 @@ func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if m := c.DB.metrics; m != nil && src != nil {
+		m.rowsScanned.Add(uint64(src.NumRows()))
+	}
 
 	// WHERE
 	var selv []int32
@@ -83,6 +86,9 @@ func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 				result = result.SliceRows(0, limit)
 			}
 		}
+	}
+	if m := c.DB.metrics; m != nil {
+		m.rowsReturned.Add(uint64(result.NumRows()))
 	}
 	return result, nil
 }
@@ -278,6 +284,12 @@ func (c *Conn) evalFrom(from sqlparse.FromClause) (*storage.Table, error) {
 	case nil:
 		return nil, nil
 	case *sqlparse.FromTable:
+		// sys.query_log is engine-level (it reads the observability ring,
+		// which storage cannot depend on), unlike the catalog's sys.* meta
+		// tables.
+		if t, ok := c.queryLogTable(f.Name); ok {
+			return t, nil
+		}
 		t, err := c.DB.cat.Table(f.Name)
 		if err != nil {
 			return nil, err

@@ -121,7 +121,7 @@ func (c *Conn) callScalarUDF(name string, argCols []*storage.Column, isColumn []
 	} else if ok {
 		return col, nil
 	}
-	out, err := call.Call(env, in)
+	out, err := c.instrumentedCall(def, call, env, in)
 	if err != nil {
 		return nil, err
 	}
@@ -165,7 +165,7 @@ func (c *Conn) callScalarUDFMorsels(def *storage.FuncDef, call udfrt.Callable,
 			return
 		}
 		b := in.Slice(lo, hi)
-		ob, err := call.Call(env, b)
+		ob, err := c.instrumentedCall(def, call, env, b)
 		if err != nil {
 			errs[m] = err
 			return
@@ -244,7 +244,7 @@ func (c *Conn) callScalarUDFTuple(def *storage.FuncDef, call udfrt.Callable,
 	env *udfrt.Env, in *udfrt.Batch) (*storage.Column, error) {
 	out := storage.NewColumn(def.Returns[0].Name, def.Returns[0].Type)
 	for r := 0; r < in.Rows; r++ {
-		ob, err := call.Call(env, in.Row(r))
+		ob, err := c.instrumentedCall(def, call, env, in.Row(r))
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +279,7 @@ func (c *Conn) callTableUDF(def *storage.FuncDef, argCols []*storage.Column, isC
 	if n, ok := columnarRows(argCols, isColumn); ok && n > 0 {
 		in.Rows = n
 	}
-	out, err := call.Call(c.udfEnv(), in)
+	out, err := c.instrumentedCall(def, call, c.udfEnv(), in)
 	if err != nil {
 		return nil, err
 	}

@@ -4,7 +4,44 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Package-level execution counters: morsel scheduling is the engine's
+// hottest control path, so it keeps raw atomics here and the metrics
+// registry reads them at scrape time (engine.EnableObs). The inline path
+// pays two uncontended atomic adds per kernel call; the parallel path
+// additionally accounts per-worker busy time.
+var (
+	statMorsels      atomic.Int64
+	statInlineRuns   atomic.Int64
+	statParallelRuns atomic.Int64
+	statBusyNanos    atomic.Int64
+)
+
+// Stats is a snapshot of the package execution counters.
+type Stats struct {
+	// Morsels is the total number of morsels executed.
+	Morsels int64
+	// InlineRuns counts kernel dispatches that ran on the query goroutine.
+	InlineRuns int64
+	// ParallelRuns counts kernel dispatches that fanned out to workers.
+	ParallelRuns int64
+	// WorkerBusyNanos accumulates wall time workers spent executing
+	// morsels in parallel runs — utilization is its rate over cores.
+	WorkerBusyNanos int64
+}
+
+// StatsSnapshot reads the execution counters without synchronization
+// beyond the atomics themselves.
+func StatsSnapshot() Stats {
+	return Stats{
+		Morsels:         statMorsels.Load(),
+		InlineRuns:      statInlineRuns.Load(),
+		ParallelRuns:    statParallelRuns.Load(),
+		WorkerBusyNanos: statBusyNanos.Load(),
+	}
+}
 
 // DefaultMorselSize is the number of rows one worker claims at a time.
 // Morsels are small enough to load-balance skewed work and large enough
@@ -73,7 +110,9 @@ func (p Pol) RunIdx(n int, fn func(m, lo, hi int)) {
 	if w > nm {
 		w = nm
 	}
+	statMorsels.Add(int64(nm))
 	if w <= 1 {
+		statInlineRuns.Add(1)
 		for m := 0; m < nm; m++ {
 			lo := m * ms
 			hi := lo + ms
@@ -84,15 +123,18 @@ func (p Pol) RunIdx(n int, fn func(m, lo, hi int)) {
 		}
 		return
 	}
+	statParallelRuns.Add(1)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < w; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			t0 := time.Now()
 			for {
 				m := int(next.Add(1) - 1)
 				if m >= nm {
+					statBusyNanos.Add(int64(time.Since(t0)))
 					return
 				}
 				lo := m * ms

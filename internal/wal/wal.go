@@ -109,6 +109,10 @@ type Manager struct {
 	checkpointing atomic.Bool // auto-checkpoint single-flight
 	stop          chan struct{}
 	flusherDone   chan struct{}
+
+	// metrics is set once by EnableObs before traffic and read without
+	// synchronization afterwards; nil keeps the hot paths untouched.
+	metrics *walMetrics
 }
 
 // Open recovers the database state persisted in dir (creating it if
@@ -178,7 +182,7 @@ func (m *Manager) syncLocked() error {
 	if m.f == nil {
 		return nil
 	}
-	if err := m.f.Sync(); err != nil {
+	if err := m.metrics.timeFsync(m.f.Sync); err != nil {
 		return core.Wrapf(core.KindIO, err, "fsync wal: %v", err)
 	}
 	m.dirty = false
@@ -245,6 +249,7 @@ func (m *Manager) appendChange(ch engine.Change) error {
 	} else {
 		m.dirty = true
 	}
+	m.metrics.observeAppend(len(frame))
 	m.bytes += int64(len(frame))
 	if m.opts.SnapshotBytes > 0 && m.bytes >= m.opts.SnapshotBytes &&
 		m.checkpointing.CompareAndSwap(false, true) {
@@ -301,6 +306,9 @@ func (m *Manager) checkpointLocked(cat *storage.Catalog) error {
 	}
 	_ = m.f.Close()
 	m.f, m.seq, m.bytes, m.dirty = nf, newSeq, 0, false
+	if w := m.metrics; w != nil {
+		w.checkpoints.Inc()
+	}
 	// 4. Purge generations no retained snapshot needs. Best-effort: stale
 	// files cost disk, not correctness.
 	m.purge(newSeq)

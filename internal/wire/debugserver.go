@@ -87,6 +87,10 @@ func newDebugRun(srv *Server, w *connWriter, req DebugRequest, connDone <-chan s
 // check runs here — not on the frame loop — because it takes the database
 // lock, which a paused debuggee of another session may hold indefinitely.
 func (dr *debugRun) launch(econn *engine.Conn, query string) {
+	if m := dr.srv.metrics; m != nil {
+		m.debugSessions.Add(1)
+		defer m.debugSessions.Add(-1)
+	}
 	if err := dr.srv.checkDebuggable(dr.udf); err != nil {
 		dr.mu.Lock()
 		dr.finished = true

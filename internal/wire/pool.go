@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -33,6 +34,8 @@ type Pool struct {
 	waits        atomic.Int64
 	dials        atomic.Int64
 	discards     atomic.Int64
+	healthFails  atomic.Int64
+	reprepares   atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 }
@@ -50,7 +53,16 @@ type PoolStats struct {
 	InUse    int   // connections currently checked out
 	Waits    int64 // checkouts that blocked on the bound
 	Dials    int64 // connections opened over the pool's lifetime
-	Discards int64 // connections dropped by health checks
+	Discards int64 // connections dropped for any reason
+	// HealthCheckFailures counts connections that failed a checkout or
+	// checkin health check (broken transport or failed idle ping) — a
+	// subset of Discards, which also counts idle-overflow and close-time
+	// retirements.
+	HealthCheckFailures int64
+	// Reprepares counts PoolStmt executions that had to re-prepare their
+	// SQL because the pool handed back a connection that had not seen the
+	// statement yet (churn after retirement).
+	Reprepares int64
 	// BytesRead/BytesWritten aggregate wire traffic of retired and
 	// checked-in connections.
 	BytesRead    int64
@@ -115,6 +127,7 @@ func (p *Pool) Get(ctx context.Context) (*Client, error) {
 // retiring it) when it fails.
 func (p *Pool) vet(ctx context.Context, pc *pooledConn) *Client {
 	if pc.c.Broken() {
+		p.healthFails.Add(1)
 		p.retire(pc)
 		return nil
 	}
@@ -124,6 +137,7 @@ func (p *Pool) vet(ctx context.Context, pc *pooledConn) *Client {
 	}
 	if after > 0 && time.Since(pc.idleSince) >= after {
 		if err := pc.c.Ping(ctx); err != nil {
+			p.healthFails.Add(1)
 			p.retire(pc)
 			return nil
 		}
@@ -141,6 +155,9 @@ func (p *Pool) Put(c *Client) {
 	pc := &pooledConn{c: c, idleSince: time.Now()}
 	p.account(pc)
 	if c.Broken() || p.isClosed() {
+		if c.Broken() {
+			p.healthFails.Add(1)
+		}
 		p.retire(pc)
 		<-p.sem
 		return
@@ -221,25 +238,57 @@ func (p *Pool) isClosed() bool {
 	return p.closed
 }
 
-// Stats snapshots pool activity. Byte totals cover checked-in connections;
-// traffic of a connection currently checked out is folded in at its next
-// checkin.
-func (p *Pool) Stats() PoolStats {
+// StatsSnapshot snapshots pool activity. Byte totals cover checked-in
+// connections; traffic of a connection currently checked out is folded
+// in at its next checkin. It never blocks: every source is a channel
+// length or an atomic.
+func (p *Pool) StatsSnapshot() PoolStats {
 	idle := len(p.idle)
 	inUse := len(p.sem)
 	if inUse < 0 {
 		inUse = 0
 	}
 	return PoolStats{
-		Size:         p.size,
-		Idle:         idle,
-		InUse:        inUse,
-		Waits:        p.waits.Load(),
-		Dials:        p.dials.Load(),
-		Discards:     p.discards.Load(),
-		BytesRead:    p.bytesRead.Load(),
-		BytesWritten: p.bytesWritten.Load(),
+		Size:                p.size,
+		Idle:                idle,
+		InUse:               inUse,
+		Waits:               p.waits.Load(),
+		Dials:               p.dials.Load(),
+		Discards:            p.discards.Load(),
+		HealthCheckFailures: p.healthFails.Load(),
+		Reprepares:          p.reprepares.Load(),
+		BytesRead:           p.bytesRead.Load(),
+		BytesWritten:        p.bytesWritten.Load(),
 	}
+}
+
+// Stats is StatsSnapshot under its historical name.
+func (p *Pool) Stats() PoolStats { return p.StatsSnapshot() }
+
+// RegisterObs registers the pool's stats on reg as pool_* gauges and
+// counters, all read at scrape time from StatsSnapshot. Register at most
+// one pool per registry (metric names are process-global).
+func (p *Pool) RegisterObs(reg *obs.Registry) {
+	reg.GaugeFunc("pool_size", "Configured connection bound of the pool.",
+		func() float64 { return float64(p.StatsSnapshot().Size) })
+	reg.GaugeFunc("pool_idle", "Open pool connections awaiting checkout.",
+		func() float64 { return float64(p.StatsSnapshot().Idle) })
+	reg.GaugeFunc("pool_in_use", "Pool connections currently checked out.",
+		func() float64 { return float64(p.StatsSnapshot().InUse) })
+	reg.CounterFunc("pool_waits_total", "Checkouts that blocked on the pool bound.",
+		func() float64 { return float64(p.StatsSnapshot().Waits) })
+	reg.CounterFunc("pool_dials_total", "Connections the pool opened over its lifetime.",
+		func() float64 { return float64(p.StatsSnapshot().Dials) })
+	reg.CounterFunc("pool_discards_total", "Pool connections dropped for any reason.",
+		func() float64 { return float64(p.StatsSnapshot().Discards) })
+	reg.CounterFunc("pool_health_check_failures_total", "Pool connections that failed a checkout or checkin health check.",
+		func() float64 { return float64(p.StatsSnapshot().HealthCheckFailures) })
+	reg.CounterFunc("pool_reprepares_total", "Prepared statements re-prepared after pool connection churn.",
+		func() float64 { return float64(p.StatsSnapshot().Reprepares) })
+	reg.CounterFunc("pool_bytes_read_total", "Wire bytes read by pool connections (folded in at checkin).",
+		func() float64 { return float64(p.StatsSnapshot().BytesRead) })
+	reg.CounterFunc("pool_bytes_written_total", "Wire bytes written by pool connections (folded in at checkin).",
+		func() float64 { return float64(p.StatsSnapshot().BytesWritten) })
 }
 
 // Close marks the pool closed and closes every idle connection. Checked-out

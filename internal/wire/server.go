@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // defaultMaxStmtsPerConn bounds a connection's prepared-statement table
@@ -44,6 +45,13 @@ type Server struct {
 	// (MsgPrepare beyond the bound is rejected until the client closes
 	// statements). Zero applies the 64 default.
 	MaxStmtsPerConn int
+	// SlowQueryMs, when positive, logs (via Logf) one structured line with
+	// the per-stage span breakdown for every query whose wall time meets
+	// the threshold.
+	SlowQueryMs int
+
+	// metrics is set by EnableObs before Listen; nil disables recording.
+	metrics *serverMetrics
 
 	ln     net.Listener
 	mu     sync.Mutex
@@ -179,6 +187,9 @@ type queryQueue struct {
 	items  []frame
 	closed bool
 	wake   chan struct{}
+	// depth, when non-nil, mirrors the queued-request count into the
+	// wire_query_queue_depth gauge (shared across connections).
+	depth *obs.Gauge
 }
 
 func newQueryQueue() *queryQueue {
@@ -189,6 +200,9 @@ func (q *queryQueue) push(fr frame) {
 	q.mu.Lock()
 	q.items = append(q.items, fr)
 	q.mu.Unlock()
+	if q.depth != nil {
+		q.depth.Add(1)
+	}
 	select {
 	case q.wake <- struct{}{}:
 	default:
@@ -203,6 +217,9 @@ func (q *queryQueue) pop() (fr frame, ok bool) {
 		if len(q.items) > 0 {
 			fr, q.items = q.items[0], q.items[1:]
 			q.mu.Unlock()
+			if q.depth != nil {
+				q.depth.Add(-1)
+			}
 			return fr, true
 		}
 		closed := q.closed
@@ -258,14 +275,9 @@ func (sc *serverConn) queryWorker() {
 		//wireswitch:ignore MsgAuth MsgDebug MsgPing MsgClose -- handled on the frame loop or during the handshake; never queued
 		switch fr.typ {
 		case MsgQuery:
-			res, err := sc.sess.Exec(string(fr.payload))
-			if err != nil {
-				// A failed write means the client is gone; keep draining so
-				// shutdown never blocks (subsequent writes fail fast).
-				_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
-				continue
-			}
-			_ = sc.writeResult(res)
+			// On a failed write the client is gone; runQuery swallows write
+			// errors so draining never blocks (subsequent writes fail fast).
+			sc.runQuery(fr)
 		case MsgPrepare:
 			sc.handlePrepare(fr.payload)
 		case MsgExecStmt:
@@ -284,6 +296,9 @@ func (sc *serverConn) handlePrepare(payload []byte) {
 		limit = defaultMaxStmtsPerConn
 	}
 	if len(sc.stmts) >= limit {
+		if m := sc.srv.metrics; m != nil {
+			m.stmtRejects.Inc()
+		}
 		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindConstraint,
 			"prepared-statement table is full; close statements first"))
 		return
@@ -322,12 +337,7 @@ func (sc *serverConn) handleExecStmt(payload []byte) {
 	for i, col := range cols {
 		args[i] = col.Value(0)
 	}
-	res, err := stmt.Exec(args...)
-	if err != nil {
-		_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
-		return
-	}
-	_ = sc.writeResult(res)
+	sc.runExecStmt(stmt, args)
 }
 
 // handleCloseStmt discards a prepared statement and acks.
@@ -355,10 +365,20 @@ func (sc *serverConn) handleCloseStmt(payload []byte) {
 // interleaving with (but never corrupting) response frames.
 func (s *Server) serveConn(nc net.Conn) {
 	defer nc.Close()
+	m := s.metrics
+	if m != nil {
+		nc = countingConn{Conn: nc, in: m.bytesIn, out: m.bytesOut}
+	}
 	sess, version, err := s.handshake(nc)
 	if err != nil {
 		s.logf("handshake failed from %s: %v", nc.RemoteAddr(), err)
 		return
+	}
+	if m != nil {
+		m.countMsg(MsgAuth)
+		m.connsOpened.Inc()
+		m.connsActive.Add(1)
+		defer m.connsActive.Add(-1)
 	}
 	s.logf("session opened: user=%s proto=v%d from %s", sess.User, version, nc.RemoteAddr())
 
@@ -372,6 +392,9 @@ func (s *Server) serveConn(nc net.Conn) {
 		queries:    newQueryQueue(),
 		workerDone: make(chan struct{}),
 	}
+	if m != nil {
+		sc.queries.depth = m.queueDepth
+	}
 	defer sc.shutdown()
 	go sc.queryWorker()
 	go func() {
@@ -384,6 +407,7 @@ func (s *Server) serveConn(nc net.Conn) {
 				}
 				return
 			}
+			m.countMsg(typ)
 			select {
 			case reqs <- frame{typ, payload}:
 				if typ == MsgClose {

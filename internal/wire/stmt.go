@@ -328,6 +328,9 @@ func (ps *PoolStmt) stmtFor(ctx context.Context, c *Client) (*Stmt, error) {
 	if st != nil {
 		return st, nil
 	}
+	// This connection has not seen the statement: pool churn forces a
+	// re-prepare (the eager prepare in Pool.Prepare is not counted).
+	ps.pool.reprepares.Add(1)
 	st, err := c.Prepare(ctx, ps.sql)
 	if err != nil {
 		return nil, err

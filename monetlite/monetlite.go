@@ -20,6 +20,7 @@ import (
 	"context"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/storage"
 	"repro/internal/wire"
 )
@@ -99,6 +100,29 @@ var (
 	WithKeepAlive    = wire.WithKeepAlive
 	WithLogger       = wire.WithLogger
 	WithProtoVersion = wire.WithProtoVersion
+)
+
+// Registry collects metrics (counters, gauges, histograms) and serves
+// them in Prometheus text format. Wire each layer in with DB.EnableObs,
+// Server.EnableObs, and Pool.RegisterObs, then expose Registry.Handler.
+type Registry = obs.Registry
+
+// QueryLog is the ring buffer behind the sys.query_log virtual table;
+// assign one to DB.QueryLog to record per-query span breakdowns.
+type QueryLog = obs.QueryLog
+
+// Trace carries one query's per-stage timings; embedded callers can pass
+// one via WithTrace and Conn.ExecContext to time their own statements.
+type Trace = obs.Trace
+
+// Observability constructors and helpers, re-exported from the obs layer.
+var (
+	NewRegistry  = obs.NewRegistry
+	NewQueryLog  = obs.NewQueryLog
+	NewTrace     = obs.NewTrace
+	WithTrace    = obs.WithTrace
+	AcquireTrace = obs.AcquireTrace
+	ReleaseTrace = obs.ReleaseTrace
 )
 
 // NewDB creates an empty embedded database. Native Go UDFs register with
