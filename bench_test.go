@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/devudf"
 	"repro/internal/bench"
@@ -853,4 +854,61 @@ func BenchmarkWALInsert(b *testing.B) {
 	// BENCH_pr.json baselines, which run with obs dormant exactly as a
 	// monetlited without -metrics-addr does.
 	b.Run("wal-obs", func(b *testing.B) { run(b, true, true) })
+}
+
+// BenchmarkSustainedLoad measures per-statement cost under sustained
+// concurrent load through the full resilience stack: a server with
+// admission control armed (connection cap, bounded per-connection
+// queues, a generous query timeout — every statement runs with an
+// interrupt installed), driven by a retrying pool from GOMAXPROCS
+// worker goroutines. ns/op is end-to-end wire latency per statement
+// with all cancellation checkpoints live; the CI gate watches it
+// against the committed baseline so the resilience layer's per-query
+// bookkeeping stays in the noise.
+func BenchmarkSustainedLoad(b *testing.B) {
+	const rows = 1024
+	iCol := &storage.Column{Name: "i", Typ: storage.TInt, Ints: make([]int64, rows)}
+	for r := 0; r < rows; r++ {
+		iCol.Ints[r] = int64(r % 128)
+	}
+	db := monetlite.NewDB()
+	db.FS = core.NewMemFS(nil)
+	if err := db.RegisterTable(&storage.Table{Name: "load", Cols: []*storage.Column{iCol}}); err != nil {
+		b.Fatal(err)
+	}
+	srv := monetlite.NewServer("demo", "monetdb", "monetdb", db)
+	srv.MaxConns = 64
+	srv.MaxQueueDepth = 128
+	srv.QueryTimeout = 30 * time.Second
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	i := strings.LastIndexByte(addr, ':')
+	port := 0
+	for _, ch := range addr[i+1:] {
+		port = port*10 + int(ch-'0')
+	}
+	params := monetlite.ConnParams{
+		Host: addr[:i], Port: port, Database: "demo",
+		User: "monetdb", Password: "monetdb",
+	}
+	b.Run("pooled", func(b *testing.B) {
+		pool := monetlite.NewPool(params, 8)
+		defer pool.Close()
+		pool.EnableRetry(monetlite.RetryPolicy{MaxAttempts: 3})
+		// Warm the pool so dials happen outside the timed region.
+		if _, _, err := pool.Query(ctx, `SELECT COUNT(*) AS n FROM load`); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := pool.Query(ctx, `SELECT COUNT(*) AS n, SUM(i) AS s FROM load WHERE i < 64`); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
 }

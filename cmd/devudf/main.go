@@ -18,6 +18,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -428,15 +429,21 @@ func cmdQuery(ctx context.Context, fs core.FS, args []string) error {
 	flags := flag.NewFlagSet("query", flag.ExitOnError)
 	var params multiFlag
 	flags.Var(&params, "param", "bind argument as a SQL literal (42, 4.2, 'text', true, null); repeatable")
+	timeout := flags.Duration("timeout", 0, "deadline for the statement; on expiry the connection is severed and the server aborts the query (0: none)")
 	if err := flags.Parse(args); err != nil {
 		return err
 	}
 	if flags.NArg() != 1 {
-		return fmt.Errorf("usage: devudf query [-param V ...] 'SQL'")
+		return fmt.Errorf("usage: devudf query [-timeout D] [-param V ...] 'SQL'")
 	}
 	binds, err := sqlparse.ParseLiterals(params)
 	if err != nil {
 		return err
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout) //ctxflow:edge per-command deadline
+		defer cancel()
 	}
 	c, _, err := connect(ctx, fs)
 	if err != nil {
@@ -445,6 +452,15 @@ func cmdQuery(ctx context.Context, fs core.FS, args []string) error {
 	defer c.Close()
 	res, err := c.Query(ctx, flags.Arg(0), binds...)
 	if err != nil {
+		// Server-side cancellation is a clean, typed outcome: the query was
+		// stopped and the session stayed consistent. Anything else after the
+		// deadline fired is the connection being severed mid-flight.
+		if core.IsCancelled(err) {
+			return fmt.Errorf("query cancelled by server: %w", err)
+		}
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return fmt.Errorf("query abandoned after %v (connection severed): %w", *timeout, err)
+		}
 		return err
 	}
 	if res.Table != nil {

@@ -16,12 +16,15 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/monetlite"
@@ -40,6 +43,7 @@ func main() {
 	user := flag.String("user", "monetdb", "user")
 	password := flag.String("password", "monetdb", "password")
 	execute := flag.String("e", "", "execute this SQL and exit")
+	timeout := flag.Duration("timeout", 0, "per-statement deadline; the statement is cancelled client- and server-side when it expires (0: none)")
 	var params paramFlag
 	flag.Var(&params, "param", "bind argument as a SQL literal; repeatable, used with -e")
 	flag.Parse()
@@ -57,7 +61,7 @@ func main() {
 	sess := &session{params: monetlite.ConnParams{
 		Host: *host, Port: *port, Database: *db,
 		User: *user, Password: *password,
-	}}
+	}, timeout: *timeout}
 	defer sess.close()
 	if err := sess.connect(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "mclient:", err)
@@ -97,8 +101,9 @@ func main() {
 // session is the shell's connection: one wire client, redialed whenever a
 // cancelled statement poisons it.
 type session struct {
-	params monetlite.ConnParams
-	cli    *monetlite.Client
+	params  monetlite.ConnParams
+	cli     *monetlite.Client
+	timeout time.Duration
 }
 
 func (s *session) connect(ctx context.Context) error {
@@ -124,6 +129,12 @@ func (s *session) close() {
 // typed args, Close).
 func (s *session) run(sql string, binds ...any) bool {
 	ctx, cancel := context.WithCancel(context.Background())
+	if s.timeout > 0 {
+		// An expired deadline severs the connection, which the server
+		// notices and uses to abort the statement rather than burning
+		// cycles on an answer nobody will read.
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
 	defer cancel()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -165,7 +176,17 @@ func (s *session) run(sql string, binds ...any) bool {
 		msg, tbl, err = s.cli.Query(ctx, sql)
 	}
 	if err != nil {
-		fmt.Println("error:", err)
+		// A server-side cancellation (query timeout, shutdown drain) comes
+		// back as a typed error and means the statement was stopped cleanly
+		// — distinguish it from a dead network, where the statement's fate
+		// is unknown.
+		if core.IsCancelled(err) {
+			fmt.Println("cancelled:", err)
+		} else if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			fmt.Printf("cancelled: statement abandoned after %v (connection severed): %v\n", s.timeout, err)
+		} else {
+			fmt.Println("error:", err)
+		}
 		return false
 	}
 	if tbl != nil {

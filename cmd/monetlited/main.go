@@ -15,6 +15,14 @@
 // threshold, and the same spans are queryable as the sys.query_log
 // virtual table.
 //
+// The resilience flags bound what any one client can cost the server:
+// -query-timeout aborts runaway statements, -max-conns and
+// -max-queue-depth cap concurrency and pipelining (excess requests get a
+// retryable overload error), -rate-limit/-rate-burst throttle per
+// session, -max-result-rows/-max-result-bytes bound result sizes,
+// -udf-wall-budget limits each UDF invocation's wall time, and
+// -drain-timeout puts a deadline on graceful shutdown.
+//
 // Usage:
 //
 //	monetlited -addr :50000 -db demo -user monetdb -password monetdb \
@@ -53,11 +61,22 @@ func main() {
 	streamThreshold := flag.Int("stream-threshold", 1<<20, "encoded result size (bytes) above which v2 sessions get chunked streaming (negative streams everything)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (empty: disabled)")
 	slowQueryMs := flag.Int("slow-query-ms", 0, "log one structured line with the per-stage span breakdown for queries slower than this many milliseconds (0: disabled)")
+	queryTimeout := flag.Duration("query-timeout", 0, "abort any query running longer than this, measured from dequeue (0: unlimited)")
+	maxConns := flag.Int("max-conns", 0, "reject new connections past this many concurrent sessions with a retryable error (0: unlimited)")
+	maxQueueDepth := flag.Int("max-queue-depth", 0, "pipelined requests buffered per connection before shedding with a retryable error (0: default 256, negative: unbounded)")
+	rateLimit := flag.Float64("rate-limit", 0, "sustained queries/second admitted per session; excess requests shed with a retryable error (0: unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst size for -rate-limit (0: 2x the rate)")
+	maxResultRows := flag.Int64("max-result-rows", 0, "fail queries whose result exceeds this many rows (0: unlimited)")
+	maxResultBytes := flag.Int("max-result-bytes", 0, "refuse to send results larger than this many encoded bytes (0: unlimited)")
+	udfWallBudget := flag.Duration("udf-wall-budget", 0, "wall-clock budget per UDF invocation across all runtimes (0: unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 0, "on shutdown, force-abort sessions still executing after this long (0: wait for in-flight statements)")
 	flag.Parse()
 
 	db := monetlite.NewDB()
 	db.FS = core.OSFS{Dir: *dataDir}
 	db.MaxUDFSteps = *maxSteps
+	db.MaxResultRows = *maxResultRows
+	db.MaxUDFWall = *udfWallBudget
 	if *tupleMode {
 		db.Mode = monetlite.ModeTupleAtATime
 	}
@@ -112,6 +131,13 @@ func main() {
 	srv := monetlite.NewServer(*dbName, *user, *password, db)
 	srv.Logf = log.Printf
 	srv.StreamThreshold = *streamThreshold
+	srv.QueryTimeout = *queryTimeout
+	srv.MaxConns = *maxConns
+	srv.MaxQueueDepth = *maxQueueDepth
+	srv.RateLimit = *rateLimit
+	srv.RateBurst = *rateBurst
+	srv.MaxResultBytes = *maxResultBytes
+	srv.DrainTimeout = *drainTimeout
 
 	var stack *obsStack
 	if *metricsAddr != "" || *slowQueryMs > 0 {

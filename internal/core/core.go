@@ -29,6 +29,9 @@ const (
 	KindProtocol             // malformed wire frame
 	KindIO                   // file system or network failure
 	KindConstraint           // schema violation (duplicate table, arity, ...)
+	KindCancelled            // query aborted: deadline, client disconnect, server stop
+	KindOverload             // server shed the request before executing it; retry
+	KindResource             // a resource budget was exceeded (rows, bytes, UDF wall clock)
 )
 
 // String returns the SQLSTATE-like tag used in error messages and on the wire.
@@ -50,10 +53,29 @@ func (k ErrorKind) String() string {
 		return "io"
 	case KindConstraint:
 		return "constraint"
+	case KindCancelled:
+		return "cancelled"
+	case KindOverload:
+		return "overload"
+	case KindResource:
+		return "resource"
 	default:
 		return "unknown"
 	}
 }
+
+// Retryable reports whether err is safe to retry verbatim because the
+// server is known not to have executed the request: a KindOverload shed
+// response (admission control refused it before execution). Transport
+// failures during dial or handshake are also pre-execution, but they are
+// classified by the caller that knows no request was in flight — a bare
+// KindIO mid-operation is NOT retryable, since the statement may have
+// executed before the connection died.
+func Retryable(err error) bool { return KindOf(err) == KindOverload }
+
+// IsCancelled reports whether err is a query cancellation (deadline,
+// client disconnect, or server stop), across wrapping.
+func IsCancelled(err error) bool { return KindOf(err) == KindCancelled }
 
 // Error is the uniform error payload used across the engine, the wire
 // protocol and the plugin core.

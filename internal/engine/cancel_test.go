@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// spinUDF is an interpreter UDF that runs long enough to straddle any
+// cancellation signal but still terminates on its own (the loop bound is
+// the backstop against a hung test if an interrupt is lost).
+const spinUDF = `CREATE FUNCTION spin(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    s = 0
+    for k in range(0, 100000000):
+        s += k
+    return x
+};`
+
+func TestExecContextPreCancelled(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.ExecContext(ctx, `SELECT i FROM t`)
+	if !core.IsCancelled(err) {
+		t.Fatalf("want cancelled error, got %v", err)
+	}
+	if n := c.DB.QueriesCancelled(); n != 1 {
+		t.Fatalf("QueriesCancelled = %d, want 1", n)
+	}
+	// The database is untouched and immediately usable again.
+	mustExec(t, c, `SELECT i FROM t`)
+}
+
+func TestExecContextDeadlineAbortsUDF(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, spinUDF)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.ExecContext(ctx, `SELECT spin(1)`)
+	if !core.IsCancelled(err) {
+		t.Fatalf("want cancelled error, got %v", err)
+	}
+	// The interpreter polls the interrupt every 1024 steps, so the abort
+	// must land promptly — nowhere near the loop's natural runtime.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("cancellation took %v; interrupt not reaching the UDF loop", d)
+	}
+	if c.DB.QueriesCancelled() == 0 {
+		t.Fatal("QueriesCancelled not bumped")
+	}
+	// The engine lock was released: a fresh statement runs instantly.
+	mustExec(t, c, `SELECT 1`)
+}
+
+func TestExecContextCancelMidScan(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, spinUDF)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.ExecContext(ctx, `SELECT spin(2)`)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !core.IsCancelled(err) {
+			t.Fatalf("want cancelled error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not abort the running statement")
+	}
+}
+
+func TestStmtExecContextCancelled(t *testing.T) {
+	c := newTestConn()
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1)`)
+	stmt, err := c.Prepare(`SELECT i FROM t WHERE i = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := stmt.QueryContext(ctx, int64(1)); !core.IsCancelled(err) {
+		t.Fatalf("want cancelled error, got %v", err)
+	}
+	// The statement survives its cancelled execution.
+	res, err := stmt.QueryContext(context.Background(), int64(1))
+	if err != nil || res.Table.NumRows() != 1 {
+		t.Fatalf("statement unusable after cancelled run: %v %v", res, err)
+	}
+}
+
+func TestMaxResultRowsBudget(t *testing.T) {
+	c := newTestConn()
+	c.DB.MaxResultRows = 2
+	mustExec(t, c, `CREATE TABLE t (i INTEGER)`)
+	mustExec(t, c, `INSERT INTO t VALUES (1), (2), (3)`)
+	_, err := c.Exec(`SELECT i FROM t`)
+	if core.KindOf(err) != core.KindResource {
+		t.Fatalf("want resource error, got %v", err)
+	}
+	// Within budget passes; the budget bounds what ships, not what exists.
+	res := mustExec(t, c, `SELECT i FROM t LIMIT 2`)
+	if res.Table.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", res.Table.NumRows())
+	}
+}
+
+func TestUDFWallBudget(t *testing.T) {
+	c := newTestConn()
+	c.DB.MaxUDFWall = 30 * time.Millisecond
+	mustExec(t, c, spinUDF)
+	start := time.Now()
+	_, err := c.Exec(`SELECT spin(3)`)
+	if core.KindOf(err) != core.KindResource {
+		t.Fatalf("want resource error, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("wall budget took %v to fire; interpreter not polling", d)
+	}
+	// Fast calls stay under the budget and run normally.
+	mustExec(t, c, `CREATE FUNCTION quick(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    return x + 1
+};`)
+	res := mustExec(t, c, `SELECT quick(41) AS a`)
+	if got := intCol(t, res.Table, "a"); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("quick: %v", got)
+	}
+}

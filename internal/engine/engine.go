@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -83,6 +84,16 @@ type DB struct {
 	// statement text — prepared or not — skips the lexer and parser; the
 	// cache is flushed on every catalog change.
 	PlanCacheSize int
+	// MaxResultRows bounds the rows a single SELECT may materialize
+	// (0 = unlimited). Oversize results abort with a typed KindResource
+	// error instead of shipping; queries that want big scans add a LIMIT.
+	MaxResultRows int64
+	// MaxUDFWall bounds the wall-clock time of one UDF runtime invocation
+	// (0 = unlimited) — the generalization of MaxUDFSteps to runtimes
+	// without an interpreter step counter (native GO). Interpreter-backed
+	// runtimes abort mid-run; native calls are measured and fail the
+	// statement once over budget.
+	MaxUDFWall time.Duration
 
 	// QueryLog, when set, backs the sys.query_log virtual table with the
 	// span breakdowns of recently finished queries. The wire server (or
@@ -104,6 +115,15 @@ type DB struct {
 	// mu, set by the *Context entry points so parse/UDF/WAL sub-stages can
 	// report spans without threading a context through every operator.
 	activeTrace *obs.Trace
+	// activeIntr is the interrupt of the statement currently executing
+	// under mu — the cooperative-cancellation signal the pipeline-stage
+	// and morsel-boundary checkpoints observe. Fixed for the statement's
+	// duration, so morsel workers read it without synchronization.
+	activeIntr *intrState
+	// queriesCancelled counts statements aborted by an interrupt (client
+	// disconnect, deadline, server stop). Atomic so a metrics scrape never
+	// takes the database lock.
+	queriesCancelled atomic.Uint64
 
 	// plan cache state: the map and LRU are guarded by mu; the counters
 	// are atomic so a metrics scrape never has to take the database lock
@@ -184,12 +204,15 @@ func (c *Conn) Exec(sql string) (*Result, error) {
 	return c.exec(sql)
 }
 
-// ExecContext is Exec with a context: when the context carries an
-// obs.Trace (obs.WithTrace), the execution reports its parse, execute,
-// UDF and WAL spans into it. The context is otherwise unused — the
-// engine does not support mid-statement cancellation.
+// ExecContext is Exec with a context, honored for real: cancelling the
+// context (or passing one with a deadline) aborts the statement
+// mid-execution at the next pipeline-stage or morsel-boundary checkpoint
+// with a typed core.KindCancelled error, releasing the database lock
+// normally. When the context additionally carries an obs.Trace
+// (obs.WithTrace), the execution reports its parse, execute, UDF and WAL
+// spans into it.
 func (c *Conn) ExecContext(ctx context.Context, sql string) (*Result, error) {
-	return c.execTraced(obs.TraceFrom(ctx), sql)
+	return c.execGuarded(InterruptFrom(ctx), obs.TraceFrom(ctx), sql)
 }
 
 // ExecTraced is ExecContext without the context detour: the wire
@@ -197,25 +220,68 @@ func (c *Conn) ExecContext(ctx context.Context, sql string) (*Result, error) {
 // lookup are measurable against sub-microsecond statements. tr may be
 // nil. Embedded callers normally use ExecContext.
 func (c *Conn) ExecTraced(tr *obs.Trace, sql string) (*Result, error) {
-	return c.execTraced(tr, sql)
+	return c.execGuarded(Interrupt{}, tr, sql)
 }
 
-// execTraced runs one statement under the database lock with tr
-// installed as the active trace for sub-stage spans. A nil tr takes
-// the plain Exec path so untraced contexts pay nothing.
-func (c *Conn) execTraced(tr *obs.Trace, sql string) (*Result, error) {
-	if tr == nil {
-		return c.Exec(sql)
+// ExecInterruptible is the fully explicit entry point: an interrupt
+// (cancellation channel + deadline) and an optional trace, with no
+// context allocation — the wire server's per-query path. Either may be
+// zero/nil.
+func (c *Conn) ExecInterruptible(intr Interrupt, tr *obs.Trace, sql string) (*Result, error) {
+	return c.execGuarded(intr, tr, sql)
+}
+
+// execGuarded runs one statement under the database lock with tr
+// installed as the active trace and intr as the active interrupt. With
+// neither armed it takes the plain Exec path so unguarded statements pay
+// nothing.
+func (c *Conn) execGuarded(intr Interrupt, tr *obs.Trace, sql string) (*Result, error) {
+	if !intr.armed() {
+		if tr == nil {
+			return c.Exec(sql)
+		}
+		c.DB.mu.Lock()
+		defer c.DB.mu.Unlock()
+		prev := c.DB.activeTrace
+		c.DB.activeTrace = tr
+		defer func() { c.DB.activeTrace = prev }()
+		et := tr.StartStage(obs.StageExec)
+		defer et.Done()
+		return c.exec(sql)
 	}
+	st := &intrState{done: intr.Done, deadline: intr.Deadline, hasDeadline: !intr.Deadline.IsZero()}
 	c.DB.mu.Lock()
 	defer c.DB.mu.Unlock()
-	prev := c.DB.activeTrace
-	c.DB.activeTrace = tr
-	defer func() { c.DB.activeTrace = prev }()
-	et := tr.StartStage(obs.StageExec)
-	defer et.Done()
-	return c.exec(sql)
+	// A statement that waited out its deadline behind a slow predecessor
+	// aborts before doing any work.
+	if err := st.err(); err != nil {
+		c.DB.queriesCancelled.Add(1)
+		return nil, err
+	}
+	prevI := c.DB.activeIntr
+	c.DB.activeIntr = st
+	defer func() { c.DB.activeIntr = prevI }()
+	var res *Result
+	var err error
+	if tr == nil {
+		res, err = c.exec(sql)
+	} else {
+		prev := c.DB.activeTrace
+		c.DB.activeTrace = tr
+		defer func() { c.DB.activeTrace = prev }()
+		et := tr.StartStage(obs.StageExec)
+		res, err = c.exec(sql)
+		et.Done()
+	}
+	if err != nil && core.IsCancelled(err) {
+		c.DB.queriesCancelled.Add(1)
+	}
+	return res, err
 }
+
+// QueriesCancelled reports how many statements this DB has aborted on an
+// interrupt (client disconnect, deadline, server stop).
+func (db *DB) QueriesCancelled() uint64 { return db.queriesCancelled.Load() }
 
 // ExecAll executes a semicolon-separated script, stopping at the first
 // error.

@@ -29,9 +29,15 @@ func (c *Conn) newCtx(src *storage.Table, sel []int32) *evalCtx {
 }
 
 // pol is the morsel-execution policy for kernels running under this
-// context.
+// context. When an interrupt is armed on the statement, morsel workers
+// poll it at every morsel boundary; otherwise Stop stays nil and the
+// kernels pay one nil-check per morsel.
 func (c *Conn) pol() vec.Pol {
-	return vec.Pol{Workers: c.DB.Workers, MorselSize: c.DB.MorselSize}
+	p := vec.Pol{Workers: c.DB.Workers, MorselSize: c.DB.MorselSize}
+	if st := c.DB.activeIntr; st != nil {
+		p.Stop = st.stopped
+	}
+	return p
 }
 
 // view returns the column restricted to the context's selection,

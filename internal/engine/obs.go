@@ -4,6 +4,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine/vec"
 	"repro/internal/obs"
 	"repro/internal/storage"
@@ -55,6 +56,8 @@ func (db *DB) EnableObs(reg *obs.Registry) {
 		func() float64 { return float64(vec.StatsSnapshot().ParallelRuns) })
 	reg.CounterFunc("engine_morsel_worker_busy_seconds_total", "Wall time morsel workers spent executing parallel kernel runs.",
 		func() float64 { return float64(vec.StatsSnapshot().WorkerBusyNanos) / 1e9 })
+	reg.CounterFunc("engine_queries_cancelled_total", "Statements aborted by an interrupt: deadline, client disconnect, or server stop.",
+		func() float64 { return float64(db.queriesCancelled.Load()) })
 	db.mu.Lock()
 	db.metrics = m
 	db.mu.Unlock()
@@ -68,8 +71,8 @@ func (db *DB) EnableObs(reg *obs.Registry) {
 // the duration of the statement and all trace cells are atomic.
 func (c *Conn) instrumentedCall(def *storage.FuncDef, call udfrt.Callable,
 	env *udfrt.Env, in *udfrt.Batch) (*udfrt.Batch, error) {
-	m, tr := c.DB.metrics, c.DB.activeTrace
-	if m == nil && tr == nil {
+	m, tr, bud := c.DB.metrics, c.DB.activeTrace, c.DB.MaxUDFWall
+	if m == nil && tr == nil && bud <= 0 {
 		return call.Call(env, in)
 	}
 	t0 := time.Now()
@@ -84,6 +87,14 @@ func (c *Conn) instrumentedCall(def *storage.FuncDef, call udfrt.Callable,
 		if err != nil {
 			m.udfErrors.With(lang).Inc()
 		}
+	}
+	// The wall budget is per invocation, mirroring MaxSteps. Interpreted
+	// runtimes additionally abort mid-run through env's interrupt hook;
+	// native runtimes cannot be preempted, so an overrun is detected here,
+	// after the fact, and still fails the statement.
+	if err == nil && bud > 0 && d > bud {
+		return nil, core.Errorf(core.KindResource,
+			"UDF %s exceeded the wall-clock budget (%v > %v)", def.Name, d, bud)
 	}
 	return out, err
 }

@@ -28,6 +28,13 @@ func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 	if m := c.DB.metrics; m != nil && src != nil {
 		m.rowsScanned.Add(uint64(src.NumRows()))
 	}
+	// Pipeline-stage interrupt checkpoints: an armed interrupt stops morsel
+	// kernels mid-run (vec.Pol.Stop), which leaves well-formed but
+	// incomplete outputs — so each stage's result must be discarded here
+	// before the next stage consumes it.
+	if err := c.interruptErr(); err != nil {
+		return nil, err
+	}
 
 	// WHERE
 	var selv []int32
@@ -38,6 +45,9 @@ func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 			src, selv, err = c.filter(src, sel.Where)
 		}
 		if err != nil {
+			return nil, err
+		}
+		if err := c.interruptErr(); err != nil {
 			return nil, err
 		}
 	}
@@ -54,14 +64,23 @@ func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := c.interruptErr(); err != nil {
+		return nil, err
+	}
 
 	if sel.Distinct {
 		result = c.distinctRows(result)
+		if err := c.interruptErr(); err != nil {
+			return nil, err
+		}
 	}
 
 	// ORDER BY
 	if len(sel.OrderBy) > 0 {
 		if err := c.orderResult(sel, result, src, selv); err != nil {
+			return nil, err
+		}
+		if err := c.interruptErr(); err != nil {
 			return nil, err
 		}
 	}
@@ -86,6 +105,9 @@ func (c *Conn) evalSelect(sel *sqlparse.Select) (*storage.Table, error) {
 				result = result.SliceRows(0, limit)
 			}
 		}
+	}
+	if err := c.checkBudgetRows(result.NumRows()); err != nil {
+		return nil, err
 	}
 	if m := c.DB.metrics; m != nil {
 		m.rowsReturned.Add(uint64(result.NumRows()))

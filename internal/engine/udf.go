@@ -71,8 +71,12 @@ func (c *Conn) udfEnv() *udfrt.Env {
 	env := &udfrt.Env{
 		FS:       c.DB.FS,
 		MaxSteps: c.DB.MaxUDFSteps,
+		MaxWall:  c.DB.MaxUDFWall,
 		Loopback: func(in *script.Interp) script.Value { return c.loopbackConn(in) },
 		Invoke:   c.UDFInvoke,
+	}
+	if st := c.DB.activeIntr; st != nil {
+		env.Interrupt = st.err
 	}
 	if c.DB.UDFOutput != nil {
 		env.Stdout = c.DB.UDFOutput
@@ -189,6 +193,11 @@ func (c *Conn) callScalarUDFMorsels(def *storage.FuncDef, call udfrt.Callable,
 			return nil, false, err
 		}
 	}
+	// An interrupted run leaves unclaimed morsels' outputs nil; abort
+	// before stitching a partial result.
+	if err := c.interruptErr(); err != nil {
+		return nil, false, err
+	}
 	if broadcast.Load() {
 		return nil, false, nil
 	}
@@ -244,6 +253,9 @@ func (c *Conn) callScalarUDFTuple(def *storage.FuncDef, call udfrt.Callable,
 	env *udfrt.Env, in *udfrt.Batch) (*storage.Column, error) {
 	out := storage.NewColumn(def.Returns[0].Name, def.Returns[0].Type)
 	for r := 0; r < in.Rows; r++ {
+		if err := c.interruptErr(); err != nil {
+			return nil, err
+		}
 		ob, err := c.instrumentedCall(def, call, env, in.Row(r))
 		if err != nil {
 			return nil, err

@@ -59,6 +59,12 @@ type Pol struct {
 	// MorselSize is the rows-per-morsel split. <=0 selects
 	// DefaultMorselSize.
 	MorselSize int
+	// Stop, when non-nil, is polled at every morsel boundary; once it
+	// returns true no further morsels start (in-flight morsels finish).
+	// A stopped run leaves unclaimed morsel ranges untouched, so callers
+	// that arm Stop must re-check their stop condition before consuming
+	// results. The dormant cost is one nil-check per morsel.
+	Stop func() bool
 }
 
 // Serial executes every kernel inline on the calling goroutine.
@@ -114,6 +120,9 @@ func (p Pol) RunIdx(n int, fn func(m, lo, hi int)) {
 	if w <= 1 {
 		statInlineRuns.Add(1)
 		for m := 0; m < nm; m++ {
+			if p.Stop != nil && p.Stop() {
+				return
+			}
 			lo := m * ms
 			hi := lo + ms
 			if hi > n {
@@ -132,6 +141,10 @@ func (p Pol) RunIdx(n int, fn func(m, lo, hi int)) {
 			defer wg.Done()
 			t0 := time.Now()
 			for {
+				if p.Stop != nil && p.Stop() {
+					statBusyNanos.Add(int64(time.Since(t0)))
+					return
+				}
 				m := int(next.Add(1) - 1)
 				if m >= nm {
 					statBusyNanos.Add(int64(time.Since(t0)))

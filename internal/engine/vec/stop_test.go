@@ -1,0 +1,50 @@
+package vec
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestStopHaltsInlineRun: a tripped Stop leaves remaining morsels
+// unclaimed on the single-worker path.
+func TestStopHaltsInlineRun(t *testing.T) {
+	var ran atomic.Int64
+	var stop atomic.Bool
+	p := Pol{Workers: 1, MorselSize: 10, Stop: stop.Load}
+	p.RunIdx(100, func(m, lo, hi int) {
+		ran.Add(1)
+		if m == 2 {
+			stop.Store(true)
+		}
+	})
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("ran %d morsels after stop at morsel 2, want 3", got)
+	}
+}
+
+// TestStopHaltsParallelRun: every worker observes Stop at its next claim
+// and exits without touching the remaining ranges.
+func TestStopHaltsParallelRun(t *testing.T) {
+	var ran atomic.Int64
+	var stop atomic.Bool
+	p := Pol{Workers: 4, MorselSize: 1, Stop: stop.Load}
+	p.RunIdx(10_000, func(m, lo, hi int) {
+		if ran.Add(1) == 5 {
+			stop.Store(true)
+		}
+	})
+	// At most one in-flight morsel per worker can slip past the trip.
+	if got := ran.Load(); got > 5+4 {
+		t.Fatalf("ran %d morsels after stop, want at most 9", got)
+	}
+}
+
+// TestStopPreTripped: a Stop already tripped runs nothing at all.
+func TestStopPreTripped(t *testing.T) {
+	var ran atomic.Int64
+	p := Pol{Workers: 4, MorselSize: 8, Stop: func() bool { return true }}
+	p.RunIdx(1000, func(m, lo, hi int) { ran.Add(1) })
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("ran %d morsels with pre-tripped stop, want 0", got)
+	}
+}

@@ -1,0 +1,219 @@
+package faultnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns two ends of a real TCP connection so deadline and
+// close semantics match what the wire server sees.
+func pipePair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		client.Close()
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestZeroPlanIsPassThrough(t *testing.T) {
+	a, _ := pipePair(t)
+	if w := Wrap(a, Plan{}); w != a {
+		t.Fatalf("zero plan should return the conn unchanged, got %T", w)
+	}
+}
+
+func TestPartialWritesPreserveBytes(t *testing.T) {
+	a, b := pipePair(t)
+	fa := Wrap(a, Plan{Seed: 1, PartialWriteProb: 1})
+	msg := []byte("hello, fragmented world")
+	done := make(chan error, 1)
+	go func() {
+		_, err := fa.Write(msg)
+		done <- err
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+}
+
+func TestResetKillsBothEnds(t *testing.T) {
+	a, b := pipePair(t)
+	fa := Wrap(a, Plan{Seed: 7, ResetProb: 1})
+	if _, err := fa.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want ErrInjectedReset, got %v", err)
+	}
+	// Subsequent operations fail the same way without touching the socket.
+	if _, err := fa.Read(make([]byte, 1)); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("want ErrInjectedReset on later op, got %v", err)
+	}
+	// The peer sees a dead socket, not a stall.
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read should fail after injected reset")
+	}
+}
+
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	a, b := pipePair(t)
+	fb := Wrap(b, Plan{Seed: 42, CorruptProb: 1})
+	msg := []byte{0x00, 0x00, 0x00, 0x00}
+	if _, err := a.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(fb, got); err != nil {
+		t.Fatal(err)
+	}
+	bits := 0
+	for _, by := range got {
+		for i := 0; i < 8; i++ {
+			if by&(1<<i) != 0 {
+				bits++
+			}
+		}
+	}
+	if bits != 1 {
+		t.Fatalf("want exactly 1 flipped bit, got %d (bytes %x)", bits, got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		a, b := pipePair(t)
+		fb := Wrap(b, Plan{Seed: 99, CorruptProb: 0.5})
+		msg := make([]byte, 64)
+		go a.Write(msg)
+		got := make([]byte, len(msg))
+		if _, err := io.ReadFull(fb, got); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("same seed should corrupt the same bits")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fln := Listener(ln, Plan{Seed: 3, ResetProb: 1})
+	defer fln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := fln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	defer r.c.Close()
+	if _, err := r.c.Write([]byte("x")); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("accepted conn should carry the plan, got %v", err)
+	}
+}
+
+func TestProxyRelaysAndSevers(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	// Echo server behind the proxy.
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+	p, err := NewProxy(ln.Addr().String(), Plan{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ping" {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+
+	p.SeverAll()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read should fail after SeverAll")
+	}
+
+	// The proxy still accepts new connections after a partition.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "pong" {
+		t.Fatalf("echo after sever mismatch: %q", got)
+	}
+}

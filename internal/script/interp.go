@@ -68,6 +68,11 @@ type Interp struct {
 	FS core.FS
 	// MaxSteps aborts runaway scripts when > 0.
 	MaxSteps int64
+	// Interrupt, when set, is polled every 1024 interpreter steps; a
+	// non-nil result aborts the script with that error. The engine arms it
+	// with the statement's cancellation signal and UDF wall-clock budget,
+	// so a cancelled query preempts a long-running interpreted UDF.
+	Interrupt func() error
 	// Trace, when set, observes line/call/return/exception events.
 	Trace TraceFunc
 	// ModuleProvider resolves imports beyond the standard shims; the engine
@@ -185,6 +190,14 @@ func (in *Interp) bumpStep(line int) error {
 	in.steps++
 	if in.MaxSteps > 0 && in.steps > in.MaxSteps {
 		return in.rtErrf(line, "step limit exceeded (%d)", in.MaxSteps)
+	}
+	// Poll the interrupt hook at a stride that keeps the per-step cost to
+	// one mask-and-branch; interrupt errors propagate untouched so their
+	// typed kind (cancelled, resource) survives to the wire.
+	if in.Interrupt != nil && in.steps&1023 == 0 {
+		if err := in.Interrupt(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

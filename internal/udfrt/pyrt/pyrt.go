@@ -6,6 +6,8 @@
 package pyrt
 
 import (
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/script"
 	"repro/internal/storage"
@@ -96,6 +98,11 @@ func (c *callable) Call(env *udfrt.Env, in *udfrt.Batch) (*udfrt.Batch, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Arm the interpreter's step-poll interrupt for this invocation:
+	// statement cancellation plus a fresh MaxWall deadline. Re-set on
+	// every call because the memoized instance outlives a tuple-at-a-time
+	// row loop while the wall budget is per invocation.
+	inst.in.Interrupt = env.InterruptFor(c.def.Name, time.Now())
 	args := make([]script.Value, len(in.Cols))
 	for i, col := range in.Cols {
 		args[i] = ColumnToValue(col, in.Columnar(i))

@@ -10,6 +10,7 @@ package udfrt
 import (
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/script"
@@ -142,6 +143,17 @@ type Env struct {
 	FS core.FS
 	// MaxSteps bounds interpreter steps per invocation (0 = unlimited).
 	MaxSteps int64
+	// MaxWall bounds one invocation's wall clock (0 = unlimited) — the
+	// cross-runtime generalization of MaxSteps. Interpreter-backed
+	// runtimes abort mid-run via their step-poll hook; native runtimes
+	// cannot be preempted, so the engine checks the elapsed time after
+	// the call returns.
+	MaxWall time.Duration
+	// Interrupt, when set, reports a non-nil typed error once the
+	// invoking statement has been cancelled. Interpreter-backed runtimes
+	// poll it between steps so a cancelled query preempts a long-running
+	// UDF; native runtimes may check it between rows if they choose.
+	Interrupt func() error
 	// Stdout receives print() output; nil discards it.
 	Stdout io.Writer
 	// Loopback, when set, builds the _conn object bound to the invoking
@@ -172,6 +184,33 @@ func (e *Env) Memo(key any, build func() (any, error)) (any, error) {
 	return v, nil
 }
 
+// InterruptFor builds the per-invocation interrupt poll for the named
+// UDF: the Env's cancellation hook combined with a MaxWall deadline
+// starting at start. Nil when neither is armed, so unguarded invocations
+// install nothing.
+func (e *Env) InterruptFor(name string, start time.Time) func() error {
+	if e.Interrupt == nil && e.MaxWall <= 0 {
+		return nil
+	}
+	cancel, bud := e.Interrupt, e.MaxWall
+	var deadline time.Time
+	if bud > 0 {
+		deadline = start.Add(bud)
+	}
+	return func() error {
+		if cancel != nil {
+			if err := cancel(); err != nil {
+				return err
+			}
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return core.Errorf(core.KindResource,
+				"UDF %s exceeded the wall-clock budget (%v)", name, bud)
+		}
+		return nil
+	}
+}
+
 // Out returns the Env's stdout, defaulting to io.Discard.
 func (e *Env) Out() io.Writer {
 	if e.Stdout != nil {
@@ -186,6 +225,13 @@ func (e *Env) Out() io.Writer {
 func WrapErr(name string, err error) error {
 	if err == nil {
 		return nil
+	}
+	// Cancellation and budget errors keep their typed kind: the wire
+	// protocol and the client retry logic classify on it, and "UDF x
+	// failed" would misattribute an engine-initiated abort to user code.
+	switch core.KindOf(err) {
+	case core.KindCancelled, core.KindResource:
+		return err
 	}
 	msg := err.Error()
 	if ce, ok := err.(*core.Error); ok {

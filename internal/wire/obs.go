@@ -42,6 +42,10 @@ func (s *Server) EnableObs(reg *obs.Registry) {
 	}
 	reg.GaugeFunc("wire_open_statements", "Server-side prepared statements currently live across all connections.",
 		func() float64 { return float64(s.OpenStatements()) })
+	reg.CounterFunc("wire_queries_shed_total", "Pipelined requests refused by admission control (queue bound or rate limit) and answered with a retryable overload error.",
+		func() float64 { return float64(s.QueriesShed()) })
+	reg.CounterFunc("wire_conns_rejected_total", "Connections refused during the handshake by the MaxConns cap.",
+		func() float64 { return float64(s.ConnsRejected()) })
 	s.metrics = m
 }
 
@@ -104,8 +108,9 @@ func (c countingConn) Write(p []byte) (int, error) {
 // degrades to the plain execute-and-respond path.
 func (sc *serverConn) runQuery(fr frame) {
 	srv := sc.srv
+	intr := sc.execIntr()
 	if srv.metrics == nil && srv.DB.QueryLog == nil && srv.SlowQueryMs <= 0 {
-		res, err := sc.sess.Exec(string(fr.payload))
+		res, err := sc.sess.ExecInterruptible(intr, nil, string(fr.payload))
 		if err != nil {
 			_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
 			return
@@ -114,7 +119,7 @@ func (sc *serverConn) runQuery(fr frame) {
 		return
 	}
 	tr := obs.AcquireTrace(string(fr.payload), sc.sess.User)
-	res, err := sc.sess.ExecTraced(tr, tr.Query)
+	res, err := sc.sess.ExecInterruptible(intr, tr, tr.Query)
 	sc.respondTraced(tr, res, err)
 }
 
@@ -122,8 +127,9 @@ func (sc *serverConn) runQuery(fr frame) {
 // its statement and bind arguments.
 func (sc *serverConn) runExecStmt(stmt *engine.Stmt, args []any) {
 	srv := sc.srv
+	intr := sc.execIntr()
 	if srv.metrics == nil && srv.DB.QueryLog == nil && srv.SlowQueryMs <= 0 {
-		res, err := stmt.Exec(args...)
+		res, err := stmt.ExecInterruptible(intr, nil, args...)
 		if err != nil {
 			_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOf(err), errString(err)))
 			return
@@ -132,7 +138,7 @@ func (sc *serverConn) runExecStmt(stmt *engine.Stmt, args []any) {
 		return
 	}
 	tr := obs.AcquireTrace(stmt.SQL(), sc.sess.User)
-	res, err := stmt.ExecTraced(tr, args...)
+	res, err := stmt.ExecInterruptible(intr, tr, args...)
 	sc.respondTraced(tr, res, err)
 }
 

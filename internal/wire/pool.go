@@ -31,11 +31,17 @@ type Pool struct {
 	mu     sync.Mutex
 	closed bool
 
+	// retry and br are installed by EnableRetry before first use; nil
+	// means no client-side retry and no breaker.
+	retry *RetryPolicy
+	br    *breaker
+
 	waits        atomic.Int64
 	dials        atomic.Int64
 	discards     atomic.Int64
 	healthFails  atomic.Int64
 	reprepares   atomic.Int64
+	retries      atomic.Int64
 	bytesRead    atomic.Int64
 	bytesWritten atomic.Int64
 }
@@ -63,6 +69,14 @@ type PoolStats struct {
 	// SQL because the pool handed back a connection that had not seen the
 	// statement yet (churn after retirement).
 	Reprepares int64
+	// Retries counts extra attempts made under the pool's RetryPolicy
+	// (dial/handshake failures and retryable overload sheds).
+	Retries int64
+	// BreakerOpens counts closed-to-open transitions of the endpoint's
+	// circuit breaker; BreakerFastFails counts checkouts it refused
+	// without touching the network.
+	BreakerOpens     int64
+	BreakerFastFails int64
 	// BytesRead/BytesWritten aggregate wire traffic of retired and
 	// checked-in connections.
 	BytesRead    int64
@@ -87,10 +101,22 @@ func NewPool(params ConnParams, size int, opts ...DialOption) *Pool {
 // Get checks a healthy connection out of the pool, dialing a fresh one when
 // none is idle. It blocks while the pool is at its bound until a connection
 // is checked in or ctx is cancelled. Every Get must be paired with a Put.
+// Under an EnableRetry policy, transient dial/handshake failures are
+// retried with jittered exponential backoff.
 func (p *Pool) Get(ctx context.Context) (*Client, error) {
 	if ctx == nil {
 		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported pool API
 	}
+	if p.retry == nil {
+		return p.get(ctx)
+	}
+	var out *Client
+	err := p.withConnRetry(ctx, func(c *Client) error { out = c; return nil })
+	return out, err
+}
+
+// get is one checkout attempt, without retry.
+func (p *Pool) get(ctx context.Context) (*Client, error) {
 	if p.isClosed() {
 		return nil, core.Errorf(core.KindIO, "pool is closed")
 	}
@@ -112,7 +138,15 @@ func (p *Pool) Get(ctx context.Context) (*Client, error) {
 				return c, nil
 			}
 		default:
+			if br := p.br; br != nil && !br.allow(time.Now()) {
+				<-p.sem
+				return nil, core.Errorf(core.KindOverload,
+					"circuit breaker open for %s; backing off", p.params.Addr())
+			}
 			c, err := DialContext(ctx, p.params, p.opts...)
+			if br := p.br; br != nil {
+				br.record(err == nil, time.Now())
+			}
 			if err != nil {
 				<-p.sem
 				return nil, err
@@ -195,41 +229,65 @@ func (p *Pool) retire(pc *pooledConn) {
 }
 
 // Query checks out a connection, runs Query, and checks it back in.
+// Under an EnableRetry policy, retryable failures — transient checkout
+// errors and overload sheds the server answered before executing — are
+// retried with backoff; a mid-query transport failure is not.
 func (p *Pool) Query(ctx context.Context, sql string) (string, *storage.Table, error) {
-	c, err := p.Get(ctx)
-	if err != nil {
-		return "", nil, err
+	if ctx == nil {
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported pool API
 	}
-	defer p.Put(c)
-	return c.Query(ctx, sql)
+	var status string
+	var tbl *storage.Table
+	err := p.withConnRetry(ctx, func(c *Client) error {
+		defer p.Put(c)
+		var err error
+		status, tbl, err = c.Query(ctx, sql)
+		return err
+	})
+	return status, tbl, err
 }
 
 // QueryStream checks out a connection and starts a streaming query on it.
 // The connection is checked back in automatically when the stream is fully
 // consumed or Closed — a Rows obtained here must not be abandoned, or its
-// connection stays checked out.
+// connection stays checked out. Retry (under an EnableRetry policy)
+// covers only the start of the stream; once rows flow, failures surface
+// to the consumer.
 func (p *Pool) QueryStream(ctx context.Context, sql string) (*Rows, error) {
-	c, err := p.Get(ctx)
+	if ctx == nil {
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported pool API
+	}
+	var rows *Rows
+	err := p.withConnRetry(ctx, func(c *Client) error {
+		r, err := c.QueryStream(ctx, sql)
+		if err != nil {
+			p.Put(c)
+			return err
+		}
+		r.release = func() { p.Put(c) }
+		rows = r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	rows, err := c.QueryStream(ctx, sql)
-	if err != nil {
-		p.Put(c)
-		return nil, err
-	}
-	rows.release = func() { p.Put(c) }
 	return rows, nil
 }
 
-// Exec checks out a connection, runs Exec, and checks it back in.
+// Exec checks out a connection, runs Exec, and checks it back in. Retry
+// semantics match Query.
 func (p *Pool) Exec(ctx context.Context, sql string) (string, error) {
-	c, err := p.Get(ctx)
-	if err != nil {
-		return "", err
+	if ctx == nil {
+		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported pool API
 	}
-	defer p.Put(c)
-	return c.Exec(ctx, sql)
+	var status string
+	err := p.withConnRetry(ctx, func(c *Client) error {
+		defer p.Put(c)
+		var err error
+		status, err = c.Exec(ctx, sql)
+		return err
+	})
+	return status, err
 }
 
 func (p *Pool) isClosed() bool {
@@ -248,7 +306,7 @@ func (p *Pool) StatsSnapshot() PoolStats {
 	if inUse < 0 {
 		inUse = 0
 	}
-	return PoolStats{
+	st := PoolStats{
 		Size:                p.size,
 		Idle:                idle,
 		InUse:               inUse,
@@ -257,9 +315,15 @@ func (p *Pool) StatsSnapshot() PoolStats {
 		Discards:            p.discards.Load(),
 		HealthCheckFailures: p.healthFails.Load(),
 		Reprepares:          p.reprepares.Load(),
+		Retries:             p.retries.Load(),
 		BytesRead:           p.bytesRead.Load(),
 		BytesWritten:        p.bytesWritten.Load(),
 	}
+	if br := p.br; br != nil {
+		st.BreakerOpens = br.opens.Load()
+		st.BreakerFastFails = br.fastFails.Load()
+	}
+	return st
 }
 
 // Stats is StatsSnapshot under its historical name.
@@ -285,6 +349,12 @@ func (p *Pool) RegisterObs(reg *obs.Registry) {
 		func() float64 { return float64(p.StatsSnapshot().HealthCheckFailures) })
 	reg.CounterFunc("pool_reprepares_total", "Prepared statements re-prepared after pool connection churn.",
 		func() float64 { return float64(p.StatsSnapshot().Reprepares) })
+	reg.CounterFunc("pool_retries_total", "Extra attempts made under the pool's retry policy.",
+		func() float64 { return float64(p.StatsSnapshot().Retries) })
+	reg.CounterFunc("pool_breaker_opens_total", "Closed-to-open transitions of the endpoint circuit breaker.",
+		func() float64 { return float64(p.StatsSnapshot().BreakerOpens) })
+	reg.CounterFunc("pool_breaker_fast_fails_total", "Checkouts the open circuit breaker refused without dialing.",
+		func() float64 { return float64(p.StatsSnapshot().BreakerFastFails) })
 	reg.CounterFunc("pool_bytes_read_total", "Wire bytes read by pool connections (folded in at checkin).",
 		func() float64 { return float64(p.StatsSnapshot().BytesRead) })
 	reg.CounterFunc("pool_bytes_written_total", "Wire bytes written by pool connections (folded in at checkin).",

@@ -1,0 +1,581 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/faultnet"
+)
+
+// spinUDF runs long enough to straddle any cancellation signal but still
+// terminates on its own — the loop bound is the backstop against a hung
+// test if an interrupt is lost.
+const spinUDF = `CREATE FUNCTION spin(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    s = 0
+    for k in range(0, 100000000):
+        s += k
+    return x
+};`
+
+// busyUDF runs for a noticeable but bounded time — long enough to pile
+// pipelined requests behind it, short enough to finish on its own.
+const busyUDF = `CREATE FUNCTION busy(x INTEGER) RETURNS INTEGER LANGUAGE PYTHON {
+    s = 0
+    for k in range(0, 3000000):
+        s += k
+    return x
+};`
+
+// startConfiguredServer is startTestServer with resilience knobs applied
+// before Listen — the serving goroutines read them unsynchronized.
+func startConfiguredServer(t *testing.T, configure func(*Server)) (*Server, ConnParams) {
+	t.Helper()
+	db := engine.NewDB()
+	db.FS = core.NewMemFS(nil)
+	srv := NewServer("demo", "monetdb", "secret", db)
+	configure(srv)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	host, port, _ := splitHostPort(addr)
+	return srv, ConnParams{Host: host, Port: port, Database: "demo", User: "monetdb", Password: "secret"}
+}
+
+// ---- server-side query timeout ----
+
+func TestQueryTimeoutCancelsStatement(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {
+		s.QueryTimeout = 100 * time.Millisecond
+	})
+	c, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(background(), spinUDF); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err = c.Query(background(), `SELECT spin(1)`)
+	if !core.IsCancelled(err) {
+		t.Fatalf("want typed cancelled error over the wire, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("timeout took %v to fire", d)
+	}
+	// The session survives its cancelled statement.
+	if _, _, err := c.Query(background(), `SELECT 1 AS one`); err != nil {
+		t.Fatalf("connection unusable after timeout: %v", err)
+	}
+	if srv.DB.QueriesCancelled() == 0 {
+		t.Fatal("engine_queries_cancelled_total not bumped")
+	}
+}
+
+// ---- client death mid-query reclaims the engine ----
+
+// TestKillClientMidQueryReclaimsEngine is the acceptance scenario: a
+// client killed mid-statement must not strand the engine lock or a
+// worker. The next client's statement has to run within the deadline.
+func TestKillClientMidQueryReclaimsEngine(t *testing.T) {
+	srv, params := startTestServer(t)
+	setup, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(background(), spinUDF); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	// Raw connection: handshake, fire the long query, then die abruptly
+	// with no MsgClose — the way a crashed process disappears.
+	nc, err := net.Dial("tcp", params.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(nc, MsgAuth, EncodeAuth("monetdb", "secret", "demo", ProtoV2)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := ReadFrame(nc); err != nil || typ != MsgAuthOK {
+		t.Fatalf("handshake: %d %v", typ, err)
+	}
+	if err := WriteFrame(nc, MsgQuery, []byte(`SELECT spin(9)`)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond) // let the statement reach the engine
+	nc.Close()
+
+	// A fresh session must get the engine promptly: the dead client's
+	// statement aborts at its next interrupt checkpoint and releases the
+	// database lock.
+	c2, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	ctx, cancel := context.WithTimeout(background(), 5*time.Second)
+	defer cancel()
+	if _, _, err := c2.Query(ctx, `SELECT 1 AS one`); err != nil {
+		t.Fatalf("engine not reclaimed after client death: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.DB.QueriesCancelled() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned statement never recorded as cancelled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ---- admission control ----
+
+func TestRateLimitShedsWithRetryableError(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {
+		s.RateLimit = 0.001 // effectively no refill within the test
+		s.RateBurst = 1
+	})
+	c, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.Query(background(), `SELECT 1 AS one`); err != nil {
+		t.Fatalf("first query spends the burst token and must pass: %v", err)
+	}
+	_, _, err = c.Query(background(), `SELECT 1 AS one`)
+	if core.KindOf(err) != core.KindOverload {
+		t.Fatalf("want overload error, got %v", err)
+	}
+	if !core.Retryable(err) {
+		t.Fatalf("a shed request must be safe to retry: %v", err)
+	}
+	if got := srv.QueriesShed(); got != 1 {
+		t.Fatalf("QueriesShed = %d, want 1", got)
+	}
+	// Shedding answers the request; it does not poison the session.
+	if err := c.Ping(background()); err != nil {
+		t.Fatalf("session dead after shed: %v", err)
+	}
+}
+
+// TestQueueBoundShedsInFIFOOrder pipelines past MaxQueueDepth and checks
+// the saturation contract: accepted requests complete, excess requests
+// get a retryable error, and every request is answered in FIFO position —
+// never silently dropped.
+func TestQueueBoundShedsInFIFOOrder(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {
+		s.MaxQueueDepth = 1
+	})
+	setup, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(background(), busyUDF); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	nc, err := net.Dial("tcp", params.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := WriteFrame(nc, MsgAuth, EncodeAuth("monetdb", "secret", "demo", ProtoV2)); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err := ReadFrame(nc); err != nil || typ != MsgAuthOK {
+		t.Fatalf("handshake: %d %v", typ, err)
+	}
+	// One slow query, then four fast ones on its heels: the first fast
+	// query fits the depth-1 queue, the rest must be shed.
+	const pipelined = 5
+	if err := WriteFrame(nc, MsgQuery, []byte(`SELECT busy(1)`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < pipelined-1; i++ {
+		if err := WriteFrame(nc, MsgQuery, []byte(`SELECT 1 AS one`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var results, sheds int
+	for i := 0; i < pipelined; i++ {
+		typ, payload, err := ReadFrame(nc)
+		if err != nil {
+			t.Fatalf("response %d: %v (a bounded queue must answer, not drop)", i, err)
+		}
+		switch typ {
+		case MsgResult:
+			results++
+			if sheds > 0 {
+				t.Fatalf("response %d: result after a shed — FIFO order broken", i)
+			}
+		case MsgErr:
+			sheds++
+			derr := DecodeError(payload)
+			if core.KindOf(derr) != core.KindOverload || !core.Retryable(derr) {
+				t.Fatalf("response %d: shed must be retryable overload, got %v", i, derr)
+			}
+		default:
+			t.Fatalf("response %d: unexpected frame type %d", i, typ)
+		}
+	}
+	if results == 0 || sheds == 0 {
+		t.Fatalf("want both completions and sheds, got %d results, %d sheds", results, sheds)
+	}
+	if got := srv.QueriesShed(); got != uint64(sheds) {
+		t.Fatalf("QueriesShed = %d, want %d", got, sheds)
+	}
+}
+
+// TestMaxConnsRejectsCleanly is the regression for the connection cap: an
+// over-limit handshake gets a typed retryable error, existing sessions
+// keep working, and the listener serves new connections once a slot
+// frees up.
+func TestMaxConnsRejectsCleanly(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {
+		s.MaxConns = 1
+	})
+	c1, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.Query(background(), `SELECT 1 AS one`); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Dial(params)
+	if core.KindOf(err) != core.KindOverload || !core.Retryable(err) {
+		t.Fatalf("over-limit dial: want retryable overload, got %v", err)
+	}
+	if got := srv.ConnsRejected(); got == 0 {
+		t.Fatal("ConnsRejected not bumped")
+	}
+	// The first session is unaffected by the rejection.
+	if _, _, err := c1.Query(background(), `SELECT 2 AS two`); err != nil {
+		t.Fatalf("existing session broken by a rejected handshake: %v", err)
+	}
+	c1.Close()
+	// The slot frees asynchronously with the session teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	var c2 *Client
+	for {
+		c2, err = Dial(params)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("listener stopped admitting after a rejection: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	defer c2.Close()
+	if _, _, err := c2.Query(background(), `SELECT 3 AS three`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- graceful drain ----
+
+// TestDrainRacesStreamedResult closes the server while a chunked result
+// stream is in flight: the stream must complete (clean drain waits for
+// in-flight statements) and Close must return.
+func TestDrainRacesStreamedResult(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {
+		s.StreamThreshold = -1 // stream everything
+		s.ChunkBytes = 256     // many small chunks widen the race window
+	})
+	c, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(background(), `CREATE TABLE t (i INTEGER)`); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 2000
+	for lo := 0; lo < rows; lo += 500 {
+		var b strings.Builder
+		b.WriteString(`INSERT INTO t VALUES `)
+		for i := lo; i < lo+500; i++ {
+			if i > lo {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d)", i)
+		}
+		if _, err := c.Exec(background(), b.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := c.QueryStream(background(), `SELECT i FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	var got int64
+	for r.Next() {
+		got += int64(r.Batch().NumRows())
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("stream broken by drain: %v", err)
+	}
+	if got != rows {
+		t.Fatalf("streamed %d rows, want %d", got, rows)
+	}
+	r.Close()
+	c.Close()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return after the stream finished")
+	}
+}
+
+// TestDrainTimeoutAbortsInFlight bounds shutdown: a statement still
+// running past DrainTimeout is interrupted instead of holding Close
+// hostage.
+func TestDrainTimeoutAbortsInFlight(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {
+		s.DrainTimeout = 100 * time.Millisecond
+	})
+	c, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec(background(), spinUDF); err != nil {
+		t.Fatal(err)
+	}
+	qdone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Query(background(), `SELECT spin(4)`)
+		qdone <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the statement reach the engine
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung past DrainTimeout on an in-flight statement")
+	}
+	select {
+	case err := <-qdone:
+		// The statement was forcibly cancelled; depending on who wins the
+		// race the client sees the typed cancellation or the dying socket.
+		if err == nil {
+			t.Fatal("in-flight statement should not complete past DrainTimeout")
+		}
+		if !core.IsCancelled(err) && core.KindOf(err) != core.KindIO {
+			t.Fatalf("want cancelled or IO error, got %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client query hung after forced drain")
+	}
+}
+
+// ---- pool retry and breaker ----
+
+// TestPoolRetriesThroughOverload points a retrying pool at a server with
+// one connection slot held hostage; the pool must back off and win the
+// slot once it frees.
+func TestPoolRetriesThroughOverload(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {
+		s.MaxConns = 1
+	})
+	_ = srv
+	hog, err := Dial(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := NewPool(params, 1)
+	defer pool.Close()
+	pool.EnableRetry(RetryPolicy{MaxAttempts: 10, BaseBackoff: 20 * time.Millisecond, BreakerThreshold: -1})
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		hog.Close()
+	}()
+	ctx, cancel := context.WithTimeout(background(), 10*time.Second)
+	defer cancel()
+	if _, _, err := pool.Query(ctx, `SELECT 1 AS one`); err != nil {
+		t.Fatalf("pool should retry through the overload window: %v", err)
+	}
+	if st := pool.StatsSnapshot(); st.Retries == 0 {
+		t.Fatal("pool_retries_total not bumped")
+	}
+}
+
+func TestPoolBreakerOpensOnDeadEndpoint(t *testing.T) {
+	// A listener opened and closed immediately yields a port that refuses
+	// connections.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, port, _ := splitHostPort(ln.Addr().String())
+	ln.Close()
+	params := ConnParams{Host: host, Port: port, Database: "demo", User: "monetdb", Password: "secret"}
+	pool := NewPool(params, 1)
+	defer pool.Close()
+	pool.EnableRetry(RetryPolicy{MaxAttempts: 1, BreakerThreshold: 3, BreakerCooldown: 5 * time.Second})
+	sawFastFail := false
+	for i := 0; i < 6; i++ {
+		_, _, err := pool.Query(background(), `SELECT 1`)
+		if err == nil {
+			t.Fatal("query against a dead endpoint should fail")
+		}
+		if core.KindOf(err) == core.KindOverload {
+			sawFastFail = true // the breaker answered without dialing
+		}
+	}
+	st := pool.StatsSnapshot()
+	if st.BreakerOpens == 0 {
+		t.Fatal("breaker never opened on consecutive dial failures")
+	}
+	if st.BreakerFastFails == 0 || !sawFastFail {
+		t.Fatalf("breaker open must fail checkouts fast (fastFails=%d, saw=%t)", st.BreakerFastFails, sawFastFail)
+	}
+}
+
+// TestPoolSurvivesFaultnetChurn drives a retrying pool through a proxy
+// that randomly resets connections: operations may fail with typed
+// errors, but the pool must neither hang nor wedge, and some work must
+// get through.
+func TestPoolSurvivesFaultnetChurn(t *testing.T) {
+	_, params := startTestServer(t)
+	proxy, err := faultnet.NewProxy(params.Addr(), faultnet.Plan{
+		Seed:       2026,
+		ResetProb:  0.03,
+		LatencyMax: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	host, port, _ := splitHostPort(proxy.Addr())
+	pp := params
+	pp.Host, pp.Port = host, port
+	pool := NewPool(pp, 4)
+	defer pool.Close()
+	pool.EnableRetry(RetryPolicy{MaxAttempts: 4, BaseBackoff: 5 * time.Millisecond, BreakerThreshold: -1})
+
+	const workers, perWorker = 4, 20
+	var ok, failed atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, cancel := context.WithTimeout(background(), 5*time.Second)
+				_, _, err := pool.Query(ctx, `SELECT 1 AS one`)
+				cancel()
+				if err == nil {
+					ok.Add(1)
+				} else {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("pool wedged under connection churn")
+	}
+	if ok.Load() == 0 {
+		t.Fatalf("no query survived the churn (%d failures)", failed.Load())
+	}
+	t.Logf("churn: %d ok, %d failed, %d retries", ok.Load(), failed.Load(), pool.StatsSnapshot().Retries)
+}
+
+// ---- chaos: the server never deadlocks or leaks under fire ----
+
+// TestChaosServerSurvives serves through a faultnet listener injecting
+// latency, partial writes, resets, and corruption while clients hammer
+// it. The assertions are the resilience invariants: the process never
+// deadlocks, shutdown completes, and no statement leaks.
+func TestChaosServerSurvives(t *testing.T) {
+	db := engine.NewDB()
+	db.FS = core.NewMemFS(nil)
+	srv := NewServer("demo", "monetdb", "secret", db)
+	srv.MaxConns = 8
+	srv.MaxQueueDepth = 4
+	srv.RateLimit = 200
+	srv.RateBurst = 50
+	srv.QueryTimeout = 2 * time.Second
+	srv.DrainTimeout = 2 * time.Second
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.ServeListener(faultnet.Listener(ln, faultnet.Plan{
+		Seed:             7,
+		LatencyMax:       500 * time.Microsecond,
+		PartialWriteProb: 0.2,
+		ResetProb:        0.02,
+		CorruptProb:      0.01,
+	}))
+	host, port, _ := splitHostPort(addr)
+	params := ConnParams{Host: host, Port: port, Database: "demo", User: "monetdb", Password: "secret"}
+
+	const workers, perWorker = 6, 15
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				ctx, cancel := context.WithTimeout(background(), 2*time.Second)
+				c, err := DialContext(ctx, params)
+				if err == nil {
+					if _, _, err := c.Query(ctx, `SELECT 1 AS one`); err == nil {
+						ok.Add(1)
+					}
+					c.Close()
+				}
+				cancel()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("chaos clients wedged")
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server failed to shut down after chaos")
+	}
+	if n := srv.OpenStatements(); n != 0 {
+		t.Fatalf("leaked %d statements through the chaos run", n)
+	}
+	t.Logf("chaos: %d/%d queries succeeded through the faulted network", ok.Load(), workers*perWorker)
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -16,6 +17,10 @@ import (
 // defaultMaxStmtsPerConn bounds a connection's prepared-statement table
 // when Server.MaxStmtsPerConn is zero.
 const defaultMaxStmtsPerConn = 64
+
+// defaultMaxQueueDepth bounds a connection's pipelined request queue when
+// Server.MaxQueueDepth is zero.
+const defaultMaxQueueDepth = 256
 
 // pipelineDepth bounds how many requests a connection may have in flight
 // while earlier ones execute: the reader keeps pulling frames so a v2
@@ -49,6 +54,35 @@ type Server struct {
 	// the per-stage span breakdown for every query whose wall time meets
 	// the threshold.
 	SlowQueryMs int
+	// MaxConns caps concurrently served connections. Over-limit
+	// connections are rejected during the handshake with a retryable
+	// overload error; the listener keeps serving existing sessions.
+	// Zero means unlimited.
+	MaxConns int
+	// MaxQueueDepth bounds the per-connection pipelined request queue.
+	// Requests beyond the bound are shed: answered in FIFO position with
+	// a retryable overload error instead of executing, never silently
+	// dropped. Zero applies the 256 default; negative means unbounded.
+	MaxQueueDepth int
+	// RateLimit, when positive, admits at most this many
+	// statement-executing requests per second per session (token bucket,
+	// burst RateBurst); excess requests are shed with a retryable
+	// overload error.
+	RateLimit float64
+	// RateBurst is the token-bucket burst for RateLimit; values below 1
+	// (including zero) allow a burst of 1.
+	RateBurst int
+	// QueryTimeout, when positive, bounds each statement's execution wall
+	// clock, measured from dequeue. An overrunning statement aborts with
+	// a typed cancelled error at the engine's next checkpoint.
+	QueryTimeout time.Duration
+	// MaxResultBytes, when positive, refuses to ship results whose
+	// encoding exceeds it, answering with a typed resource error.
+	MaxResultBytes int
+	// DrainTimeout, when positive, bounds how long a graceful drain waits
+	// for in-flight statements: past the deadline their interrupts fire
+	// and they abort with a cancelled error. Zero waits indefinitely.
+	DrainTimeout time.Duration
 
 	// metrics is set by EnableObs before Listen; nil disables recording.
 	metrics *serverMetrics
@@ -62,7 +96,23 @@ type Server struct {
 	// stmtCount tracks live server-side prepared statements across all
 	// connections — the observable the leak tests (and operators) watch.
 	stmtCount atomic.Int64
+	// connCount tracks served connections for the MaxConns admission
+	// check (maintained only when MaxConns > 0).
+	connCount atomic.Int64
+	// queriesShed / connsRejected count load-shedding decisions; exposed
+	// as wire_queries_shed_total / wire_conns_rejected_total.
+	queriesShed   atomic.Uint64
+	connsRejected atomic.Uint64
 }
+
+// QueriesShed reports how many pipelined requests were refused by
+// admission control (queue bound or rate limit) and answered with a
+// retryable overload error.
+func (s *Server) QueriesShed() uint64 { return s.queriesShed.Load() }
+
+// ConnsRejected reports how many connections were refused at the
+// handshake by the MaxConns cap.
+func (s *Server) ConnsRejected() uint64 { return s.connsRejected.Load() }
 
 // OpenStatements reports how many prepared statements are currently live
 // across all connections. After every client has disconnected it must be
@@ -86,10 +136,17 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", core.Wrapf(core.KindIO, err, "listen %s: %v", addr, err)
 	}
+	return s.ServeListener(ln), nil
+}
+
+// ServeListener starts accepting connections from a caller-provided
+// listener — the seam the fault-injection tests use to interpose a chaos
+// listener — and returns its address. Close still tears it down.
+func (s *Server) ServeListener(ln net.Listener) string {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 // Close stops accepting, asks every connection to drain — in-flight and
@@ -169,6 +226,19 @@ type serverConn struct {
 	queries    *queryQueue
 	workerDone chan struct{}
 
+	// gone closes when the client can no longer receive responses (the
+	// reader saw a non-MsgClose error) or a drain passed its DrainTimeout
+	// — the interrupt signal that aborts this connection's in-flight
+	// statements. It is deliberately distinct from connDone, which also
+	// closes on clean MsgClose/drain where pipelined statements must
+	// still complete and be answered.
+	gone     chan struct{}
+	goneOnce sync.Once
+
+	// limiter, when non-nil, is the per-session admission rate limiter.
+	// Touched only by the serving goroutine.
+	limiter *tokenBucket
+
 	// stmts is the per-connection prepared-statement table. It is touched
 	// only by the query worker goroutine (prepare/exec/close ride the same
 	// FIFO as queries, so responses stay ordered) and by shutdown, which
@@ -177,17 +247,79 @@ type serverConn struct {
 	stmtNext uint32
 }
 
-// queryQueue is an unbounded FIFO of pending statement-executing requests
+// markGone signals that the client is dead (or abandoned): in-flight and
+// queued statements on this connection abort at their next checkpoint.
+func (sc *serverConn) markGone() {
+	sc.goneOnce.Do(func() { close(sc.gone) })
+}
+
+// execIntr is the per-statement interrupt: the connection's client-gone
+// signal plus the server's query timeout. Built at dequeue so the
+// deadline covers execution, not the time spent queued.
+func (sc *serverConn) execIntr() engine.Interrupt {
+	intr := engine.Interrupt{Done: sc.gone}
+	if qt := sc.srv.QueryTimeout; qt > 0 {
+		intr.Deadline = time.Now().Add(qt)
+	}
+	return intr
+}
+
+// tokenBucket is the per-session statement-admission rate limiter.
+// Touched only by the connection's serving goroutine, so it needs no
+// lock.
+type tokenBucket struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b}
+}
+
+func (tb *tokenBucket) allow(now time.Time) bool {
+	if !tb.last.IsZero() {
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.last = now
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// qitem is one queryQueue entry: a real request, or a run of shed
+// (admission-refused) requests that the worker answers with retryable
+// overload errors. Coalescing consecutive sheds into one counter keeps
+// the queue's memory bounded no matter how fast a client floods it,
+// while each shed response still goes out in its FIFO position.
+type qitem struct {
+	fr   frame
+	shed int // > 0: this entry stands for that many shed requests
+}
+
+// queryQueue is the FIFO of pending statement-executing requests
 // (MsgQuery, MsgPrepare, MsgExecStmt, MsgCloseStmt) feeding the
-// connection's query worker. Unbounded matters: the frame loop must never
-// block queueing a request (a paused debuggee holds the engine lock, and
-// the resume command that releases it arrives on the same frame loop).
+// connection's query worker. push never blocks — requests beyond the
+// admission bound are recorded as shed markers instead — which matters
+// because a paused debuggee holds the engine lock and the resume command
+// that releases it arrives on the same frame loop.
 type queryQueue struct {
-	mu     sync.Mutex
-	items  []frame
-	closed bool
-	wake   chan struct{}
-	// depth, when non-nil, mirrors the queued-request count into the
+	mu      sync.Mutex
+	items   []qitem
+	pending int // admitted (non-shed) requests currently queued
+	closed  bool
+	wake    chan struct{}
+	// depth, when non-nil, mirrors the admitted-request count into the
 	// wire_query_queue_depth gauge (shared across connections).
 	depth *obs.Gauge
 }
@@ -196,36 +328,79 @@ func newQueryQueue() *queryQueue {
 	return &queryQueue{wake: make(chan struct{}, 1)}
 }
 
-func (q *queryQueue) push(fr frame) {
+// push admits a request unless the queue already holds limit admitted
+// requests (limit <= 0 means unbounded), reporting whether it was
+// admitted. Refused requests become shed markers via shedLocked.
+func (q *queryQueue) push(fr frame, limit int) bool {
 	q.mu.Lock()
-	q.items = append(q.items, fr)
+	admitted := limit <= 0 || q.pending < limit
+	if admitted {
+		q.items = append(q.items, qitem{fr: fr})
+		q.pending++
+	} else {
+		q.shedLocked()
+	}
 	q.mu.Unlock()
-	if q.depth != nil {
+	if admitted && q.depth != nil {
 		q.depth.Add(1)
 	}
+	q.wakeUp()
+	return admitted
+}
+
+// shed records one refused request (e.g. over the rate limit) in FIFO
+// position.
+func (q *queryQueue) shed() {
+	q.mu.Lock()
+	q.shedLocked()
+	q.mu.Unlock()
+	q.wakeUp()
+}
+
+func (q *queryQueue) shedLocked() {
+	if n := len(q.items); n > 0 && q.items[n-1].shed > 0 {
+		q.items[n-1].shed++
+	} else {
+		q.items = append(q.items, qitem{shed: 1})
+	}
+}
+
+func (q *queryQueue) wakeUp() {
 	select {
 	case q.wake <- struct{}{}:
 	default:
 	}
 }
 
-// pop blocks for the next request; ok is false once the queue is closed and
-// drained.
-func (q *queryQueue) pop() (fr frame, ok bool) {
+// pop blocks for the next request; shed reports a refused request to be
+// answered with an overload error; ok is false once the queue is closed
+// and drained.
+func (q *queryQueue) pop() (fr frame, shed, ok bool) {
 	for {
 		q.mu.Lock()
 		if len(q.items) > 0 {
-			fr, q.items = q.items[0], q.items[1:]
+			it := &q.items[0]
+			if it.shed > 0 {
+				it.shed--
+				if it.shed == 0 {
+					q.items = q.items[1:]
+				}
+				q.mu.Unlock()
+				return frame{}, true, true
+			}
+			fr = it.fr
+			q.items = q.items[1:]
+			q.pending--
 			q.mu.Unlock()
 			if q.depth != nil {
 				q.depth.Add(-1)
 			}
-			return fr, true
+			return fr, false, true
 		}
 		closed := q.closed
 		q.mu.Unlock()
 		if closed {
-			return frame{}, false
+			return frame{}, false, false
 		}
 		<-q.wake
 	}
@@ -267,9 +442,15 @@ func (sc *serverConn) shutdown() {
 func (sc *serverConn) queryWorker() {
 	defer close(sc.workerDone)
 	for {
-		fr, ok := sc.queries.pop()
+		fr, shed, ok := sc.queries.pop()
 		if !ok {
 			return
+		}
+		if shed {
+			sc.srv.queriesShed.Add(1)
+			_ = sc.w.writeFrame(MsgErr, EncodeError(core.KindOverload,
+				"server overloaded: request shed before execution; safe to retry"))
+			continue
 		}
 		//wireswitch:dispatch client-to-server
 		//wireswitch:ignore MsgAuth MsgDebug MsgPing MsgClose -- handled on the frame loop or during the handshake; never queued
@@ -364,6 +545,14 @@ func (sc *serverConn) handleCloseStmt(payload []byte) {
 // events are pushed by the debug controller through the shared connWriter,
 // interleaving with (but never corrupting) response frames.
 func (s *Server) serveConn(nc net.Conn) {
+	if max := s.MaxConns; max > 0 {
+		if int(s.connCount.Add(1)) > max {
+			s.connCount.Add(-1)
+			s.rejectConn(nc)
+			return
+		}
+		defer s.connCount.Add(-1)
+	}
 	defer nc.Close()
 	m := s.metrics
 	if m != nil {
@@ -389,8 +578,12 @@ func (s *Server) serveConn(nc net.Conn) {
 		sess:       sess,
 		version:    version,
 		connDone:   make(chan struct{}),
+		gone:       make(chan struct{}),
 		queries:    newQueryQueue(),
 		workerDone: make(chan struct{}),
+	}
+	if s.RateLimit > 0 {
+		sc.limiter = newTokenBucket(s.RateLimit, s.RateBurst)
 	}
 	if m != nil {
 		sc.queries.depth = m.queueDepth
@@ -402,6 +595,12 @@ func (s *Server) serveConn(nc net.Conn) {
 		for {
 			typ, payload, err := ReadFrame(nc)
 			if err != nil {
+				// Any read failure — EOF included — means the client can no
+				// longer deliver requests and (absent a clean MsgClose) is
+				// not waiting for responses: fire the interrupt so in-flight
+				// statements abort instead of running to completion for a
+				// dead peer.
+				sc.markGone()
 				if err != io.EOF {
 					s.logf("read from %s: %v", nc.RemoteAddr(), err)
 				}
@@ -431,20 +630,36 @@ func (s *Server) serveConn(nc net.Conn) {
 		case <-s.draining():
 			// Graceful drain: answer everything already pipelined, say
 			// goodbye, hang up. The deferred nc.Close unblocks the reader;
-			// closing connDone kills any paused debuggee.
+			// closing connDone kills any paused debuggee. DrainTimeout, when
+			// set, bounds the flush: past the deadline the connection's
+			// interrupt fires and stuck statements abort with a typed
+			// cancelled error instead of stalling Close.
+			var hardStop *time.Timer
+			if s.DrainTimeout > 0 {
+				hardStop = time.AfterFunc(s.DrainTimeout, sc.markGone)
+			}
 			for {
 				select {
 				case fr, ok := <-reqs:
 					if !ok {
+						if hardStop != nil {
+							hardStop.Stop()
+						}
 						return
 					}
 					if !sc.handleFrame(fr) {
+						if hardStop != nil {
+							hardStop.Stop()
+						}
 						return
 					}
 				default:
 					// Kill any paused debuggee and flush the query worker so
 					// every accepted query is answered before the goodbye.
 					sc.shutdown()
+					if hardStop != nil {
+						hardStop.Stop()
+					}
 					_ = sc.w.writeFrame(MsgGoodbye, nil)
 					s.logf("session drained: user=%s from %s", sess.User, nc.RemoteAddr())
 					return
@@ -452,6 +667,22 @@ func (s *Server) serveConn(nc net.Conn) {
 			}
 		}
 	}
+}
+
+// rejectConn refuses an over-limit connection cleanly: read the client's
+// opening auth frame (so the peer is parked reading, not mid-write),
+// answer with a retryable overload error, and hang up. Existing sessions
+// are untouched.
+func (s *Server) rejectConn(nc net.Conn) {
+	defer nc.Close()
+	s.connsRejected.Add(1)
+	_ = nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, _, err := ReadFrame(nc); err != nil {
+		return
+	}
+	_ = WriteFrame(nc, MsgErr, EncodeError(core.KindOverload,
+		"server connection limit reached; safe to retry"))
+	s.logf("connection rejected (over MaxConns=%d) from %s", s.MaxConns, nc.RemoteAddr())
 }
 
 // handleFrame processes one request, reporting whether the connection
@@ -465,7 +696,7 @@ func (sc *serverConn) handleFrame(fr frame) bool {
 	//wireswitch:ignore MsgAuth -- only legal during the handshake, before the frame loop starts
 	switch fr.typ {
 	case MsgQuery:
-		sc.queries.push(fr)
+		sc.admit(fr)
 		return true
 	case MsgPrepare, MsgExecStmt, MsgCloseStmt:
 		if sc.version < ProtoV2 {
@@ -474,7 +705,7 @@ func (sc *serverConn) handleFrame(fr frame) bool {
 				"prepared statements require protocol v2"))
 			return false
 		}
-		sc.queries.push(fr)
+		sc.admit(fr)
 		return true
 	case MsgDebug:
 		return sc.handleDebug(fr.payload)
@@ -491,6 +722,22 @@ func (sc *serverConn) handleFrame(fr frame) bool {
 	}
 }
 
+// admit routes one statement-executing request through admission
+// control: first the per-session rate limit, then the bounded queue.
+// Refused requests are shed — answered in FIFO position with a retryable
+// overload error — never dropped silently.
+func (sc *serverConn) admit(fr frame) {
+	if sc.limiter != nil && !sc.limiter.allow(time.Now()) {
+		sc.queries.shed()
+		return
+	}
+	limit := sc.srv.MaxQueueDepth
+	if limit == 0 {
+		limit = defaultMaxQueueDepth
+	}
+	sc.queries.push(fr, limit)
+}
+
 // writeResult ships a statement result: small results (and every v1
 // session) get the one-shot MsgResult; v2 results whose encoding crosses
 // the stream threshold travel as a MsgResultChunk/MsgResultEnd stream and
@@ -502,6 +749,11 @@ func (sc *serverConn) writeResult(res *engine.Result) error {
 	sc.w.mu.Lock()
 	defer sc.w.mu.Unlock()
 	nc := sc.w.nc
+	if max := s.MaxResultBytes; max > 0 && res.Table != nil && EncodedTableSize(res.Table) > max {
+		//lockblock:ok the writer mutex exists to serialize result frames against debug-event frames
+		return WriteFrame(nc, MsgErr, EncodeError(core.KindResource,
+			"result exceeds the per-query byte budget; add a LIMIT or raise the budget"))
+	}
 	if sc.version >= ProtoV2 && res.Table != nil {
 		threshold := s.StreamThreshold
 		if threshold == 0 {

@@ -61,6 +61,12 @@ type Client = wire.Client
 // Pool is a bounded, health-checked wire connection pool.
 type Pool = wire.Pool
 
+// RetryPolicy configures a Pool's client-side resilience
+// (Pool.EnableRetry): jittered exponential backoff on failures the
+// server is known not to have executed, plus a per-endpoint circuit
+// breaker.
+type RetryPolicy = wire.RetryPolicy
+
 // Rows streams a wire result set batch-at-a-time.
 type Rows = wire.Rows
 
