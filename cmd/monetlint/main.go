@@ -25,7 +25,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/suite"
@@ -48,6 +50,7 @@ func main() {
 	printFlags := flag.Bool("flags", false, "print analyzer flags in JSON (cmd/go tool protocol)")
 	printPath := flag.Bool("print-path", false, "copy this executable to a stable path and print it (for -vettool)")
 	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	timing := flag.Bool("timing", false, "report per-analyzer wall time (JSON object with -json, stderr lines otherwise)")
 	enabled := map[string]*bool{}
 	for _, a := range suite.Analyzers() {
 		enabled[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer (default: all)")
@@ -94,15 +97,16 @@ func main() {
 		analyzers = picked
 	}
 
+	opts := options{jsonOut: *jsonOut, timing: *timing}
 	args := flag.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		runUnit(args[0], analyzers, *jsonOut)
+		runUnit(args[0], analyzers, opts)
 		return
 	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	runStandalone(args, analyzers, *jsonOut)
+	runStandalone(args, analyzers, opts)
 }
 
 // versionFlag implements the cmd/go -V=full handshake: print a tool
@@ -187,4 +191,27 @@ func printDiags(w io.Writer, jsonOut bool, pkgPath string, byAnalyzer map[string
 type diagJSON struct {
 	Posn    string `json:"posn"`
 	Message string `json:"message"`
+}
+
+// printTiming renders per-analyzer wall time accumulated over the run:
+// with -json a single {"timing": {analyzer: milliseconds}} object after
+// the diagnostics, otherwise one stderr line per analyzer.
+func printTiming(w io.Writer, jsonOut bool, times map[string]time.Duration) {
+	names := make([]string, 0, len(times))
+	for name := range times {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if jsonOut {
+		ms := make(map[string]float64, len(times))
+		for name, d := range times {
+			ms[name] = float64(d.Microseconds()) / 1000
+		}
+		data, _ := json.MarshalIndent(map[string]map[string]float64{"timing": ms}, "", "\t")
+		fmt.Fprintf(w, "%s\n", data)
+		return
+	}
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "monetlint: timing: %-14s %s\n", name, times[name].Round(10*time.Microsecond))
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestFindModule(t *testing.T) {
@@ -138,7 +139,7 @@ func TestRunUnitClean(t *testing.T) {
 	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
 		t.Fatal(err)
 	}
-	runUnit(cfgPath, nil, false)
+	runUnit(cfgPath, nil, options{})
 	if _, err := os.Stat(vetx); err != nil {
 		t.Errorf("facts file was not written: %v", err)
 	}
@@ -156,8 +157,52 @@ func TestRunUnitVetxOnly(t *testing.T) {
 	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
 		t.Fatal(err)
 	}
-	runUnit(cfgPath, nil, false)
+	runUnit(cfgPath, nil, options{})
 	if _, err := os.Stat(vetx); err != nil {
 		t.Errorf("facts file was not written in VetxOnly mode: %v", err)
+	}
+}
+
+func TestSummaryLine(t *testing.T) {
+	got := summaryLine(map[string]int{"errkind": 3, "goleak": 1, "quiet": 0})
+	want := "monetlint: 4 findings (errkind:3 goleak:1)"
+	if got != want {
+		t.Errorf("summaryLine = %q, want %q", got, want)
+	}
+	if got := summaryLine(map[string]int{"poolescape": 1}); got != "monetlint: 1 finding (poolescape:1)" {
+		t.Errorf("singular summaryLine = %q", got)
+	}
+}
+
+func TestPrintTimingJSON(t *testing.T) {
+	var buf bytes.Buffer
+	printTiming(&buf, true, map[string]time.Duration{
+		"errkind": 1500 * time.Microsecond,
+		"goleak":  250 * time.Microsecond,
+	})
+	var out map[string]map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if out["timing"]["errkind"] != 1.5 {
+		t.Errorf("timing JSON = %+v", out)
+	}
+}
+
+func TestResolveImportPath(t *testing.T) {
+	modDir, modPath, err := findModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(modDir) // patterns resolve relative to the working directory
+	cases := []struct{ pat, want string }{
+		{".", modPath},
+		{"./internal/wire", modPath + "/internal/wire"},
+		{modPath + "/internal/engine", modPath + "/internal/engine"},
+	}
+	for _, c := range cases {
+		if got := resolveImportPath(c.pat, modDir, modPath); got != c.want {
+			t.Errorf("resolveImportPath(%q) = %q, want %q", c.pat, got, c.want)
+		}
 	}
 }

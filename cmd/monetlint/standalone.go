@@ -8,14 +8,50 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/load"
 )
 
+// options carries the output flags shared by both driver modes.
+type options struct {
+	jsonOut bool
+	timing  bool
+}
+
+// resolveImportPath maps a filesystem-relative pattern ("./internal/wire",
+// ".") to its module import path; patterns already written as import paths
+// pass through. Exits on paths outside the module.
+func resolveImportPath(pat, modDir, modPath string) string {
+	if !strings.HasPrefix(pat, "./") && pat != "." {
+		return pat
+	}
+	abs, err := filepath.Abs(pat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
+		os.Exit(1)
+	}
+	rel, err := filepath.Rel(modDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		fmt.Fprintf(os.Stderr, "monetlint: %s is outside module %s\n", pat, modPath)
+		os.Exit(1)
+	}
+	if rel == "." {
+		return modPath
+	}
+	return modPath + "/" + filepath.ToSlash(rel)
+}
+
 // runStandalone loads packages from source and applies the analyzers.
 // Exits 2 if any diagnostics were reported, 1 on operational errors.
-func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bool) {
+//
+// Packages are analyzed in dependency order sharing one fact store:
+// analyzers that declare FactTypes also run (silently) over module-local
+// dependencies of the requested packages, so facts like "this engine
+// function returns cancellable errors" are in place before the packages
+// that need them are checked.
+func runStandalone(patterns []string, analyzers []*analysis.Analyzer, opts options) {
 	modDir, modPath, err := findModule()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
@@ -33,44 +69,118 @@ func runStandalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut bo
 				os.Exit(1)
 			}
 			paths = append(paths, all...)
-		case strings.HasPrefix(pat, "./"):
-			abs, err := filepath.Abs(pat)
+		case strings.HasSuffix(pat, "/..."):
+			// Subtree wildcard: every module package at or under the base.
+			base := resolveImportPath(strings.TrimSuffix(pat, "/..."), modDir, modPath)
+			all, err := loader.ModulePackages()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
 				os.Exit(1)
 			}
-			rel, err := filepath.Rel(modDir, abs)
-			if err != nil || strings.HasPrefix(rel, "..") {
-				fmt.Fprintf(os.Stderr, "monetlint: %s is outside module %s\n", pat, modPath)
+			n := len(paths)
+			for _, p := range all {
+				if p == base || strings.HasPrefix(p, base+"/") {
+					paths = append(paths, p)
+				}
+			}
+			if len(paths) == n {
+				fmt.Fprintf(os.Stderr, "monetlint: no packages match %s\n", pat)
 				os.Exit(1)
 			}
-			ip := modPath
-			if rel != "." {
-				ip += "/" + filepath.ToSlash(rel)
-			}
-			paths = append(paths, ip)
+		case strings.HasPrefix(pat, "./"):
+			paths = append(paths, resolveImportPath(pat, modDir, modPath))
 		default:
 			paths = append(paths, pat)
 		}
 	}
 
-	exit := 0
+	analysis.RegisterFactTypes(analyzers)
+	r := &runner{
+		fset:   loader.Fset(),
+		facts:  analysis.NewFactStore(),
+		opts:   opts,
+		counts: map[string]int{},
+		times:  map[string]time.Duration{},
+	}
+
+	targets := map[string]bool{}
 	for _, path := range paths {
-		pkg, err := loader.LoadPath(path)
-		if err != nil {
+		if _, err := loader.LoadPath(path); err != nil {
 			fmt.Fprintf(os.Stderr, "monetlint: %v\n", err)
 			os.Exit(1)
 		}
-		if n := runAnalyzers(loader.Fset(), pkg, analyzers, jsonOut); n > 0 {
-			exit = 2
+		targets[path] = true
+	}
+
+	factAnalyzers := withFacts(analyzers)
+	exit := 0
+	for _, pkg := range depOrder(loader, paths) {
+		if targets[pkg.Path] {
+			if n := r.run(pkg, analyzers, true); n > 0 {
+				exit = 2
+			}
+		} else if len(factAnalyzers) > 0 {
+			// Dependency of a target: compute facts only.
+			r.run(pkg, factAnalyzers, false)
 		}
+	}
+	if opts.timing {
+		printTiming(os.Stdout, opts.jsonOut, r.times)
+	}
+	if exit != 0 {
+		fmt.Fprintln(os.Stderr, summaryLine(r.counts))
 	}
 	os.Exit(exit)
 }
 
-// runAnalyzers applies the suite to one loaded package and prints its
-// diagnostics in position order. Returns the diagnostic count.
-func runAnalyzers(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.Analyzer, jsonOut bool) int {
+// withFacts filters analyzers to those declaring fact types.
+func withFacts(analyzers []*analysis.Analyzer) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// depOrder returns the loader-cached packages reachable from the target
+// paths, dependencies first. Only packages the loader typechecked from
+// source appear (standard-library imports are excluded).
+func depOrder(loader *load.Loader, targets []string) []*load.Package {
+	var order []*load.Package
+	seen := map[string]bool{}
+	var visit func(p *load.Package)
+	visit = func(p *load.Package) {
+		if p == nil || seen[p.Path] {
+			return
+		}
+		seen[p.Path] = true
+		for _, imp := range p.Types.Imports() {
+			visit(loader.Cached(imp.Path()))
+		}
+		order = append(order, p)
+	}
+	for _, t := range targets {
+		visit(loader.Cached(t))
+	}
+	return order
+}
+
+// runner applies analyzers to packages, accumulating facts, per-analyzer
+// diagnostic counts, and wall times across the whole run.
+type runner struct {
+	fset   *token.FileSet
+	facts  *analysis.FactStore
+	opts   options
+	counts map[string]int
+	times  map[string]time.Duration
+}
+
+// run applies the analyzers to one package. When report is false the
+// package is being visited only for its facts: diagnostics are discarded
+// and do not count toward the exit status. Returns the reported count.
+func (r *runner) run(pkg *load.Package, analyzers []*analysis.Analyzer, report bool) int {
 	type record struct {
 		analyzer string
 		pos      token.Position
@@ -80,15 +190,21 @@ func runAnalyzers(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.
 	for _, a := range analyzers {
 		pass := &analysis.Pass{
 			Analyzer:  a,
-			Fset:      fset,
+			Fset:      r.fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			Facts:     r.facts,
 		}
 		pass.Report = func(d analysis.Diagnostic) {
-			recs = append(recs, record{a.Name, fset.Position(d.Pos), d.Message})
+			if report {
+				recs = append(recs, record{a.Name, r.fset.Position(d.Pos), d.Message})
+			}
 		}
-		if err := a.Run(pass); err != nil {
+		start := time.Now()
+		err := a.Run(pass)
+		r.times[a.Name] += time.Since(start)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "monetlint: %s: %s: %v\n", pkg.Path, a.Name, err)
 			os.Exit(1)
 		}
@@ -103,20 +219,47 @@ func runAnalyzers(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.
 		}
 		return a.Column < b.Column
 	})
-	if jsonOut {
+	for _, rec := range recs {
+		r.counts[rec.analyzer]++
+	}
+	if r.opts.jsonOut {
 		byAnalyzer := map[string][]diagJSON{}
-		for _, r := range recs {
-			byAnalyzer[r.analyzer] = append(byAnalyzer[r.analyzer], diagJSON{Posn: r.pos.String(), Message: r.msg})
+		for _, rec := range recs {
+			byAnalyzer[rec.analyzer] = append(byAnalyzer[rec.analyzer], diagJSON{Posn: rec.pos.String(), Message: rec.msg})
 		}
 		if len(byAnalyzer) > 0 {
 			printDiags(os.Stdout, true, pkg.Path, byAnalyzer)
 		}
 		return len(recs)
 	}
-	for _, r := range recs {
-		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", r.pos, r.msg, r.analyzer)
+	for _, rec := range recs {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", rec.pos, rec.msg, rec.analyzer)
 	}
 	return len(recs)
+}
+
+// summaryLine renders the non-zero exit summary: total findings plus a
+// per-analyzer breakdown, so CI logs are diagnosable at a glance.
+func summaryLine(counts map[string]int) string {
+	total := 0
+	names := make([]string, 0, len(counts))
+	for name, n := range counts {
+		if n == 0 {
+			continue
+		}
+		total += n
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, counts[name]))
+	}
+	noun := "findings"
+	if total == 1 {
+		noun = "finding"
+	}
+	return fmt.Sprintf("monetlint: %d %s (%s)", total, noun, strings.Join(parts, " "))
 }
 
 // findModule walks up from the working directory to go.mod and reads the

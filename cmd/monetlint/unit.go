@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/load"
@@ -39,7 +40,15 @@ type unitConfig struct {
 
 // runUnit analyzes one vet unit described by cfgPath. Exit codes follow
 // unitchecker: 0 clean, 1 operational failure, 2 diagnostics reported.
-func runUnit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) {
+//
+// Facts: the unit's imports each come with a .vetx file (PackageVetx)
+// holding the facts their own analysis exported; those are merged into
+// one store before analysis, and the full store — imported facts
+// included, for transitivity — is written to VetxOutput afterward. Units
+// marked VetxOnly (dependencies outside the vet pattern) are typechecked
+// and run through the fact-declaring analyzers only, diagnostics
+// discarded.
+func runUnit(cfgPath string, analyzers []*analysis.Analyzer, opts options) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fatalUnit("%v", err)
@@ -48,15 +57,40 @@ func runUnit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		fatalUnit("parsing %s: %v", cfgPath, err)
 	}
-	// monetlint carries no cross-package facts, but the go command expects
-	// every unit to produce its facts file.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+
+	analysis.RegisterFactTypes(analyzers)
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		fdata, err := os.ReadFile(vetx)
+		if err != nil {
+			fatalUnit("%v", err)
+		}
+		if err := facts.Decode(fdata); err != nil {
+			fatalUnit("%s: %v", vetx, err)
+		}
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput == "" {
+			return
+		}
+		out, err := facts.Encode()
+		if err != nil {
+			fatalUnit("%v", err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, out, 0o666); err != nil {
 			fatalUnit("%v", err)
 		}
 	}
+
 	if cfg.VetxOnly {
-		return
+		analyzers = withFacts(analyzers)
+		// Standard-library units cannot carry monetlint facts (the suite's
+		// fact producers all key off repro types and directives), so skip
+		// the typecheck and just thread the imported facts through.
+		if len(analyzers) == 0 || cfg.Standard[cfg.ImportPath] {
+			writeVetx()
+			return
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -65,6 +99,7 @@ func runUnit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
 				return
 			}
 			fatalUnit("%v", err)
@@ -83,13 +118,27 @@ func runUnit(cfgPath string, analyzers []*analysis.Analyzer, jsonOut bool) {
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
 			return
 		}
 		fatalUnit("typecheck %s: %v", cfg.ImportPath, err)
 	}
 
 	lp := &load.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: pkg, Info: info}
-	if n := runAnalyzers(fset, lp, analyzers, jsonOut); n > 0 {
+	r := &runner{
+		fset:   fset,
+		facts:  facts,
+		opts:   opts,
+		counts: map[string]int{},
+		times:  map[string]time.Duration{},
+	}
+	n := r.run(lp, analyzers, !cfg.VetxOnly)
+	writeVetx()
+	if opts.timing {
+		printTiming(os.Stdout, opts.jsonOut, r.times)
+	}
+	if n > 0 {
+		fmt.Fprintln(os.Stderr, summaryLine(r.counts))
 		os.Exit(2)
 	}
 }

@@ -46,6 +46,7 @@ func Open(ctx context.Context, settings Settings, opts ...Option) (*Client, erro
 		ctx = context.Background() //ctxflow:edge nil-ctx fallback of the exported client API
 	}
 	cfg := clientConfig{fs: core.OSFS{}, poolSize: 4}
+	//interruptloop:exempt bounded by the handful of client options passed at Open
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -430,7 +431,14 @@ func (c *Client) ExportUDFs(ctx context.Context, names ...string) error {
 			return err
 		}
 		if _, _, err := c.pool.Query(ctx, sql); err != nil {
-			return core.Wrapf(core.KindRuntime, err, "export %s: %v", info.Name, err)
+			// Server errors arrive already kinded (syntax, overload,
+			// cancellation); preserve that so retry/cancel classification
+			// survives. Only unkinded local failures become KindRuntime.
+			kind := core.KindOf(err)
+			if kind == core.KindUnknown {
+				kind = core.KindRuntime
+			}
+			return core.Wrapf(kind, err, "export %s: %v", info.Name, err)
 		}
 	}
 	return nil

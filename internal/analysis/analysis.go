@@ -25,6 +25,11 @@ type Analyzer struct {
 	Doc string
 	// Run applies the check to one package.
 	Run func(*Pass) error
+	// FactTypes lists the concrete types of the facts this analyzer
+	// exports, one zero value per type (pointers). An analyzer with fact
+	// types runs over dependency packages too — silently, diagnostics
+	// discarded — so its facts are available when dependents are checked.
+	FactTypes []Fact
 }
 
 // Diagnostic is one finding, positioned within pass.Fset.
@@ -41,6 +46,9 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+	// Facts is the cross-package fact store of this run; nil when the
+	// driver does not support facts (Export/Import become no-ops).
+	Facts *FactStore
 
 	directives map[*ast.File]map[int][]Directive
 }
@@ -54,6 +62,43 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) Preorder(fn func(ast.Node) bool) {
 	for _, f := range p.Files {
 		ast.Inspect(f, fn)
+	}
+}
+
+// ForEachFunc visits every function body in the package — declarations
+// and function literals — skipping test files. Literals nested inside a
+// declaration are visited after it. This is the shared entry point of the
+// function-at-a-time analyzers (lockblock, poolescape, goleak, ...): fn
+// receives the enclosing *ast.FuncDecl (nil for a literal not inside one)
+// and the body.
+func (p *Pass) ForEachFunc(fn func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || p.InTestFile(fd.Pos()) {
+				continue
+			}
+			fn(fd, nil, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(fd, lit, lit.Body)
+				}
+				return true
+			})
+		}
+		// Literals in package-level variable initializers.
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || p.InTestFile(gd.Pos()) {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(nil, lit, lit.Body)
+				}
+				return true
+			})
+		}
 	}
 }
 

@@ -1,0 +1,568 @@
+// Package cfg builds per-function control-flow graphs from go/ast and
+// solves dataflow problems over them — the flow-sensitive substrate under
+// the monetlint v2 analyzers (poolescape, goleak, interruptloop, errkind).
+//
+// The graph is intra-procedural and syntactic: one Graph per function body,
+// basic blocks holding the statements and control expressions that execute
+// together, edges following Go's structured control flow plus break/
+// continue/goto/fallthrough. Terminating statements — return, panic, and a
+// small set of process-exit calls — end their block: return edges to the
+// function's single Exit block, panic and process exits leave no successor
+// (they never reach the normal return path; deferred calls are modeled
+// separately via Graph.Defers, which run on panic exits too).
+//
+// The shape mirrors golang.org/x/tools/go/cfg, narrowed to what the suite
+// needs and extended with the defer list and reachability that the
+// analyzers consume directly.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Block is one basic block: a maximal run of nodes with a single entry and
+// a single exit point in the control flow.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Nodes are the statements and control sub-expressions executed in
+	// order when the block runs: plain statements, if/switch conditions,
+	// range operands. They are ast.Node so analyzers can walk them
+	// uniformly.
+	Nodes []ast.Node
+	// Succs are the blocks control may transfer to after this one. A
+	// terminating block (panic, process exit, or the Exit block itself)
+	// has none.
+	Succs []*Block
+	// Preds are the blocks that may transfer control here.
+	Preds []*Block
+	// desc labels the block's role for Graph.String ("entry", "if.then",
+	// "for.body", "exit", ...).
+	desc string
+}
+
+// addNode appends a node to the block's executed sequence.
+func (b *Block) addNode(n ast.Node) {
+	if n != nil {
+		b.Nodes = append(b.Nodes, n)
+	}
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Fun is the *ast.FuncDecl or *ast.FuncLit the graph was built from.
+	Fun ast.Node
+	// Blocks holds every block, entry first. Exit is always present even
+	// if unreachable (a function ending in an infinite loop or panic).
+	Blocks []*Block
+	// Entry is the block control enters at the top of the body.
+	Entry *Block
+	// Exit is the single normal-return block: every return statement and
+	// the fall-off-the-end path edge here. It holds no nodes.
+	Exit *Block
+	// Defers lists every defer statement in the body in syntactic order,
+	// including those in nested blocks. Deferred calls run at every
+	// function exit — normal and panicking — so analyzers treat them as a
+	// separate, always-executed epilogue rather than as CFG nodes.
+	Defers []*ast.DeferStmt
+}
+
+// CalleeOf resolves a call's callee object via info, or nil for calls
+// through function values, built-ins, and conversions. It is the
+// type-aware hook New uses to classify terminating calls.
+type CalleeOf func(call *ast.CallExpr) *types.Func
+
+// New builds the control-flow graph of body. calleeOf may be nil, in which
+// case only the panic built-in terminates a block; with type information it
+// also recognizes os.Exit, log.Fatal*, runtime.Goexit, and testing's
+// FailNow/Fatal family as terminating.
+func New(fun ast.Node, body *ast.BlockStmt, calleeOf CalleeOf) *Graph {
+	g := &Graph{Fun: fun}
+	b := &builder{g: g, calleeOf: calleeOf, labels: map[string]*labelBlocks{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	b.current = g.Entry
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.jump(g.Exit)
+	b.resolveGotos()
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return g
+}
+
+// Inspect traverses the subtree of one block node the way a dataflow
+// transfer function must see it: a *ast.RangeStmt node stands for its
+// per-iteration key/value assignment only (the operand and body were
+// decomposed into their own blocks by the builder), so descending into its
+// body would double-count every statement of the loop. All other nodes are
+// walked in full with ast.Inspect.
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		if !f(n) {
+			return
+		}
+		if rs.Key != nil {
+			ast.Inspect(rs.Key, f)
+		}
+		if rs.Value != nil {
+			ast.Inspect(rs.Value, f)
+		}
+		return
+	}
+	ast.Inspect(n, f)
+}
+
+// Reachable returns the set of blocks reachable from Entry.
+func (g *Graph) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	work := []*Block{g.Entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, s := range blk.Succs {
+			if !seen[s] {
+				seen[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return seen
+}
+
+// String renders the graph block by block for tests and debugging.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s):", blk.Index, blk.desc)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->b%d", s.Index)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// labelBlocks tracks the jump targets of one label.
+type labelBlocks struct {
+	breakTo    *Block // after the labeled loop/switch/select
+	continueTo *Block // the labeled loop's post/condition block
+	gotoTo     *Block // the labeled statement itself
+}
+
+type builder struct {
+	g        *Graph
+	calleeOf CalleeOf
+	current  *Block
+
+	// Innermost-first stacks of branch targets.
+	breakStack    []*Block
+	continueStack []*Block
+	// Labels collect targets as labeled statements are built; gotos to
+	// labels not yet seen are resolved at the end.
+	labels        map[string]*labelBlocks
+	pendingGotos  []pendingGoto
+	fallthroughTo *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+func (b *builder) newBlock(desc string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), desc: desc}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge from the current block to dst (when both exist) and
+// marks the current path dead; a nil dst terminates the path with no
+// successor (panic, process exit, unresolvable branch).
+func (b *builder) jump(dst *Block) {
+	if b.current != nil && dst != nil {
+		b.current.Succs = append(b.current.Succs, dst)
+	}
+	b.current = nil
+}
+
+// startBlock begins a new block and makes it current. If the previous
+// block was still live, control falls through into the new one.
+func (b *builder) startBlock(desc string) *Block {
+	blk := b.newBlock(desc)
+	if b.current != nil {
+		b.current.Succs = append(b.current.Succs, blk)
+	}
+	b.current = blk
+	return blk
+}
+
+// ensureLive makes sure statements have a block to land in; statements
+// after a terminator are unreachable but still get blocks (so analyzers
+// can see them and reachability analysis can call them dead).
+func (b *builder) ensureLive(desc string) {
+	if b.current == nil {
+		b.current = b.newBlock(desc)
+	}
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	b.ensureLive("unreachable")
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ReturnStmt:
+		b.current.addNode(s)
+		b.jump(b.g.Exit)
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.current.addNode(s.Cond)
+		condBlk := b.current
+		then := b.newBlock("if.then")
+		condBlk.Succs = append(condBlk.Succs, then)
+		var els *Block
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+			condBlk.Succs = append(condBlk.Succs, els)
+		}
+		after := b.newBlock("if.after")
+		if s.Else == nil {
+			condBlk.Succs = append(condBlk.Succs, after)
+		}
+		b.current = then
+		b.stmtList(s.Body.List)
+		b.jump(after)
+		if s.Else != nil {
+			b.current = els
+			b.stmt(s.Else)
+			b.jump(after)
+		}
+		b.current = after
+
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+
+	case *ast.DeferStmt:
+		b.g.Defers = append(b.g.Defers, s)
+		b.current.addNode(s)
+
+	case *ast.ExprStmt:
+		b.current.addNode(s)
+		if b.terminates(s.X) {
+			b.jump(nil) // no successor: panic/exit never reaches Exit
+		}
+
+	default:
+		// Assignments, declarations, go statements, sends, inc/dec, and
+		// empty statements execute straight-line.
+		b.current.addNode(s)
+	}
+}
+
+// branch wires break/continue/goto/fallthrough to their targets; a branch
+// whose target cannot be resolved terminates the path.
+func (b *builder) branch(s *ast.BranchStmt) {
+	b.current.addNode(s)
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if lb := b.labels[s.Label.Name]; lb != nil && lb.breakTo != nil {
+				b.jump(lb.breakTo)
+				return
+			}
+		} else if n := len(b.breakStack); n > 0 {
+			b.jump(b.breakStack[n-1])
+			return
+		}
+		b.jump(nil)
+	case token.CONTINUE:
+		if s.Label != nil {
+			if lb := b.labels[s.Label.Name]; lb != nil && lb.continueTo != nil {
+				b.jump(lb.continueTo)
+				return
+			}
+		} else if n := len(b.continueStack); n > 0 {
+			b.jump(b.continueStack[n-1])
+			return
+		}
+		b.jump(nil)
+	case token.GOTO:
+		if s.Label != nil {
+			if lb := b.labels[s.Label.Name]; lb != nil && lb.gotoTo != nil {
+				b.jump(lb.gotoTo)
+				return
+			}
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{b.current, s.Label.Name})
+		}
+		b.current = nil
+	case token.FALLTHROUGH:
+		if b.fallthroughTo != nil {
+			b.jump(b.fallthroughTo)
+			return
+		}
+		b.jump(nil)
+	}
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.startBlock("for.head")
+	if s.Cond != nil {
+		head.addNode(s.Cond)
+	}
+	body := b.newBlock("for.body")
+	after := b.newBlock("for.after")
+	head.Succs = append(head.Succs, body)
+	if s.Cond != nil {
+		head.Succs = append(head.Succs, after)
+	}
+	var post *Block
+	contTo := head
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.addNode(s.Post)
+		post.Succs = append(post.Succs, head)
+		contTo = post
+	}
+	if label != "" {
+		b.labels[label] = &labelBlocks{breakTo: after, continueTo: contTo}
+	}
+	b.breakStack = append(b.breakStack, after)
+	b.continueStack = append(b.continueStack, contTo)
+	b.current = body
+	b.stmtList(s.Body.List)
+	b.jump(contTo)
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.continueStack = b.continueStack[:len(b.continueStack)-1]
+	b.current = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.current.addNode(s.X)
+	head := b.startBlock("range.head")
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	head.Succs = append(head.Succs, body, after)
+	if label != "" {
+		b.labels[label] = &labelBlocks{breakTo: after, continueTo: head}
+	}
+	b.breakStack = append(b.breakStack, after)
+	b.continueStack = append(b.continueStack, head)
+	b.current = body
+	if s.Key != nil || s.Value != nil {
+		// The per-iteration variable assignment is part of the body for
+		// analysis purposes; represent it by the range statement itself.
+		body.addNode(s)
+	}
+	b.stmtList(s.Body.List)
+	b.jump(head)
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.continueStack = b.continueStack[:len(b.continueStack)-1]
+	b.current = after
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.current.addNode(s.Tag)
+	}
+	b.caseClauses(s.Body.List, label, func(cc *ast.CaseClause) []ast.Node {
+		nodes := make([]ast.Node, len(cc.List))
+		for i, e := range cc.List {
+			nodes[i] = e
+		}
+		return nodes
+	})
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.current.addNode(s.Assign)
+	b.caseClauses(s.Body.List, label, func(*ast.CaseClause) []ast.Node { return nil })
+}
+
+// caseClauses builds the shared switch shape: the dispatch block edges to
+// every case body (and to after, when there is no default), case bodies
+// edge to after, fallthrough edges to the next case body.
+func (b *builder) caseClauses(list []ast.Stmt, label string, caseNodes func(*ast.CaseClause) []ast.Node) {
+	dispatch := b.current
+	after := b.newBlock("switch.after")
+	if label != "" {
+		b.labels[label] = &labelBlocks{breakTo: after}
+	}
+	b.breakStack = append(b.breakStack, after)
+
+	var bodies []*Block
+	var clauses []*ast.CaseClause
+	hasDefault := false
+	for _, cs := range list {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("case.body")
+		for _, n := range caseNodes(cc) {
+			dispatch.addNode(n)
+		}
+		dispatch.Succs = append(dispatch.Succs, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		bodies = append(bodies, blk)
+		clauses = append(clauses, cc)
+	}
+	if !hasDefault {
+		dispatch.Succs = append(dispatch.Succs, after)
+	}
+	for i, blk := range bodies {
+		if i+1 < len(bodies) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.current = blk
+		b.stmtList(clauses[i].Body)
+		b.jump(after)
+	}
+	b.fallthroughTo = nil
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.current = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	dispatch := b.current
+	after := b.newBlock("select.after")
+	if label != "" {
+		b.labels[label] = &labelBlocks{breakTo: after}
+	}
+	b.breakStack = append(b.breakStack, after)
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		blk := b.newBlock("select.body")
+		dispatch.Succs = append(dispatch.Succs, blk)
+		b.current = blk
+		if cc.Comm != nil {
+			blk.addNode(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	// A select with no cases blocks forever; give it no out edge.
+	if len(dispatch.Succs) == 0 {
+		b.breakStack = b.breakStack[:len(b.breakStack)-1]
+		b.current = after
+		return
+	}
+	b.breakStack = b.breakStack[:len(b.breakStack)-1]
+	b.current = after
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		// Pre-register so `continue name` inside resolves; forStmt fills
+		// the real targets.
+		b.forStmt(inner, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, name)
+	default:
+		// A plain labeled statement: goto target.
+		target := b.startBlock("label." + name)
+		if lb := b.labels[name]; lb != nil {
+			lb.gotoTo = target
+		} else {
+			b.labels[name] = &labelBlocks{gotoTo: target}
+		}
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) resolveGotos() {
+	for _, pg := range b.pendingGotos {
+		if lb := b.labels[pg.label]; lb != nil && lb.gotoTo != nil {
+			pg.from.Succs = append(pg.from.Succs, lb.gotoTo)
+		}
+	}
+	b.pendingGotos = nil
+}
+
+// terminates reports whether evaluating e never returns: a panic, a
+// runtime.Goexit, an os.Exit, or a log.Fatal* call.
+func (b *builder) terminates(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		// Without type info this may shadow a user function named panic;
+		// acceptable for analysis purposes.
+		return true
+	}
+	if b.calleeOf == nil {
+		return false
+	}
+	fn := b.calleeOf(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		return fn.Name() == "Exit"
+	case "runtime":
+		return fn.Name() == "Goexit"
+	case "log":
+		return strings.HasPrefix(fn.Name(), "Fatal") || strings.HasPrefix(fn.Name(), "Panic")
+	}
+	return false
+}

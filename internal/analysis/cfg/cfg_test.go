@@ -1,0 +1,555 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a full file), finds the function named name, and
+// builds its CFG with a CalleeOf that resolves selector calls to a fake
+// package so terminating calls (os.Exit, log.Fatalf) are recognized
+// without a real typechecker.
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != name {
+			continue
+		}
+		return New(fd, fd.Body, fakeCallee)
+	}
+	t.Fatalf("no function %q in source", name)
+	return nil
+}
+
+// fakeCallee maps pkg.Fn selector calls to a *types.Func in a synthetic
+// package named pkg, enough for terminates() to classify them.
+func fakeCallee(call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pkg := types.NewPackage(id.Name, id.Name)
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	return types.NewFunc(token.NoPos, pkg, sel.Sel.Name, sig)
+}
+
+// blockOf returns the block containing an assignment to an identifier
+// named marker, or nil.
+func blockOf(g *Graph, marker string) *Block {
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			found := false
+			ast.Inspect(n, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == marker {
+					found = true
+				}
+				return !found
+			})
+			if found {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+func TestLinearFlow(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	a := 1
+	b := a + 1
+	_ = b
+}`, "f")
+	if len(g.Entry.Nodes) != 3 {
+		t.Errorf("entry block has %d nodes, want 3:\n%s", len(g.Entry.Nodes), g)
+	}
+	reach := g.Reachable()
+	if !reach[g.Exit] {
+		t.Errorf("exit unreachable in straight-line function:\n%s", g)
+	}
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	thenv := 0
+	if c {
+		thenv = 1
+	} else {
+		thenv = 2
+	}
+	after := thenv
+	return after
+}`, "f")
+	after := blockOf(g, "after")
+	if after == nil {
+		t.Fatalf("no block for after:\n%s", g)
+	}
+	if len(after.Preds) != 2 {
+		t.Errorf("join block has %d preds, want 2 (then+else):\n%s", len(after.Preds), g)
+	}
+	if !g.Reachable()[g.Exit] {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		body := i
+		_ = body
+	}
+	after := 1
+	_ = after
+}`, "f")
+	body := blockOf(g, "body")
+	after := blockOf(g, "after")
+	if body == nil || after == nil {
+		t.Fatalf("missing body/after blocks:\n%s", g)
+	}
+	// The body must flow back around to itself (through post and head).
+	reachFromBody := map[*Block]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if reachFromBody[b] {
+			return
+		}
+		reachFromBody[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(body)
+	if !reachFromBody[body] || !reachFromBody[after] || !reachFromBody[g.Exit] {
+		t.Errorf("loop body should reach itself, after, and exit:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for {
+		x := 1
+		_ = x
+	}
+}`, "f")
+	if g.Reachable()[g.Exit] {
+		t.Errorf("exit reachable past for{}:\n%s", g)
+	}
+}
+
+func TestBreakEscapesInfiniteLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+	}
+	after := 1
+	_ = after
+}`, "f")
+	if !g.Reachable()[g.Exit] {
+		t.Errorf("break should make exit reachable:\n%s", g)
+	}
+}
+
+func TestPanicOnlyExit(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	x := 1
+	_ = x
+	panic("boom")
+}`, "f")
+	if g.Reachable()[g.Exit] {
+		t.Errorf("exit reachable in panic-only function:\n%s", g)
+	}
+	// The panicking block must have no successors.
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(b.Succs) != 0 {
+						t.Errorf("panic block has successors %v:\n%s", b.Succs, g)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		os.Exit(1)
+		dead := 1
+		_ = dead
+	}
+	after := 1
+	_ = after
+}`, "f")
+	dead := blockOf(g, "dead")
+	if dead == nil {
+		t.Fatalf("no block for dead:\n%s", g)
+	}
+	if g.Reachable()[dead] {
+		t.Errorf("statements after os.Exit should be unreachable:\n%s", g)
+	}
+	if !g.Reachable()[blockOf(g, "after")] {
+		t.Errorf("code after the if should stay reachable:\n%s", g)
+	}
+}
+
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	return 1
+	dead := 2
+	_ = dead
+}`, "f")
+	dead := blockOf(g, "dead")
+	if dead == nil {
+		t.Fatalf("no block for dead code:\n%s", g)
+	}
+	if g.Reachable()[dead] {
+		t.Errorf("code after return should be unreachable:\n%s", g)
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	defer one()
+	if c {
+		defer two()
+	}
+	for i := 0; i < 3; i++ {
+		defer three()
+	}
+}`, "f")
+	if len(g.Defers) != 3 {
+		t.Fatalf("collected %d defers, want 3", len(g.Defers))
+	}
+	names := make([]string, len(g.Defers))
+	for i, d := range g.Defers {
+		names[i] = d.Call.Fun.(*ast.Ident).Name
+	}
+	if got := strings.Join(names, ","); got != "one,two,three" {
+		t.Errorf("defers in order %s, want one,two,three", got)
+	}
+}
+
+func TestSwitchShape(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		one := 1
+		_ = one
+	case 2:
+		two := 2
+		_ = two
+	default:
+		dflt := 3
+		_ = dflt
+	}
+	after := 4
+	_ = after
+}`, "f")
+	after := blockOf(g, "after")
+	if after == nil {
+		t.Fatalf("no after block:\n%s", g)
+	}
+	if len(after.Preds) != 3 {
+		t.Errorf("switch join has %d preds, want 3:\n%s", len(after.Preds), g)
+	}
+	for _, m := range []string{"one", "two", "dflt"} {
+		if !g.Reachable()[blockOf(g, m)] {
+			t.Errorf("case %s unreachable:\n%s", m, g)
+		}
+	}
+}
+
+func TestSwitchNoDefaultFallsThrough(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		return
+	}
+	after := 1
+	_ = after
+}`, "f")
+	if !g.Reachable()[blockOf(g, "after")] {
+		t.Errorf("switch without default must edge to after:\n%s", g)
+	}
+}
+
+func TestFallthroughEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 1:
+		one := 1
+		_ = one
+		fallthrough
+	case 2:
+		two := 2
+		_ = two
+	}
+}`, "f")
+	one := blockOf(g, "one")
+	two := blockOf(g, "two")
+	if one == nil || two == nil {
+		t.Fatalf("missing case blocks:\n%s", g)
+	}
+	found := false
+	for _, s := range one.Succs {
+		if s == two {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fallthrough edge from case 1 to case 2 missing:\n%s", g)
+	}
+}
+
+func TestSelectBranches(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) {
+	select {
+	case <-a:
+		ra := 1
+		_ = ra
+	case v := <-b:
+		rb := v
+		_ = rb
+	}
+	after := 1
+	_ = after
+}`, "f")
+	for _, m := range []string{"ra", "rb", "after"} {
+		if !g.Reachable()[blockOf(g, m)] {
+			t.Errorf("%s unreachable:\n%s", m, g)
+		}
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		body := x
+		_ = body
+	}
+	after := 1
+	_ = after
+}`, "f")
+	if !g.Reachable()[blockOf(g, "body")] || !g.Reachable()[blockOf(g, "after")] {
+		t.Errorf("range blocks unreachable:\n%s", g)
+	}
+	// Empty range: after must be reachable without passing through body.
+	after := blockOf(g, "after")
+	hasNonBodyPred := false
+	for _, p := range after.Preds {
+		if p != blockOf(g, "body") {
+			hasNonBodyPred = true
+		}
+	}
+	if !hasNonBodyPred {
+		t.Errorf("range must be skippable when empty:\n%s", g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			inner := j
+			_ = inner
+		}
+	}
+	after := 1
+	_ = after
+}`, "f")
+	if !g.Reachable()[blockOf(g, "after")] || !g.Reachable()[blockOf(g, "inner")] {
+		t.Errorf("labeled loop blocks unreachable:\n%s", g)
+	}
+	if !g.Reachable()[g.Exit] {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		goto done
+	}
+	skipped := 1
+	_ = skipped
+done:
+	after := 2
+	_ = after
+}`, "f")
+	if !g.Reachable()[blockOf(g, "after")] || !g.Reachable()[blockOf(g, "skipped")] {
+		t.Errorf("goto blocks unreachable:\n%s", g)
+	}
+}
+
+func TestGotoBackwardLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+top:
+	body := 1
+	_ = body
+	if c {
+		goto top
+	}
+}`, "f")
+	body := blockOf(g, "body")
+	if body == nil {
+		t.Fatalf("no body block:\n%s", g)
+	}
+	// The goto must create a cycle back to the labeled block.
+	seen := map[*Block]bool{}
+	var cyclic func(b *Block) bool
+	cyclic = func(b *Block) bool {
+		if b == body {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if cyclic(s) {
+				return true
+			}
+		}
+		return false
+	}
+	inCycle := false
+	for _, s := range body.Succs {
+		if cyclic(s) {
+			inCycle = true
+		}
+	}
+	if !inCycle {
+		t.Errorf("backward goto did not form a cycle:\n%s", g)
+	}
+	if !g.Reachable()[g.Exit] {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestPredsConsistent(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool, xs []int) {
+	if c {
+		for _, x := range xs {
+			_ = x
+		}
+	}
+	switch {
+	case c:
+		return
+	default:
+	}
+}`, "f")
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("b%d -> b%d edge missing from preds:\n%s", b.Index, s.Index, g)
+			}
+		}
+	}
+}
+
+func TestInspectRangeBodyVisitedOnce(t *testing.T) {
+	// The builder places the whole *ast.RangeStmt node in the range.body
+	// block to stand for the per-iteration key/value assignment. A naive
+	// ast.Inspect over every block node therefore walks the loop body
+	// twice — once under the RangeStmt, once under the body's own
+	// statements. Inspect must visit it exactly once.
+	g := buildFunc(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		sink := x
+		_ = sink
+	}
+}`, "f")
+	count := func(walk func(ast.Node, func(ast.Node) bool)) int {
+		n := 0
+		for _, b := range g.Blocks {
+			for _, node := range b.Nodes {
+				walk(node, func(x ast.Node) bool {
+					if id, ok := x.(*ast.Ident); ok && id.Name == "sink" {
+						n++
+					}
+					return true
+				})
+			}
+		}
+		return n
+	}
+	// sink appears twice in source (decl + use); the naive walk doubles it.
+	if got := count(ast.Inspect); got != 4 {
+		t.Errorf("naive ast.Inspect visited sink %d times, want 4 (the double-count this test guards against)", got)
+	}
+	if got := count(Inspect); got != 2 {
+		t.Errorf("cfg.Inspect visited sink %d times, want exactly 2", got)
+	}
+	// The key/value operands still get visited via the RangeStmt node.
+	seenVal := 0
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			if _, ok := node.(*ast.RangeStmt); !ok {
+				continue
+			}
+			Inspect(node, func(x ast.Node) bool {
+				if id, ok := x.(*ast.Ident); ok && id.Name == "x" {
+					seenVal++
+				}
+				return true
+			})
+		}
+	}
+	if seenVal != 1 {
+		t.Errorf("range value ident visited %d times via the RangeStmt node, want 1", seenVal)
+	}
+}

@@ -1,0 +1,112 @@
+package cfg
+
+// Flow parameterizes one dataflow problem over a Graph. States are opaque
+// to the solver; the client supplies the lattice operations. The solver is
+// a standard iterative worklist: it converges when every block's input
+// state stops changing, which requires Join/Transfer to be monotone over a
+// lattice of finite height (all the monetlint clients use small finite
+// bitmask or set states).
+type Flow[S any] struct {
+	// Init is the boundary state: the function-entry state for a forward
+	// problem, the function-exit state for a backward one.
+	Init func() S
+	// Bottom is the identity of Join — the initial state of every
+	// non-boundary block.
+	Bottom func() S
+	// Join combines the states of two incoming paths. It must not mutate
+	// its arguments.
+	Join func(a, b S) S
+	// Equal reports state equality; the solver iterates until fixpoint.
+	Equal func(a, b S) bool
+	// Transfer computes the state after executing block b with input in.
+	// It must not mutate in.
+	Transfer func(b *Block, in S) S
+	// TransferEdge, if non-nil, refines the state flowing along one edge
+	// before it is joined into the target. For a forward problem from/to
+	// follow control flow (to ∈ from.Succs, in the order the builder laid
+	// them out: a two-way condition block's Succs[0] is the true edge).
+	// Clients use it for branch-condition refinement, e.g. dropping the
+	// "still nil" state on the true edge of a `v != nil` test.
+	TransferEdge func(from, to *Block, out S) S
+	// Backward flips the direction: states flow from Succs to Preds and
+	// Transfer maps a block's out-state to its in-state.
+	Backward bool
+}
+
+// Result holds the fixpoint states of one solved dataflow problem, keyed
+// by block. For a forward problem In is the state on entry to the block
+// and Out the state after its transfer; for a backward problem In is the
+// state after the block (flowing in from successors) and Out the state
+// before it.
+type Result[S any] struct {
+	In  map[*Block]S
+	Out map[*Block]S
+}
+
+// Solve runs f over g to fixpoint and returns the per-block states.
+func Solve[S any](g *Graph, f Flow[S]) Result[S] {
+	in := make(map[*Block]S, len(g.Blocks))
+	out := make(map[*Block]S, len(g.Blocks))
+	for _, b := range g.Blocks {
+		in[b] = f.Bottom()
+		out[b] = f.Bottom()
+	}
+	boundary := g.Entry
+	if f.Backward {
+		boundary = g.Exit
+	}
+	in[boundary] = f.Init()
+
+	sources := func(b *Block) []*Block {
+		if f.Backward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+	sinks := func(b *Block) []*Block {
+		if f.Backward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make([]bool, len(g.Blocks))
+	for i := range queued {
+		queued[i] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+
+		state := in[b]
+		if srcs := sources(b); len(srcs) > 0 {
+			state = f.Bottom()
+			for _, s := range srcs {
+				o := out[s]
+				if f.TransferEdge != nil {
+					o = f.TransferEdge(s, b, o)
+				}
+				state = f.Join(state, o)
+			}
+			if b == boundary {
+				state = f.Join(state, f.Init())
+			}
+			in[b] = state
+		}
+		next := f.Transfer(b, state)
+		if f.Equal(next, out[b]) {
+			continue
+		}
+		out[b] = next
+		for _, s := range sinks(b) {
+			if !queued[s.Index] {
+				queued[s.Index] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return Result[S]{In: in, Out: out}
+}

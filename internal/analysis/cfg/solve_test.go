@@ -1,0 +1,228 @@
+package cfg
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// The solver tests use a tiny "may reach marker assignment" analysis:
+// state is a bitmask of which markers have definitely (must) or possibly
+// (may) been assigned on the way to a block.
+
+type bits uint32
+
+func markersIn(b *Block) bits {
+	var m bits
+	for _, n := range b.Nodes {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			continue
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || len(id.Name) != 2 || id.Name[0] != 'm' {
+			continue
+		}
+		m |= 1 << (id.Name[1] - '0')
+	}
+	return m
+}
+
+func TestForwardMayAnalysis(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	m1 := 1
+	_ = m1
+	if c {
+		m2 := 1
+		_ = m2
+	}
+	m3 := 1
+	_ = m3
+}`, "f")
+	res := Solve(g, Flow[bits]{
+		Init:     func() bits { return 0 },
+		Bottom:   func() bits { return 0 },
+		Join:     func(a, b bits) bits { return a | b },
+		Equal:    func(a, b bits) bool { return a == b },
+		Transfer: func(b *Block, in bits) bits { return in | markersIn(b) },
+	})
+	exitIn := res.In[g.Exit]
+	if exitIn&(1<<1) == 0 || exitIn&(1<<2) == 0 || exitIn&(1<<3) == 0 {
+		t.Errorf("may-analysis at exit = %03b, want all three markers", exitIn)
+	}
+	// At the m3 block's entry, m2 is only a may-fact (one path skips it).
+	m3blk := blockOf(g, "m3")
+	if res.In[m3blk]&(1<<2) == 0 {
+		t.Errorf("m2 should be a may-fact at m3")
+	}
+}
+
+func TestForwardMustAnalysis(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	m1 := 1
+	_ = m1
+	if c {
+		m2 := 1
+		_ = m2
+	}
+	m3 := 1
+	_ = m3
+}`, "f")
+	// must-analysis: intersection join. Bottom is "all markers" (the
+	// identity of intersection); Init at entry is "none yet".
+	const all = bits(0xFF)
+	res := Solve(g, Flow[bits]{
+		Init:     func() bits { return 0 },
+		Bottom:   func() bits { return all },
+		Join:     func(a, b bits) bits { return a & b },
+		Equal:    func(a, b bits) bool { return a == b },
+		Transfer: func(b *Block, in bits) bits { return in | markersIn(b) },
+	})
+	exitIn := res.In[g.Exit]
+	if exitIn&(1<<1) == 0 || exitIn&(1<<3) == 0 {
+		t.Errorf("m1/m3 must reach exit on all paths, got %03b", exitIn)
+	}
+	if exitIn&(1<<2) != 0 {
+		t.Errorf("m2 is conditional; must-analysis should drop it, got %03b", exitIn)
+	}
+}
+
+func TestLoopFixpoint(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		m1 := 1
+		_ = m1
+	}
+	m2 := 1
+	_ = m2
+}`, "f")
+	res := Solve(g, Flow[bits]{
+		Init:     func() bits { return 0 },
+		Bottom:   func() bits { return 0 },
+		Join:     func(a, b bits) bits { return a | b },
+		Equal:    func(a, b bits) bool { return a == b },
+		Transfer: func(b *Block, in bits) bits { return in | markersIn(b) },
+	})
+	// m1 is a may-fact after the loop (n may be 0: not a must-fact).
+	if res.In[g.Exit]&(1<<1) == 0 {
+		t.Errorf("loop body marker should may-reach exit")
+	}
+	const all = bits(0xFF)
+	must := Solve(g, Flow[bits]{
+		Init:     func() bits { return 0 },
+		Bottom:   func() bits { return all },
+		Join:     func(a, b bits) bits { return a & b },
+		Equal:    func(a, b bits) bool { return a == b },
+		Transfer: func(b *Block, in bits) bits { return in | markersIn(b) },
+	})
+	if must.In[g.Exit]&(1<<1) != 0 {
+		t.Errorf("loop body marker must not be a must-fact at exit (zero-trip loop)")
+	}
+	if must.In[g.Exit]&(1<<2) == 0 {
+		t.Errorf("post-loop marker must reach exit")
+	}
+}
+
+func TestBackwardAnalysis(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	m1 := 1
+	_ = m1
+	if c {
+		return
+	}
+	m2 := 1
+	_ = m2
+}`, "f")
+	// Backward may-analysis: which markers can still execute after a
+	// block? Flowing from Exit toward Entry.
+	res := Solve(g, Flow[bits]{
+		Init:     func() bits { return 0 },
+		Bottom:   func() bits { return 0 },
+		Join:     func(a, b bits) bits { return a | b },
+		Equal:    func(a, b bits) bool { return a == b },
+		Transfer: func(b *Block, in bits) bits { return in | markersIn(b) },
+		Backward: true,
+	})
+	// From the entry block, both markers lie ahead.
+	entryOut := res.Out[g.Entry]
+	if entryOut&(1<<1) == 0 || entryOut&(1<<2) == 0 {
+		t.Errorf("backward at entry = %03b, want both markers ahead", entryOut)
+	}
+	// From the m2 block, only m2 itself is ahead (m1 already ran).
+	m2blk := blockOf(g, "m2")
+	if res.Out[m2blk]&(1<<1) != 0 {
+		t.Errorf("m1 should not be ahead of the m2 block")
+	}
+}
+
+func TestUnreachableBlockStaysBottom(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	return
+	m1 := 1
+	_ = m1
+}`, "f")
+	res := Solve(g, Flow[bits]{
+		Init:     func() bits { return bits(1 << 7) },
+		Bottom:   func() bits { return 0 },
+		Join:     func(a, b bits) bits { return a | b },
+		Equal:    func(a, b bits) bool { return a == b },
+		Transfer: func(b *Block, in bits) bits { return in | markersIn(b) },
+	})
+	dead := blockOf(g, "m1")
+	if dead == nil {
+		t.Fatal("no block for dead marker")
+	}
+	if res.In[dead]&(1<<7) != 0 {
+		t.Errorf("entry fact leaked into an unreachable block")
+	}
+}
+
+func TestTransferEdgeRefinement(t *testing.T) {
+	// The entry block assigns m1 and ends in a two-way condition; the edge
+	// refiner kills the m1 fact on the true edge only, the way poolescape
+	// drops the "still held" state on the true edge of a nil check.
+	g := buildFunc(t, `package p
+func f(c bool) {
+	m1 := 1
+	_ = m1
+	if c {
+		m2 := 1
+		_ = m2
+	} else {
+		m3 := 1
+		_ = m3
+	}
+}`, "f")
+	res := Solve(g, Flow[bits]{
+		Init:     func() bits { return 0 },
+		Bottom:   func() bits { return 0 },
+		Join:     func(a, b bits) bits { return a | b },
+		Equal:    func(a, b bits) bool { return a == b },
+		Transfer: func(b *Block, in bits) bits { return in | markersIn(b) },
+		TransferEdge: func(from, to *Block, out bits) bits {
+			if len(from.Succs) == 2 && to == from.Succs[0] {
+				return out &^ (1 << 1)
+			}
+			return out
+		},
+	})
+	thenBlk := blockOf(g, "m2")
+	elseBlk := blockOf(g, "m3")
+	if thenBlk == nil || elseBlk == nil {
+		t.Fatal("missing branch blocks")
+	}
+	if res.In[thenBlk]&(1<<1) != 0 {
+		t.Errorf("edge refiner did not kill m1 on the true edge")
+	}
+	if res.In[elseBlk]&(1<<1) == 0 {
+		t.Errorf("edge refiner killed m1 on the false edge too")
+	}
+	// Both branches rejoin: the exit sees m1 only via the else path.
+	if res.In[g.Exit]&(1<<1) == 0 {
+		t.Errorf("m1 should survive to exit via the false edge")
+	}
+}

@@ -1,0 +1,12 @@
+package errkind_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errkind"
+)
+
+func TestErrkind(t *testing.T) {
+	analysistest.Run(t, "testdata", errkind.Analyzer, "k/internal/wire")
+}

@@ -1,0 +1,55 @@
+// Package core mirrors the engine's kinded-error API for the fixtures.
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrorKind classifies errors crossing subsystem boundaries.
+type ErrorKind int
+
+// The kinds, mirroring the real set.
+const (
+	KindUnknown ErrorKind = iota
+	KindSyntax
+	KindName
+	KindRuntime
+	KindAuth
+	KindProtocol
+	KindIO
+	KindCancelled
+	KindOverload
+	KindResource
+)
+
+// Error is a kinded error.
+type Error struct {
+	Kind ErrorKind
+	Msg  string
+	Err  error
+}
+
+func (e *Error) Error() string { return e.Msg }
+
+// Unwrap exposes the cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Errorf builds a kinded error.
+func Errorf(kind ErrorKind, format string, args ...any) *Error {
+	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrapf builds a kinded error wrapping a cause.
+func Wrapf(kind ErrorKind, cause error, format string, args ...any) *Error {
+	return &Error{Kind: kind, Msg: fmt.Sprintf(format, args...), Err: cause}
+}
+
+// KindOf extracts the outermost kind.
+func KindOf(err error) ErrorKind {
+	var ce *Error
+	if errors.As(err, &ce) {
+		return ce.Kind
+	}
+	return KindUnknown
+}

@@ -1,0 +1,110 @@
+// Package a exercises the goleak analyzer.
+package a
+
+import (
+	"context"
+	"sync"
+
+	"wk"
+)
+
+func work() {}
+
+// --- findings ---
+
+func unboundedLit() {
+	go func() { // want "goroutine is not provably bounded"
+		for {
+			work()
+		}
+	}()
+}
+
+func leakyWorker() {
+	for {
+		work()
+	}
+}
+
+func unboundedNamed() {
+	go leakyWorker() // want "goroutine running leakyWorker is not provably bounded"
+}
+
+func unboundedFact() {
+	go wk.Spin() // want "goroutine running Spin is not provably bounded"
+}
+
+func dynamicSpawn(fns []func()) {
+	go fns[0]() // want "goroutine spawns through a function value"
+}
+
+// A bare directive with no reason does not count as a suppression.
+func unreasonedDirective() {
+	//goleak:bounded
+	go leakyWorker() // want "goroutine running leakyWorker is not provably bounded"
+}
+
+// --- clean ---
+
+func ctxSelect(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func waitGroup(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func rangeChan(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+func doneChan(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+func namedBounded(jobs chan int) {
+	go boundedWorker(jobs)
+}
+
+func boundedWorker(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+// Bounded through a same-package helper call.
+func indirectBounded(jobs chan int) {
+	go func() {
+		boundedWorker(jobs)
+	}()
+}
+
+// Bounded through a cross-package fact.
+func factBounded(jobs chan int) {
+	go wk.Pump(jobs)
+	go wk.Relay(jobs)
+}
+
+// A reasoned directive claims an external bound.
+func reasoned() {
+	//goleak:bounded process-lifetime pump, killed at shutdown
+	go leakyWorker()
+}

@@ -1,0 +1,24 @@
+// Package wk provides spawn targets whose boundedness is exported as
+// facts and consumed from package a.
+package wk
+
+// Pump drains a job channel; it terminates when the channel closes, so it
+// earns a Bounded fact.
+func Pump(jobs chan int) {
+	for j := range jobs {
+		_ = j
+	}
+}
+
+// Spin never observes a termination signal, so it gets no fact.
+func Spin() {
+	n := 0
+	for {
+		n++
+	}
+}
+
+// Relay is bounded transitively: it hands off to Pump.
+func Relay(jobs chan int) {
+	Pump(jobs)
+}

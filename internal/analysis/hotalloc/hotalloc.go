@@ -26,18 +26,14 @@ a deliberate allocation with //hotalloc:ok.`,
 }
 
 func run(pass *analysis.Pass) error {
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || pass.InTestFile(fd.Pos()) {
-				continue
-			}
-			if !isHot(pass, fd) {
-				continue
-			}
-			checkHot(pass, fd)
+	pass.ForEachFunc(func(fd *ast.FuncDecl, lit *ast.FuncLit, _ *ast.BlockStmt) {
+		// Literals are walked within their hot enclosing declaration, with
+		// the loop depth carried across; only declarations anchor a check.
+		if lit != nil || fd == nil || !isHot(pass, fd) {
+			return
 		}
-	}
+		checkHot(pass, fd)
+	})
 	return nil
 }
 

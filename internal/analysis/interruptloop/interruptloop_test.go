@@ -1,0 +1,12 @@
+package interruptloop_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/interruptloop"
+)
+
+func TestInterruptloop(t *testing.T) {
+	analysistest.Run(t, "testdata", interruptloop.Analyzer, "k/internal/engine/stage")
+}

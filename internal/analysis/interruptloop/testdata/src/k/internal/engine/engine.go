@@ -1,0 +1,32 @@
+// Package engine mirrors the engine's interrupt surface for the fixtures.
+package engine
+
+import "errors"
+
+var errStopped = errors.New("interrupted")
+
+// Conn is a client connection holding the interrupt hook.
+type Conn struct {
+	stop func() bool
+}
+
+func (c *Conn) interruptErr() error {
+	if c.stop != nil && c.stop() {
+		return errStopped
+	}
+	return nil
+}
+
+// Tick polls the connection's interrupt state; callers looping over work
+// use it as their checkpoint, so it earns a Checkpoints fact.
+func Tick(c *Conn) error {
+	return c.interruptErr()
+}
+
+// Eval runs one dynamic op per element with no checkpoint of its own, so
+// it earns a Long fact: callers must checkpoint between Eval calls.
+func Eval(ops []func()) {
+	for _, op := range ops {
+		op()
+	}
+}

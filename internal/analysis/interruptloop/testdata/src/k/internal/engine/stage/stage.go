@@ -1,0 +1,114 @@
+// Package stage exercises the interruptloop analyzer.
+package stage
+
+import (
+	"context"
+
+	"k/internal/engine"
+	"k/internal/engine/vec"
+)
+
+func work() {}
+
+var hooks []func()
+
+// --- findings ---
+
+func pump(c *engine.Conn) {
+	for { // want "unconditioned loop never reaches an interrupt checkpoint"
+		work()
+	}
+}
+
+func drain(ctx context.Context, ch chan int) {
+	for v := range ch { // want "loop ranges over a channel without an interrupt checkpoint"
+		_ = v
+	}
+}
+
+func runHooks(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want "loop makes a dynamic call, which may run unbounded work"
+		hooks[i]()
+	}
+}
+
+// engine.Eval carries a Long fact from its defining package.
+func evalAll(c *engine.Conn, n int) {
+	for i := 0; i < n; i++ { // want "loop calls Eval, which may run unbounded work"
+		engine.Eval(nil)
+	}
+}
+
+//vec:hot
+func scaleBad(p *vec.Pol, d []float64, f float64) {
+	for i := range d { // want "//vec:hot kernel with a morsel pool runs outside the pool's Run drivers"
+		d[i] *= f
+	}
+}
+
+// --- clean ---
+
+// Checkpointed through the cross-package Checkpoints fact on engine.Tick.
+func pumpOK(c *engine.Conn) error {
+	for {
+		if err := engine.Tick(c); err != nil {
+			return err
+		}
+		work()
+	}
+}
+
+func drainOK(ctx context.Context, ch chan int) error {
+	for v := range ch {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = v
+	}
+	return nil
+}
+
+func selectLoop(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// The Stop hook on the pool is a checkpoint.
+func hooksOK(p *vec.Pol, n int) {
+	for i := 0; i < n; i++ {
+		if p.Stop != nil && p.Stop() {
+			return
+		}
+		hooks[0]()
+	}
+}
+
+//vec:hot
+func scaleOK(p *vec.Pol, d []float64, f float64) {
+	p.Run(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] *= f
+		}
+	})
+}
+
+// Static in-package calls in a bounded loop are fine without a checkpoint.
+func staticOK(c *engine.Conn, n int) {
+	for i := 0; i < n; i++ {
+		work()
+	}
+}
+
+// The escape hatch needs a reason and silences the finding.
+func spinExempt(c *engine.Conn) {
+	//interruptloop:exempt spins at most 3 times before the budget trips
+	for {
+		work()
+	}
+}

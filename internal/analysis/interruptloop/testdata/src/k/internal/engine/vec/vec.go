@@ -1,0 +1,43 @@
+// Package vec mirrors the engine's morsel pool for the fixtures.
+package vec
+
+// Pol is a morsel-parallel execution policy.
+type Pol struct {
+	Workers    int
+	MorselSize int
+	Stop       func() bool
+}
+
+// Run drives fn over [0,n) in morsels, checkpointing Stop between them.
+func (p *Pol) Run(n int, fn func(lo, hi int)) {
+	for lo := 0; lo < n; lo += p.MorselSize {
+		if p.Stop != nil && p.Stop() {
+			return
+		}
+		hi := lo + p.MorselSize
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	}
+}
+
+// RunIdx is Run with per-index granularity.
+func (p *Pol) RunIdx(n int, fn func(i int)) {
+	p.Run(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// RunErr is Run with error short-circuiting.
+func (p *Pol) RunErr(n int, fn func(lo, hi int) error) error {
+	var err error
+	p.Run(n, func(lo, hi int) {
+		if err == nil {
+			err = fn(lo, hi)
+		}
+	})
+	return err
+}

@@ -54,18 +54,8 @@ func run(pass *analysis.Pass) error {
 	// Check every function body — declarations and literals — each with an
 	// empty initial lock set (a goroutine or stored closure does not
 	// inherit its creator's locks).
-	pass.Preorder(func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncDecl:
-			if n.Body != nil && !pass.InTestFile(n.Pos()) {
-				checkBody(pass, n.Body)
-			}
-		case *ast.FuncLit:
-			if !pass.InTestFile(n.Pos()) {
-				checkBody(pass, n.Body)
-			}
-		}
-		return true
+	pass.ForEachFunc(func(_ *ast.FuncDecl, _ *ast.FuncLit, body *ast.BlockStmt) {
+		checkBody(pass, body)
 	})
 	return nil
 }

@@ -1,0 +1,725 @@
+// Package poolescape defines a flow-sensitive analyzer for pooled-object
+// lifecycles: every obs.AcquireTrace / vec.GetFloats / vec.GetBools must
+// reach its matching release on every path out of the function, the object
+// must not be used after it was released, and an object that escapes the
+// function (returned, stored, sent, captured) transfers its release
+// obligation to the new owner and must not ALSO be released locally.
+//
+// The analysis runs a forward may-analysis over the function's control-flow
+// graph. Each tracked variable is in a set of possible path states —
+// unacquired, held, held-with-deferred-release, released, escaped — and
+// statements transition the set:
+//
+//	tr := obs.AcquireTrace()   held
+//	defer obs.ReleaseTrace(tr) held → held+defer (released at every exit)
+//	obs.ReleaseTrace(tr)       held → released
+//	return tr                  held → escaped (caller owns it now)
+//	sink(tr) / s.tr = tr / ...  held → escaped
+//
+// Passing the object as a plain call argument is a borrow and changes
+// nothing — unless the callee carries a ReleasesParam fact (exported for
+// functions that release a parameter on every path, like the wire server's
+// respondTraced), in which case the call is the release.
+//
+// Findings: a path reaching the exit still holding (leak), any use while a
+// path may have released (use-after-release), releasing twice, reacquiring
+// over a held object, escaping an object whose deferred release will still
+// run, and discarding an acquisition outright. Suppress a deliberate
+// violation with //poolescape:ignore <reason>.
+package poolescape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/cfg"
+)
+
+// Analyzer is the poolescape check.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolescape",
+	Doc: `track pooled objects from acquisition to release on every path
+
+Objects from the trace and scratch pools (obs.AcquireTrace, vec.GetFloats,
+vec.GetBools) must be released exactly once on every path, never used after
+release, and never released again after escaping to a new owner. Functions
+releasing a parameter on every path export a ReleasesParam fact, so passing
+a pooled object to them counts as the release. Suppress with
+//poolescape:ignore <reason>.`,
+	Run:       run,
+	FactTypes: []analysis.Fact{(*ReleasesParam)(nil)},
+}
+
+// ReleasesParam is a fact on a function: the parameters at Params (indices
+// into the signature, receiver excluded) are returned to their pool on
+// every path through the function, so a call transfers the obligation.
+type ReleasesParam struct {
+	Params []int
+}
+
+// AFact marks ReleasesParam as a fact type.
+func (*ReleasesParam) AFact() {}
+
+// pools maps (package tail segment, function name) of an acquisition to
+// the name of its release function.
+var pools = map[[2]string]string{
+	{"obs", "AcquireTrace"}: "ReleaseTrace",
+	{"vec", "GetFloats"}:    "PutFloats",
+	{"vec", "GetBools"}:     "PutBools",
+}
+
+// releases is the set of (package tail, name) release functions.
+var releases = map[[2]string]bool{
+	{"obs", "ReleaseTrace"}: true,
+	{"vec", "PutFloats"}:    true,
+	{"vec", "PutBools"}:     true,
+}
+
+func pkgTail(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func keyOf(fn *types.Func) [2]string {
+	if fn == nil || fn.Pkg() == nil {
+		return [2]string{}
+	}
+	return [2]string{pkgTail(fn.Pkg().Path()), fn.Name()}
+}
+
+// Path states of one tracked variable, combined into a bitmask per block
+// (may-analysis: the set of states some path could be in).
+const (
+	stUnacq    uint8 = 1 << iota // not acquired (or tracking ended benignly)
+	stHeld                       // acquired, release still owed
+	stHeldD                      // acquired, release deferred (runs at exit)
+	stReleased                   // returned to the pool
+	stEscaped                    // ownership transferred out of the function
+)
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: ReleasesParam facts for every declaration, so same-package
+	// callers (and, via the fact store, other packages) see them.
+	pass.ForEachFunc(func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		if lit == nil {
+			exportReleasesParam(pass, decl, body)
+		}
+	})
+	// Pass 2: lifecycle checks.
+	pass.ForEachFunc(func(decl *ast.FuncDecl, lit *ast.FuncLit, body *ast.BlockStmt) {
+		fun := ast.Node(decl)
+		if lit != nil {
+			fun = lit
+		}
+		checkFunc(pass, fun, body)
+	})
+	return nil
+}
+
+// exportReleasesParam runs the lifecycle machine over each parameter of
+// decl with an initial state of held; if every path ends released, the
+// function discharges that parameter's obligation for its callers.
+func exportReleasesParam(pass *analysis.Pass, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	sig, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	params := sig.Type().(*types.Signature).Params()
+	var fact ReleasesParam
+	var g *cfg.Graph
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if !mentionsReleaseOf(pass, body, p) {
+			continue // cheap pre-filter before building the CFG
+		}
+		if g == nil {
+			g = cfg.New(decl, body, pass.CalleeFunc)
+		}
+		tr := &tracker{pass: pass, v: p, g: g}
+		exit := tr.solve(stHeld)
+		if exit != 0 && exit&^(stReleased|stHeldD) == 0 {
+			fact.Params = append(fact.Params, i)
+		}
+	}
+	if len(fact.Params) > 0 {
+		pass.ExportObjectFact(sig, &fact)
+	}
+}
+
+// mentionsReleaseOf reports whether body contains a call that could
+// release obj — a named release function or a ReleasesParam callee taking
+// obj as an argument.
+func mentionsReleaseOf(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		fn := pass.CalleeFunc(call)
+		if fn == nil {
+			return true
+		}
+		if !releases[keyOf(fn)] && !hasReleasesFact(pass, fn) {
+			return true
+		}
+		for _, a := range call.Args {
+			if id, ok := ast.Unparen(a).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func hasReleasesFact(pass *analysis.Pass, fn *types.Func) bool {
+	var f ReleasesParam
+	return pass.ImportObjectFact(fn, &f)
+}
+
+// checkFunc finds acquisitions in body (this function's own statements,
+// not nested literals') and runs the lifecycle machine for each acquired
+// variable.
+func checkFunc(pass *analysis.Pass, fun ast.Node, body *ast.BlockStmt) {
+	g := buildIfNeeded(pass, fun, body)
+	if g == nil {
+		return
+	}
+	// Group acquisition statements by tracked variable.
+	type acquired struct {
+		first   ast.Node
+		release string
+	}
+	vars := map[types.Object]*acquired{}
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				if es, ok := n.(*ast.ExprStmt); ok {
+					if rel, isAcq := acquireCall(pass, es.X); isAcq {
+						reportf(pass, es, es.Pos(), "result of %s is discarded; the pooled object can never be %s", acqName(pass, es.X), rel)
+					}
+				}
+				continue
+			}
+			for i, rhs := range as.Rhs {
+				rel, isAcq := acquireCall(pass, rhs)
+				if !isAcq {
+					continue
+				}
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue // stored through a field/index: owner is the store target
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				if prev, ok := vars[obj]; ok {
+					prev.release = rel
+				} else {
+					vars[obj] = &acquired{first: as, release: rel}
+				}
+			}
+		}
+	}
+	for obj, acq := range vars {
+		tr := &tracker{pass: pass, v: obj, g: g}
+		exit := tr.solveAndReport(acq.first)
+		if exit&stHeld != 0 && !pass.HasDirective(acq.first, "poolescape", "ignore") {
+			reportf(pass, acq.first, acq.first.Pos(), "%s is not released on every path: a path reaches return without %s (annotate //poolescape:ignore <reason> if ownership is managed elsewhere)", obj.Name(), acq.release)
+		}
+	}
+}
+
+// buildIfNeeded builds the CFG only when the body mentions a pool function
+// at all, keeping the analyzer cheap on the vast majority of functions.
+func buildIfNeeded(pass *analysis.Pass, fun ast.Node, body *ast.BlockStmt) *cfg.Graph {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			k := keyOf(pass.CalleeFunc(call))
+			if _, ok := pools[k]; ok || releases[k] {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return nil
+	}
+	return cfg.New(fun, body, pass.CalleeFunc)
+}
+
+// acquireCall reports whether e is a pool acquisition and names its
+// release function.
+func acquireCall(pass *analysis.Pass, e ast.Expr) (release string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false
+	}
+	release, ok = pools[keyOf(pass.CalleeFunc(call))]
+	return release, ok
+}
+
+func acqName(pass *analysis.Pass, e ast.Expr) string {
+	call, _ := ast.Unparen(e).(*ast.CallExpr)
+	if fn := pass.CalleeFunc(call); fn != nil {
+		return fn.Name()
+	}
+	return "acquisition"
+}
+
+// reportf reports unless suppressed at n or on the enclosing function.
+func reportf(pass *analysis.Pass, n ast.Node, pos token.Pos, format string, args ...any) {
+	if pass.HasDirective(n, "poolescape", "ignore") {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+// events summarizes what one CFG node does to the tracked variable.
+type events struct {
+	uses         bool
+	usePos       token.Pos
+	acquire      bool
+	release      bool
+	releasePos   token.Pos
+	deferRelease bool
+	escape       bool
+	escapePos    token.Pos
+	kill         bool // plain reassignment of the variable
+}
+
+// tracker runs the state machine for one variable over one CFG.
+type tracker struct {
+	pass *analysis.Pass
+	v    types.Object
+	g    *cfg.Graph
+
+	reported map[token.Pos]bool
+	evCache  map[ast.Node]events
+}
+
+// flow builds the may-analysis the tracker solves: union join over the
+// state bitmask, per-node transfer, and nil-test branch refinement.
+func (t *tracker) flow(init uint8) cfg.Flow[uint8] {
+	return cfg.Flow[uint8]{
+		Init:   func() uint8 { return init },
+		Bottom: func() uint8 { return 0 },
+		Join:   func(a, b uint8) uint8 { return a | b },
+		Equal:  func(a, b uint8) bool { return a == b },
+		Transfer: func(b *cfg.Block, in uint8) uint8 {
+			for _, n := range b.Nodes {
+				in = t.apply(t.classify(n), in, nil)
+			}
+			return in
+		},
+		TransferEdge: t.nilRefine,
+	}
+}
+
+// nilRefine sharpens the state along the edges of a `v != nil` / `v == nil`
+// branch: only an unacquired variable can be nil (acquisitions never return
+// nil, and releasing does not clear the variable). This keeps the common
+//
+//	if tr != nil { obs.ReleaseTrace(tr) }
+//
+// epilogue from reading as a leak of the acquired-path state.
+func (t *tracker) nilRefine(from, to *cfg.Block, out uint8) uint8 {
+	if len(from.Succs) != 2 || len(from.Nodes) == 0 {
+		return out
+	}
+	cond, ok := from.Nodes[len(from.Nodes)-1].(ast.Expr)
+	if !ok {
+		return out
+	}
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return out
+	}
+	var other ast.Expr
+	switch {
+	case t.isV(bin.X):
+		other = bin.Y
+	case t.isV(bin.Y):
+		other = bin.X
+	default:
+		return out
+	}
+	id, ok := ast.Unparen(other).(*ast.Ident)
+	if !ok {
+		return out
+	}
+	if _, isNil := t.pass.TypesInfo.Uses[id].(*types.Nil); !isNil {
+		return out
+	}
+	vNonNil := to == from.Succs[0] // Succs[0] is the condition-true edge
+	if bin.Op == token.EQL {
+		vNonNil = !vNonNil
+	}
+	if vNonNil {
+		return out &^ stUnacq
+	}
+	return out & stUnacq
+}
+
+// solve runs the pure dataflow and returns the may-state set at exit.
+func (t *tracker) solve(init uint8) uint8 {
+	res := cfg.Solve(t.g, t.flow(init))
+	return res.In[t.g.Exit]
+}
+
+// solveAndReport solves, then replays each reachable block from its fixed
+// in-state to attribute per-statement findings, and returns the exit set.
+func (t *tracker) solveAndReport(acq ast.Node) uint8 {
+	t.reported = map[token.Pos]bool{}
+	res := cfg.Solve(t.g, t.flow(stUnacq))
+	for _, blk := range t.g.Blocks {
+		state := res.In[blk]
+		if state == 0 {
+			continue // unreachable
+		}
+		for _, n := range blk.Nodes {
+			state = t.apply(t.classify(n), state, n)
+		}
+	}
+	return res.In[t.g.Exit]
+}
+
+// apply transitions the state set through one node's events; when report
+// is non-nil, findings are attributed to it.
+func (t *tracker) apply(ev events, state uint8, report ast.Node) uint8 {
+	warn := func(pos token.Pos, format string, args ...any) {
+		if report == nil || t.reported[pos] {
+			return
+		}
+		t.reported[pos] = true
+		reportf(t.pass, report, pos, format, args...)
+	}
+	if ev.uses && !ev.release && !ev.acquire && !ev.kill && state&stReleased != 0 {
+		warn(ev.usePos, "%s used after it was released back to the pool", t.v.Name())
+	}
+	if ev.release {
+		if state&stReleased != 0 {
+			warn(ev.releasePos, "%s released twice", t.v.Name())
+		}
+		if state&stEscaped != 0 {
+			warn(ev.releasePos, "%s released after ownership escaped this function", t.v.Name())
+		}
+		state = mapStates(state, func(s uint8) uint8 {
+			if s == stHeld || s == stHeldD {
+				return stReleased
+			}
+			return s
+		})
+	}
+	if ev.deferRelease {
+		state = mapStates(state, func(s uint8) uint8 {
+			if s == stHeld {
+				return stHeldD
+			}
+			return s
+		})
+	}
+	if ev.escape {
+		if state&stHeldD != 0 {
+			warn(ev.escapePos, "%s escapes this function but a deferred release will still return it to the pool", t.v.Name())
+		}
+		state = mapStates(state, func(s uint8) uint8 {
+			if s == stHeld || s == stHeldD {
+				return stEscaped
+			}
+			return s
+		})
+	}
+	if ev.kill && !ev.acquire {
+		if state&stHeld != 0 {
+			warn(ev.usePos, "%s reassigned while still holding an unreleased pooled object", t.v.Name())
+		}
+		state = mapStates(state, func(s uint8) uint8 { return stUnacq })
+	}
+	if ev.acquire {
+		if state&(stHeld|stHeldD) != 0 {
+			warn(ev.usePos, "%s reacquired while the previous object was never released", t.v.Name())
+		}
+		state = stHeld
+	}
+	if state == 0 {
+		state = stUnacq
+	}
+	return state
+}
+
+// mapStates applies f to each state bit present in set.
+func mapStates(set uint8, f func(uint8) uint8) uint8 {
+	var out uint8
+	for s := uint8(1); s != 0; s <<= 1 {
+		if set&s != 0 {
+			out |= f(s)
+		}
+	}
+	return out
+}
+
+func (t *tracker) isV(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && t.isVIdent(id)
+}
+
+// isVIdent matches both uses of the variable and its defining identifier
+// (the left side of `tr := obs.AcquireTrace()` is a Def, not a Use).
+func (t *tracker) isVIdent(id *ast.Ident) bool {
+	return t.pass.TypesInfo.Uses[id] == t.v || t.pass.TypesInfo.Defs[id] == t.v
+}
+
+// classify computes the tracked variable's events for one CFG node.
+func (t *tracker) classify(n ast.Node) events {
+	if t.evCache == nil {
+		t.evCache = map[ast.Node]events{}
+	}
+	if ev, ok := t.evCache[n]; ok {
+		return ev
+	}
+	ev := t.classifyUncached(n)
+	t.evCache[n] = ev
+	return ev
+}
+
+func (t *tracker) classifyUncached(n ast.Node) events {
+	var ev events
+
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		if t.callReleases(ds.Call) {
+			ev.deferRelease = true
+			ev.uses, ev.usePos = true, ds.Pos()
+			return ev
+		}
+		if lit, ok := ast.Unparen(ds.Call.Fun).(*ast.FuncLit); ok && t.bodyReleases(lit.Body) {
+			ev.deferRelease = true
+			ev.uses, ev.usePos = true, ds.Pos()
+			return ev
+		}
+		// A deferred call that merely uses the object runs at exit; count
+		// it as a use so release-before-defer still trips use-after-release
+		// conservatively only when the defer line itself follows a release.
+		t.walkUses(ds, &ev)
+		return ev
+	}
+
+	switch s := n.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if t.escapesVal(r) {
+				ev.escape, ev.escapePos = true, r.Pos()
+			}
+		}
+		t.walkUses(s, &ev)
+		return ev
+
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			if t.isV(lhs) {
+				// Reassignment; an acquisition RHS is handled below.
+				ev.kill = true
+				ev.usePos = lhs.Pos()
+			}
+			if i < len(s.Rhs) {
+				if _, isAcq := acquireCall(t.pass, s.Rhs[i]); isAcq && t.isV(lhs) {
+					ev.acquire = true
+					ev.usePos = lhs.Pos()
+				}
+			}
+		}
+		for _, rhs := range s.Rhs {
+			if t.escapesVal(rhs) && !blankOnly(s) {
+				ev.escape, ev.escapePos = true, rhs.Pos()
+			}
+		}
+		t.walkUses(s, &ev)
+		return ev
+
+	case *ast.SendStmt:
+		if t.isV(s.Value) {
+			ev.escape, ev.escapePos = true, s.Value.Pos()
+		}
+		t.walkUses(s, &ev)
+		return ev
+	}
+
+	t.walkUses(n, &ev)
+	return ev
+}
+
+// escapesVal reports whether using e as a stored/returned value transfers
+// ownership of the tracked object: the bare variable, a re-slice of it
+// (aliases the pooled backing array), its address, or a composite literal
+// embedding it. Reads — fields, elements, lengths, comparisons — produce
+// fresh values and do not escape; call results are treated as borrows
+// (consistent with statement-position calls).
+func (t *tracker) escapesVal(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return t.isVIdent(e)
+	case *ast.SelectorExpr:
+		return false
+	case *ast.IndexExpr:
+		return false
+	case *ast.SliceExpr:
+		return t.isV(e.X)
+	case *ast.StarExpr:
+		return false // *v copies the pointee
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return t.mentions(e.X)
+		}
+		return false
+	case *ast.BinaryExpr:
+		return false
+	case *ast.CallExpr:
+		return false
+	case *ast.TypeAssertExpr:
+		return t.escapesVal(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if t.escapesVal(el) {
+				return true
+			}
+		}
+		return false
+	case nil:
+		return false
+	}
+	return t.mentions(e)
+}
+
+// blankOnly reports whether the assignment's only targets are blanks
+// (`_ = v` keeps the variable alive without moving ownership).
+func blankOnly(s *ast.AssignStmt) bool {
+	for _, lhs := range s.Lhs {
+		if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// walkUses records uses, releases, escapes-by-capture, and fact-based
+// releasing calls found anywhere in n's subtree. Nested function literals
+// are opaque except that capturing the variable is an escape.
+func (t *tracker) walkUses(n ast.Node, ev *events) {
+	cfg.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			if t.mentionsIn(x.Body) {
+				ev.uses, ev.usePos = true, x.Pos()
+				ev.escape, ev.escapePos = true, x.Pos()
+			}
+			return false
+		case *ast.CallExpr:
+			if t.callReleases(x) {
+				ev.release, ev.releasePos = true, x.Pos()
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if t.isV(el) {
+					ev.escape, ev.escapePos = true, el.Pos()
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND && t.isV(x.X) {
+				ev.escape, ev.escapePos = true, x.Pos()
+			}
+		case *ast.Ident:
+			if t.pass.TypesInfo.Uses[x] == t.v {
+				ev.uses = true
+				if ev.usePos == token.NoPos {
+					ev.usePos = x.Pos()
+				}
+			}
+
+		}
+		return true
+	})
+}
+
+// callReleases reports whether call releases the tracked variable: a named
+// pool release with v as an argument, or a callee whose ReleasesParam fact
+// covers v's argument position.
+func (t *tracker) callReleases(call *ast.CallExpr) bool {
+	fn := t.pass.CalleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	if releases[keyOf(fn)] {
+		for _, a := range call.Args {
+			if t.isV(a) {
+				return true
+			}
+		}
+		return false
+	}
+	var fact ReleasesParam
+	if !t.pass.ImportObjectFact(fn, &fact) {
+		return false
+	}
+	for _, idx := range fact.Params {
+		if idx < len(call.Args) && t.isV(call.Args[idx]) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyReleases reports whether a (deferred) literal's body releases v.
+func (t *tracker) bodyReleases(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if call, ok := x.(*ast.CallExpr); ok && t.callReleases(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (t *tracker) mentions(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && t.pass.TypesInfo.Uses[id] == t.v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (t *tracker) mentionsIn(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && t.pass.TypesInfo.Uses[id] == t.v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

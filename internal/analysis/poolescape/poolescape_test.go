@@ -1,0 +1,12 @@
+package poolescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolescape"
+)
+
+func TestPoolescape(t *testing.T) {
+	analysistest.Run(t, "testdata", poolescape.Analyzer, "a")
+}

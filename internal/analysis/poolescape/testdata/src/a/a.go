@@ -1,0 +1,151 @@
+// Package a exercises the poolescape analyzer.
+package a
+
+import (
+	"errors"
+
+	"obs"
+	"sink"
+	"vec"
+)
+
+// --- findings ---
+
+func leakOnError(fail bool) error {
+	tr := obs.AcquireTrace() // want "tr is not released on every path"
+	if fail {
+		return errors.New("boom")
+	}
+	obs.ReleaseTrace(tr)
+	return nil
+}
+
+func useAfterRelease() int {
+	tr := obs.AcquireTrace()
+	obs.ReleaseTrace(tr)
+	return tr.ID // want "tr used after it was released"
+}
+
+func doubleRelease() {
+	tr := obs.AcquireTrace()
+	obs.ReleaseTrace(tr)
+	obs.ReleaseTrace(tr) // want "tr released twice"
+}
+
+func discard() {
+	obs.AcquireTrace() // want "result of AcquireTrace is discarded"
+}
+
+func escapeDeferred() *obs.Trace {
+	tr := obs.AcquireTrace()
+	defer obs.ReleaseTrace(tr)
+	return tr // want "escapes this function but a deferred release"
+}
+
+func scratchLeakOnEarlyReturn(n int) {
+	buf := vec.GetFloats(n) // want "buf is not released on every path"
+	for i := range buf {
+		if buf[i] < 0 {
+			return
+		}
+	}
+	vec.PutFloats(buf)
+}
+
+func loopReacquire(n int) {
+	var tr *obs.Trace
+	for i := 0; i < n; i++ {
+		tr = obs.AcquireTrace() // want "tr reacquired while the previous object was never released"
+	}
+	if tr != nil {
+		obs.ReleaseTrace(tr)
+	}
+}
+
+// A partial releaser does not earn the fact, so the obligation stays here.
+func maybeReleasedLeaks(ok bool) {
+	tr := obs.AcquireTrace() // want "tr is not released on every path"
+	sink.MaybeRelease(tr, ok)
+}
+
+// --- clean ---
+
+func deferRelease() int {
+	tr := obs.AcquireTrace()
+	defer obs.ReleaseTrace(tr)
+	return tr.ID
+}
+
+func deferLitRelease() {
+	tr := obs.AcquireTrace()
+	defer func() { obs.ReleaseTrace(tr) }()
+	tr.ID++
+}
+
+func releaseBothBranches(ok bool) {
+	tr := obs.AcquireTrace()
+	if ok {
+		tr.ID = 1
+		obs.ReleaseTrace(tr)
+	} else {
+		obs.ReleaseTrace(tr)
+	}
+}
+
+// A factory transfers ownership to its caller.
+func factory() *obs.Trace {
+	tr := obs.AcquireTrace()
+	tr.ID = 42
+	return tr
+}
+
+type holder struct{ tr *obs.Trace }
+
+// Storing into a struct transfers ownership to the struct's owner.
+func stash(h *holder) {
+	tr := obs.AcquireTrace()
+	h.tr = tr
+}
+
+// Respond carries a ReleasesParam fact: the call is the release.
+func releaseViaFact() {
+	tr := obs.AcquireTrace()
+	sink.Respond(200, tr)
+}
+
+func borrowThenRelease() {
+	tr := obs.AcquireTrace()
+	_ = sink.Borrow(tr)
+	obs.ReleaseTrace(tr)
+}
+
+func conditionalAcquire(ok bool) {
+	var tr *obs.Trace
+	if ok {
+		tr = obs.AcquireTrace()
+	}
+	if tr != nil {
+		obs.ReleaseTrace(tr)
+	}
+}
+
+func scratchRoundTrip(n int) float64 {
+	buf := vec.GetFloats(n)
+	var sum float64
+	for _, v := range buf {
+		sum += v
+	}
+	vec.PutFloats(buf)
+	bs := vec.GetBools(n)
+	vec.PutBools(bs)
+	return sum
+}
+
+// The escape hatch needs a reason and silences the finding.
+func ignored() *obs.Trace {
+	tr := obs.AcquireTrace() //poolescape:ignore released by the background sweeper
+	if tr.ID > 0 {
+		return nil
+	}
+	return tr
+}

@@ -1,0 +1,13 @@
+// Package obs mimics the repro trace pool for poolescape fixtures.
+package obs
+
+// Trace is a pooled per-query trace.
+type Trace struct{ ID int }
+
+var pool []*Trace
+
+// AcquireTrace takes a trace from the pool.
+func AcquireTrace() *Trace { return &Trace{} }
+
+// ReleaseTrace returns a trace to the pool.
+func ReleaseTrace(t *Trace) { pool = append(pool, t) }

@@ -1,0 +1,22 @@
+// Package sink provides callees with and without release obligations, so
+// the fixture package exercises ReleasesParam facts across a package
+// boundary.
+package sink
+
+import "obs"
+
+// Respond releases tr on every path: callers transfer the obligation.
+func Respond(code int, tr *obs.Trace) {
+	defer obs.ReleaseTrace(tr)
+	_ = code
+}
+
+// Borrow merely reads tr; the caller still owns it.
+func Borrow(tr *obs.Trace) int { return tr.ID }
+
+// MaybeRelease releases only on one path, so it must NOT get the fact.
+func MaybeRelease(tr *obs.Trace, ok bool) {
+	if ok {
+		obs.ReleaseTrace(tr)
+	}
+}

@@ -1,0 +1,14 @@
+// Package vec mimics the repro scratch pools for poolescape fixtures.
+package vec
+
+// GetFloats takes a float scratch slice from the pool.
+func GetFloats(n int) []float64 { return make([]float64, n) }
+
+// PutFloats returns a float scratch slice to the pool.
+func PutFloats(s []float64) {}
+
+// GetBools takes a bool scratch slice from the pool.
+func GetBools(n int) []bool { return make([]bool, n) }
+
+// PutBools returns a bool scratch slice to the pool.
+func PutBools(s []bool) {}

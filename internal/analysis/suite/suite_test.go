@@ -9,8 +9,8 @@ import (
 
 func TestAnalyzers(t *testing.T) {
 	as := suite.Analyzers()
-	if len(as) != 6 {
-		t.Fatalf("expected 6 analyzers, got %d", len(as))
+	if len(as) != 10 {
+		t.Fatalf("expected 10 analyzers, got %d", len(as))
 	}
 	seen := map[string]bool{}
 	for _, a := range as {
@@ -25,7 +25,10 @@ func TestAnalyzers(t *testing.T) {
 			t.Errorf("analyzer name %q is not a flat identifier", a.Name)
 		}
 	}
-	for _, want := range []string{"colinvariant", "ctxflow", "errwrap", "hotalloc", "lockblock", "wireswitch"} {
+	for _, want := range []string{
+		"colinvariant", "ctxflow", "errkind", "errwrap", "goleak",
+		"hotalloc", "interruptloop", "lockblock", "poolescape", "wireswitch",
+	} {
 		if !seen[want] {
 			t.Errorf("suite is missing analyzer %q", want)
 		}

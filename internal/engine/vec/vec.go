@@ -740,9 +740,12 @@ func cmpVS[T cmp.Ordered](op CmpOp, dst []bool, a []T, b T) {
 func TruthyInto(p Pol, dst []bool, c *storage.Column, n int) {
 	if c.Len() == 1 && n != 1 {
 		v := truthyScalar(c)
-		for i := range dst[:n] {
-			dst[i] = v
-		}
+		p.Run(n, func(lo, hi int) {
+			d := dst[lo:hi]
+			for i := range d {
+				d[i] = v
+			}
+		})
 		return
 	}
 	switch c.Typ {
@@ -777,9 +780,12 @@ func TruthyInto(p Pol, dst []bool, c *storage.Column, n int) {
 			maskNulls(d, c.Nulls, lo, hi)
 		})
 	default: // TBlob is never truthy, matching the scalar reference
-		for i := range dst[:n] {
-			dst[i] = false
-		}
+		p.Run(n, func(lo, hi int) {
+			d := dst[lo:hi]
+			for i := range d {
+				d[i] = false
+			}
+		})
 	}
 }
 
@@ -838,7 +844,7 @@ func Logic(p Pol, and bool, l, r *storage.Column, n int) *storage.Column {
 			}
 		})
 	}
-	PutBools(rm)
+	PutBools(rm) //poolescape:ignore rm is only borrowed by the synchronous p.Run closures above
 	return out
 }
 

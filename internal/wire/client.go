@@ -183,7 +183,11 @@ func (c *Client) watch(ctx context.Context) (stop func() error) {
 		close(stopCh)
 		<-doneCh
 		if err := ctx.Err(); err != nil {
-			return core.Wrapf(core.KindIO, err, "operation aborted: %v", err)
+			// The caller's context aborted the operation: surface it as a
+			// cancellation, not a transport failure, so core.IsCancelled
+			// recognizes it and the retry path does not re-run a
+			// deliberately abandoned operation.
+			return core.Wrapf(core.KindCancelled, err, "operation aborted: %v", err)
 		}
 		return nil
 	}

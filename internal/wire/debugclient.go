@@ -70,6 +70,7 @@ func (c *Client) Debug() (*DebugConn, error) {
 	// The demux reader owns all reads from here on; disable the read
 	// deadline the synchronous path may have armed.
 	_ = c.nc.SetReadDeadline(noDeadline())
+	//goleak:bounded readLoop exits when the connection closes or says goodbye
 	go dc.readLoop()
 	return dc, nil
 }
@@ -241,7 +242,7 @@ func (dc *DebugConn) RoundTrip(ctx context.Context, req DebugRequest) (DebugRepl
 		dc.pmu.Lock()
 		delete(dc.pending, req.Seq)
 		dc.pmu.Unlock()
-		return DebugReply{}, core.Wrapf(core.KindIO, ctx.Err(), "debug request aborted: %v", ctx.Err())
+		return DebugReply{}, core.Wrapf(core.KindCancelled, ctx.Err(), "debug request aborted: %v", ctx.Err())
 	}
 }
 
@@ -261,7 +262,7 @@ func (dc *DebugConn) WaitEvent(ctx context.Context) (DebugEventMsg, error) {
 		}
 		return ev, nil
 	case <-ctx.Done():
-		return DebugEventMsg{}, core.Wrapf(core.KindIO, ctx.Err(), "wait aborted: %v", ctx.Err())
+		return DebugEventMsg{}, core.Wrapf(core.KindCancelled, ctx.Err(), "wait aborted: %v", ctx.Err())
 	}
 }
 
@@ -299,7 +300,7 @@ func (dc *DebugConn) Query(ctx context.Context, sql string) (string, *storage.Ta
 		// The response will still arrive; without consuming it the stream
 		// is unusable, so poison the connection.
 		dc.c.broken.Store(true)
-		return "", nil, core.Wrapf(core.KindIO, ctx.Err(), "query aborted: %v", ctx.Err())
+		return "", nil, core.Wrapf(core.KindCancelled, ctx.Err(), "query aborted: %v", ctx.Err())
 	}
 }
 

@@ -127,7 +127,9 @@ func (p *Pool) get(ctx context.Context) (*Client, error) {
 		select {
 		case p.sem <- struct{}{}:
 		case <-ctx.Done():
-			return nil, core.Wrapf(core.KindIO, ctx.Err(), "pool checkout: %v", ctx.Err())
+			// The caller gave up waiting: a cancellation, not an IO
+			// failure — the pool itself is healthy.
+			return nil, core.Wrapf(core.KindCancelled, ctx.Err(), "pool checkout: %v", ctx.Err())
 		}
 	}
 	// Token held: either reuse an idle connection or dial.

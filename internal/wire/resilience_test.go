@@ -579,3 +579,28 @@ func TestChaosServerSurvives(t *testing.T) {
 	}
 	t.Logf("chaos: %d/%d queries succeeded through the faulted network", ok.Load(), workers*perWorker)
 }
+
+// TestPoolCheckoutCancelIsKindCancelled pins the classification of a
+// checkout abandoned by its caller: it is a cancellation, not a transport
+// failure, so core.IsCancelled recognizes it and retry logic does not
+// re-attempt a deliberately abandoned checkout as if the pool were broken.
+// (Regression: this path used to wrap ctx.Err as KindIO.)
+func TestPoolCheckoutCancelIsKindCancelled(t *testing.T) {
+	srv, params := startConfiguredServer(t, func(s *Server) {})
+	_ = srv
+	pool := NewPool(params, 1)
+	defer pool.Close()
+	// Occupy the pool's only slot so the next checkout must wait.
+	c, err := pool.Get(background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Put(c)
+	ctx, cancel := context.WithCancel(background())
+	cancel()
+	if _, err := pool.Get(ctx); err == nil {
+		t.Fatal("checkout with a cancelled context should fail")
+	} else if !core.IsCancelled(err) {
+		t.Fatalf("cancelled checkout should carry KindCancelled, got %v (%v)", core.KindOf(err), err)
+	}
+}
